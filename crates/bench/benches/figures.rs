@@ -1,0 +1,40 @@
+//! One benchmark group per paper figure: the cost of regenerating each
+//! experiment at reduced scale (quick mode). The absolute figures are
+//! produced by the `rsched-experiments` binaries; these benches guard the
+//! harness's performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsched_bench::bench_options;
+use rsched_experiments::figures::{fig3, fig4, fig5, fig6, fig7, fig8};
+use rsched_parallel::ThreadPool;
+
+fn bench_figures(c: &mut Criterion) {
+    let opts = bench_options();
+    let pool = ThreadPool::with_default_parallelism();
+
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig3_six_scenarios", |b| {
+        b.iter(|| std::hint::black_box(fig3::run(&opts, &pool)))
+    });
+    group.bench_function("fig4_scalability", |b| {
+        b.iter(|| std::hint::black_box(fig4::run(&opts, &pool)))
+    });
+    group.bench_function("fig5_overhead_by_scenario", |b| {
+        b.iter(|| std::hint::black_box(fig5::run(&opts, &pool)))
+    });
+    group.bench_function("fig6_overhead_scaling", |b| {
+        b.iter(|| std::hint::black_box(fig6::run(&opts, &pool)))
+    });
+    group.bench_function("fig7_robustness", |b| {
+        b.iter(|| std::hint::black_box(fig7::run(&opts, &pool)))
+    });
+    group.bench_function("fig8_polaris", |b| {
+        b.iter(|| std::hint::black_box(fig8::run(&opts, &pool)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

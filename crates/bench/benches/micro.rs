@@ -1,0 +1,165 @@
+//! Hot-path microbenchmarks: the simulator kernel, the allocator, the
+//! solver's SGS decoder, and the agent's per-decision pipeline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rsched_cluster::{ClusterConfig, FirstFitAllocator, JobId, JobSpec, UserId};
+use rsched_core::action::parse_completion;
+use rsched_core::{PromptBuilder, Scratchpad};
+use rsched_cpsolver::sgs::decode_with_makespan;
+use rsched_cpsolver::{Instance, Task};
+use rsched_llm::backend::LanguageModel;
+use rsched_llm::prompt_parse::parse_prompt;
+use rsched_llm::SimulatedLlm;
+use rsched_sim::{run_simulation, RunningSummary, SchedulingPolicy, SimOptions, SystemView};
+use rsched_simkit::{EventQueue, SimDuration, SimTime};
+use rsched_workloads::{generate, ArrivalMode, ScenarioKind};
+
+fn event_queue_throughput(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_millis(i * 7919 % 100_000), i);
+            }
+            let mut count = 0u64;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            std::hint::black_box(count)
+        })
+    });
+}
+
+fn allocator_cycle(c: &mut Criterion) {
+    c.bench_function("first_fit_alloc_release_256n", |b| {
+        b.iter(|| {
+            let mut alloc = FirstFitAllocator::new(256, 2048);
+            let mut grants = Vec::new();
+            for i in 0..64u32 {
+                if let Some(g) = alloc.try_allocate(1 + i % 8, 1 + (i as u64 % 32)) {
+                    grants.push(g);
+                }
+            }
+            for g in &grants {
+                alloc.release(g);
+            }
+            std::hint::black_box(alloc.free_nodes())
+        })
+    });
+}
+
+fn sgs_decode(c: &mut Criterion) {
+    let tasks: Vec<Task> = (0..100)
+        .map(|i| Task {
+            id: i as u32,
+            duration: 1_000 + (i as u64 * 7919) % 300_000,
+            nodes: 1 + (i as u32 * 13) % 64,
+            memory: 1 + (i as u64 * 31) % 512,
+            release: (i as u64 * 997) % 50_000,
+        })
+        .collect();
+    let instance = Instance::new(tasks, 256, 2048);
+    let order: Vec<usize> = (0..instance.len()).collect();
+    c.bench_function("sgs_decode_100_tasks", |b| {
+        b.iter(|| std::hint::black_box(decode_with_makespan(&instance, &order)))
+    });
+}
+
+fn sample_view(queue_len: usize) -> SystemView {
+    SystemView {
+        now: SimTime::from_secs(1554),
+        config: ClusterConfig::paper_default(),
+        free_nodes: 200,
+        free_memory_gb: 1500,
+        waiting: (0..queue_len)
+            .map(|i| {
+                JobSpec::new(
+                    i as u32,
+                    (i % 7) as u32,
+                    SimTime::ZERO,
+                    SimDuration::from_secs(60 + (i as u64 * 97) % 5000),
+                    1 + (i as u32 * 13) % 64,
+                    1 + (i as u64 * 31) % 256,
+                )
+            })
+            .collect(),
+        running: vec![RunningSummary {
+            id: JobId(9999),
+            user: UserId(1),
+            nodes: 56,
+            memory_gb: 548,
+            start: SimTime::ZERO,
+            submit: SimTime::ZERO,
+            expected_end: SimTime::from_secs(9_000),
+        }],
+        completed: vec![],
+        pending_arrivals: 3,
+        total_jobs: queue_len + 4,
+    }
+}
+
+fn prompt_pipeline(c: &mut Criterion) {
+    let view = sample_view(60);
+    let pad = Scratchpad::default();
+    let prompt = PromptBuilder::render(&view, &pad);
+    c.bench_function("prompt_render_60_jobs", |b| {
+        b.iter(|| std::hint::black_box(PromptBuilder::render(&view, &pad)))
+    });
+    c.bench_function("prompt_parse_60_jobs", |b| {
+        b.iter(|| std::hint::black_box(parse_prompt(&prompt).expect("parses")))
+    });
+    c.bench_function("completion_parse", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                parse_completion("Thought: the short job wins\nAction: StartJob(job_id=40)")
+                    .expect("parses"),
+            )
+        })
+    });
+}
+
+fn agent_decision_step(c: &mut Criterion) {
+    let view = sample_view(60);
+    c.bench_function("simulated_llm_full_decision_60_jobs", |b| {
+        b.iter_batched(
+            || SimulatedLlm::claude37(7),
+            |mut llm| {
+                let prompt = PromptBuilder::render(&view, &Scratchpad::default());
+                std::hint::black_box(llm.complete(&prompt).expect("completes"))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn full_simulation_fcfs(c: &mut Criterion) {
+    let workload = generate(ScenarioKind::HeterogeneousMix, 60, ArrivalMode::Dynamic, 5);
+    c.bench_function("simulate_fcfs_hetmix_60", |b| {
+        b.iter_batched(
+            || rsched_schedulers::Fcfs,
+            |mut policy| {
+                std::hint::black_box(
+                    run_simulation(
+                        ClusterConfig::paper_default(),
+                        &workload.jobs,
+                        &mut policy as &mut dyn SchedulingPolicy,
+                        &SimOptions::default(),
+                    )
+                    .expect("completes"),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    event_queue_throughput,
+    allocator_cycle,
+    sgs_decode,
+    prompt_pipeline,
+    agent_decision_step,
+    full_simulation_fcfs
+);
+criterion_main!(benches);

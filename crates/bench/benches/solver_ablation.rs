@@ -1,0 +1,94 @@
+//! Solver ablation (DESIGN.md §5): how much schedule quality each engine
+//! buys on identical instances — priority-rule list scheduling alone, the
+//! simulated-annealing stage, the genetic stage, and (small instances)
+//! exact branch-and-bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsched_cpsolver::anneal::{anneal, AnnealConfig};
+use rsched_cpsolver::bnb::BranchAndBound;
+use rsched_cpsolver::genetic::{evolve, GeneticConfig};
+use rsched_cpsolver::listsched::{priority_order, PriorityRule};
+use rsched_cpsolver::sgs::decode_with_makespan;
+use rsched_cpsolver::{Instance, Task};
+
+fn instance(n: usize, seed: u64) -> Instance {
+    let tasks: Vec<Task> = (0..n)
+        .map(|i| {
+            let x = seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(i as u64 * 0xBF58476D1CE4E5B9);
+            Task {
+                id: i as u32,
+                duration: 1_000 + x % 250_000,
+                nodes: 1 + ((x >> 8) % 64) as u32,
+                memory: 1 + (x >> 16) % 512,
+                release: 0,
+            }
+        })
+        .collect();
+    Instance::new(tasks, 256, 2048)
+}
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_ablation");
+    group.sample_size(10);
+
+    for &n in &[8usize, 40, 100] {
+        let inst = instance(n, 42);
+        let seed_order = priority_order(&inst, PriorityRule::LongestFirst);
+
+        group.bench_with_input(BenchmarkId::new("list_rules_only", n), &n, |b, _| {
+            b.iter(|| {
+                let mut best = u64::MAX;
+                for rule in PriorityRule::all() {
+                    let order = priority_order(&inst, rule);
+                    let (_, mk) = decode_with_makespan(&inst, &order);
+                    best = best.min(mk);
+                }
+                std::hint::black_box(best)
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("annealing_2k_iters", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(anneal(
+                    &inst,
+                    &seed_order,
+                    &AnnealConfig {
+                        iterations: 2_000,
+                        seed: 7,
+                        ..AnnealConfig::default()
+                    },
+                ))
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("genetic_40gen", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(evolve(
+                    &inst,
+                    &[seed_order.clone()],
+                    &GeneticConfig {
+                        generations: 40,
+                        seed: 7,
+                        ..GeneticConfig::default()
+                    },
+                ))
+            })
+        });
+
+        if n <= 8 {
+            group.bench_with_input(BenchmarkId::new("branch_and_bound", n), &n, |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        BranchAndBound::default().solve(&inst, &seed_order),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

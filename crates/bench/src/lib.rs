@@ -1,0 +1,30 @@
+//! # rsched-bench
+//!
+//! Criterion benchmark harness for the `reasoned-scheduler` workspace.
+//!
+//! Bench targets (`cargo bench -p rsched-bench`):
+//!
+//! * `figures` — one group per paper figure (3–8), each benchmarking the
+//!   full regeneration pipeline at reduced scale (the binaries in
+//!   `rsched-experiments` regenerate the full-scale figures; these benches
+//!   track the *cost* of each experiment).
+//! * `micro` — hot-path microbenchmarks: event-queue throughput, first-fit
+//!   allocation, SGS decoding, prompt rendering/parsing, the action
+//!   grammar, and a full agent decision step.
+//! * `solver_ablation` — the design-choice ablation DESIGN.md calls out:
+//!   priority rules vs simulated annealing vs the genetic stage vs exact
+//!   branch-and-bound on identical instances.
+
+/// Shared reduced-scale experiment options for the figure benches.
+pub fn bench_options() -> rsched_experiments::ExperimentOptions {
+    rsched_experiments::ExperimentOptions {
+        seed: 2025,
+        quick: true,
+        solver: rsched_cpsolver::SolverConfig {
+            sa_iterations_per_task: 50,
+            sa_iteration_cap: 1_000,
+            exact_max_tasks: 6,
+            ..rsched_cpsolver::SolverConfig::default()
+        },
+    }
+}

@@ -1,0 +1,235 @@
+//! First-fit resource allocation.
+//!
+//! Paper §3.3: *"Our LLM scheduler operates at the job selection and
+//! allocation level, using a first-fit strategy on a cluster (256 CPUs,
+//! 2048 GB memory). A first-fit strategy allocates each selected job to the
+//! first available set of resources that meet its requirements."*
+//!
+//! Nodes are exclusive (a node runs one job at a time); memory is an
+//! aggregate pool — together these realize the paper's two capacity
+//! constraints.
+
+use crate::node::NodeMask;
+
+/// A grant of concrete resources to one job. Returned by
+/// [`FirstFitAllocator::try_allocate`] and must be passed back to
+/// [`FirstFitAllocator::release`] exactly once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    /// The concrete nodes assigned (lowest-index-first under first-fit).
+    pub nodes: NodeMask,
+    /// Memory reserved from the aggregate pool, in GB.
+    pub memory_gb: u64,
+}
+
+impl Allocation {
+    /// Number of nodes in this allocation.
+    pub fn node_count(&self) -> u32 {
+        self.nodes.count()
+    }
+}
+
+/// Tracks free nodes and free memory; grants allocations first-fit.
+#[derive(Debug, Clone)]
+pub struct FirstFitAllocator {
+    busy: NodeMask,
+    total_nodes: u32,
+    total_memory_gb: u64,
+    free_memory_gb: u64,
+}
+
+impl FirstFitAllocator {
+    /// An allocator over `nodes` compute nodes and `memory_gb` GB of
+    /// aggregate memory, all initially free.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0`.
+    pub fn new(nodes: u32, memory_gb: u64) -> Self {
+        assert!(nodes > 0, "cluster must have at least one node");
+        FirstFitAllocator {
+            busy: NodeMask::new(nodes),
+            total_nodes: nodes,
+            total_memory_gb: memory_gb,
+            free_memory_gb: memory_gb,
+        }
+    }
+
+    /// Total node count.
+    pub fn total_nodes(&self) -> u32 {
+        self.total_nodes
+    }
+
+    /// Total memory in GB.
+    pub fn total_memory_gb(&self) -> u64 {
+        self.total_memory_gb
+    }
+
+    /// Currently free nodes.
+    pub fn free_nodes(&self) -> u32 {
+        self.total_nodes - self.busy.count()
+    }
+
+    /// Currently free memory in GB.
+    pub fn free_memory_gb(&self) -> u64 {
+        self.free_memory_gb
+    }
+
+    /// Nodes currently allocated.
+    pub fn busy_nodes(&self) -> u32 {
+        self.busy.count()
+    }
+
+    /// `true` if a request for `nodes`/`memory_gb` could be granted now.
+    pub fn can_fit(&self, nodes: u32, memory_gb: u64) -> bool {
+        nodes <= self.free_nodes() && memory_gb <= self.free_memory_gb
+    }
+
+    /// `true` if the request could *ever* be granted on an empty cluster.
+    pub fn fits_capacity(&self, nodes: u32, memory_gb: u64) -> bool {
+        nodes <= self.total_nodes && memory_gb <= self.total_memory_gb
+    }
+
+    /// Grant the lowest-index free nodes and reserve memory, or `None` if
+    /// the request does not fit right now.
+    ///
+    /// Zero-node requests are legal (they only consume memory); the paper's
+    /// workloads never produce them but traces might.
+    pub fn try_allocate(&mut self, nodes: u32, memory_gb: u64) -> Option<Allocation> {
+        if !self.can_fit(nodes, memory_gb) {
+            return None;
+        }
+        let chosen = self
+            .busy
+            .lowest_clear(nodes)
+            .expect("can_fit guaranteed enough free nodes");
+        let mut mask = NodeMask::new(self.total_nodes);
+        for idx in chosen {
+            mask.insert(idx);
+        }
+        self.busy.union_with(&mask);
+        self.free_memory_gb -= memory_gb;
+        Some(Allocation {
+            nodes: mask,
+            memory_gb,
+        })
+    }
+
+    /// Return an allocation's resources to the pool.
+    ///
+    /// # Panics
+    /// Panics if the allocation's nodes are not currently busy or the memory
+    /// return would exceed total capacity — both indicate a double release
+    /// or a foreign allocation.
+    pub fn release(&mut self, alloc: &Allocation) {
+        assert!(
+            self.busy.contains_all(&alloc.nodes),
+            "release of nodes that are not allocated: {}",
+            alloc.nodes
+        );
+        assert!(
+            self.free_memory_gb + alloc.memory_gb <= self.total_memory_gb,
+            "memory release would exceed capacity"
+        );
+        self.busy.subtract(&alloc.nodes);
+        self.free_memory_gb += alloc.memory_gb;
+    }
+
+    /// Debug invariant: free counters must be consistent with the mask.
+    pub fn check_invariants(&self) {
+        assert!(self.busy.count() <= self.total_nodes);
+        assert!(self.free_memory_gb <= self.total_memory_gb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_lowest_nodes_first() {
+        let mut a = FirstFitAllocator::new(8, 64);
+        let g1 = a.try_allocate(3, 8).expect("fits");
+        assert_eq!(g1.nodes.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        let g2 = a.try_allocate(2, 8).expect("fits");
+        assert_eq!(g2.nodes.iter().collect::<Vec<_>>(), vec![3, 4]);
+        a.release(&g1);
+        // First-fit reuses the lowest indices once freed.
+        let g3 = a.try_allocate(4, 8).expect("fits");
+        assert_eq!(g3.nodes.iter().collect::<Vec<_>>(), vec![0, 1, 2, 5]);
+    }
+
+    #[test]
+    fn respects_node_capacity() {
+        let mut a = FirstFitAllocator::new(4, 100);
+        assert!(a.try_allocate(5, 1).is_none());
+        let _g = a.try_allocate(4, 1).expect("fits");
+        assert!(a.try_allocate(1, 1).is_none());
+        assert_eq!(a.free_nodes(), 0);
+    }
+
+    #[test]
+    fn respects_memory_capacity() {
+        let mut a = FirstFitAllocator::new(16, 32);
+        let g = a.try_allocate(1, 30).expect("fits");
+        assert!(a.try_allocate(1, 3).is_none(), "memory pool exceeded");
+        assert!(a.can_fit(1, 2));
+        a.release(&g);
+        assert_eq!(a.free_memory_gb(), 32);
+    }
+
+    #[test]
+    fn fits_capacity_vs_can_fit() {
+        let mut a = FirstFitAllocator::new(4, 16);
+        let _g = a.try_allocate(4, 16).expect("fits");
+        assert!(!a.can_fit(1, 1));
+        assert!(a.fits_capacity(4, 16));
+        assert!(!a.fits_capacity(5, 1));
+        assert!(!a.fits_capacity(1, 17));
+    }
+
+    #[test]
+    fn release_restores_exact_state() {
+        let mut a = FirstFitAllocator::new(10, 100);
+        let g1 = a.try_allocate(4, 40).expect("fits");
+        let g2 = a.try_allocate(6, 60).expect("fits");
+        assert_eq!(a.free_nodes(), 0);
+        assert_eq!(a.free_memory_gb(), 0);
+        a.release(&g2);
+        a.release(&g1);
+        assert_eq!(a.free_nodes(), 10);
+        assert_eq!(a.free_memory_gb(), 100);
+        a.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "not allocated")]
+    fn double_release_panics() {
+        let mut a = FirstFitAllocator::new(4, 16);
+        let g = a.try_allocate(2, 4).expect("fits");
+        a.release(&g);
+        a.release(&g);
+    }
+
+    #[test]
+    fn zero_node_memory_only_job() {
+        let mut a = FirstFitAllocator::new(4, 16);
+        let g = a.try_allocate(0, 10).expect("fits");
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(a.free_memory_gb(), 6);
+        assert_eq!(a.free_nodes(), 4);
+        a.release(&g);
+        assert_eq!(a.free_memory_gb(), 16);
+    }
+
+    #[test]
+    fn paper_scale_cluster() {
+        // 256 nodes / 2048 GB, the paper's default partition.
+        let mut a = FirstFitAllocator::new(256, 2048);
+        // Job 7 from the Figure 2 trace: 256 nodes, 2048 GB.
+        let g = a.try_allocate(256, 2048).expect("full-machine job fits");
+        assert_eq!(a.free_nodes(), 0);
+        assert_eq!(a.free_memory_gb(), 0);
+        a.release(&g);
+        assert!(a.can_fit(256, 2048));
+    }
+}

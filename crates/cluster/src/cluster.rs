@@ -1,0 +1,377 @@
+//! The live cluster ledger: running jobs, capacity accounting, completions.
+//!
+//! This is the "system state" (`S_t`) of the paper's formulation — the part
+//! of the environment the LLM agent observes (available nodes/memory,
+//! running jobs) and the part the constraint-enforcement module (paper
+//! §2.4) validates actions against.
+
+use std::collections::BTreeMap;
+
+use rsched_simkit::{SimDuration, SimTime};
+
+use crate::allocator::{Allocation, FirstFitAllocator};
+use crate::job::{JobId, JobRecord, JobSpec};
+
+/// Static cluster configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Compute node count (`N_total`).
+    pub nodes: u32,
+    /// Aggregate memory capacity in GB (`M_total`).
+    pub memory_gb: u64,
+}
+
+impl ClusterConfig {
+    /// The paper's default partition: 256 nodes, 2048 GB (§3.1).
+    pub fn paper_default() -> Self {
+        ClusterConfig {
+            nodes: 256,
+            memory_gb: 2048,
+        }
+    }
+
+    /// The Polaris configuration: 560 nodes × 512 GB each (§5).
+    pub fn polaris() -> Self {
+        ClusterConfig {
+            nodes: 560,
+            memory_gb: 560 * 512,
+        }
+    }
+
+    /// A custom configuration.
+    pub fn new(nodes: u32, memory_gb: u64) -> Self {
+        ClusterConfig { nodes, memory_gb }
+    }
+}
+
+/// A job currently executing on the cluster.
+#[derive(Debug, Clone)]
+pub struct RunningJob {
+    /// The job as submitted.
+    pub spec: JobSpec,
+    /// When it started (`x_j`).
+    pub start: SimTime,
+    /// When it will complete (`x_j + d_j`). Execution is non-preemptive.
+    pub end: SimTime,
+    /// The concrete resources it holds.
+    pub allocation: Allocation,
+}
+
+/// Why a start request was rejected — the structured form behind the
+/// natural-language feedback of paper §2.4.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StartError {
+    /// Not enough free nodes/memory right now. Carries the free amounts at
+    /// the time of the attempt so feedback can quote them.
+    InsufficientResources {
+        /// Free nodes at the attempt.
+        free_nodes: u32,
+        /// Free memory (GB) at the attempt.
+        free_memory_gb: u64,
+    },
+    /// The request exceeds total machine capacity and can never run.
+    ExceedsCapacity,
+    /// The job id is already running.
+    AlreadyRunning,
+    /// The job id already completed.
+    AlreadyCompleted,
+}
+
+/// The mutable cluster state: allocator plus running/completed job sets.
+///
+/// Every transition is invariant-checked: active node and memory demand can
+/// never exceed capacity (the paper's feasibility constraints), and jobs are
+/// started at most once.
+#[derive(Debug, Clone)]
+pub struct ClusterState {
+    config: ClusterConfig,
+    allocator: FirstFitAllocator,
+    running: BTreeMap<JobId, RunningJob>,
+    completed: Vec<JobRecord>,
+}
+
+impl ClusterState {
+    /// An idle cluster.
+    pub fn new(config: ClusterConfig) -> Self {
+        ClusterState {
+            allocator: FirstFitAllocator::new(config.nodes, config.memory_gb),
+            config,
+            running: BTreeMap::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> ClusterConfig {
+        self.config
+    }
+
+    /// Free nodes right now.
+    pub fn free_nodes(&self) -> u32 {
+        self.allocator.free_nodes()
+    }
+
+    /// Free memory (GB) right now.
+    pub fn free_memory_gb(&self) -> u64 {
+        self.allocator.free_memory_gb()
+    }
+
+    /// `true` if the job would fit on the free resources right now.
+    pub fn can_fit(&self, spec: &JobSpec) -> bool {
+        self.allocator.can_fit(spec.nodes, spec.memory_gb)
+    }
+
+    /// `true` if the job could ever fit on an empty machine.
+    pub fn fits_capacity(&self, spec: &JobSpec) -> bool {
+        self.allocator.fits_capacity(spec.nodes, spec.memory_gb)
+    }
+
+    /// Attempt to start `spec` at `now`. On success the job holds resources
+    /// until [`ClusterState::complete_job`] is called at its end time.
+    pub fn start_job(&mut self, spec: &JobSpec, now: SimTime) -> Result<&RunningJob, StartError> {
+        if self.running.contains_key(&spec.id) {
+            return Err(StartError::AlreadyRunning);
+        }
+        if self.completed.iter().any(|r| r.spec.id == spec.id) {
+            return Err(StartError::AlreadyCompleted);
+        }
+        if !self.fits_capacity(spec) {
+            return Err(StartError::ExceedsCapacity);
+        }
+        let allocation = self
+            .allocator
+            .try_allocate(spec.nodes, spec.memory_gb)
+            .ok_or(StartError::InsufficientResources {
+                free_nodes: self.allocator.free_nodes(),
+                free_memory_gb: self.allocator.free_memory_gb(),
+            })?;
+        let job = RunningJob {
+            spec: spec.clone(),
+            start: now,
+            end: now + spec.duration,
+            allocation,
+        };
+        let entry = self.running.entry(spec.id).or_insert(job);
+        Ok(entry)
+    }
+
+    /// Complete a running job, releasing its resources and appending its
+    /// [`JobRecord`].
+    ///
+    /// # Panics
+    /// Panics if the job is not running or `now` differs from its end time —
+    /// either indicates a simulator bug (jobs are non-preemptive and finish
+    /// exactly at `start + duration`).
+    pub fn complete_job(&mut self, id: JobId, now: SimTime) -> &JobRecord {
+        let job = self
+            .running
+            .remove(&id)
+            .unwrap_or_else(|| panic!("complete_job: job {id} is not running"));
+        assert_eq!(
+            job.end, now,
+            "complete_job: job {id} ends at {} but clock is {}",
+            job.end, now
+        );
+        self.allocator.release(&job.allocation);
+        self.completed.push(JobRecord {
+            spec: job.spec,
+            start: job.start,
+            end: job.end,
+        });
+        self.completed.last().expect("just pushed")
+    }
+
+    /// Jobs currently executing, ordered by id.
+    pub fn running(&self) -> impl Iterator<Item = &RunningJob> {
+        self.running.values()
+    }
+
+    /// Number of running jobs.
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// One running job by id.
+    pub fn running_job(&self, id: JobId) -> Option<&RunningJob> {
+        self.running.get(&id)
+    }
+
+    /// Completed job records, in completion order.
+    pub fn completed(&self) -> &[JobRecord] {
+        &self.completed
+    }
+
+    /// The earliest end time among running jobs — the simulator's next
+    /// completion event.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.running.values().map(|j| j.end).min()
+    }
+
+    /// `(end_time, job_id)` pairs for all running jobs, ascending by end.
+    pub fn completion_schedule(&self) -> Vec<(SimTime, JobId)> {
+        let mut v: Vec<(SimTime, JobId)> = self
+            .running
+            .values()
+            .map(|j| (j.end, j.spec.id))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Nodes currently in use.
+    pub fn busy_nodes(&self) -> u32 {
+        self.config.nodes - self.free_nodes()
+    }
+
+    /// Memory (GB) currently in use.
+    pub fn busy_memory_gb(&self) -> u64 {
+        self.config.memory_gb - self.free_memory_gb()
+    }
+
+    /// Assert the paper's feasibility constraints hold.
+    pub fn check_invariants(&self) {
+        self.allocator.check_invariants();
+        let node_demand: u32 = self.running.values().map(|j| j.spec.nodes).sum();
+        let mem_demand: u64 = self.running.values().map(|j| j.spec.memory_gb).sum();
+        assert!(
+            node_demand <= self.config.nodes,
+            "node capacity violated: {node_demand} > {}",
+            self.config.nodes
+        );
+        assert!(
+            mem_demand <= self.config.memory_gb,
+            "memory capacity violated: {mem_demand} > {}",
+            self.config.memory_gb
+        );
+        assert_eq!(node_demand, self.busy_nodes(), "node ledger drift");
+        assert_eq!(mem_demand, self.busy_memory_gb(), "memory ledger drift");
+    }
+
+    /// Remaining runtime of the running job `id` at time `now`.
+    pub fn remaining(&self, id: JobId, now: SimTime) -> Option<SimDuration> {
+        self.running
+            .get(&id)
+            .map(|j| j.end.saturating_since(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_simkit::SimDuration;
+
+    fn spec(id: u32, dur_s: u64, nodes: u32, mem: u64) -> JobSpec {
+        JobSpec::new(id, 0, SimTime::ZERO, SimDuration::from_secs(dur_s), nodes, mem)
+    }
+
+    #[test]
+    fn start_and_complete_lifecycle() {
+        let mut c = ClusterState::new(ClusterConfig::paper_default());
+        let s = spec(1, 100, 64, 512);
+        let t0 = SimTime::ZERO;
+        let rj = c.start_job(&s, t0).expect("starts");
+        assert_eq!(rj.end, SimTime::from_secs(100));
+        assert_eq!(c.free_nodes(), 192);
+        assert_eq!(c.free_memory_gb(), 1536);
+        c.check_invariants();
+        let rec = c.complete_job(JobId(1), SimTime::from_secs(100)).clone();
+        assert_eq!(rec.wait(), SimDuration::ZERO);
+        assert_eq!(c.free_nodes(), 256);
+        assert_eq!(c.completed().len(), 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn insufficient_resources_reports_free_amounts() {
+        let mut c = ClusterState::new(ClusterConfig::new(8, 64));
+        c.start_job(&spec(1, 10, 6, 32), SimTime::ZERO).expect("ok");
+        let err = c.start_job(&spec(2, 10, 4, 8), SimTime::ZERO).unwrap_err();
+        assert_eq!(
+            err,
+            StartError::InsufficientResources {
+                free_nodes: 2,
+                free_memory_gb: 32
+            }
+        );
+    }
+
+    #[test]
+    fn capacity_exceeding_job_is_distinguished() {
+        let mut c = ClusterState::new(ClusterConfig::new(8, 64));
+        let err = c.start_job(&spec(1, 10, 9, 1), SimTime::ZERO).unwrap_err();
+        assert_eq!(err, StartError::ExceedsCapacity);
+        let err = c.start_job(&spec(2, 10, 1, 65), SimTime::ZERO).unwrap_err();
+        assert_eq!(err, StartError::ExceedsCapacity);
+    }
+
+    #[test]
+    fn double_start_rejected() {
+        let mut c = ClusterState::new(ClusterConfig::paper_default());
+        let s = spec(1, 50, 1, 1);
+        c.start_job(&s, SimTime::ZERO).expect("ok");
+        assert_eq!(
+            c.start_job(&s, SimTime::ZERO).unwrap_err(),
+            StartError::AlreadyRunning
+        );
+        c.complete_job(JobId(1), SimTime::from_secs(50));
+        assert_eq!(
+            c.start_job(&s, SimTime::from_secs(50)).unwrap_err(),
+            StartError::AlreadyCompleted
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not running")]
+    fn completing_unknown_job_panics() {
+        let mut c = ClusterState::new(ClusterConfig::paper_default());
+        c.complete_job(JobId(42), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "ends at")]
+    fn completing_at_wrong_time_panics() {
+        let mut c = ClusterState::new(ClusterConfig::paper_default());
+        c.start_job(&spec(1, 100, 1, 1), SimTime::ZERO).expect("ok");
+        c.complete_job(JobId(1), SimTime::from_secs(99));
+    }
+
+    #[test]
+    fn next_completion_is_earliest() {
+        let mut c = ClusterState::new(ClusterConfig::paper_default());
+        c.start_job(&spec(1, 100, 1, 1), SimTime::ZERO).expect("ok");
+        c.start_job(&spec(2, 30, 1, 1), SimTime::ZERO).expect("ok");
+        c.start_job(&spec(3, 70, 1, 1), SimTime::ZERO).expect("ok");
+        assert_eq!(c.next_completion(), Some(SimTime::from_secs(30)));
+        let schedule = c.completion_schedule();
+        assert_eq!(
+            schedule,
+            vec![
+                (SimTime::from_secs(30), JobId(2)),
+                (SimTime::from_secs(70), JobId(3)),
+                (SimTime::from_secs(100), JobId(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn remaining_runtime() {
+        let mut c = ClusterState::new(ClusterConfig::paper_default());
+        c.start_job(&spec(1, 100, 1, 1), SimTime::ZERO).expect("ok");
+        assert_eq!(
+            c.remaining(JobId(1), SimTime::from_secs(40)),
+            Some(SimDuration::from_secs(60))
+        );
+        assert_eq!(c.remaining(JobId(9), SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn busy_accounting() {
+        let mut c = ClusterState::new(ClusterConfig::paper_default());
+        c.start_job(&spec(1, 10, 100, 1000), SimTime::ZERO).expect("ok");
+        assert_eq!(c.busy_nodes(), 100);
+        assert_eq!(c.busy_memory_gb(), 1000);
+        assert_eq!(c.running_count(), 1);
+        assert!(c.running_job(JobId(1)).is_some());
+        c.check_invariants();
+    }
+}

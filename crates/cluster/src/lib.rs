@@ -1,0 +1,44 @@
+//! # rsched-cluster
+//!
+//! The HPC cluster substrate for the `reasoned-scheduler` workspace: the
+//! machine model that the paper's discrete-event simulator (paper §3.1)
+//! schedules onto.
+//!
+//! The simulated partition follows the paper's configuration — by default
+//! **256 compute nodes and 2048 GB of aggregate memory** (the Polaris
+//! experiment uses 560 nodes × 512 GB). Jobs occupy whole nodes exclusively
+//! and draw from the shared memory pool, giving exactly the paper's two
+//! feasibility constraints:
+//!
+//! * `Σ nodes(j) ≤ N_total` over active jobs, and
+//! * `Σ memory(j) ≤ M_total` over active jobs.
+//!
+//! Modules:
+//!
+//! * [`job`] — job identifiers, specifications, lifecycle records.
+//! * [`node`] — the node bitmask used for placement.
+//! * [`allocator`] — first-fit node-level placement (paper §3.3: "a
+//!   first-fit strategy allocates each selected job to the first available
+//!   set of resources").
+//! * [`cluster`] — the live capacity ledger with invariant checking.
+//! * [`reservation`] — shadow-time reservations used to validate EASY-style
+//!   backfilling.
+//! * [`utilization`] — step-function resource integrals for the utilization
+//!   objectives.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod allocator;
+pub mod cluster;
+pub mod job;
+pub mod node;
+pub mod reservation;
+pub mod utilization;
+
+pub use allocator::{Allocation, FirstFitAllocator};
+pub use cluster::{ClusterConfig, ClusterState, RunningJob, StartError};
+pub use job::{GroupId, JobId, JobRecord, JobSpec, UserId};
+pub use node::NodeMask;
+pub use reservation::{backfill_is_safe, shadow_start};
+pub use utilization::StepIntegral;

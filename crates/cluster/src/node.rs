@@ -1,0 +1,234 @@
+//! A compact bitmask over compute nodes, used to record which concrete
+//! nodes a job occupies under first-fit placement.
+
+use std::fmt;
+
+/// A set of node indices backed by a `u64` bitmap vector.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NodeMask {
+    words: Vec<u64>,
+    capacity: u32,
+}
+
+impl NodeMask {
+    /// An empty mask over `capacity` nodes.
+    pub fn new(capacity: u32) -> Self {
+        NodeMask {
+            words: vec![0; (capacity as usize).div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Total node slots this mask covers.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// `true` if node `idx` is in the set.
+    pub fn contains(&self, idx: u32) -> bool {
+        assert!(idx < self.capacity, "node index {idx} out of range");
+        self.words[(idx / 64) as usize] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Insert node `idx`. Returns `true` if it was newly inserted.
+    pub fn insert(&mut self, idx: u32) -> bool {
+        assert!(idx < self.capacity, "node index {idx} out of range");
+        let w = &mut self.words[(idx / 64) as usize];
+        let bit = 1u64 << (idx % 64);
+        let newly = *w & bit == 0;
+        *w |= bit;
+        newly
+    }
+
+    /// Remove node `idx`. Returns `true` if it was present.
+    pub fn remove(&mut self, idx: u32) -> bool {
+        assert!(idx < self.capacity, "node index {idx} out of range");
+        let w = &mut self.words[(idx / 64) as usize];
+        let bit = 1u64 << (idx % 64);
+        let present = *w & bit != 0;
+        *w &= !bit;
+        present
+    }
+
+    /// Number of nodes in the set.
+    pub fn count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// `true` if no nodes are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `true` if `self` and `other` share any node.
+    pub fn intersects(&self, other: &NodeMask) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// `true` if every node of `other` is also in `self`.
+    pub fn contains_all(&self, other: &NodeMask) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & b == *b)
+    }
+
+    /// Set-union in place.
+    pub fn union_with(&mut self, other: &NodeMask) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Remove every node of `other` from `self`.
+    pub fn subtract(&mut self, other: &NodeMask) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Indices of set nodes, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let cap = self.capacity;
+            (0..64u32).filter_map(move |b| {
+                let idx = wi as u32 * 64 + b;
+                (w & (1 << b) != 0 && idx < cap).then_some(idx)
+            })
+        })
+    }
+
+    /// The lowest `n` clear (free) node indices, or `None` if fewer than `n`
+    /// are clear — the heart of first-fit placement.
+    pub fn lowest_clear(&self, n: u32) -> Option<Vec<u32>> {
+        if n == 0 {
+            return Some(Vec::new());
+        }
+        let mut out = Vec::with_capacity(n as usize);
+        for idx in 0..self.capacity {
+            if !self.contains(idx) {
+                out.push(idx);
+                if out.len() == n as usize {
+                    return Some(out);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for NodeMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render as compact ranges: "0-3,7,9-10".
+        let indices: Vec<u32> = self.iter().collect();
+        let mut parts: Vec<String> = Vec::new();
+        let mut i = 0;
+        while i < indices.len() {
+            let start = indices[i];
+            let mut end = start;
+            while i + 1 < indices.len() && indices[i + 1] == end + 1 {
+                i += 1;
+                end = indices[i];
+            }
+            if start == end {
+                parts.push(format!("{start}"));
+            } else {
+                parts.push(format!("{start}-{end}"));
+            }
+            i += 1;
+        }
+        write!(f, "[{}]", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_count() {
+        let mut m = NodeMask::new(130);
+        assert!(m.insert(0));
+        assert!(m.insert(129));
+        assert!(!m.insert(0), "double insert reported as new");
+        assert_eq!(m.count(), 2);
+        assert!(m.contains(0) && m.contains(129) && !m.contains(64));
+        assert!(m.remove(0));
+        assert!(!m.remove(0));
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn empty_and_capacity() {
+        let m = NodeMask::new(256);
+        assert!(m.is_empty());
+        assert_eq!(m.capacity(), 256);
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut m = NodeMask::new(8);
+        m.insert(8);
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut a = NodeMask::new(128);
+        let mut b = NodeMask::new(128);
+        a.insert(1);
+        a.insert(70);
+        b.insert(70);
+        b.insert(90);
+        assert!(a.intersects(&b));
+        assert!(!a.contains_all(&b));
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 3);
+        assert!(u.contains_all(&a) && u.contains_all(&b));
+        u.subtract(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1]);
+        let disjoint = {
+            let mut d = NodeMask::new(128);
+            d.insert(2);
+            d
+        };
+        assert!(!a.intersects(&disjoint));
+    }
+
+    #[test]
+    fn iter_ascending_across_words() {
+        let mut m = NodeMask::new(200);
+        for idx in [199, 0, 63, 64, 128] {
+            m.insert(idx);
+        }
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 63, 64, 128, 199]);
+    }
+
+    #[test]
+    fn lowest_clear_first_fit() {
+        let mut m = NodeMask::new(8);
+        m.insert(0);
+        m.insert(2);
+        assert_eq!(m.lowest_clear(3), Some(vec![1, 3, 4]));
+        assert_eq!(m.lowest_clear(6), Some(vec![1, 3, 4, 5, 6, 7]));
+        assert_eq!(m.lowest_clear(7), None);
+        assert_eq!(m.lowest_clear(0), Some(vec![]));
+    }
+
+    #[test]
+    fn display_ranges() {
+        let mut m = NodeMask::new(16);
+        for idx in [0, 1, 2, 3, 7, 9, 10] {
+            m.insert(idx);
+        }
+        assert_eq!(m.to_string(), "[0-3,7,9-10]");
+        assert_eq!(NodeMask::new(4).to_string(), "[]");
+    }
+}

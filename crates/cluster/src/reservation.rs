@@ -1,0 +1,242 @@
+//! Shadow-time reservations for backfilling validation.
+//!
+//! The agent's `BackfillJob(job_id=Y)` action (paper §2.2) opportunistically
+//! runs a smaller job ahead of the blocked head of the queue. We validate it
+//! EASY-style: the backfilled job must fit **now** and must not delay the
+//! *shadow start* — the earliest time the head job could start given the
+//! currently running jobs' completion times.
+
+use rsched_simkit::{SimDuration, SimTime};
+
+use crate::cluster::ClusterState;
+use crate::job::JobSpec;
+
+/// Resource demand used in reservation computations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Demand {
+    /// Nodes requested.
+    pub nodes: u32,
+    /// Memory (GB) requested.
+    pub memory_gb: u64,
+}
+
+impl From<&JobSpec> for Demand {
+    fn from(s: &JobSpec) -> Self {
+        Demand {
+            nodes: s.nodes,
+            memory_gb: s.memory_gb,
+        }
+    }
+}
+
+/// The earliest time at which `demand` could start, assuming running jobs
+/// release resources exactly at their recorded end times and nothing else
+/// starts in between.
+///
+/// Runs a sweep over the completion schedule; `O(R log R)` in the number of
+/// running jobs. Returns `now` if the demand already fits.
+pub fn shadow_start(cluster: &ClusterState, now: SimTime, demand: Demand) -> SimTime {
+    let mut free_nodes = cluster.free_nodes();
+    let mut free_mem = cluster.free_memory_gb();
+    if demand.nodes <= free_nodes && demand.memory_gb <= free_mem {
+        return now;
+    }
+    let mut completions: Vec<(SimTime, u32, u64)> = cluster
+        .running()
+        .map(|j| (j.end, j.spec.nodes, j.spec.memory_gb))
+        .collect();
+    completions.sort();
+    for (end, nodes, mem) in completions {
+        free_nodes += nodes;
+        free_mem += mem;
+        if demand.nodes <= free_nodes && demand.memory_gb <= free_mem {
+            return end.max(now);
+        }
+    }
+    // Demand exceeds total capacity; unreachable for validated jobs.
+    SimTime::MAX
+}
+
+/// EASY backfilling test: may `candidate` start now without delaying the
+/// shadow start of `head`?
+///
+/// `true` iff the candidate fits the current free resources and either
+/// (a) it finishes (by its *walltime estimate*) no later than the head job's
+/// shadow start, or (b) even while the candidate runs, the resources left at
+/// the shadow time still cover the head job's demand.
+pub fn backfill_is_safe(
+    cluster: &ClusterState,
+    now: SimTime,
+    candidate: &JobSpec,
+    head: &JobSpec,
+) -> bool {
+    if !cluster.can_fit(candidate) {
+        return false;
+    }
+    let shadow = shadow_start(cluster, now, Demand::from(head));
+    if shadow == SimTime::MAX {
+        // Head can never run (exceeds capacity); nothing can delay it.
+        return true;
+    }
+    let candidate_end = now + candidate.walltime;
+    if candidate_end <= shadow {
+        return true;
+    }
+    // Candidate overlaps the shadow time: check that at the shadow time the
+    // head still fits with the candidate's resources subtracted from what
+    // will be free then.
+    let (free_nodes_at_shadow, free_mem_at_shadow) = free_at(cluster, shadow);
+    free_nodes_at_shadow >= candidate.nodes + head.nodes
+        && free_mem_at_shadow >= candidate.memory_gb + head.memory_gb
+}
+
+/// Free resources at future time `t`, assuming only currently running jobs
+/// (no new starts) and release at recorded end times. Jobs ending exactly at
+/// `t` are counted as released.
+pub fn free_at(cluster: &ClusterState, t: SimTime) -> (u32, u64) {
+    let mut free_nodes = cluster.free_nodes();
+    let mut free_mem = cluster.free_memory_gb();
+    for j in cluster.running() {
+        if j.end <= t {
+            free_nodes += j.spec.nodes;
+            free_mem += j.spec.memory_gb;
+        }
+    }
+    (free_nodes, free_mem)
+}
+
+/// The minimum delay a queue head would suffer if `candidate` ran first on
+/// an otherwise idle machine — a diagnostic used by the reasoning traces.
+pub fn head_delay_if_backfilled(
+    cluster: &ClusterState,
+    now: SimTime,
+    candidate: &JobSpec,
+    head: &JobSpec,
+) -> SimDuration {
+    let shadow = shadow_start(cluster, now, Demand::from(head));
+    if backfill_is_safe(cluster, now, candidate, head) {
+        return SimDuration::ZERO;
+    }
+    let candidate_end = now + candidate.walltime;
+    candidate_end.saturating_since(shadow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, ClusterState};
+    use rsched_simkit::SimDuration;
+
+    fn spec(id: u32, dur_s: u64, nodes: u32, mem: u64) -> JobSpec {
+        JobSpec::new(id, 0, SimTime::ZERO, SimDuration::from_secs(dur_s), nodes, mem)
+    }
+
+    /// 8-node, 64 GB cluster with two running jobs: 6 nodes ending at t=100,
+    /// 1 node ending at t=50.
+    fn busy_cluster() -> ClusterState {
+        let mut c = ClusterState::new(ClusterConfig::new(8, 64));
+        c.start_job(&spec(1, 100, 6, 32), SimTime::ZERO).expect("ok");
+        c.start_job(&spec(2, 50, 1, 8), SimTime::ZERO).expect("ok");
+        c
+    }
+
+    #[test]
+    fn shadow_now_when_fits() {
+        let c = busy_cluster();
+        let t = shadow_start(&c, SimTime::ZERO, Demand { nodes: 1, memory_gb: 8 });
+        assert_eq!(t, SimTime::ZERO);
+    }
+
+    #[test]
+    fn shadow_waits_for_enough_completions() {
+        let c = busy_cluster();
+        // 3 nodes free after job 2 (t=50): 1+1=2 — not enough; after job 1
+        // (t=100): 8 free.
+        let t = shadow_start(&c, SimTime::ZERO, Demand { nodes: 4, memory_gb: 8 });
+        assert_eq!(t, SimTime::from_secs(100));
+        let t = shadow_start(&c, SimTime::ZERO, Demand { nodes: 2, memory_gb: 8 });
+        assert_eq!(t, SimTime::from_secs(50));
+    }
+
+    #[test]
+    fn shadow_infeasible_demand_is_max() {
+        let c = busy_cluster();
+        let t = shadow_start(&c, SimTime::ZERO, Demand { nodes: 9, memory_gb: 8 });
+        assert_eq!(t, SimTime::MAX);
+    }
+
+    #[test]
+    fn shadow_never_before_now() {
+        let mut c = ClusterState::new(ClusterConfig::new(8, 64));
+        c.start_job(&spec(1, 10, 8, 8), SimTime::ZERO).expect("ok");
+        // At t=20 the job has already ended per schedule bookkeeping, but we
+        // query with it still running: max(end, now) = now... construct a
+        // case where end < now cannot happen in the simulator, so just check
+        // the max() clamp with end == now.
+        let t = shadow_start(
+            &c,
+            SimTime::from_secs(10),
+            Demand { nodes: 8, memory_gb: 8 },
+        );
+        assert_eq!(t, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn backfill_short_job_is_safe() {
+        let c = busy_cluster();
+        // Head needs 4 nodes → shadow t=100. Candidate: 1 node, 30 s ends at
+        // t=30 ≤ 100 → safe.
+        let head = spec(10, 500, 4, 8);
+        let cand = spec(11, 30, 1, 8);
+        assert!(backfill_is_safe(&c, SimTime::ZERO, &cand, &head));
+        assert_eq!(
+            head_delay_if_backfilled(&c, SimTime::ZERO, &cand, &head),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn backfill_long_job_that_would_delay_head_is_rejected() {
+        let c = busy_cluster();
+        let head = spec(10, 500, 4, 8);
+        // Candidate runs 500 s on 1 node: at shadow t=100, free = 8 nodes,
+        // head needs 4 + candidate 1 = 5 ≤ 8 → actually safe (head can
+        // coexist). Use a candidate big enough to collide: 5 nodes? 1 free
+        // node only — won't fit now. Use memory collision instead: candidate
+        // 1 node / 24 GB (fits now), head needs 48 GB; at shadow, free mem =
+        // 64, head 48 + candidate 24 = 72 > 64 → delayed.
+        let head = JobSpec { memory_gb: 48, ..head };
+        let cand = spec(11, 500, 1, 24);
+        assert!(!backfill_is_safe(&c, SimTime::ZERO, &cand, &head));
+        assert!(head_delay_if_backfilled(&c, SimTime::ZERO, &cand, &head) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn backfill_overlapping_but_coexisting_is_safe() {
+        let c = busy_cluster();
+        // Head needs 4 nodes (shadow t=100); candidate 1 node for 200 s.
+        // At t=100 everything is free (8 nodes, 64 GB): 4+1 ≤ 8, coexists.
+        let head = spec(10, 500, 4, 8);
+        let cand = spec(11, 200, 1, 8);
+        assert!(backfill_is_safe(&c, SimTime::ZERO, &cand, &head));
+    }
+
+    #[test]
+    fn backfill_requires_fitting_now() {
+        let c = busy_cluster();
+        let head = spec(10, 500, 4, 8);
+        let cand = spec(11, 10, 2, 8); // only 1 node free now
+        assert!(!backfill_is_safe(&c, SimTime::ZERO, &cand, &head));
+    }
+
+    #[test]
+    fn free_at_counts_exact_end_as_released() {
+        let c = busy_cluster();
+        let (n, m) = free_at(&c, SimTime::from_secs(50));
+        assert_eq!((n, m), (2, 32));
+        let (n, m) = free_at(&c, SimTime::from_secs(100));
+        assert_eq!((n, m), (8, 64));
+        let (n, m) = free_at(&c, SimTime::from_secs(49));
+        assert_eq!((n, m), (1, 24));
+    }
+}

@@ -1,0 +1,234 @@
+//! Parsing LLM completions into structured actions.
+//!
+//! The prompt instructs the model to answer
+//!
+//! ```text
+//! Thought: <your reasoning>
+//! Action: <your action>
+//! ```
+//!
+//! with the action being one of `StartJob(job_id=X)`, `BackfillJob(job_id=Y)`,
+//! `Delay`, or `Stop` (paper §3.4). Real models drift — extra whitespace,
+//! case changes, trailing prose — so the parser is deliberately tolerant
+//! while still rejecting anything outside the action space (hallucinated
+//! actions must fail loudly, not silently become something else).
+
+use rsched_cluster::JobId;
+use rsched_sim::Action;
+
+/// A parsed completion: the free-form reasoning plus the structured action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedCompletion {
+    /// Everything after `Thought:` (may be empty if the model skipped it).
+    pub thought: String,
+    /// The validated action.
+    pub action: Action,
+}
+
+/// Why a completion could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActionParseError {
+    /// No `Action:` line found.
+    MissingAction,
+    /// An `Action:` line was found but its content is not in the action
+    /// space.
+    UnknownAction(String),
+    /// The action was recognized but its job id is malformed.
+    BadJobId(String),
+}
+
+impl std::fmt::Display for ActionParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ActionParseError::MissingAction => f.write_str("completion has no `Action:` line"),
+            ActionParseError::UnknownAction(a) => {
+                write!(f, "`{a}` is not one of StartJob/BackfillJob/Delay/Stop")
+            }
+            ActionParseError::BadJobId(a) => write!(f, "cannot parse job id in `{a}`"),
+        }
+    }
+}
+
+impl std::error::Error for ActionParseError {}
+
+/// Parse a completion. The *last* `Action:` line wins (models sometimes
+/// restate the action after extra reasoning); the thought is everything
+/// after the first `Thought:` up to that action line.
+pub fn parse_completion(text: &str) -> Result<ParsedCompletion, ActionParseError> {
+    let mut thought_lines: Vec<&str> = Vec::new();
+    let mut in_thought = false;
+    let mut action_line: Option<&str> = None;
+
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if let Some(rest) = strip_prefix_ci(trimmed, "action:") {
+            action_line = Some(rest.trim());
+            in_thought = false;
+        } else if let Some(rest) = strip_prefix_ci(trimmed, "thought:") {
+            thought_lines.clear();
+            thought_lines.push(rest.trim());
+            in_thought = true;
+        } else if in_thought {
+            thought_lines.push(trimmed);
+        }
+    }
+
+    let action_text = action_line.ok_or(ActionParseError::MissingAction)?;
+    let action = parse_action(action_text)?;
+    Ok(ParsedCompletion {
+        thought: thought_lines.join("\n").trim().to_string(),
+        action,
+    })
+}
+
+/// Parse just the action syntax.
+pub fn parse_action(text: &str) -> Result<Action, ActionParseError> {
+    let t = text.trim().trim_end_matches('.');
+    if t.eq_ignore_ascii_case("delay") {
+        return Ok(Action::Delay);
+    }
+    if t.eq_ignore_ascii_case("stop") {
+        return Ok(Action::Stop);
+    }
+    for (prefix, make) in [
+        ("startjob", true),
+        ("backfilljob", false),
+    ] {
+        if let Some(rest) = strip_prefix_ci(t, prefix) {
+            let id = parse_job_id_args(rest)
+                .ok_or_else(|| ActionParseError::BadJobId(t.to_string()))?;
+            return Ok(if make {
+                Action::StartJob(JobId(id))
+            } else {
+                Action::BackfillJob(JobId(id))
+            });
+        }
+    }
+    Err(ActionParseError::UnknownAction(t.to_string()))
+}
+
+/// Accepts `(job_id=12)`, `( job_id = 12 )`, `(12)`, `(id=12)`.
+fn parse_job_id_args(rest: &str) -> Option<u32> {
+    let inner = rest.trim().strip_prefix('(')?.strip_suffix(')')?;
+    let inner = inner.trim();
+    let value = match inner.split_once('=') {
+        Some((key, value)) => {
+            let key = key.trim();
+            if !key.eq_ignore_ascii_case("job_id") && !key.eq_ignore_ascii_case("id") {
+                return None;
+            }
+            value
+        }
+        None => inner,
+    };
+    value.trim().parse().ok()
+}
+
+/// Case-insensitive prefix strip that is safe on multi-byte input: a
+/// hallucinating model can emit arbitrary Unicode, and slicing at a byte
+/// index inside a code point must not panic.
+fn strip_prefix_ci<'a>(text: &'a str, prefix: &str) -> Option<&'a str> {
+    let head = text.get(..prefix.len())?;
+    if head.eq_ignore_ascii_case(prefix) {
+        Some(&text[prefix.len()..])
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_completion() {
+        let p = parse_completion("Thought: start the short job\nAction: StartJob(job_id=9)")
+            .expect("parses");
+        assert_eq!(p.thought, "start the short job");
+        assert_eq!(p.action, Action::StartJob(JobId(9)));
+    }
+
+    #[test]
+    fn all_four_actions() {
+        assert_eq!(parse_action("StartJob(job_id=2)"), Ok(Action::StartJob(JobId(2))));
+        assert_eq!(
+            parse_action("BackfillJob(job_id=40)"),
+            Ok(Action::BackfillJob(JobId(40)))
+        );
+        assert_eq!(parse_action("Delay"), Ok(Action::Delay));
+        assert_eq!(parse_action("Stop"), Ok(Action::Stop));
+    }
+
+    #[test]
+    fn tolerant_variants() {
+        assert_eq!(parse_action("  startjob( job_id = 7 ) "), Ok(Action::StartJob(JobId(7))));
+        assert_eq!(parse_action("StartJob(7)"), Ok(Action::StartJob(JobId(7))));
+        assert_eq!(parse_action("STOP."), Ok(Action::Stop));
+        assert_eq!(parse_action("delay"), Ok(Action::Delay));
+        assert_eq!(parse_action("BackfillJob(id=3)"), Ok(Action::BackfillJob(JobId(3))));
+    }
+
+    #[test]
+    fn multiline_thought_is_collected() {
+        let text = "Thought: line one\nline two\nline three\nAction: Delay";
+        let p = parse_completion(text).expect("parses");
+        assert_eq!(p.thought, "line one\nline two\nline three");
+        assert_eq!(p.action, Action::Delay);
+    }
+
+    #[test]
+    fn last_action_line_wins() {
+        let text = "Thought: maybe job 1\nAction: StartJob(job_id=1)\n\
+                    Thought: actually job 2 is better\nAction: StartJob(job_id=2)";
+        let p = parse_completion(text).expect("parses");
+        assert_eq!(p.action, Action::StartJob(JobId(2)));
+        assert!(p.thought.contains("job 2 is better"));
+    }
+
+    #[test]
+    fn missing_action_is_error() {
+        assert_eq!(
+            parse_completion("Thought: hmm, let me think forever"),
+            Err(ActionParseError::MissingAction)
+        );
+    }
+
+    #[test]
+    fn hallucinated_action_is_error() {
+        let err = parse_action("PreemptJob(job_id=1)").unwrap_err();
+        assert!(matches!(err, ActionParseError::UnknownAction(_)));
+        let err = parse_action("RunEverything").unwrap_err();
+        assert!(matches!(err, ActionParseError::UnknownAction(_)));
+    }
+
+    #[test]
+    fn bad_job_id_is_error() {
+        assert!(matches!(
+            parse_action("StartJob(job_id=banana)"),
+            Err(ActionParseError::BadJobId(_))
+        ));
+        assert!(matches!(
+            parse_action("StartJob(wrong_key=4)"),
+            Err(ActionParseError::BadJobId(_))
+        ));
+        assert!(matches!(
+            parse_action("StartJob"),
+            Err(ActionParseError::BadJobId(_))
+        ));
+    }
+
+    #[test]
+    fn thought_missing_is_tolerated() {
+        let p = parse_completion("Action: Delay").expect("parses");
+        assert_eq!(p.thought, "");
+        assert_eq!(p.action, Action::Delay);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ActionParseError::MissingAction.to_string().contains("Action"));
+        assert!(ActionParseError::UnknownAction("X".into())
+            .to_string()
+            .contains("X"));
+    }
+}

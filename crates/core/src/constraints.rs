@@ -1,0 +1,93 @@
+//! Natural-language feedback for constraint violations (paper §2.4).
+//!
+//! *"violations (e.g., memory overflow) are explained in natural language;
+//! these explanations are appended to the scratchpad to inform future
+//! decisions."* The simulator reports structured
+//! [`RejectReason`]s; this module renders them in
+//! the register of the paper's Figure 2 feedback trace.
+
+use rsched_sim::{Action, RejectReason};
+
+/// Render one rejection as scratchpad feedback.
+///
+/// Example output (matching the paper's trace):
+/// `Action: StartJob failed (not enough resources) — Job 32 cannot be
+/// started — requires 256 Nodes, 8 GB; available: 238 Nodes, 576 GB.`
+pub fn render_feedback(action: &Action, reason: &RejectReason) -> String {
+    let verb = match action {
+        Action::StartJob(_) => "StartJob",
+        Action::BackfillJob(_) => "BackfillJob",
+        Action::Delay => "Delay",
+        Action::Stop => "Stop",
+    };
+    let category = match reason {
+        RejectReason::InsufficientResources { .. } => "not enough resources",
+        RejectReason::NotInQueue(_) => "job not in queue",
+        RejectReason::ExceedsCapacity(_) => "exceeds machine capacity",
+        RejectReason::WouldDelayHead { .. } => "would delay the reserved head job",
+        RejectReason::StopWithPendingJobs { .. } => "jobs still pending",
+    };
+    format!("Action: {verb} failed ({category}) — {}.", capitalize(&reason.to_string()))
+}
+
+fn capitalize(text: &str) -> String {
+    let mut chars = text.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_cluster::JobId;
+    use rsched_simkit::SimTime;
+
+    #[test]
+    fn insufficient_resources_matches_paper_phrasing() {
+        let reason = RejectReason::InsufficientResources {
+            job: JobId(32),
+            needed_nodes: 256,
+            needed_memory_gb: 8,
+            free_nodes: 238,
+            free_memory_gb: 576,
+        };
+        let text = render_feedback(&Action::StartJob(JobId(32)), &reason);
+        assert!(
+            text.contains("StartJob failed (not enough resources)"),
+            "{text}"
+        );
+        assert!(text.contains("Job 32 cannot be started"), "{text}");
+        assert!(text.contains("available: 238 Nodes, 576 GB"), "{text}");
+    }
+
+    #[test]
+    fn backfill_delay_violation() {
+        let reason = RejectReason::WouldDelayHead {
+            job: JobId(40),
+            head: JobId(1),
+            shadow: SimTime::from_secs(100),
+        };
+        let text = render_feedback(&Action::BackfillJob(JobId(40)), &reason);
+        assert!(text.contains("BackfillJob failed"), "{text}");
+        assert!(text.contains("head-of-queue job 1"), "{text}");
+    }
+
+    #[test]
+    fn premature_stop() {
+        let reason = RejectReason::StopWithPendingJobs {
+            waiting: 2,
+            pending_arrivals: 1,
+        };
+        let text = render_feedback(&Action::Stop, &reason);
+        assert!(text.contains("Stop failed (jobs still pending)"), "{text}");
+        assert!(text.contains("2 job(s) still waiting"), "{text}");
+    }
+
+    #[test]
+    fn capitalization() {
+        assert_eq!(capitalize("job 1 x"), "Job 1 x");
+        assert_eq!(capitalize(""), "");
+    }
+}

@@ -1,0 +1,42 @@
+//! # rsched-core
+//!
+//! The paper's primary contribution: a **ReAct-style LLM scheduling agent**
+//! for multiobjective HPC job scheduling (paper §2).
+//!
+//! The agent operates in a closed loop with the discrete-event simulator
+//! (Figure 1): it renders the observable system state into a natural-
+//! language prompt ([`prompt`]), queries a [`LanguageModel`]
+//! (`rsched-llm`), parses the returned `Thought:`/`Action:` text
+//! ([`action`]), and hands the action to the simulator, whose constraint-
+//! enforcement module validates it. Rejections come back as natural-
+//! language feedback ([`constraints`]) appended to the persistent
+//! [`scratchpad`] — Algorithm 1's loop, with no retraining anywhere.
+//!
+//! * [`agent::ReActAgent`] — the loop body: prompt → LLM → parse → record.
+//! * [`policy::LlmSchedulingPolicy`] — the agent as a
+//!   [`SchedulingPolicy`](rsched_sim::SchedulingPolicy), so the simulator
+//!   drives it exactly like FCFS/SJF/OR-Tools.
+//! * [`overhead::OverheadTracker`] — per-call latency/token accounting for
+//!   the computational-overhead analysis (paper §3.7).
+//! * [`trace::DecisionTrace`] — the interpretable decision records behind
+//!   the paper's Figure 2.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod action;
+pub mod agent;
+pub mod constraints;
+pub mod overhead;
+pub mod policy;
+pub mod prompt;
+pub mod scratchpad;
+pub mod trace;
+
+pub use agent::{AgentOptions, ReActAgent};
+pub use overhead::{CallRecord, OverheadTracker};
+pub use policy::LlmSchedulingPolicy;
+pub use prompt::PromptBuilder;
+pub use rsched_llm::backend::LanguageModel;
+pub use scratchpad::Scratchpad;
+pub use trace::DecisionTrace;

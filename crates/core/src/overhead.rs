@@ -1,0 +1,173 @@
+//! Computational-overhead accounting (paper §3.7).
+//!
+//! The paper measures, per workload/model pair: total elapsed scheduling
+//! time, the number of LLM calls, and the distribution of per-call
+//! latencies — restricted, for the latency analysis, to calls whose action
+//! was *feasible and accepted* (`start_job`, `backfill_job`), because
+//! delay-producing calls reflect system saturation rather than reasoning
+//! difficulty (§3.7.1).
+
+use rsched_sim::Action;
+use rsched_simkit::stats::RunningStats;
+
+/// One LLM invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallRecord {
+    /// Sampled (or measured) inference latency, seconds.
+    pub latency_secs: f64,
+    /// Prompt size, tokens.
+    pub prompt_tokens: u32,
+    /// Completion size, tokens.
+    pub completion_tokens: u32,
+    /// Waiting-queue length at the call.
+    pub queue_len: usize,
+    /// The action the call produced (`None` if the completion failed to
+    /// parse).
+    pub action: Option<Action>,
+    /// Whether the simulator accepted it (`None` until observed).
+    pub accepted: Option<bool>,
+}
+
+/// Accumulates [`CallRecord`]s over a run.
+#[derive(Debug, Clone, Default)]
+pub struct OverheadTracker {
+    calls: Vec<CallRecord>,
+}
+
+impl OverheadTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a new call; returns its index.
+    pub fn record_call(
+        &mut self,
+        latency_secs: f64,
+        prompt_tokens: u32,
+        completion_tokens: u32,
+        queue_len: usize,
+    ) -> usize {
+        self.calls.push(CallRecord {
+            latency_secs,
+            prompt_tokens,
+            completion_tokens,
+            queue_len,
+            action: None,
+            accepted: None,
+        });
+        self.calls.len() - 1
+    }
+
+    /// Attach the parsed action to the most recent call.
+    pub fn set_last_action(&mut self, action: Action) {
+        if let Some(last) = self.calls.last_mut() {
+            last.action = Some(action);
+        }
+    }
+
+    /// Mark the most recent call accepted or rejected.
+    pub fn set_last_verdict(&mut self, accepted: bool) {
+        if let Some(last) = self.calls.last_mut() {
+            last.accepted = Some(accepted);
+        }
+    }
+
+    /// All calls.
+    pub fn calls(&self) -> &[CallRecord] {
+        &self.calls
+    }
+
+    /// Number of LLM calls (the middle panel of Figures 5–6).
+    pub fn call_count(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Total elapsed scheduling time: the sum of every call's latency
+    /// (the left panel of Figures 5–6).
+    pub fn total_elapsed_secs(&self) -> f64 {
+        self.calls.iter().map(|c| c.latency_secs).sum()
+    }
+
+    /// Latencies of accepted placement calls only (`start_job`,
+    /// `backfill_job`) — the distribution of the right panel of
+    /// Figures 5–6.
+    pub fn placement_latencies(&self) -> Vec<f64> {
+        self.calls
+            .iter()
+            .filter(|c| {
+                c.accepted == Some(true)
+                    && c.action.map(|a| a.is_placement()).unwrap_or(false)
+            })
+            .map(|c| c.latency_secs)
+            .collect()
+    }
+
+    /// Welford stats over the placement latencies.
+    pub fn placement_latency_stats(&self) -> RunningStats {
+        self.placement_latencies().into_iter().collect()
+    }
+
+    /// Total prompt + completion tokens across all calls.
+    pub fn total_tokens(&self) -> u64 {
+        self.calls
+            .iter()
+            .map(|c| c.prompt_tokens as u64 + c.completion_tokens as u64)
+            .sum()
+    }
+
+    /// Drop all records.
+    pub fn clear(&mut self) {
+        self.calls.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_cluster::JobId;
+
+    #[test]
+    fn records_and_aggregates() {
+        let mut t = OverheadTracker::new();
+        t.record_call(5.0, 1000, 50, 3);
+        t.set_last_action(Action::StartJob(JobId(1)));
+        t.set_last_verdict(true);
+        t.record_call(2.0, 1100, 40, 2);
+        t.set_last_action(Action::Delay);
+        t.set_last_verdict(true);
+        t.record_call(8.0, 1200, 60, 2);
+        t.set_last_action(Action::BackfillJob(JobId(2)));
+        t.set_last_verdict(true);
+        t.record_call(3.0, 1200, 60, 2);
+        t.set_last_action(Action::StartJob(JobId(3)));
+        t.set_last_verdict(false); // rejected
+
+        assert_eq!(t.call_count(), 4);
+        assert!((t.total_elapsed_secs() - 18.0).abs() < 1e-12);
+        // Only the accepted start + backfill count.
+        assert_eq!(t.placement_latencies(), vec![5.0, 8.0]);
+        let stats = t.placement_latency_stats();
+        assert_eq!(stats.count(), 2);
+        assert!((stats.mean() - 6.5).abs() < 1e-12);
+        assert_eq!(t.total_tokens(), 1000 + 50 + 1100 + 40 + (1200 + 60) * 2);
+    }
+
+    #[test]
+    fn unparsed_calls_are_excluded_from_placements() {
+        let mut t = OverheadTracker::new();
+        t.record_call(4.0, 10, 1, 0);
+        // No action attached (parse failure); verdict never arrives.
+        assert_eq!(t.placement_latencies(), Vec::<f64>::new());
+        assert_eq!(t.call_count(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = OverheadTracker::new();
+        t.record_call(1.0, 1, 1, 0);
+        t.clear();
+        assert_eq!(t.call_count(), 0);
+        assert_eq!(t.total_elapsed_secs(), 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! The agent as a [`SchedulingPolicy`] — pluggable into the simulator
+//! exactly like the FCFS/SJF/OR-Tools baselines.
+
+use rsched_llm::backend::LanguageModel;
+use rsched_llm::SimulatedLlm;
+use rsched_sim::{Action, ActionOutcome, SchedulingPolicy, SystemView};
+
+use crate::agent::{AgentOptions, ReActAgent};
+use crate::overhead::OverheadTracker;
+use crate::trace::DecisionTrace;
+
+/// A [`SchedulingPolicy`] backed by the ReAct agent.
+pub struct LlmSchedulingPolicy {
+    agent: ReActAgent,
+}
+
+impl LlmSchedulingPolicy {
+    /// Wrap any language model.
+    pub fn new(llm: Box<dyn LanguageModel>) -> Self {
+        LlmSchedulingPolicy {
+            agent: ReActAgent::new(llm, AgentOptions::default()),
+        }
+    }
+
+    /// Wrap a model with custom agent options.
+    pub fn with_options(llm: Box<dyn LanguageModel>, options: AgentOptions) -> Self {
+        LlmSchedulingPolicy {
+            agent: ReActAgent::new(llm, options),
+        }
+    }
+
+    /// The simulated Claude 3.7 scheduler (paper's first model).
+    pub fn claude37(seed: u64) -> Self {
+        LlmSchedulingPolicy::new(Box::new(SimulatedLlm::claude37(seed)))
+    }
+
+    /// The simulated O4-Mini scheduler (paper's second model).
+    pub fn o4mini(seed: u64) -> Self {
+        LlmSchedulingPolicy::new(Box::new(SimulatedLlm::o4mini(seed)))
+    }
+
+    /// The agent's overhead ledger (Figures 5–6 material).
+    pub fn overhead(&self) -> &OverheadTracker {
+        self.agent.overhead()
+    }
+
+    /// The agent's decision trace (Figure 2 material).
+    pub fn trace(&self) -> &DecisionTrace {
+        self.agent.trace()
+    }
+
+    /// The inner agent.
+    pub fn agent(&self) -> &ReActAgent {
+        &self.agent
+    }
+}
+
+impl SchedulingPolicy for LlmSchedulingPolicy {
+    fn name(&self) -> &str {
+        self.agent.name()
+    }
+
+    fn decide(&mut self, view: &SystemView) -> Action {
+        self.agent.step(view)
+    }
+
+    fn observe(&mut self, outcome: &ActionOutcome) {
+        self.agent.absorb(outcome);
+    }
+
+    fn reset(&mut self) {
+        self.agent.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_cluster::ClusterConfig;
+    use rsched_sim::{run_simulation, SimOptions};
+    use rsched_workloads::{generate, ArrivalMode, ScenarioKind};
+
+    #[test]
+    fn claude_schedules_a_small_static_workload_end_to_end() {
+        let w = generate(ScenarioKind::HomogeneousShort, 8, ArrivalMode::Static, 3);
+        let mut policy = LlmSchedulingPolicy::claude37(3);
+        let out = run_simulation(
+            ClusterConfig::paper_default(),
+            &w.jobs,
+            &mut policy,
+            &SimOptions::default(),
+        )
+        .expect("completes");
+        assert_eq!(out.records.len(), 8);
+        assert_eq!(out.stats.placements, 8);
+        assert!(policy.overhead().call_count() >= 8);
+        assert!(!policy.trace().is_empty());
+        assert_eq!(policy.agent().malformed_completions, 0);
+    }
+
+    #[test]
+    fn o4mini_schedules_dynamic_heterogeneous_workload() {
+        let w = generate(ScenarioKind::HeterogeneousMix, 12, ArrivalMode::Dynamic, 5);
+        let mut policy = LlmSchedulingPolicy::o4mini(5);
+        let out = run_simulation(
+            ClusterConfig::paper_default(),
+            &w.jobs,
+            &mut policy,
+            &SimOptions::default(),
+        )
+        .expect("completes");
+        assert_eq!(out.records.len(), 12);
+        // Every record respects capacity (simulator invariants already
+        // assert this; double-check end-state here).
+        for r in &out.records {
+            assert!(r.spec.nodes <= 256);
+        }
+    }
+
+    #[test]
+    fn adversarial_scenario_exercises_backfilling() {
+        let w = generate(ScenarioKind::Adversarial, 15, ArrivalMode::Dynamic, 7);
+        let mut policy = LlmSchedulingPolicy::claude37(7);
+        let out = run_simulation(
+            ClusterConfig::paper_default(),
+            &w.jobs,
+            &mut policy,
+            &SimOptions::default(),
+        )
+        .expect("completes");
+        assert_eq!(out.records.len(), 15);
+        // The blocker holds 128 of 256 nodes; the 1-node flood jobs fit
+        // alongside, so the agent should start them without waiting for the
+        // blocker to finish (no convoy).
+        let blocker = out
+            .records
+            .iter()
+            .find(|r| r.spec.nodes == 128)
+            .expect("blocker exists");
+        let small_waits: Vec<f64> = out
+            .records
+            .iter()
+            .filter(|r| r.spec.nodes == 1)
+            .map(|r| r.wait().as_secs_f64())
+            .collect();
+        let avg_small_wait = small_waits.iter().sum::<f64>() / small_waits.len() as f64;
+        assert!(
+            avg_small_wait < blocker.spec.duration.as_secs_f64() / 10.0,
+            "small jobs should not convoy behind the blocker: avg wait {avg_small_wait}"
+        );
+    }
+
+    #[test]
+    fn reset_allows_reuse_across_runs() {
+        let w = generate(ScenarioKind::ResourceSparse, 5, ArrivalMode::Static, 1);
+        let mut policy = LlmSchedulingPolicy::claude37(1);
+        let a = run_simulation(
+            ClusterConfig::paper_default(),
+            &w.jobs,
+            &mut policy,
+            &SimOptions::default(),
+        )
+        .expect("first run");
+        policy.reset();
+        let calls_after_reset = policy.overhead().call_count();
+        assert_eq!(calls_after_reset, 0);
+        let b = run_simulation(
+            ClusterConfig::paper_default(),
+            &w.jobs,
+            &mut policy,
+            &SimOptions::default(),
+        )
+        .expect("second run");
+        assert_eq!(a.records.len(), b.records.len());
+    }
+}

@@ -1,0 +1,213 @@
+//! The persistent scratchpad memory (paper §2.2).
+//!
+//! *"The ReAct agent is prompted with … a running scratchpad that logs all
+//! past thoughts, actions, and feedback. This scratchpad-based prompting
+//! acts as a form of memory, enabling continuity across steps without
+//! retraining or fine-tuning."*
+//!
+//! Entries are rendered as `[t=<secs>] <Kind>: <text>` lines. A token
+//! budget (the paper ran O4-Mini with a 100 k-token context) truncates the
+//! *oldest* entries first when the history outgrows the context window.
+
+use rsched_llm::tokens::estimate_tokens;
+
+/// What kind of entry a scratchpad line is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// The model's free-form reasoning.
+    Thought,
+    /// The action it emitted.
+    Action,
+    /// Environment feedback (constraint violations, parse failures).
+    Feedback,
+}
+
+impl EntryKind {
+    fn label(&self) -> &'static str {
+        match self {
+            EntryKind::Thought => "Thought",
+            EntryKind::Action => "Action",
+            EntryKind::Feedback => "Feedback",
+        }
+    }
+}
+
+/// One scratchpad entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Simulation time of the entry, whole seconds.
+    pub time_secs: u64,
+    /// Entry kind.
+    pub kind: EntryKind,
+    /// Single-line text (newlines are flattened on insert).
+    pub text: String,
+}
+
+/// The decision-history memory.
+#[derive(Debug, Clone)]
+pub struct Scratchpad {
+    entries: Vec<Entry>,
+    token_budget: u32,
+}
+
+impl Default for Scratchpad {
+    fn default() -> Self {
+        Scratchpad::new(80_000)
+    }
+}
+
+impl Scratchpad {
+    /// An empty scratchpad with the given rendering token budget.
+    pub fn new(token_budget: u32) -> Self {
+        Scratchpad {
+            entries: Vec::new(),
+            token_budget,
+        }
+    }
+
+    /// Append a thought.
+    pub fn push_thought(&mut self, time_secs: u64, text: &str) {
+        self.push(time_secs, EntryKind::Thought, text);
+    }
+
+    /// Append an action.
+    pub fn push_action(&mut self, time_secs: u64, text: &str) {
+        self.push(time_secs, EntryKind::Action, text);
+    }
+
+    /// Append environment feedback.
+    pub fn push_feedback(&mut self, time_secs: u64, text: &str) {
+        self.push(time_secs, EntryKind::Feedback, text);
+    }
+
+    fn push(&mut self, time_secs: u64, kind: EntryKind, text: &str) {
+        let flat = text.split_whitespace().collect::<Vec<_>>().join(" ");
+        self.entries.push(Entry {
+            time_secs,
+            kind,
+            text: flat,
+        });
+    }
+
+    /// All entries, oldest first.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no entries have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Render for prompt inclusion: newest-first selection under the token
+    /// budget, displayed oldest-first, with a truncation marker when
+    /// history was dropped. Renders `(nothing yet)` when empty.
+    pub fn render(&self) -> String {
+        if self.entries.is_empty() {
+            return "(nothing yet)".to_string();
+        }
+        let mut kept: Vec<&Entry> = Vec::new();
+        let mut tokens = 0u32;
+        for entry in self.entries.iter().rev() {
+            let line_tokens = estimate_tokens(&entry.text) + 6;
+            if tokens + line_tokens > self.token_budget && !kept.is_empty() {
+                break;
+            }
+            if tokens + line_tokens > self.token_budget {
+                break;
+            }
+            tokens += line_tokens;
+            kept.push(entry);
+        }
+        let truncated = kept.len() < self.entries.len();
+        let mut out = String::new();
+        if truncated {
+            out.push_str("(earlier history truncated)\n");
+        }
+        for entry in kept.iter().rev() {
+            out.push_str(&format!(
+                "[t={}] {}: {}\n",
+                entry.time_secs,
+                entry.kind.label(),
+                entry.text
+            ));
+        }
+        out.pop();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_renders_placeholder() {
+        let s = Scratchpad::default();
+        assert_eq!(s.render(), "(nothing yet)");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn renders_in_order_with_kinds() {
+        let mut s = Scratchpad::default();
+        s.push_thought(0, "short job first");
+        s.push_action(0, "StartJob(job_id=9)");
+        s.push_feedback(10, "job 9 cannot be started");
+        let text = s.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "[t=0] Thought: short job first");
+        assert_eq!(lines[1], "[t=0] Action: StartJob(job_id=9)");
+        assert_eq!(lines[2], "[t=10] Feedback: job 9 cannot be started");
+    }
+
+    #[test]
+    fn newlines_are_flattened() {
+        let mut s = Scratchpad::default();
+        s.push_thought(0, "line one\nline two\t tab");
+        assert_eq!(s.render(), "[t=0] Thought: line one line two tab");
+    }
+
+    #[test]
+    fn token_budget_drops_oldest_first() {
+        let mut s = Scratchpad::new(60);
+        for i in 0..20 {
+            s.push_thought(i, &format!("thought number {i} with some padding words"));
+        }
+        let text = s.render();
+        assert!(text.starts_with("(earlier history truncated)"), "{text}");
+        assert!(text.contains("thought number 19"), "newest kept: {text}");
+        assert!(!text.contains("thought number 0"), "oldest dropped: {text}");
+        assert_eq!(s.len(), 20, "entries themselves are not dropped");
+    }
+
+    #[test]
+    fn within_budget_keeps_everything() {
+        let mut s = Scratchpad::new(10_000);
+        for i in 0..10 {
+            s.push_action(i, "Delay");
+        }
+        let text = s.render();
+        assert!(!text.contains("truncated"));
+        assert_eq!(text.lines().count(), 10);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = Scratchpad::default();
+        s.push_thought(0, "x");
+        s.clear();
+        assert_eq!(s.render(), "(nothing yet)");
+    }
+}

@@ -1,0 +1,147 @@
+//! Interpretable decision traces (paper Figure 2).
+//!
+//! Every agent decision is recorded with its thought, action, latency and
+//! any environment feedback, and can be rendered in the layout of the
+//! paper's Figure 2 panels:
+//!
+//! ```text
+//! # Thought
+//! <reasoning>
+//!
+//! # Action
+//! StartJob(job_id=9)
+//!
+//! Decision at t=0
+//! ```
+
+use std::fmt::Write as _;
+
+/// One decision's trace entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Simulation time, whole seconds.
+    pub time_secs: u64,
+    /// The model's reasoning text.
+    pub thought: String,
+    /// The emitted action, in canonical syntax.
+    pub action: String,
+    /// Sampled/measured call latency.
+    pub latency_secs: f64,
+    /// Environment feedback, if the action was rejected.
+    pub feedback: Option<String>,
+}
+
+/// The ordered decision log of one run.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionTrace {
+    entries: Vec<TraceEntry>,
+}
+
+impl DecisionTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a decision.
+    pub fn push(&mut self, time_secs: u64, thought: &str, action: &str, latency_secs: f64) {
+        self.entries.push(TraceEntry {
+            time_secs,
+            thought: thought.to_string(),
+            action: action.to_string(),
+            latency_secs,
+            feedback: None,
+        });
+    }
+
+    /// Attach feedback to the most recent decision (it was rejected).
+    pub fn attach_feedback(&mut self, feedback: &str) {
+        if let Some(last) = self.entries.last_mut() {
+            last.feedback = Some(feedback.to_string());
+        }
+    }
+
+    /// All entries, oldest first.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of decisions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no decisions were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Render one entry in the Figure 2 panel layout.
+    pub fn render_entry(entry: &TraceEntry) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# Thought");
+        let _ = writeln!(out, "{}", entry.thought);
+        let _ = writeln!(out, "\n# Action");
+        let _ = writeln!(out, "{}", entry.action);
+        if let Some(feedback) = &entry.feedback {
+            let _ = writeln!(out, "\n# Feedback from Environment");
+            let _ = writeln!(out, "[t={}] {}", entry.time_secs, feedback);
+        }
+        let _ = write!(out, "\nDecision at t={}", entry.time_secs);
+        out
+    }
+
+    /// Render the whole trace, panels separated by rulers.
+    pub fn render(&self) -> String {
+        self.entries
+            .iter()
+            .map(Self::render_entry)
+            .collect::<Vec<_>>()
+            .join("\n\n────────────────────────────\n\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_figure2_layout() {
+        let mut trace = DecisionTrace::new();
+        trace.push(0, "job 9 completes quickly", "StartJob(job_id=9)", 4.2);
+        let text = trace.render();
+        assert!(text.contains("# Thought"));
+        assert!(text.contains("job 9 completes quickly"));
+        assert!(text.contains("# Action"));
+        assert!(text.contains("StartJob(job_id=9)"));
+        assert!(text.ends_with("Decision at t=0"));
+        assert!(!text.contains("Feedback"), "no feedback pane when accepted");
+    }
+
+    #[test]
+    fn feedback_pane_appears_for_rejections() {
+        let mut trace = DecisionTrace::new();
+        trace.push(1554, "try job 32", "StartJob(job_id=32)", 9.0);
+        trace.attach_feedback("Job 32 cannot be started — requires 256 Nodes");
+        let text = trace.render();
+        assert!(text.contains("# Feedback from Environment"));
+        assert!(text.contains("[t=1554] Job 32 cannot be started"));
+    }
+
+    #[test]
+    fn multiple_entries_are_separated() {
+        let mut trace = DecisionTrace::new();
+        trace.push(0, "a", "Delay", 1.0);
+        trace.push(5, "b", "Stop", 1.0);
+        let text = trace.render();
+        assert_eq!(text.matches("# Thought").count(), 2);
+        assert!(text.contains("Decision at t=0"));
+        assert!(text.contains("Decision at t=5"));
+        assert_eq!(trace.len(), 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! The timetable (resource profile) behind serial schedule generation.
+//!
+//! [`Profile`] tracks node and memory usage over time as tasks are placed
+//! one by one, and answers the core query of a serial SGS: *the earliest
+//! time at or after a release at which a task fits*.
+
+use crate::model::Task;
+
+/// A piecewise-constant two-resource usage profile.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    node_capacity: u32,
+    memory_capacity: u64,
+    /// `(time, node_delta, memory_delta)` events, kept sorted by time.
+    events: Vec<(u64, i64, i64)>,
+}
+
+impl Profile {
+    /// An empty machine.
+    pub fn new(node_capacity: u32, memory_capacity: u64) -> Self {
+        Profile {
+            node_capacity,
+            memory_capacity,
+            events: Vec::new(),
+        }
+    }
+
+    /// Record a placed task occupying `[start, start + duration)`.
+    pub fn place(&mut self, task: &Task, start: u64) {
+        let end = start + task.duration;
+        self.events
+            .push((start, task.nodes as i64, task.memory as i64));
+        self.events
+            .push((end, -(task.nodes as i64), -(task.memory as i64)));
+        self.events.sort_unstable_by_key(|&(t, ..)| t);
+    }
+
+    /// Usage at instant `t` (tasks ending exactly at `t` excluded).
+    pub fn usage_at(&self, t: u64) -> (u32, u64) {
+        let mut nodes = 0i64;
+        let mut memory = 0i64;
+        for &(time, dn, dm) in &self.events {
+            if time > t {
+                break;
+            }
+            nodes += dn;
+            memory += dm;
+        }
+        (nodes as u32, memory as u64)
+    }
+
+    /// `true` if `task` fits throughout `[start, start + duration)`.
+    pub fn fits(&self, task: &Task, start: u64) -> bool {
+        let end = start + task.duration;
+        let free_nodes_needed = task.nodes as i64;
+        let free_memory_needed = task.memory as i64;
+        let mut nodes = 0i64;
+        let mut memory = 0i64;
+        let mut i = 0;
+        // Accumulate usage up to and including `start`.
+        while i < self.events.len() && self.events[i].0 <= start {
+            nodes += self.events[i].1;
+            memory += self.events[i].2;
+            i += 1;
+        }
+        if nodes + free_nodes_needed > self.node_capacity as i64
+            || memory + free_memory_needed > self.memory_capacity as i64
+        {
+            return false;
+        }
+        // Walk breakpoints strictly inside (start, end).
+        while i < self.events.len() && self.events[i].0 < end {
+            nodes += self.events[i].1;
+            memory += self.events[i].2;
+            if nodes + free_nodes_needed > self.node_capacity as i64
+                || memory + free_memory_needed > self.memory_capacity as i64
+            {
+                return false;
+            }
+            i += 1;
+        }
+        true
+    }
+
+    /// The earliest start `≥ task.release` at which the task fits.
+    ///
+    /// Candidate starts are the release time itself and every breakpoint
+    /// after it (usage only decreases at task ends, so checking breakpoints
+    /// is complete).
+    pub fn earliest_fit(&self, task: &Task) -> u64 {
+        if self.fits(task, task.release) {
+            return task.release;
+        }
+        for &(time, ..) in &self.events {
+            if time > task.release && self.fits(task, time) {
+                return time;
+            }
+        }
+        // Machine eventually drains; the last event is the final end time.
+        let last = self.events.last().map(|&(t, ..)| t).unwrap_or(0);
+        debug_assert!(
+            self.fits(task, last.max(task.release)),
+            "task must fit on an empty machine"
+        );
+        last.max(task.release)
+    }
+
+    /// Peak node and memory usage over all time.
+    pub fn peak(&self) -> (u32, u64) {
+        let mut nodes = 0i64;
+        let mut memory = 0i64;
+        let mut peak_nodes = 0i64;
+        let mut peak_memory = 0i64;
+        let mut i = 0;
+        while i < self.events.len() {
+            let t = self.events[i].0;
+            while i < self.events.len() && self.events[i].0 == t {
+                nodes += self.events[i].1;
+                memory += self.events[i].2;
+                i += 1;
+            }
+            peak_nodes = peak_nodes.max(nodes);
+            peak_memory = peak_memory.max(memory);
+        }
+        (peak_nodes as u32, peak_memory as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(id: u32, duration: u64, nodes: u32, memory: u64, release: u64) -> Task {
+        Task {
+            id,
+            duration,
+            nodes,
+            memory,
+            release,
+        }
+    }
+
+    #[test]
+    fn empty_profile_fits_at_release() {
+        let p = Profile::new(8, 64);
+        let t = task(1, 100, 8, 64, 25);
+        assert_eq!(p.earliest_fit(&t), 25);
+        assert_eq!(p.usage_at(0), (0, 0));
+    }
+
+    #[test]
+    fn earliest_fit_waits_for_capacity() {
+        let mut p = Profile::new(8, 64);
+        p.place(&task(1, 100, 6, 16, 0), 0);
+        // Needs 4 nodes: only 2 free until t=100.
+        let t = task(2, 50, 4, 8, 0);
+        assert_eq!(p.earliest_fit(&t), 100);
+        // Needs 2 nodes: fits immediately.
+        let t = task(3, 50, 2, 8, 0);
+        assert_eq!(p.earliest_fit(&t), 0);
+    }
+
+    #[test]
+    fn earliest_fit_respects_memory() {
+        let mut p = Profile::new(8, 64);
+        p.place(&task(1, 100, 1, 60, 0), 0);
+        let t = task(2, 10, 1, 10, 0);
+        assert_eq!(p.earliest_fit(&t), 100);
+    }
+
+    #[test]
+    fn fit_checks_interior_breakpoints() {
+        let mut p = Profile::new(8, 64);
+        // Free at t=0..50, busy 6 nodes at t=50..150.
+        p.place(&task(1, 100, 6, 16, 0), 50);
+        // A 100 ms 4-node task started at 0 would overlap the busy window.
+        let t = task(2, 100, 4, 8, 0);
+        assert!(!p.fits(&t, 0));
+        assert_eq!(p.earliest_fit(&t), 150);
+        // A short task fits in the gap before t=50.
+        let t = task(3, 50, 4, 8, 0);
+        assert!(p.fits(&t, 0));
+    }
+
+    #[test]
+    fn release_after_all_events() {
+        let mut p = Profile::new(8, 64);
+        p.place(&task(1, 10, 8, 64, 0), 0);
+        let t = task(2, 10, 8, 64, 500);
+        assert_eq!(p.earliest_fit(&t), 500);
+    }
+
+    #[test]
+    fn usage_and_peak_track_placements() {
+        let mut p = Profile::new(8, 64);
+        p.place(&task(1, 100, 3, 8, 0), 0);
+        p.place(&task(2, 50, 2, 16, 0), 25);
+        assert_eq!(p.usage_at(30), (5, 24));
+        assert_eq!(p.usage_at(80), (3, 8));
+        assert_eq!(p.peak(), (5, 24));
+        // Ends exactly at 75 release task 2's demand at t=75.
+        assert_eq!(p.usage_at(75), (3, 8));
+    }
+
+    #[test]
+    fn back_to_back_placement_allowed() {
+        let mut p = Profile::new(4, 16);
+        p.place(&task(1, 100, 4, 16, 0), 0);
+        let t = task(2, 100, 4, 16, 0);
+        assert!(p.fits(&t, 100), "start exactly at predecessor end");
+        assert_eq!(p.earliest_fit(&t), 100);
+    }
+}

@@ -1,0 +1,245 @@
+//! A permutation genetic algorithm over SGS decodings.
+//!
+//! The second metaheuristic of the portfolio (and the basis of the solver
+//! ablation bench): order crossover (OX1), swap mutation, tournament
+//! selection, elitism. Deterministic given the seed.
+
+use rsched_simkit::rng::{Rng, RngExt, Xoshiro256PlusPlus};
+
+use crate::model::{Instance, Schedule};
+use crate::sgs::decode_with_makespan;
+
+/// GA parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneticConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Generations to evolve.
+    pub generations: u32,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Per-child probability of a swap mutation.
+    pub mutation_rate: f64,
+    /// Individuals copied unchanged to the next generation.
+    pub elites: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneticConfig {
+    fn default() -> Self {
+        GeneticConfig {
+            population: 40,
+            generations: 120,
+            tournament: 3,
+            mutation_rate: 0.3,
+            elites: 2,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// Result of a GA run.
+#[derive(Debug, Clone)]
+pub struct GeneticResult {
+    /// Best schedule found.
+    pub schedule: Schedule,
+    /// Its makespan.
+    pub makespan: u64,
+    /// Best order found.
+    pub order: Vec<usize>,
+}
+
+/// Evolve starting from `seeds` (any number of feasible orders; the rest of
+/// the population is random permutations).
+pub fn evolve(instance: &Instance, seeds: &[Vec<usize>], config: &GeneticConfig) -> GeneticResult {
+    let n = instance.len();
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(config.seed);
+    if n == 0 {
+        return GeneticResult {
+            schedule: Schedule { starts: vec![] },
+            makespan: 0,
+            order: vec![],
+        };
+    }
+
+    let mut population: Vec<(Vec<usize>, u64)> = Vec::with_capacity(config.population);
+    for seed in seeds.iter().take(config.population) {
+        let (_, mk) = decode_with_makespan(instance, seed);
+        population.push((seed.clone(), mk));
+    }
+    while population.len() < config.population.max(2) {
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        let (_, mk) = decode_with_makespan(instance, &order);
+        population.push((order, mk));
+    }
+
+    for _ in 0..config.generations {
+        population.sort_by_key(|&(_, mk)| mk);
+        let mut next: Vec<(Vec<usize>, u64)> = population
+            .iter()
+            .take(config.elites.min(population.len()))
+            .cloned()
+            .collect();
+        while next.len() < population.len() {
+            let a = tournament(&population, config.tournament, &mut rng);
+            let b = tournament(&population, config.tournament, &mut rng);
+            let mut child = order_crossover(&population[a].0, &population[b].0, &mut rng);
+            if rng.gen_bool(config.mutation_rate) && n >= 2 {
+                let i = rng.gen_index(n);
+                let j = rng.gen_index(n);
+                child.swap(i, j);
+            }
+            let (_, mk) = decode_with_makespan(instance, &child);
+            next.push((child, mk));
+        }
+        population = next;
+    }
+
+    population.sort_by_key(|&(_, mk)| mk);
+    let (order, makespan) = population.swap_remove(0);
+    let (schedule, mk) = decode_with_makespan(instance, &order);
+    debug_assert_eq!(mk, makespan);
+    GeneticResult {
+        schedule,
+        makespan,
+        order,
+    }
+}
+
+fn tournament(
+    population: &[(Vec<usize>, u64)],
+    k: usize,
+    rng: &mut Xoshiro256PlusPlus,
+) -> usize {
+    let mut best = rng.gen_index(population.len());
+    for _ in 1..k.max(1) {
+        let challenger = rng.gen_index(population.len());
+        if population[challenger].1 < population[best].1 {
+            best = challenger;
+        }
+    }
+    best
+}
+
+/// OX1 order crossover: copy a random slice from parent `a`, fill the rest
+/// in parent `b`'s relative order.
+fn order_crossover(a: &[usize], b: &[usize], rng: &mut Xoshiro256PlusPlus) -> Vec<usize> {
+    let n = a.len();
+    if n < 2 {
+        return a.to_vec();
+    }
+    let mut i = rng.gen_index(n);
+    let mut j = rng.gen_index(n);
+    if i > j {
+        std::mem::swap(&mut i, &mut j);
+    }
+    let mut child = vec![usize::MAX; n];
+    let mut taken = vec![false; n];
+    for k in i..=j {
+        child[k] = a[k];
+        taken[a[k]] = true;
+    }
+    let mut fill = b.iter().filter(|&&x| !taken[x]);
+    for slot in child.iter_mut() {
+        if *slot == usize::MAX {
+            *slot = *fill.next().expect("exactly n - (j-i+1) unfilled slots");
+        }
+    }
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnb::BranchAndBound;
+    use crate::model::Task;
+
+    fn task(id: u32, duration: u64, nodes: u32, memory: u64) -> Task {
+        Task {
+            id,
+            duration,
+            nodes,
+            memory,
+            release: 0,
+        }
+    }
+
+    fn pseudo_random_instance(seed: u64, n: usize) -> Instance {
+        let tasks: Vec<Task> = (0..n)
+            .map(|i| {
+                let x = seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64 * 53);
+                task(
+                    i as u32,
+                    30 + (x % 250),
+                    1 + ((x / 13) % 4) as u32,
+                    1 + (x / 29) % 12,
+                )
+            })
+            .collect();
+        Instance::new(tasks, 4, 16)
+    }
+
+    #[test]
+    fn crossover_produces_valid_permutations() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let a: Vec<usize> = (0..10).collect();
+        let b: Vec<usize> = (0..10).rev().collect();
+        for _ in 0..50 {
+            let child = order_crossover(&a, &b, &mut rng);
+            let mut sorted = child.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..10).collect::<Vec<_>>(), "child {child:?}");
+        }
+    }
+
+    #[test]
+    fn ga_never_loses_the_seeded_incumbent() {
+        let inst = pseudo_random_instance(4, 18);
+        let seed_order: Vec<usize> = (0..inst.len()).collect();
+        let (_, seed_mk) = decode_with_makespan(&inst, &seed_order);
+        let result = evolve(
+            &inst,
+            &[seed_order],
+            &GeneticConfig {
+                generations: 30,
+                ..GeneticConfig::default()
+            },
+        );
+        assert!(result.makespan <= seed_mk, "elitism preserves incumbent");
+        assert!(result.schedule.is_feasible(&inst));
+    }
+
+    #[test]
+    fn ga_matches_exact_on_small_instance() {
+        let inst = pseudo_random_instance(9, 7);
+        let incumbent: Vec<usize> = (0..inst.len()).collect();
+        let exact = BranchAndBound::default().solve(&inst, &incumbent);
+        assert!(exact.proven_optimal);
+        let result = evolve(&inst, &[incumbent], &GeneticConfig::default());
+        assert_eq!(result.makespan, exact.makespan);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = pseudo_random_instance(5, 14);
+        let cfg = GeneticConfig {
+            generations: 20,
+            seed: 77,
+            ..GeneticConfig::default()
+        };
+        let a = evolve(&inst, &[], &cfg);
+        let b = evolve(&inst, &[], &cfg);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.order, b.order);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(vec![], 4, 16);
+        let result = evolve(&inst, &[], &GeneticConfig::default());
+        assert_eq!(result.makespan, 0);
+        assert!(result.order.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! # rsched-cpsolver
+//!
+//! A from-scratch cumulative-resource scheduling solver, standing in for the
+//! **Google OR-Tools** baseline of the paper (§3.3):
+//!
+//! *"Google OR-Tools provides an optimization-based scheduling solution,
+//! which we use as a strong baseline; it computes globally optimal or
+//! near-optimal schedules for small-to-medium workloads, offering a
+//! performance upper bound for comparison."*
+//!
+//! The problem is makespan minimization for non-preemptive jobs with two
+//! cumulative resources (nodes, memory) and release times — an RCPSP
+//! variant. The solver reproduces the OR-Tools baseline's observable
+//! properties:
+//!
+//! * **provably optimal** schedules for small instances
+//!   ([`bnb`], validated against exhaustive search in tests),
+//! * **near-optimal** schedules for medium/large instances
+//!   ([`anneal`], [`genetic`] over serial-SGS decodings),
+//! * **utilization-focused, fairness-blind** objectives — there is no
+//!   fairness term, exactly like the paper's OR-Tools runs.
+//!
+//! [`portfolio::Solver`] picks the strategy by instance size under a
+//! deterministic iteration budget.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod anneal;
+pub mod bnb;
+pub mod bounds;
+pub mod cumulative;
+pub mod genetic;
+pub mod listsched;
+pub mod model;
+pub mod portfolio;
+pub mod sgs;
+
+pub use model::{Instance, Schedule, Task};
+pub use portfolio::{SolveMethod, Solution, Solver, SolverConfig};

@@ -1,0 +1,302 @@
+//! The portfolio driver: exact search for small instances, metaheuristics
+//! for the rest — mirroring how CP-SAT behaves on this problem class
+//! ("globally optimal or near-optimal for small-to-medium workloads",
+//! paper §3.3).
+
+use crate::anneal::{anneal, AnnealConfig};
+use crate::bnb::BranchAndBound;
+use crate::bounds::lower_bound;
+use crate::genetic::{evolve, GeneticConfig};
+use crate::listsched::{priority_order, PriorityRule};
+use crate::model::{Instance, Schedule};
+use crate::sgs::decode_with_makespan;
+
+/// Which engine produced the returned schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveMethod {
+    /// Priority-rule list scheduling only.
+    ListScheduling,
+    /// Exact branch-and-bound (proof completed).
+    BranchAndBound,
+    /// Simulated annealing refinement.
+    Annealing,
+    /// Genetic refinement.
+    Genetic,
+}
+
+/// A produced schedule plus provenance.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The schedule (starts indexed like `instance.tasks`).
+    pub schedule: Schedule,
+    /// Its makespan from time zero.
+    pub makespan: u64,
+    /// Engine that found it.
+    pub method: SolveMethod,
+    /// `true` when the makespan is provably optimal (B&B closed, or the
+    /// lower bound was met).
+    pub proven_optimal: bool,
+}
+
+/// Portfolio configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverConfig {
+    /// Instances up to this many tasks go to exact branch-and-bound.
+    pub exact_max_tasks: usize,
+    /// B&B node budget.
+    pub bnb_node_budget: u64,
+    /// SA iterations (scaled ×n internally).
+    pub sa_iterations_per_task: u32,
+    /// Hard ceiling on total SA iterations regardless of instance size —
+    /// keeps replanning latency bounded on 100-job instances.
+    pub sa_iteration_cap: u32,
+    /// Run the GA stage as well and keep the better result.
+    pub use_genetic: bool,
+    /// Seed for the stochastic stages.
+    pub seed: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            exact_max_tasks: 9,
+            bnb_node_budget: 500_000,
+            sa_iterations_per_task: 400,
+            sa_iteration_cap: 6_000,
+            use_genetic: false,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// The portfolio solver.
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    /// Configuration knobs.
+    pub config: SolverConfig,
+}
+
+impl Solver {
+    /// A solver with the given configuration.
+    pub fn new(config: SolverConfig) -> Self {
+        Solver { config }
+    }
+
+    /// Solve the instance.
+    pub fn solve(&self, instance: &Instance) -> Solution {
+        if instance.is_empty() {
+            return Solution {
+                schedule: Schedule { starts: vec![] },
+                makespan: 0,
+                method: SolveMethod::ListScheduling,
+                proven_optimal: true,
+            };
+        }
+        let lb = lower_bound(instance);
+
+        // Stage 1: best priority rule.
+        let mut best_order: Vec<usize> = Vec::new();
+        let mut best_mk = u64::MAX;
+        for rule in PriorityRule::all() {
+            let order = priority_order(instance, rule);
+            let (_, mk) = decode_with_makespan(instance, &order);
+            if mk < best_mk {
+                best_mk = mk;
+                best_order = order;
+            }
+        }
+        let mut method = SolveMethod::ListScheduling;
+
+        if best_mk > lb && instance.len() <= self.config.exact_max_tasks {
+            // Stage 2a: exact search for small instances.
+            let result = BranchAndBound {
+                node_budget: self.config.bnb_node_budget,
+            }
+            .solve(instance, &best_order);
+            if result.proven_optimal {
+                return Solution {
+                    schedule: result.schedule,
+                    makespan: result.makespan,
+                    method: SolveMethod::BranchAndBound,
+                    proven_optimal: true,
+                };
+            }
+            if result.makespan < best_mk {
+                best_mk = result.makespan;
+                best_order = best_order_from_schedule(instance, &result.schedule);
+                method = SolveMethod::BranchAndBound;
+            }
+        }
+
+        if best_mk > lb {
+            // Stage 2b: simulated annealing from the best seed.
+            let iterations = self
+                .config
+                .sa_iterations_per_task
+                .saturating_mul(instance.len() as u32)
+                .min(self.config.sa_iteration_cap);
+            let sa = anneal(
+                instance,
+                &best_order,
+                &AnnealConfig {
+                    iterations,
+                    seed: self.config.seed,
+                    ..AnnealConfig::default()
+                },
+            );
+            if sa.makespan < best_mk {
+                best_mk = sa.makespan;
+                best_order = sa.order;
+                method = SolveMethod::Annealing;
+            }
+        }
+
+        if self.config.use_genetic && best_mk > lb {
+            // Stage 3: optional GA stage seeded with the incumbent.
+            let ga = evolve(
+                instance,
+                &[best_order.clone()],
+                &GeneticConfig {
+                    seed: self.config.seed ^ 0xA5A5,
+                    ..GeneticConfig::default()
+                },
+            );
+            if ga.makespan < best_mk {
+                best_mk = ga.makespan;
+                best_order = ga.order;
+                method = SolveMethod::Genetic;
+            }
+        }
+
+        let (schedule, makespan) = decode_with_makespan(instance, &best_order);
+        debug_assert_eq!(makespan, best_mk);
+        Solution {
+            schedule,
+            makespan,
+            method,
+            proven_optimal: makespan == lb,
+        }
+    }
+}
+
+/// Recover an SGS order from a schedule by sorting on (start, index) — the
+/// serial decoding of that order reproduces a schedule at least as good.
+fn best_order_from_schedule(instance: &Instance, schedule: &Schedule) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..instance.len()).collect();
+    order.sort_by_key(|&i| (schedule.starts[i], i));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Task;
+
+    fn task(id: u32, duration: u64, nodes: u32, memory: u64, release: u64) -> Task {
+        Task {
+            id,
+            duration,
+            nodes,
+            memory,
+            release,
+        }
+    }
+
+    fn pseudo_random_instance(seed: u64, n: usize) -> Instance {
+        let tasks: Vec<Task> = (0..n)
+            .map(|i| {
+                let x = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(i as u64 * 17);
+                task(
+                    i as u32,
+                    25 + (x % 400),
+                    1 + ((x / 3) % 4) as u32,
+                    1 + (x / 7) % 12,
+                    0,
+                )
+            })
+            .collect();
+        Instance::new(tasks, 4, 16)
+    }
+
+    #[test]
+    fn small_instances_are_proven_optimal() {
+        for seed in 0..5u64 {
+            let inst = pseudo_random_instance(seed, 7);
+            let sol = Solver::default().solve(&inst);
+            assert!(sol.proven_optimal, "seed {seed}");
+            assert!(sol.schedule.is_feasible(&inst));
+            assert!(sol.makespan >= lower_bound(&inst));
+        }
+    }
+
+    #[test]
+    fn large_instances_stay_feasible_and_bounded() {
+        let inst = pseudo_random_instance(11, 60);
+        let sol = Solver::default().solve(&inst);
+        assert!(sol.schedule.is_feasible(&inst));
+        assert!(sol.makespan >= lower_bound(&inst));
+        // Near-optimality proxy: within 2× of the lower bound on this
+        // well-behaved instance class.
+        assert!(
+            sol.makespan <= 2 * lower_bound(&inst),
+            "makespan {} vs LB {}",
+            sol.makespan,
+            lower_bound(&inst)
+        );
+    }
+
+    #[test]
+    fn genetic_stage_never_hurts() {
+        let inst = pseudo_random_instance(3, 25);
+        let without = Solver::new(SolverConfig {
+            use_genetic: false,
+            ..SolverConfig::default()
+        })
+        .solve(&inst);
+        let with = Solver::new(SolverConfig {
+            use_genetic: true,
+            ..SolverConfig::default()
+        })
+        .solve(&inst);
+        assert!(with.makespan <= without.makespan);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let sol = Solver::default().solve(&Instance::new(vec![], 4, 16));
+        assert_eq!(sol.makespan, 0);
+        assert!(sol.proven_optimal);
+    }
+
+    #[test]
+    fn trivially_packable_instance_solves_by_list_scheduling() {
+        // Everything fits at once: LB == makespan, no search needed.
+        let tasks: Vec<Task> = (0..4).map(|i| task(i, 100, 1, 1, 0)).collect();
+        let inst = Instance::new(tasks, 4, 16);
+        let sol = Solver::default().solve(&inst);
+        assert_eq!(sol.makespan, 100);
+        assert!(sol.proven_optimal);
+        assert_eq!(sol.method, SolveMethod::ListScheduling);
+    }
+
+    #[test]
+    fn releases_are_honored() {
+        let inst = Instance::new(
+            vec![task(0, 100, 4, 1, 0), task(1, 100, 4, 1, 50)],
+            4,
+            16,
+        );
+        let sol = Solver::default().solve(&inst);
+        assert!(sol.schedule.is_feasible(&inst));
+        assert_eq!(sol.makespan, 200, "serializes due to node conflict");
+    }
+
+    #[test]
+    fn deterministic() {
+        let inst = pseudo_random_instance(8, 30);
+        let a = Solver::default().solve(&inst);
+        let b = Solver::default().solve(&inst);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.schedule, b.schedule);
+    }
+}

@@ -1,0 +1,17 @@
+//! Persona-weight ablation sweep (see `rsched_experiments::figures::ablation`).
+
+use rsched_experiments::figures::ablation;
+use rsched_experiments::ExperimentOptions;
+use rsched_parallel::ThreadPool;
+
+fn main() {
+    let opts = match ExperimentOptions::from_args() {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let pool = ThreadPool::with_default_parallelism();
+    print!("{}", ablation::run(&opts, &pool).render());
+}

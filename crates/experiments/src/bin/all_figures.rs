@@ -1,0 +1,148 @@
+//! Regenerates every figure of the paper's evaluation in one run, printing
+//! the paper-style tables and writing machine-readable CSVs under
+//! `results/`.
+
+use std::fs;
+use std::path::Path;
+
+use rsched_experiments::figures::{ablation, fig3, fig4, fig5, fig6, fig7, fig8};
+use rsched_experiments::output::{normalized_rows_to_csv, overhead_rows_to_csv};
+use rsched_experiments::ExperimentOptions;
+use rsched_parallel::ThreadPool;
+
+fn write(path: &str, content: &str) {
+    let path = Path::new(path);
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    if let Err(e) = fs::write(path, content) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let opts = match ExperimentOptions::from_args() {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let pool = ThreadPool::with_default_parallelism();
+
+    let f3 = fig3::run(&opts, &pool);
+    print!("{}", f3.render());
+    let rows: Vec<(Vec<String>, _)> = f3
+        .scenarios
+        .iter()
+        .flat_map(|(scenario, rows)| {
+            rows.iter().map(move |(name, report)| {
+                (vec![scenario.name().to_string(), name.clone()], *report)
+            })
+        })
+        .collect();
+    write(
+        "results/fig3.csv",
+        &normalized_rows_to_csv(&["scenario", "scheduler"], &rows),
+    );
+
+    let f4 = fig4::run(&opts, &pool);
+    print!("{}", f4.render());
+    let rows: Vec<(Vec<String>, _)> = f4
+        .sizes
+        .iter()
+        .flat_map(|(n, rows)| {
+            rows.iter()
+                .map(move |(name, report)| (vec![n.to_string(), name.clone()], *report))
+        })
+        .collect();
+    write(
+        "results/fig4.csv",
+        &normalized_rows_to_csv(&["jobs", "scheduler"], &rows),
+    );
+
+    let f5 = fig5::run(&opts, &pool);
+    print!("{}", f5.render());
+    let rows: Vec<(Vec<String>, _)> = f5
+        .cells
+        .iter()
+        .map(|c| {
+            (
+                vec![c.scenario.name().to_string(), c.model.clone()],
+                c.overhead.clone(),
+            )
+        })
+        .collect();
+    write(
+        "results/fig5.csv",
+        &overhead_rows_to_csv(&["scenario", "model"], &rows),
+    );
+
+    let f6 = fig6::run(&opts, &pool);
+    print!("{}", f6.render());
+    let rows: Vec<(Vec<String>, _)> = f6
+        .cells
+        .iter()
+        .map(|c| (vec![c.jobs.to_string(), c.model.clone()], c.overhead.clone()))
+        .collect();
+    write(
+        "results/fig6.csv",
+        &overhead_rows_to_csv(&["jobs", "model"], &rows),
+    );
+
+    let f7 = fig7::run(&opts, &pool);
+    print!("{}", f7.render());
+    {
+        use rsched_metrics::Metric;
+        let mut rows: Vec<Vec<String>> = vec![
+            ["scheduler", "metric", "n", "min", "q1", "median", "q3", "max", "outliers"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        ];
+        for (name, dist) in &f7.distributions {
+            for metric in Metric::all() {
+                if let Some(b) = dist.boxplot(metric) {
+                    rows.push(vec![
+                        name.clone(),
+                        metric.name().replace(' ', "_").to_lowercase(),
+                        b.count.to_string(),
+                        format!("{:.6}", b.min),
+                        format!("{:.6}", b.q1),
+                        format!("{:.6}", b.median),
+                        format!("{:.6}", b.q3),
+                        format!("{:.6}", b.max),
+                        b.outliers.len().to_string(),
+                    ]);
+                }
+            }
+        }
+        write("results/fig7.csv", &rsched_simkit::csv::write_rows(rows));
+    }
+
+    let f8 = fig8::run(&opts, &pool);
+    print!("{}", f8.render());
+    let rows: Vec<(Vec<String>, _)> = f8
+        .rows
+        .iter()
+        .map(|(name, report)| (vec![name.clone()], *report))
+        .collect();
+    write(
+        "results/fig8.csv",
+        &normalized_rows_to_csv(&["scheduler"], &rows),
+    );
+
+    let ab = ablation::run(&opts, &pool);
+    print!("{}", ab.render());
+    let rows: Vec<(Vec<String>, _)> = ab
+        .rows
+        .iter()
+        .map(|(name, report)| (vec![name.clone()], *report))
+        .collect();
+    write(
+        "results/ablation.csv",
+        &normalized_rows_to_csv(&["persona"], &rows),
+    );
+}

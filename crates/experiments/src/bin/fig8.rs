@@ -1,0 +1,18 @@
+//! Regenerates the paper's Figure 8. See `rsched_experiments::figures::fig8`.
+
+use rsched_experiments::figures::fig8;
+use rsched_experiments::ExperimentOptions;
+use rsched_parallel::ThreadPool;
+
+fn main() {
+    let opts = match ExperimentOptions::from_args() {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let pool = ThreadPool::with_default_parallelism();
+    let output = fig8::run(&opts, &pool);
+    print!("{}", output.render());
+}

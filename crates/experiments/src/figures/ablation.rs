@@ -1,0 +1,184 @@
+//! Persona ablation: how the agent's objective-weight emphasis moves the
+//! normalized metric profile (DESIGN.md §5).
+//!
+//! The two paper personas differ mainly in fairness-vs-throughput emphasis;
+//! this sweep makes that axis explicit by running single-objective and
+//! blended personas over the same Heterogeneous Mix workload. It answers
+//! the interpretability question behind the paper's Figure 3 discussion:
+//! *which* emphasis produces which profile.
+
+use std::fmt::Write as _;
+
+use rsched_cluster::ClusterConfig;
+use rsched_core::LlmSchedulingPolicy;
+use rsched_llm::persona::{ObjectiveWeights, Persona};
+use rsched_llm::SimulatedLlm;
+use rsched_metrics::{normalize_against, MetricsReport, NormalizedReport};
+use rsched_parallel::ThreadPool;
+use rsched_schedulers::Fcfs;
+use rsched_sim::{run_simulation, SimOptions};
+use rsched_simkit::rng::SeedTree;
+use rsched_workloads::ScenarioKind;
+
+use crate::figures::normalized_table;
+use crate::options::ExperimentOptions;
+use crate::runner::scenario_jobs;
+
+/// The swept weight profiles.
+pub fn weight_profiles() -> Vec<(&'static str, ObjectiveWeights)> {
+    vec![
+        (
+            "fairness-only",
+            ObjectiveWeights {
+                fairness: 1.0,
+                throughput: 0.0,
+                packing: 0.0,
+                makespan: 0.0,
+            },
+        ),
+        (
+            "throughput-only",
+            ObjectiveWeights {
+                fairness: 0.0,
+                throughput: 1.0,
+                packing: 0.0,
+                makespan: 0.0,
+            },
+        ),
+        (
+            "packing-only",
+            ObjectiveWeights {
+                fairness: 0.0,
+                throughput: 0.0,
+                packing: 1.0,
+                makespan: 0.0,
+            },
+        ),
+        (
+            "makespan-only",
+            ObjectiveWeights {
+                fairness: 0.0,
+                throughput: 0.0,
+                packing: 0.0,
+                makespan: 1.0,
+            },
+        ),
+        ("balanced", ObjectiveWeights::balanced()),
+        ("claude37-weights", Persona::claude37().weights),
+        ("o4mini-weights", Persona::o4mini().weights),
+    ]
+}
+
+/// Ablation results.
+#[derive(Debug, Clone)]
+pub struct AblationOutput {
+    /// Jobs in the workload.
+    pub jobs: usize,
+    /// `(profile name, normalized report)` rows.
+    pub rows: Vec<(String, NormalizedReport)>,
+}
+
+/// Run the ablation sweep.
+pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> AblationOutput {
+    let n = opts.scaled(60);
+    let tree = SeedTree::new(opts.seed).subtree("ablation", 0);
+    let jobs = scenario_jobs(
+        ScenarioKind::HeterogeneousMix,
+        n,
+        tree.derive("workload", 0),
+    );
+    let cluster = ClusterConfig::paper_default();
+
+    let baseline = {
+        let outcome = run_simulation(cluster, &jobs, &mut Fcfs, &SimOptions::default())
+            .expect("FCFS completes");
+        MetricsReport::compute(&outcome.records, cluster)
+    };
+
+    let seed = tree.derive("policy", 0);
+    let cells: Vec<(String, ObjectiveWeights)> = weight_profiles()
+        .into_iter()
+        .map(|(name, w)| (name.to_string(), w))
+        .collect();
+    let jobs_shared = jobs.clone();
+    let reports = pool.par_map(cells, move |(name, weights)| {
+        let persona = Persona {
+            temperature: 0.0,
+            ..Persona::custom(name.clone(), weights)
+        };
+        let mut policy = LlmSchedulingPolicy::new(Box::new(SimulatedLlm::new(persona, seed)));
+        let outcome = run_simulation(cluster, &jobs_shared, &mut policy, &SimOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        (name, MetricsReport::compute(&outcome.records, cluster))
+    });
+
+    let mut rows = vec![(
+        "FCFS".to_string(),
+        normalize_against(&baseline, &baseline),
+    )];
+    rows.extend(
+        reports
+            .into_iter()
+            .map(|(name, report)| (name, normalize_against(&report, &baseline))),
+    );
+    AblationOutput { jobs: n, rows }
+}
+
+impl AblationOutput {
+    /// One profile's normalized report.
+    pub fn row(&self, name: &str) -> Option<&NormalizedReport> {
+        self.rows
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| r)
+    }
+
+    /// Render the sweep table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Persona ablation — objective-weight sweep, Heterogeneous Mix, {} jobs \
+             (normalized vs FCFS)\n",
+            self.jobs
+        );
+        let _ = writeln!(out, "{}", normalized_table(&self.rows).render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_cpsolver::SolverConfig;
+    use rsched_metrics::Metric;
+
+    #[test]
+    fn single_objective_personas_move_the_profile_as_expected() {
+        let pool = ThreadPool::new(4);
+        let opts = ExperimentOptions {
+            seed: 8,
+            quick: true,
+            solver: SolverConfig::default(),
+        };
+        let out = run(&opts, &pool);
+        assert_eq!(out.rows.len(), 1 + weight_profiles().len());
+
+        let throughput_only = out.row("throughput-only").expect("present");
+        let makespan_only = out.row("makespan-only").expect("present");
+        // A throughput-obsessed persona must cut average wait at least as
+        // hard as a makespan-obsessed one (which front-loads long jobs).
+        let wait = |r: &NormalizedReport| r.get(Metric::AvgWait).unwrap_or(1.0);
+        assert!(
+            wait(throughput_only) <= wait(makespan_only) + 1e-9,
+            "throughput-only {} vs makespan-only {}",
+            wait(throughput_only),
+            wait(makespan_only)
+        );
+        // The fairness-only persona should not trail throughput-only on
+        // user fairness.
+        let fairness_only = out.row("fairness-only").expect("present");
+        let uf = |r: &NormalizedReport| r.get(Metric::UserFairness).unwrap_or(0.0);
+        assert!(uf(fairness_only) + 1e-9 >= uf(throughput_only));
+    }
+}

@@ -1,0 +1,144 @@
+//! Figure 5: computational-overhead comparison across the six Figure 3
+//! scenarios at 60 jobs (paper §3.7.1): total elapsed time, LLM call
+//! counts, and per-call latency distributions for both models, counting
+//! only accepted placement actions in the distribution.
+
+use std::fmt::Write as _;
+
+use rsched_cluster::ClusterConfig;
+use rsched_metrics::TextTable;
+use rsched_parallel::ThreadPool;
+use rsched_simkit::rng::SeedTree;
+use rsched_workloads::ScenarioKind;
+
+use crate::figures::{latency_columns, latency_row};
+use crate::options::ExperimentOptions;
+use crate::runner::{
+    policy_seed, run_matrix, scenario_jobs, MatrixCell, OverheadSummary, SchedulerKind,
+};
+
+/// One (scenario, model) overhead measurement.
+#[derive(Debug, Clone)]
+pub struct OverheadCell {
+    /// Scenario measured.
+    pub scenario: ScenarioKind,
+    /// Model name.
+    pub model: String,
+    /// The run's overhead ledger.
+    pub overhead: OverheadSummary,
+}
+
+/// Figure 5 results.
+#[derive(Debug, Clone)]
+pub struct Fig5Output {
+    /// Jobs per scenario (60 in the paper).
+    pub jobs_per_scenario: usize,
+    /// All `(scenario, model)` cells, scenario-major.
+    pub cells: Vec<OverheadCell>,
+}
+
+/// Run the Figure 5 experiment.
+pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig5Output {
+    let n = opts.scaled(60);
+    let tree = SeedTree::new(opts.seed).subtree("fig5", 0);
+    let models = SchedulerKind::llm_pair();
+
+    let mut cells = Vec::new();
+    let mut labels = Vec::new();
+    for (s_idx, scenario) in ScenarioKind::figure3().into_iter().enumerate() {
+        let jobs = scenario_jobs(scenario, n, tree.derive(scenario.slug(), 0));
+        for kind in models {
+            labels.push((scenario, kind));
+            cells.push(MatrixCell {
+                kind,
+                jobs: jobs.clone(),
+                cluster: ClusterConfig::paper_default(),
+                policy_seed: policy_seed(tree.derive("policy", s_idx as u64), kind, 0),
+                solver: opts.solver,
+            });
+        }
+    }
+    let results = run_matrix(cells, pool);
+    let cells = labels
+        .into_iter()
+        .zip(results)
+        .map(|((scenario, _), result)| OverheadCell {
+            scenario,
+            model: result.scheduler.clone(),
+            overhead: result.overhead.expect("LLM runs track overhead"),
+        })
+        .collect();
+    Fig5Output {
+        jobs_per_scenario: n,
+        cells,
+    }
+}
+
+impl Fig5Output {
+    /// The cell for one (scenario, model) pair.
+    pub fn cell(&self, scenario: ScenarioKind, model: &str) -> Option<&OverheadCell> {
+        self.cells
+            .iter()
+            .find(|c| c.scenario == scenario && c.model == model)
+    }
+
+    /// Render the three panels (elapsed, calls, latency distribution).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Figure 5 — LLM overhead per scenario, {} jobs (accepted placements only)\n",
+            self.jobs_per_scenario
+        );
+        let mut header = vec!["scenario".to_string(), "model".to_string()];
+        header.extend(latency_columns().iter().map(|c| c.to_string()));
+        let mut table = TextTable::new(header);
+        for c in &self.cells {
+            let mut row = vec![c.scenario.name().to_string(), c.model.clone()];
+            row.extend(
+                latency_row(
+                    c.overhead.call_count,
+                    c.overhead.total_elapsed_secs,
+                    &c.overhead.placement_latencies,
+                )
+                .into_iter(),
+            );
+            table.push_row(row);
+        }
+        let _ = writeln!(out, "{}", table.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_cpsolver::SolverConfig;
+
+    #[test]
+    fn overhead_shapes_match_paper() {
+        let pool = ThreadPool::new(4);
+        let opts = ExperimentOptions {
+            seed: 5,
+            quick: true,
+            solver: SolverConfig::default(),
+        };
+        let out = run(&opts, &pool);
+        assert_eq!(out.cells.len(), 12, "6 scenarios × 2 models");
+        // Claude is faster than O4-Mini on every scenario (paper: up to 7×).
+        for scenario in ScenarioKind::figure3() {
+            let claude = out.cell(scenario, "Claude-3.7").expect("present");
+            let o4 = out.cell(scenario, "O4-Mini").expect("present");
+            assert!(
+                o4.overhead.total_elapsed_secs > claude.overhead.total_elapsed_secs,
+                "{}: O4-Mini {} should exceed Claude {}",
+                scenario.name(),
+                o4.overhead.total_elapsed_secs,
+                claude.overhead.total_elapsed_secs
+            );
+            // Call counts are within the same order (≈ job count each).
+            assert!(claude.overhead.call_count >= out.jobs_per_scenario);
+        }
+        assert!(out.render().contains("elapsed_s"));
+    }
+}

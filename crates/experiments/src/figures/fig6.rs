@@ -1,0 +1,147 @@
+//! Figure 6: LLM overhead scaling with queue size on Heterogeneous Mix
+//! (paper §3.7.2): super-linear elapsed-time growth for O4-Mini (with a
+//! transient spike near 80 jobs in the paper's run), near-linear growth
+//! for Claude 3.7, and linear call-count scaling for both.
+
+use std::fmt::Write as _;
+
+use rsched_cluster::ClusterConfig;
+use rsched_metrics::TextTable;
+use rsched_parallel::ThreadPool;
+use rsched_simkit::rng::SeedTree;
+use rsched_workloads::ScenarioKind;
+
+use crate::figures::{latency_columns, latency_row};
+use crate::options::ExperimentOptions;
+use crate::runner::{
+    policy_seed, run_matrix, scenario_jobs, MatrixCell, OverheadSummary, SchedulerKind,
+};
+
+/// One (size, model) overhead measurement.
+#[derive(Debug, Clone)]
+pub struct ScalingCell {
+    /// Queue size.
+    pub jobs: usize,
+    /// Model name.
+    pub model: String,
+    /// The run's overhead ledger.
+    pub overhead: OverheadSummary,
+}
+
+/// Figure 6 results.
+#[derive(Debug, Clone)]
+pub struct Fig6Output {
+    /// All `(size, model)` cells, size-major ascending.
+    pub cells: Vec<ScalingCell>,
+}
+
+/// Run the Figure 6 experiment.
+pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig6Output {
+    let sizes: Vec<usize> = if opts.quick {
+        vec![10, 20, 40]
+    } else {
+        crate::figures::fig4::PAPER_SIZES.to_vec()
+    };
+    let tree = SeedTree::new(opts.seed).subtree("fig6", 0);
+    let models = SchedulerKind::llm_pair();
+
+    let mut cells = Vec::new();
+    let mut labels = Vec::new();
+    for &n in &sizes {
+        let jobs = scenario_jobs(
+            ScenarioKind::HeterogeneousMix,
+            n,
+            tree.derive("workload", n as u64),
+        );
+        for kind in models {
+            labels.push((n, kind));
+            cells.push(MatrixCell {
+                kind,
+                jobs: jobs.clone(),
+                cluster: ClusterConfig::paper_default(),
+                policy_seed: policy_seed(tree.derive("policy", n as u64), kind, 0),
+                solver: opts.solver,
+            });
+        }
+    }
+    let results = run_matrix(cells, pool);
+    let cells = labels
+        .into_iter()
+        .zip(results)
+        .map(|((jobs, _), result)| ScalingCell {
+            jobs,
+            model: result.scheduler.clone(),
+            overhead: result.overhead.expect("LLM runs track overhead"),
+        })
+        .collect();
+    Fig6Output { cells }
+}
+
+impl Fig6Output {
+    /// The cell for one (size, model) pair.
+    pub fn cell(&self, jobs: usize, model: &str) -> Option<&ScalingCell> {
+        self.cells
+            .iter()
+            .find(|c| c.jobs == jobs && c.model == model)
+    }
+
+    /// Render the scaling table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Figure 6 — LLM overhead scaling with queue size (Heterogeneous Mix)\n"
+        );
+        let mut header = vec!["jobs".to_string(), "model".to_string()];
+        header.extend(latency_columns().iter().map(|c| c.to_string()));
+        let mut table = TextTable::new(header);
+        for c in &self.cells {
+            let mut row = vec![c.jobs.to_string(), c.model.clone()];
+            row.extend(
+                latency_row(
+                    c.overhead.call_count,
+                    c.overhead.total_elapsed_secs,
+                    &c.overhead.placement_latencies,
+                )
+                .into_iter(),
+            );
+            table.push_row(row);
+        }
+        let _ = writeln!(out, "{}", table.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_cpsolver::SolverConfig;
+
+    #[test]
+    fn elapsed_time_grows_with_queue_size_and_o4mini_dominates() {
+        let pool = ThreadPool::new(4);
+        let opts = ExperimentOptions {
+            seed: 1,
+            quick: true,
+            solver: SolverConfig::default(),
+        };
+        let out = run(&opts, &pool);
+        assert_eq!(out.cells.len(), 6, "3 sizes × 2 models");
+        for &(lo, hi) in &[(10usize, 20usize), (20, 40)] {
+            for model in ["Claude-3.7", "O4-Mini"] {
+                let small = out.cell(lo, model).expect("present");
+                let large = out.cell(hi, model).expect("present");
+                assert!(
+                    large.overhead.call_count > small.overhead.call_count,
+                    "{model}: calls must grow {lo}→{hi}"
+                );
+            }
+        }
+        for &n in &[10usize, 20, 40] {
+            let claude = out.cell(n, "Claude-3.7").expect("present");
+            let o4 = out.cell(n, "O4-Mini").expect("present");
+            assert!(o4.overhead.total_elapsed_secs > claude.overhead.total_elapsed_secs);
+        }
+        assert!(out.render().contains("jobs"));
+    }
+}

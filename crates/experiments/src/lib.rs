@@ -1,0 +1,31 @@
+//! # rsched-experiments
+//!
+//! The figure-regeneration harness: one module (and one binary) per figure
+//! of the paper's evaluation.
+//!
+//! | Target | Paper artifact |
+//! |---|---|
+//! | `fig3` | Normalized metrics, six scenarios @ 60 jobs (§3.5) |
+//! | `fig4` | Scalability on Heterogeneous Mix, 10–100 jobs (§3.6) |
+//! | `fig5` | Overhead by workload @ 60 jobs (§3.7.1) |
+//! | `fig6` | Overhead scaling with queue size (§3.7.2) |
+//! | `fig7` | Robustness box plots, 5 runs @ 100 jobs (§4) |
+//! | `fig8` | Polaris trace replay, 100 jobs (§5) |
+//!
+//! Run e.g. `cargo run --release -p rsched-experiments --bin fig3`, or
+//! `--bin all_figures` for the whole evaluation. Every run is
+//! deterministic given `--seed`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod figures;
+pub mod options;
+pub mod output;
+pub mod runner;
+
+pub use options::ExperimentOptions;
+pub use runner::{
+    normalize_table, run_matrix, run_policy, scenario_jobs, OverheadSummary, RunResult,
+    SchedulerKind,
+};

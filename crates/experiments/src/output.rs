@@ -1,0 +1,161 @@
+//! CSV export of figure data, for plotting outside the terminal.
+//!
+//! Each figure's `render()` prints the paper-style table; these helpers
+//! dump the same data as machine-readable CSV (written under `results/` by
+//! the `all_figures` binary).
+
+use rsched_metrics::{Metric, NormalizedReport};
+use rsched_simkit::csv;
+
+use crate::runner::OverheadSummary;
+
+/// Serialize `(label…, normalized report)` rows to CSV. `label_headers`
+/// names the leading label columns (e.g. `["scenario", "scheduler"]`).
+pub fn normalized_rows_to_csv(
+    label_headers: &[&str],
+    rows: &[(Vec<String>, NormalizedReport)],
+) -> String {
+    let mut table: Vec<Vec<String>> = Vec::with_capacity(rows.len() + 1);
+    let mut header: Vec<String> = label_headers.iter().map(|s| s.to_string()).collect();
+    header.extend(Metric::all().iter().map(|m| m.name().replace(' ', "_").to_lowercase()));
+    table.push(header);
+    for (labels, report) in rows {
+        let mut row = labels.clone();
+        row.extend(Metric::all().iter().map(|&m| match report.get(m) {
+            Some(v) => format!("{v:.6}"),
+            None => String::new(),
+        }));
+        table.push(row);
+    }
+    csv::write_rows(table)
+}
+
+/// Serialize overhead cells (`(label…, overhead)`) to CSV with latency
+/// summary columns.
+pub fn overhead_rows_to_csv(
+    label_headers: &[&str],
+    rows: &[(Vec<String>, OverheadSummary)],
+) -> String {
+    let mut table: Vec<Vec<String>> = Vec::with_capacity(rows.len() + 1);
+    let mut header: Vec<String> = label_headers.iter().map(|s| s.to_string()).collect();
+    header.extend(
+        ["calls", "elapsed_s", "latency_mean_s", "latency_p50_s", "latency_p95_s", "latency_max_s"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    table.push(header);
+    for (labels, overhead) in rows {
+        let lat = &overhead.placement_latencies;
+        let mean = if lat.is_empty() {
+            String::new()
+        } else {
+            format!("{:.3}", lat.iter().sum::<f64>() / lat.len() as f64)
+        };
+        let q = |p: f64| -> String {
+            rsched_simkit::stats::quantile(lat, p)
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_default()
+        };
+        let max = lat
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut row = labels.clone();
+        row.extend([
+            overhead.call_count.to_string(),
+            format!("{:.3}", overhead.total_elapsed_secs),
+            mean,
+            q(0.5),
+            q(0.95),
+            if lat.is_empty() {
+                String::new()
+            } else {
+                format!("{max:.3}")
+            },
+        ]);
+        table.push(row);
+    }
+    csv::write_rows(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_metrics::normalize_against;
+    use rsched_metrics::MetricsReport;
+    use rsched_simkit::csv::Table;
+
+    fn report() -> MetricsReport {
+        MetricsReport {
+            makespan_secs: 100.0,
+            avg_wait_secs: 10.0,
+            avg_turnaround_secs: 50.0,
+            throughput: 0.5,
+            node_utilization: 0.7,
+            memory_utilization: 0.6,
+            wait_fairness: 0.9,
+            user_fairness: 0.8,
+        }
+    }
+
+    #[test]
+    fn normalized_csv_has_header_and_ratio_columns() {
+        let base = report();
+        let rows = vec![(
+            vec!["Long-Job Dominant".to_string(), "SJF".to_string()],
+            normalize_against(&base, &base),
+        )];
+        let text = normalized_rows_to_csv(&["scenario", "scheduler"], &rows);
+        let table = Table::parse(&text).expect("valid CSV");
+        assert_eq!(table.rows.len(), 1);
+        assert_eq!(table.get(0, "scenario"), Some("Long-Job Dominant"));
+        assert_eq!(table.get(0, "makespan"), Some("1.000000"));
+        assert_eq!(table.get(0, "user_fairness"), Some("1.000000"));
+    }
+
+    #[test]
+    fn omitted_metrics_serialize_as_empty_cells() {
+        let mut zero_wait = report();
+        zero_wait.avg_wait_secs = 0.0;
+        let rows = vec![(
+            vec!["X".to_string()],
+            normalize_against(&zero_wait, &zero_wait),
+        )];
+        let text = normalized_rows_to_csv(&["scheduler"], &rows);
+        let table = Table::parse(&text).expect("valid CSV");
+        assert_eq!(table.get(0, "avg_wait"), Some(""));
+        assert_eq!(table.get(0, "makespan"), Some("1.000000"));
+    }
+
+    #[test]
+    fn overhead_csv_summarizes_latencies() {
+        let rows = vec![(
+            vec!["60".to_string(), "O4-Mini".to_string()],
+            OverheadSummary {
+                total_elapsed_secs: 1500.0,
+                call_count: 61,
+                placement_latencies: vec![10.0, 20.0, 30.0],
+            },
+        )];
+        let text = overhead_rows_to_csv(&["jobs", "model"], &rows);
+        let table = Table::parse(&text).expect("valid CSV");
+        assert_eq!(table.get(0, "calls"), Some("61"));
+        assert_eq!(table.get(0, "latency_mean_s"), Some("20.000"));
+        assert_eq!(table.get(0, "latency_max_s"), Some("30.000"));
+    }
+
+    #[test]
+    fn empty_latencies_leave_blank_cells() {
+        let rows = vec![(
+            vec!["x".to_string()],
+            OverheadSummary {
+                total_elapsed_secs: 0.0,
+                call_count: 0,
+                placement_latencies: vec![],
+            },
+        )];
+        let text = overhead_rows_to_csv(&["label"], &rows);
+        let table = Table::parse(&text).expect("valid CSV");
+        assert_eq!(table.get(0, "latency_mean_s"), Some(""));
+    }
+}

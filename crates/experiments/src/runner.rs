@@ -1,0 +1,317 @@
+//! Running one (scheduler, workload) cell and fanning out the matrix.
+
+use rsched_cluster::{ClusterConfig, JobSpec};
+use rsched_core::LlmSchedulingPolicy;
+use rsched_cpsolver::SolverConfig;
+use rsched_metrics::{normalize_against, MetricsReport, NormalizedReport};
+use rsched_parallel::ThreadPool;
+use rsched_schedulers::{EasyBackfill, Fcfs, OrToolsPolicy, RandomPolicy, Sjf};
+use rsched_sim::{run_simulation, SchedulingPolicy, SimOptions, SimOutcome, SimStats};
+use rsched_simkit::rng::SeedTree;
+use rsched_workloads::{generate, ArrivalMode, ScenarioKind};
+
+/// The compared schedulers. `all_paper()` is the paper's comparison set;
+/// `Easy` and `Random` are this repository's ablation extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// First-come-first-served (the normalization baseline).
+    Fcfs,
+    /// Shortest job first.
+    Sjf,
+    /// The optimization baseline (OR-Tools substitute).
+    OrTools,
+    /// Simulated Claude 3.7 ReAct agent.
+    Claude37,
+    /// Simulated O4-Mini ReAct agent.
+    O4Mini,
+    /// FCFS + EASY backfilling (ablation).
+    Easy,
+    /// Random eligible pick (ablation floor).
+    Random,
+}
+
+impl SchedulerKind {
+    /// The paper's five compared schedulers, in figure order.
+    pub fn all_paper() -> [SchedulerKind; 5] {
+        [
+            SchedulerKind::Fcfs,
+            SchedulerKind::Sjf,
+            SchedulerKind::OrTools,
+            SchedulerKind::Claude37,
+            SchedulerKind::O4Mini,
+        ]
+    }
+
+    /// The two LLM agents (overhead figures).
+    pub fn llm_pair() -> [SchedulerKind; 2] {
+        [SchedulerKind::Claude37, SchedulerKind::O4Mini]
+    }
+
+    /// Display name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Fcfs => "FCFS",
+            SchedulerKind::Sjf => "SJF",
+            SchedulerKind::OrTools => "OR-Tools",
+            SchedulerKind::Claude37 => "Claude-3.7",
+            SchedulerKind::O4Mini => "O4-Mini",
+            SchedulerKind::Easy => "EASY",
+            SchedulerKind::Random => "Random",
+        }
+    }
+}
+
+/// LLM overhead numbers extracted from a run (paper §3.7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadSummary {
+    /// Total elapsed scheduling time (sum of call latencies), seconds.
+    pub total_elapsed_secs: f64,
+    /// Number of LLM calls.
+    pub call_count: usize,
+    /// Latencies of accepted placement calls, seconds.
+    pub placement_latencies: Vec<f64>,
+}
+
+/// One cell's outcome.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Scheduler display name.
+    pub scheduler: String,
+    /// The eight §3.2 metrics.
+    pub report: MetricsReport,
+    /// Simulator counters.
+    pub stats: SimStats,
+    /// LLM overhead, for the agent schedulers.
+    pub overhead: Option<OverheadSummary>,
+}
+
+/// Generate the jobs for a scenario instance (dynamic arrivals, as in the
+/// paper's §3.1 evaluation).
+pub fn scenario_jobs(scenario: ScenarioKind, n: usize, seed: u64) -> Vec<JobSpec> {
+    generate(scenario, n, ArrivalMode::Dynamic, seed).jobs
+}
+
+/// Run one scheduler over one workload.
+///
+/// `policy_seed` feeds the stochastic schedulers (LLM sampling noise,
+/// random policy, solver restarts); deterministic baselines ignore it.
+pub fn run_policy(
+    kind: SchedulerKind,
+    jobs: &[JobSpec],
+    cluster: ClusterConfig,
+    policy_seed: u64,
+    solver: &SolverConfig,
+) -> RunResult {
+    let options = SimOptions::default();
+    let (outcome, overhead) = match kind {
+        SchedulerKind::Fcfs => (run(jobs, cluster, &mut Fcfs, &options), None),
+        SchedulerKind::Sjf => (run(jobs, cluster, &mut Sjf, &options), None),
+        SchedulerKind::Easy => (
+            run(jobs, cluster, &mut EasyBackfill::new(), &options),
+            None,
+        ),
+        SchedulerKind::Random => (
+            run(jobs, cluster, &mut RandomPolicy::new(policy_seed), &options),
+            None,
+        ),
+        SchedulerKind::OrTools => {
+            let config = SolverConfig {
+                seed: policy_seed,
+                ..*solver
+            };
+            let mut policy = OrToolsPolicy::with_config(jobs, config);
+            (run(jobs, cluster, &mut policy, &options), None)
+        }
+        SchedulerKind::Claude37 | SchedulerKind::O4Mini => {
+            let mut policy = match kind {
+                SchedulerKind::Claude37 => LlmSchedulingPolicy::claude37(policy_seed),
+                _ => LlmSchedulingPolicy::o4mini(policy_seed),
+            };
+            let outcome = run(jobs, cluster, &mut policy, &options);
+            let tracker = policy.overhead();
+            let overhead = OverheadSummary {
+                total_elapsed_secs: tracker.total_elapsed_secs(),
+                call_count: tracker.call_count(),
+                placement_latencies: tracker.placement_latencies(),
+            };
+            (outcome, Some(overhead))
+        }
+    };
+    RunResult {
+        scheduler: kind.name().to_string(),
+        report: MetricsReport::compute(&outcome.records, cluster),
+        stats: outcome.stats,
+        overhead,
+    }
+}
+
+fn run(
+    jobs: &[JobSpec],
+    cluster: ClusterConfig,
+    policy: &mut dyn SchedulingPolicy,
+    options: &SimOptions,
+) -> SimOutcome {
+    run_simulation(cluster, jobs, policy, options).unwrap_or_else(|e| {
+        panic!(
+            "simulation failed under {}: {e} (jobs={})",
+            policy.name(),
+            jobs.len()
+        )
+    })
+}
+
+/// A cell of the experiment matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Scheduler to run.
+    pub kind: SchedulerKind,
+    /// The workload.
+    pub jobs: Vec<JobSpec>,
+    /// Machine configuration.
+    pub cluster: ClusterConfig,
+    /// Policy seed.
+    pub policy_seed: u64,
+    /// Solver budget for OR-Tools cells.
+    pub solver: SolverConfig,
+}
+
+/// Run many cells in parallel on the work-stealing pool, preserving input
+/// order.
+pub fn run_matrix(cells: Vec<MatrixCell>, pool: &ThreadPool) -> Vec<RunResult> {
+    pool.par_map(cells, |cell| {
+        run_policy(
+            cell.kind,
+            &cell.jobs,
+            cell.cluster,
+            cell.policy_seed,
+            &cell.solver,
+        )
+    })
+}
+
+/// Normalize a set of results against the named baseline (FCFS in every
+/// paper figure), returning `(scheduler, normalized)` rows in input order.
+pub fn normalize_table(
+    results: &[RunResult],
+    baseline: &str,
+) -> Vec<(String, NormalizedReport)> {
+    let base = results
+        .iter()
+        .find(|r| r.scheduler == baseline)
+        .unwrap_or_else(|| panic!("baseline `{baseline}` missing from results"))
+        .report;
+    results
+        .iter()
+        .map(|r| (r.scheduler.clone(), normalize_against(&r.report, &base)))
+        .collect()
+}
+
+/// Derive the per-cell policy seed for run `rep` of `kind` from a root
+/// seed — stable across machines and runs.
+pub fn policy_seed(root: u64, kind: SchedulerKind, rep: u64) -> u64 {
+    SeedTree::new(root).derive(kind.name(), rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_metrics::Metric;
+
+    fn quick_solver() -> SolverConfig {
+        SolverConfig {
+            sa_iterations_per_task: 40,
+            sa_iteration_cap: 800,
+            exact_max_tasks: 6,
+            ..SolverConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_scheduler_completes_a_small_scenario() {
+        let jobs = scenario_jobs(ScenarioKind::HeterogeneousMix, 10, 1);
+        for kind in [
+            SchedulerKind::Fcfs,
+            SchedulerKind::Sjf,
+            SchedulerKind::OrTools,
+            SchedulerKind::Claude37,
+            SchedulerKind::O4Mini,
+            SchedulerKind::Easy,
+            SchedulerKind::Random,
+        ] {
+            let r = run_policy(
+                kind,
+                &jobs,
+                ClusterConfig::paper_default(),
+                7,
+                &quick_solver(),
+            );
+            assert!(r.report.makespan_secs > 0.0, "{}", kind.name());
+            assert_eq!(
+                r.overhead.is_some(),
+                matches!(kind, SchedulerKind::Claude37 | SchedulerKind::O4Mini),
+                "{}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_runs_in_parallel_and_preserves_order() {
+        let pool = ThreadPool::new(4);
+        let jobs = scenario_jobs(ScenarioKind::ResourceSparse, 10, 2);
+        let cells: Vec<MatrixCell> = SchedulerKind::all_paper()
+            .into_iter()
+            .map(|kind| MatrixCell {
+                kind,
+                jobs: jobs.clone(),
+                cluster: ClusterConfig::paper_default(),
+                policy_seed: 3,
+                solver: quick_solver(),
+            })
+            .collect();
+        let results = run_matrix(cells, &pool);
+        let names: Vec<&str> = results.iter().map(|r| r.scheduler.as_str()).collect();
+        assert_eq!(names, vec!["FCFS", "SJF", "OR-Tools", "Claude-3.7", "O4-Mini"]);
+    }
+
+    #[test]
+    fn normalization_against_fcfs() {
+        let jobs = scenario_jobs(ScenarioKind::HomogeneousShort, 10, 3);
+        let results: Vec<RunResult> = [SchedulerKind::Fcfs, SchedulerKind::Sjf]
+            .into_iter()
+            .map(|k| {
+                run_policy(k, &jobs, ClusterConfig::paper_default(), 1, &quick_solver())
+            })
+            .collect();
+        let table = normalize_table(&results, "FCFS");
+        let (name, fcfs_row) = &table[0];
+        assert_eq!(name, "FCFS");
+        for (_, v) in fcfs_row.defined() {
+            assert!((v - 1.0).abs() < 1e-9, "baseline must normalize to 1.0");
+        }
+        // Makespan ratio for SJF is defined (FCFS makespan > 0).
+        assert!(table[1].1.get(Metric::Makespan).is_some());
+    }
+
+    #[test]
+    fn policy_seeds_are_stable_and_distinct() {
+        let a = policy_seed(2025, SchedulerKind::Claude37, 0);
+        assert_eq!(a, policy_seed(2025, SchedulerKind::Claude37, 0));
+        assert_ne!(a, policy_seed(2025, SchedulerKind::Claude37, 1));
+        assert_ne!(a, policy_seed(2025, SchedulerKind::O4Mini, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline `FCFS` missing")]
+    fn missing_baseline_panics() {
+        let jobs = scenario_jobs(ScenarioKind::ResourceSparse, 8, 1);
+        let results = vec![run_policy(
+            SchedulerKind::Sjf,
+            &jobs,
+            ClusterConfig::paper_default(),
+            1,
+            &quick_solver(),
+        )];
+        let _ = normalize_table(&results, "FCFS");
+    }
+}

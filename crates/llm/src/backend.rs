@@ -1,0 +1,81 @@
+//! The text-in/text-out language-model interface.
+
+use std::fmt;
+
+/// One model completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The raw completion text (expected to contain `Thought:` and
+    /// `Action:` lines, but the agent's parser is the judge of that).
+    pub text: String,
+    /// Tokens consumed by the prompt (estimated for simulated backends).
+    pub prompt_tokens: u32,
+    /// Tokens produced in the completion.
+    pub completion_tokens: u32,
+    /// Wall-clock inference latency in seconds. For simulated backends this
+    /// is *sampled* from the persona's calibrated latency model rather than
+    /// measured — it feeds the overhead analysis (paper §3.7), not the
+    /// simulation clock.
+    pub latency_secs: f64,
+}
+
+/// An error from a language-model backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LlmError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl LlmError {
+    /// Construct from anything string-like.
+    pub fn new(message: impl Into<String>) -> Self {
+        LlmError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LlmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LLM backend error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LlmError {}
+
+/// A language model: prompt text in, completion out.
+///
+/// Implementations in this workspace: [`crate::SimulatedLlm`] (the
+/// calibrated personas), [`crate::script::ScriptedBackend`] (canned
+/// responses for tests), and [`crate::process::ProcessBackend`] (an
+/// external command, e.g. a wrapper around a real API client).
+pub trait LanguageModel {
+    /// Stable model identifier (e.g. `"Claude-3.7"`, `"O4-Mini"`).
+    fn model_name(&self) -> &str;
+
+    /// Complete one prompt.
+    fn complete(&mut self, prompt: &str) -> Result<Completion, LlmError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = LlmError::new("boom");
+        assert_eq!(e.to_string(), "LLM backend error: boom");
+    }
+
+    #[test]
+    fn completion_is_plain_data() {
+        let c = Completion {
+            text: "Thought: x\nAction: Delay".into(),
+            prompt_tokens: 100,
+            completion_tokens: 8,
+            latency_secs: 4.2,
+        };
+        assert!(c.text.contains("Action"));
+        assert_eq!(c.clone(), c);
+    }
+}

@@ -1,0 +1,183 @@
+//! Per-call latency models, calibrated to the paper's overhead analysis
+//! (§3.7, Figures 5–6).
+//!
+//! The paper measures wall-clock API latency per scheduling decision:
+//!
+//! * **Claude 3.7**: per-call latencies "tightly clustered below 10 seconds,
+//!   showing low variance"; ~700 s total for 100 Heterogeneous-Mix jobs.
+//! * **O4-Mini**: "high variance, with several outliers exceeding 100 s";
+//!   heavy-tailed distributions at 60–80 jobs with outliers beyond 200 s;
+//!   ~4 000 s total for 100 jobs, and a transient spike (~6 900 s) at 80
+//!   jobs that the paper attributes to "transient network/API latency".
+//!
+//! A latency sample is: a log-normal body scaled by prompt complexity, an
+//! occasional Pareto tail draw (long reasoning chains), and a rare
+//! transient-outage component (network stalls). All draws come from the
+//! caller's RNG, so runs are deterministic per seed.
+
+use rsched_simkit::dist::{LogNormal, Pareto, Sample};
+use rsched_simkit::rng::Rng;
+
+/// A stochastic model of one model's per-call latency.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// Log-normal body for routine calls.
+    body: LogNormal,
+    /// Probability that a call enters a long reasoning chain.
+    tail_prob: f64,
+    /// Tail distribution (seconds) for those calls.
+    tail: Pareto,
+    /// Additional multiplicative factor per unit of prompt complexity
+    /// (queue length / 10); models longer reasoning over larger queues.
+    complexity_coeff: f64,
+    /// Probability of a transient network/API stall on any call.
+    outage_prob: f64,
+    /// Stall magnitude bounds (seconds).
+    outage_range: (f64, f64),
+    /// Hard cap (seconds) to keep samples physical.
+    cap: f64,
+}
+
+impl LatencyModel {
+    /// Claude 3.7 calibration: median ≈ 4.5 s, σ = 0.25, weak complexity
+    /// scaling, a 2 % mild tail, no outage component. Effectively all
+    /// samples land below 10 s.
+    pub fn claude37() -> Self {
+        LatencyModel {
+            body: LogNormal::from_median(4.5, 0.25),
+            tail_prob: 0.02,
+            tail: Pareto::new(7.0, 4.0),
+            complexity_coeff: 0.04,
+            outage_prob: 0.0,
+            outage_range: (0.0, 0.0),
+            cap: 30.0,
+        }
+    }
+
+    /// O4-Mini calibration: median ≈ 16 s, σ = 0.65, strong complexity
+    /// scaling, a 10 % Pareto tail that regularly exceeds 100 s, and a
+    /// ~0.8 % transient-outage component of 5–15 minutes.
+    pub fn o4mini() -> Self {
+        LatencyModel {
+            body: LogNormal::from_median(16.0, 0.65),
+            tail_prob: 0.10,
+            tail: Pareto::new(55.0, 1.8),
+            complexity_coeff: 0.12,
+            outage_prob: 0.008,
+            outage_range: (240.0, 700.0),
+            cap: 900.0,
+        }
+    }
+
+    /// A fixed-latency model for tests.
+    pub fn constant(secs: f64) -> Self {
+        LatencyModel {
+            body: LogNormal::from_median(secs.max(1e-6), 0.0),
+            tail_prob: 0.0,
+            tail: Pareto::new(1.0, 10.0),
+            complexity_coeff: 0.0,
+            outage_prob: 0.0,
+            outage_range: (0.0, 0.0),
+            cap: f64::MAX,
+        }
+    }
+
+    /// Sample one call latency. `complexity` is a non-negative difficulty
+    /// signal; the agent passes the waiting-queue length.
+    pub fn sample(&self, complexity: usize, rng: &mut dyn Rng) -> f64 {
+        let scale = 1.0 + self.complexity_coeff * (complexity as f64 / 10.0);
+        let mut latency = self.body.sample(rng) * scale;
+        if self.tail_prob > 0.0 && rng.gen_bool(self.tail_prob) {
+            latency = latency.max(self.tail.sample(rng) * scale);
+        }
+        if self.outage_prob > 0.0 && rng.gen_bool(self.outage_prob) {
+            let (lo, hi) = self.outage_range;
+            latency += lo + (hi - lo) * rng.unit_f64();
+        }
+        latency.min(self.cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_simkit::rng::Xoshiro256PlusPlus;
+    use rsched_simkit::stats::{quantile, RunningStats};
+
+    fn samples(model: &LatencyModel, complexity: usize, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        (0..n).map(|_| model.sample(complexity, &mut rng)).collect()
+    }
+
+    #[test]
+    fn claude_is_tight_and_sub_10s() {
+        let xs = samples(&LatencyModel::claude37(), 10, 5_000, 1);
+        let stats: RunningStats = xs.iter().copied().collect();
+        assert!((3.0..7.0).contains(&stats.mean()), "mean {}", stats.mean());
+        let p99 = quantile(&xs, 0.99).expect("non-empty");
+        assert!(p99 < 10.0, "p99 {p99} should stay below 10 s");
+        assert!(stats.max() < 30.0);
+    }
+
+    #[test]
+    fn o4mini_is_slow_and_heavy_tailed() {
+        let xs = samples(&LatencyModel::o4mini(), 10, 5_000, 2);
+        let stats: RunningStats = xs.iter().copied().collect();
+        assert!(stats.mean() > 18.0, "mean {}", stats.mean());
+        let over_100 = xs.iter().filter(|&&x| x > 100.0).count();
+        assert!(
+            over_100 > 50,
+            "outliers beyond 100 s should be routine: {over_100}"
+        );
+        assert!(stats.max() > 200.0, "max {}", stats.max());
+    }
+
+    #[test]
+    fn claude_is_roughly_7x_faster_than_o4mini() {
+        // The paper reports up to 7× total elapsed-time gap on the
+        // Heterogeneous Mix (§3.7.1).
+        let c: RunningStats = samples(&LatencyModel::claude37(), 12, 5_000, 3)
+            .into_iter()
+            .collect();
+        let o: RunningStats = samples(&LatencyModel::o4mini(), 12, 5_000, 4)
+            .into_iter()
+            .collect();
+        let ratio = o.mean() / c.mean();
+        assert!((4.0..12.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn complexity_scales_latency() {
+        let m = LatencyModel::o4mini();
+        let lo: RunningStats = samples(&m, 0, 4_000, 5).into_iter().collect();
+        let hi: RunningStats = samples(&m, 100, 4_000, 5).into_iter().collect();
+        assert!(
+            hi.mean() > lo.mean() * 1.5,
+            "complexity must raise latency: {} vs {}",
+            hi.mean(),
+            lo.mean()
+        );
+    }
+
+    #[test]
+    fn constant_model_is_constant() {
+        let xs = samples(&LatencyModel::constant(2.5), 50, 100, 6);
+        for x in xs {
+            assert!((x - 2.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = LatencyModel::o4mini();
+        assert_eq!(samples(&m, 5, 64, 9), samples(&m, 5, 64, 9));
+    }
+
+    #[test]
+    fn outages_occur_but_rarely() {
+        let xs = samples(&LatencyModel::o4mini(), 10, 20_000, 7);
+        let outages = xs.iter().filter(|&&x| x > 300.0).count();
+        let rate = outages as f64 / xs.len() as f64;
+        assert!(rate > 0.001 && rate < 0.05, "outage rate {rate}");
+    }
+}

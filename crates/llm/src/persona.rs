@@ -1,0 +1,139 @@
+//! Model personas: the calibrated behavioural profiles of the two
+//! reasoning models the paper evaluates (§1.2, §3.3).
+
+use crate::latency::LatencyModel;
+
+/// Relative emphasis a persona places on each scheduling objective when it
+/// deliberates (paper §3.4's prompt lists exactly these four trade-offs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectiveWeights {
+    /// Prefer long-waiting jobs and unserved users.
+    pub fairness: f64,
+    /// Prefer short jobs (jobs completed per unit time).
+    pub throughput: f64,
+    /// Prefer filling free nodes/memory (utilization).
+    pub packing: f64,
+    /// Prefer getting long jobs started early (makespan).
+    pub makespan: f64,
+}
+
+impl ObjectiveWeights {
+    /// Equal emphasis on everything.
+    pub fn balanced() -> Self {
+        ObjectiveWeights {
+            fairness: 0.25,
+            throughput: 0.25,
+            packing: 0.25,
+            makespan: 0.25,
+        }
+    }
+}
+
+/// How verbose the generated reasoning text is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThoughtStyle {
+    /// Compact, decision-first reasoning (Claude 3.7 in the paper's traces).
+    Concise,
+    /// Long deliberative chains ("Let me consider several strategies…" —
+    /// O4-Mini's high-reasoning-effort style).
+    Deliberative,
+}
+
+/// A complete simulated-model profile.
+#[derive(Debug, Clone)]
+pub struct Persona {
+    /// Reported model name.
+    pub name: String,
+    /// Objective emphasis.
+    pub weights: ObjectiveWeights,
+    /// Score-noise temperature: 0 ≈ deterministic argmax (the paper runs
+    /// Claude 3.7 at temperature 0; O4-Mini's temperature was not
+    /// controllable).
+    pub temperature: f64,
+    /// Per-call latency model (paper §3.7 calibration).
+    pub latency: LatencyModel,
+    /// Reasoning verbosity.
+    pub style: ThoughtStyle,
+}
+
+impl Persona {
+    /// Claude 3.7 Sonnet: balanced multiobjective emphasis, effectively
+    /// deterministic, tight sub-10 s latency.
+    pub fn claude37() -> Self {
+        Persona {
+            name: "Claude-3.7".to_string(),
+            weights: ObjectiveWeights {
+                fairness: 0.28,
+                throughput: 0.34,
+                packing: 0.22,
+                makespan: 0.16,
+            },
+            temperature: 0.004,
+            latency: LatencyModel::claude37(),
+            style: ThoughtStyle::Concise,
+        }
+    }
+
+    /// O4-Mini (reasoning effort: high): throughput-leaning emphasis —
+    /// "its learned policy likely optimizes for system-wide efficiency,
+    /// prioritizing easy wins (e.g., smaller jobs)" (paper §3.5) — more
+    /// sampling noise, heavy-tailed latency.
+    pub fn o4mini() -> Self {
+        Persona {
+            name: "O4-Mini".to_string(),
+            weights: ObjectiveWeights {
+                fairness: 0.12,
+                throughput: 0.48,
+                packing: 0.25,
+                makespan: 0.15,
+            },
+            temperature: 0.05,
+            latency: LatencyModel::o4mini(),
+            style: ThoughtStyle::Deliberative,
+        }
+    }
+
+    /// A custom persona (ablation studies sweep these weights).
+    pub fn custom(name: impl Into<String>, weights: ObjectiveWeights) -> Self {
+        Persona {
+            name: name.into(),
+            weights,
+            temperature: 0.0,
+            latency: LatencyModel::constant(1.0),
+            style: ThoughtStyle::Concise,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn personas_have_distinct_profiles() {
+        let c = Persona::claude37();
+        let o = Persona::o4mini();
+        assert_ne!(c.name, o.name);
+        assert!(c.weights.fairness > o.weights.fairness);
+        assert!(o.weights.throughput > c.weights.throughput);
+        assert!(o.temperature > c.temperature);
+        assert_eq!(c.style, ThoughtStyle::Concise);
+        assert_eq!(o.style, ThoughtStyle::Deliberative);
+    }
+
+    #[test]
+    fn weights_roughly_normalized() {
+        for p in [Persona::claude37(), Persona::o4mini()] {
+            let sum = p.weights.fairness + p.weights.throughput + p.weights.packing
+                + p.weights.makespan;
+            assert!((sum - 1.0).abs() < 1e-9, "{}: {sum}", p.name);
+        }
+    }
+
+    #[test]
+    fn custom_persona() {
+        let p = Persona::custom("ablate-fairness", ObjectiveWeights::balanced());
+        assert_eq!(p.name, "ablate-fairness");
+        assert_eq!(p.temperature, 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Approximate token counting.
+//!
+//! Simulated backends report token usage like a real API would. We use the
+//! standard ~4-characters-per-token heuristic, floored by the whitespace
+//! word count (a token is never larger than a word plus its punctuation in
+//! typical English/code mixes).
+
+/// Estimated token count of `text`.
+pub fn estimate_tokens(text: &str) -> u32 {
+    if text.is_empty() {
+        return 0;
+    }
+    let chars = text.chars().count() as u32;
+    let words = text.split_whitespace().count() as u32;
+    (chars.div_ceil(4)).max(words)
+}
+
+/// Truncate `text` to approximately `max_tokens`, cutting at a line
+/// boundary where possible — used by scratchpad budgeting.
+pub fn truncate_to_tokens(text: &str, max_tokens: u32) -> &str {
+    if estimate_tokens(text) <= max_tokens {
+        return text;
+    }
+    let max_chars = (max_tokens as usize) * 4;
+    let mut cut = max_chars.min(text.len());
+    // Walk back to a char boundary.
+    while cut > 0 && !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    // Prefer cutting at the last newline before the boundary.
+    if let Some(nl) = text[..cut].rfind('\n') {
+        if nl > 0 {
+            cut = nl;
+        }
+    }
+    &text[..cut]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(estimate_tokens(""), 0);
+    }
+
+    #[test]
+    fn four_chars_per_token_heuristic() {
+        // 40 chars of continuous text ≈ 10 tokens.
+        let text = "abcdefghijklmnopqrstuvwxyzabcdefghijklmn";
+        assert_eq!(estimate_tokens(text), 10);
+    }
+
+    #[test]
+    fn word_floor_applies() {
+        // Many short words: "a b c d" is 7 chars → 2 by chars, but 4 words.
+        assert_eq!(estimate_tokens("a b c d"), 4);
+    }
+
+    #[test]
+    fn truncation_respects_budget_and_lines() {
+        let text = "line one is here\nline two is here\nline three is here\n";
+        let t = truncate_to_tokens(text, 6);
+        assert!(estimate_tokens(t) <= 7, "roughly within budget: {t:?}");
+        assert!(!t.ends_with("her"), "should cut at a line boundary: {t:?}");
+    }
+
+    #[test]
+    fn truncation_noop_when_within_budget() {
+        let text = "short";
+        assert_eq!(truncate_to_tokens(text, 10), "short");
+    }
+
+    #[test]
+    fn truncation_handles_multibyte() {
+        let text = "ααααααααααααααααα ββββββββββββββββ γγγγγγγγγγγγγγ";
+        let t = truncate_to_tokens(text, 3);
+        // Must not panic and must be valid UTF-8 (guaranteed by &str).
+        assert!(t.len() <= text.len());
+    }
+}

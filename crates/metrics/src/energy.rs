@@ -1,0 +1,168 @@
+//! Energy accounting — the paper's future-work direction ("exploring …
+//! energy-aware scheduling", §6) made concrete.
+//!
+//! The model is the standard node-power decomposition used in HPC energy
+//! studies: a node draws `idle_watts` whenever the machine is on and an
+//! additional `active_watts` while it executes a job. Schedule-level energy
+//! then splits into an *active* part fixed by the workload
+//! (`Σ n_j·d_j · active_watts`) and an *idle* part the scheduler controls
+//! through makespan and packing (`(C·makespan − Σ n_j·d_j) · idle_watts`).
+
+use rsched_cluster::{ClusterConfig, JobRecord};
+
+use crate::objectives::makespan;
+
+/// Per-node power parameters, in watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Draw of an idle, powered-on node.
+    pub idle_watts: f64,
+    /// *Additional* draw of a node executing a job.
+    pub active_watts: f64,
+}
+
+impl PowerModel {
+    /// A typical CPU-partition calibration: 90 W idle, +210 W under load.
+    pub fn typical_cpu_node() -> Self {
+        PowerModel {
+            idle_watts: 90.0,
+            active_watts: 210.0,
+        }
+    }
+}
+
+/// Energy breakdown of one completed schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Energy spent computing (workload-determined), joules.
+    pub active_joules: f64,
+    /// Energy spent idling (scheduler-determined), joules.
+    pub idle_joules: f64,
+    /// Makespan used for the idle computation, seconds.
+    pub makespan_secs: f64,
+}
+
+impl EnergyReport {
+    /// Compute the breakdown for a schedule on a machine.
+    pub fn compute(records: &[JobRecord], config: ClusterConfig, power: &PowerModel) -> Self {
+        let span = makespan(records).as_secs_f64();
+        let busy_node_seconds: f64 = records.iter().map(|r| r.spec.node_seconds()).sum();
+        let total_node_seconds = config.nodes as f64 * span;
+        EnergyReport {
+            active_joules: busy_node_seconds * power.active_watts,
+            idle_joules: (total_node_seconds - busy_node_seconds).max(0.0) * power.idle_watts,
+            makespan_secs: span,
+        }
+    }
+
+    /// Total energy, joules.
+    pub fn total_joules(&self) -> f64 {
+        self.active_joules + self.idle_joules
+    }
+
+    /// Total energy in kilowatt-hours.
+    pub fn total_kwh(&self) -> f64 {
+        self.total_joules() / 3.6e6
+    }
+
+    /// Energy–delay product (J·s): the classic efficiency/urgency
+    /// trade-off scalar.
+    pub fn energy_delay_product(&self) -> f64 {
+        self.total_joules() * self.makespan_secs
+    }
+
+    /// Fraction of total energy that was idle waste — the quantity a
+    /// packing-oriented scheduler minimizes.
+    pub fn idle_fraction(&self) -> f64 {
+        let total = self.total_joules();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.idle_joules / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_cluster::JobSpec;
+    use rsched_simkit::{SimDuration, SimTime};
+
+    fn record(start_s: u64, dur_s: u64, nodes: u32) -> JobRecord {
+        JobRecord::new(
+            JobSpec::new(
+                start_s as u32,
+                0,
+                SimTime::ZERO,
+                SimDuration::from_secs(dur_s),
+                nodes,
+                1,
+            ),
+            SimTime::from_secs(start_s),
+        )
+    }
+
+    fn power() -> PowerModel {
+        PowerModel {
+            idle_watts: 100.0,
+            active_watts: 200.0,
+        }
+    }
+
+    #[test]
+    fn fully_packed_machine_has_no_idle_energy() {
+        // 4-node machine fully busy for 100 s.
+        let config = ClusterConfig::new(4, 16);
+        let records = vec![record(0, 100, 4)];
+        let e = EnergyReport::compute(&records, config, &power());
+        assert_eq!(e.active_joules, 4.0 * 100.0 * 200.0);
+        assert_eq!(e.idle_joules, 0.0);
+        assert_eq!(e.idle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn idle_energy_scales_with_unused_capacity() {
+        // 1 of 4 nodes busy for 100 s → 300 node-seconds idle.
+        let config = ClusterConfig::new(4, 16);
+        let records = vec![record(0, 100, 1)];
+        let e = EnergyReport::compute(&records, config, &power());
+        assert_eq!(e.active_joules, 100.0 * 200.0);
+        assert_eq!(e.idle_joules, 300.0 * 100.0);
+        assert!((e.idle_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shorter_makespan_saves_idle_energy() {
+        let config = ClusterConfig::new(4, 16);
+        // Same work, sequential vs parallel.
+        let sequential = vec![record(0, 100, 2), record(100, 100, 2)];
+        let mut packed = vec![record(0, 100, 2), record(0, 100, 2)];
+        packed[1].spec.id = rsched_cluster::JobId(99);
+        let e_seq = EnergyReport::compute(&sequential, config, &power());
+        let e_packed = EnergyReport::compute(&packed, config, &power());
+        assert_eq!(e_seq.active_joules, e_packed.active_joules, "same work");
+        assert!(
+            e_packed.idle_joules < e_seq.idle_joules,
+            "packing halves the idle window"
+        );
+        assert!(e_packed.energy_delay_product() < e_seq.energy_delay_product());
+    }
+
+    #[test]
+    fn kwh_conversion() {
+        let e = EnergyReport {
+            active_joules: 3.6e6,
+            idle_joules: 0.0,
+            makespan_secs: 10.0,
+        };
+        assert!((e.total_kwh() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_schedule_is_zero_energy() {
+        let e = EnergyReport::compute(&[], ClusterConfig::new(4, 16), &power());
+        assert_eq!(e.total_joules(), 0.0);
+        assert_eq!(e.idle_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Jain's fairness index (paper §3.2), per job and per user.
+//!
+//! `J(x) = (Σ x_i)² / (n · Σ x_i²)`, ranging from `1/n` (one job gets
+//! everything) to `1` (perfectly equal). The paper evaluates it on per-job
+//! wait times and on per-user *average* wait times.
+
+use std::collections::BTreeMap;
+
+use rsched_cluster::{JobRecord, UserId};
+use rsched_simkit::stats::KahanSum;
+
+/// Jain's index of a set of non-negative values.
+///
+/// Degenerate cases: an empty set and an all-zero set are *perfectly fair*
+/// (index 1.0) — no job waited, nobody was disadvantaged. This matches the
+/// paper's treatment of scenarios where every scheduler achieves zero wait.
+pub fn jain_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    debug_assert!(
+        values.iter().all(|&v| v >= 0.0 && v.is_finite()),
+        "Jain's index expects non-negative finite values"
+    );
+    let sum: KahanSum = values.iter().copied().collect();
+    let sum_sq: KahanSum = values.iter().map(|v| v * v).collect();
+    let n = values.len() as f64;
+    let denom = n * sum_sq.total();
+    if denom == 0.0 {
+        1.0
+    } else {
+        (sum.total() * sum.total()) / denom
+    }
+}
+
+/// Per-job wait-time fairness: Jain's index over `w_j`.
+pub fn wait_fairness(records: &[JobRecord]) -> f64 {
+    let waits: Vec<f64> = records.iter().map(|r| r.wait().as_secs_f64()).collect();
+    jain_index(&waits)
+}
+
+/// Per-user fairness: Jain's index over each user's *mean* wait time
+/// (`u_i` in the paper).
+pub fn user_fairness(records: &[JobRecord]) -> f64 {
+    let mut per_user: BTreeMap<UserId, (f64, usize)> = BTreeMap::new();
+    for r in records {
+        let entry = per_user.entry(r.spec.user).or_insert((0.0, 0));
+        entry.0 += r.wait().as_secs_f64();
+        entry.1 += 1;
+    }
+    let means: Vec<f64> = per_user
+        .values()
+        .map(|&(total, count)| total / count as f64)
+        .collect();
+    jain_index(&means)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_cluster::JobSpec;
+    use rsched_simkit::{SimDuration, SimTime};
+
+    fn record_with_wait(id: u32, user: u32, wait_s: u64) -> JobRecord {
+        JobRecord::new(
+            JobSpec::new(id, user, SimTime::ZERO, SimDuration::from_secs(10), 1, 1),
+            SimTime::from_secs(wait_s),
+        )
+    }
+
+    #[test]
+    fn equal_values_are_perfectly_fair() {
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_hog_approaches_one_over_n() {
+        let j = jain_index(&[100.0, 0.0, 0.0, 0.0]);
+        assert!((j - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_are_fair() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn known_value() {
+        // (1+2+3)² / (3 · (1+4+9)) = 36/42 ≈ 0.857142…
+        let j = jain_index(&[1.0, 2.0, 3.0]);
+        assert!((j - 36.0 / 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_is_scale_invariant() {
+        let a = jain_index(&[1.0, 2.0, 5.0]);
+        let b = jain_index(&[10.0, 20.0, 50.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_fairness_over_records() {
+        let records = vec![
+            record_with_wait(1, 0, 10),
+            record_with_wait(2, 1, 10),
+            record_with_wait(3, 2, 10),
+        ];
+        assert!((wait_fairness(&records) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn user_fairness_averages_within_user() {
+        // user 0: waits 0 and 20 (mean 10); user 1: wait 10 (mean 10).
+        // Per-user means are equal → perfectly fair even though per-job
+        // fairness is not.
+        let records = vec![
+            record_with_wait(1, 0, 0),
+            record_with_wait(2, 0, 20),
+            record_with_wait(3, 1, 10),
+        ];
+        assert!((user_fairness(&records) - 1.0).abs() < 1e-12);
+        assert!(wait_fairness(&records) < 1.0);
+    }
+
+    #[test]
+    fn starved_user_lowers_user_fairness() {
+        let records = vec![
+            record_with_wait(1, 0, 1),
+            record_with_wait(2, 1, 1),
+            record_with_wait(3, 2, 1000),
+        ];
+        assert!(user_fairness(&records) < 0.5);
+    }
+}

@@ -1,0 +1,37 @@
+//! # rsched-metrics
+//!
+//! The scheduling objectives of paper §3.2, computed from completed
+//! [`JobRecord`](rsched_cluster::JobRecord)s:
+//!
+//! * **Makespan** — earliest submission to last completion.
+//! * **Average wait time** — mean queued time `w_j = x_j − s_j`.
+//! * **Average turnaround time** — mean `x_j + d_j − s_j`.
+//! * **Throughput** — jobs completed per unit time.
+//! * **Node / memory utilization** — `Σ n_j·d_j / (C·makespan)` and
+//!   `Σ m_j·d_j / (M·makespan)`.
+//! * **Fairness** — Jain's index over per-job waits and per-user mean waits.
+//!
+//! The [`energy`] module implements the paper's future-work direction
+//! (energy-aware scheduling) as a documented extension.
+//!
+//! Plus the paper's presentation machinery: normalization against the FCFS
+//! baseline (with the 0/0 omission rule of §3.5), multi-run aggregation for
+//! the robustness boxplots (Figure 7), and plain-text table rendering.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod aggregate;
+pub mod energy;
+pub mod fairness;
+pub mod normalize;
+pub mod objectives;
+pub mod report;
+pub mod table;
+
+pub use aggregate::MetricDistributions;
+pub use energy::{EnergyReport, PowerModel};
+pub use fairness::jain_index;
+pub use normalize::{normalize_against, NormalizedReport};
+pub use report::{Metric, MetricsReport};
+pub use table::TextTable;

@@ -1,0 +1,21 @@
+//! # rsched-parallel
+//!
+//! A small work-stealing thread pool used to fan the experiment matrix
+//! (scheduler × scenario × size × seed) across cores. Each experiment cell
+//! stays single-threaded and deterministic; only the sweep is parallel.
+//!
+//! Built from scratch on `crossbeam`'s work-stealing deques and
+//! `parking_lot` parking, in the spirit of the workspace's hpc-parallel
+//! guides (Rayon's architecture, *Rust Atomics and Locks*' discipline):
+//!
+//! * one local [`Worker`](crossbeam::deque::Worker) deque per thread,
+//! * a shared [`Injector`](crossbeam::deque::Injector) for external
+//!   submissions,
+//! * random-order stealing between workers,
+//! * condvar parking when the system runs dry.
+
+#![warn(missing_docs)]
+
+pub mod pool;
+
+pub use pool::ThreadPool;

@@ -1,0 +1,32 @@
+//! # rsched-sim
+//!
+//! The discrete-event HPC scheduling simulator of paper §3.1.
+//!
+//! *"The simulator operates as a discrete event system, advancing simulation
+//! time only at key events such as job arrivals and job completions. At each
+//! step, the simulator injects any newly arrived jobs into the waiting
+//! queue, updates the status of running jobs (releasing resources for those
+//! that have finished), and then determines the next scheduling action. If
+//! there are jobs ready to be scheduled, the agent queries the LLM for a
+//! decision; otherwise, it advances time to the next event."*
+//!
+//! The simulator drives any [`SchedulingPolicy`] — the baselines in
+//! `rsched-schedulers` or the ReAct agent in `rsched-core` — through exactly
+//! that loop, validating every proposed action against the live cluster
+//! ledger (the constraint-enforcement module of paper §2.4) and reporting
+//! structured rejection reasons that the agent renders as natural-language
+//! feedback.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod events;
+pub mod outcome;
+pub mod policy;
+pub mod simulator;
+pub mod view;
+
+pub use outcome::{DecisionRecord, SimOutcome, SimStats};
+pub use policy::{Action, ActionOutcome, RejectReason, SchedulingPolicy};
+pub use simulator::{run_simulation, SimError, SimOptions};
+pub use view::{RunningSummary, SystemView};

@@ -1,0 +1,129 @@
+//! Results of one simulated scheduling run.
+
+use rsched_cluster::JobRecord;
+use rsched_simkit::SimTime;
+
+use crate::policy::{Action, RejectReason};
+
+/// One validated (or rejected) decision, with the context it was made in —
+/// the raw material for the paper's decision traces (Figure 2) and call
+/// counts (Figures 5–6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionRecord {
+    /// Simulation time of the decision epoch.
+    pub time: SimTime,
+    /// The action the policy proposed.
+    pub action: Action,
+    /// `None` if applied, `Some(reason)` if the constraint module rejected
+    /// it.
+    pub rejected: Option<RejectReason>,
+    /// Waiting-queue length at the moment of the decision.
+    pub queue_len: usize,
+    /// Free nodes at the moment of the decision.
+    pub free_nodes: u32,
+    /// Free memory (GB) at the moment of the decision.
+    pub free_memory_gb: u64,
+}
+
+impl DecisionRecord {
+    /// `true` if the action was applied.
+    pub fn accepted(&self) -> bool {
+        self.rejected.is_none()
+    }
+}
+
+/// Aggregate counters over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Total policy queries (every `decide` call).
+    pub queries: usize,
+    /// Accepted `StartJob`/`BackfillJob` actions.
+    pub placements: usize,
+    /// Accepted `BackfillJob` actions (subset of `placements`).
+    pub backfills: usize,
+    /// Accepted `Delay` actions.
+    pub delays: usize,
+    /// Rejected actions of any kind.
+    pub rejections: usize,
+    /// Decision epochs (event times at which the policy was consulted).
+    pub epochs: usize,
+}
+
+/// Everything a finished run produced.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Name of the policy that produced this schedule.
+    pub policy_name: String,
+    /// Completed job records — the input to every §3.2 metric.
+    pub records: Vec<JobRecord>,
+    /// The full decision log.
+    pub decisions: Vec<DecisionRecord>,
+    /// Aggregate counters.
+    pub stats: SimStats,
+    /// Time the last job completed.
+    pub end_time: SimTime,
+    /// `∫ busy_nodes · dt` over the run, in node-seconds — cross-checks the
+    /// closed-form utilization metric.
+    pub node_seconds: f64,
+    /// `∫ busy_memory · dt` over the run, in GB-seconds.
+    pub memory_gb_seconds: f64,
+}
+
+impl SimOutcome {
+    /// Records of accepted placement decisions, in decision order.
+    pub fn placements(&self) -> impl Iterator<Item = &DecisionRecord> {
+        self.decisions
+            .iter()
+            .filter(|d| d.accepted() && d.action.is_placement())
+    }
+
+    /// The completion time of the last job (== `end_time`).
+    pub fn makespan_end(&self) -> SimTime {
+        self.records
+            .iter()
+            .map(|r| r.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_cluster::{JobId, JobSpec};
+    use rsched_simkit::SimDuration;
+
+    #[test]
+    fn outcome_placement_filter_and_makespan() {
+        let spec = JobSpec::new(1, 0, SimTime::ZERO, SimDuration::from_secs(5), 1, 1);
+        let rec = JobRecord::new(spec, SimTime::from_secs(2));
+        let outcome = SimOutcome {
+            policy_name: "test".into(),
+            records: vec![rec],
+            decisions: vec![
+                DecisionRecord {
+                    time: SimTime::ZERO,
+                    action: Action::StartJob(JobId(1)),
+                    rejected: None,
+                    queue_len: 1,
+                    free_nodes: 4,
+                    free_memory_gb: 4,
+                },
+                DecisionRecord {
+                    time: SimTime::ZERO,
+                    action: Action::Delay,
+                    rejected: None,
+                    queue_len: 0,
+                    free_nodes: 3,
+                    free_memory_gb: 3,
+                },
+            ],
+            stats: SimStats::default(),
+            end_time: SimTime::from_secs(7),
+            node_seconds: 5.0,
+            memory_gb_seconds: 5.0,
+        };
+        assert_eq!(outcome.placements().count(), 1);
+        assert_eq!(outcome.makespan_end(), SimTime::from_secs(7));
+    }
+}

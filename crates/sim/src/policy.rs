@@ -1,0 +1,244 @@
+//! The scheduling action space and policy interface.
+//!
+//! Paper §2.2 defines the agent's action space verbatim:
+//!
+//! * `StartJob(job_id=X)` — start job X immediately,
+//! * `BackfillJob(job_id=Y)` — opportunistically run a smaller job earlier,
+//! * `Delay` — wait and defer action until conditions change,
+//! * `Stop` — end the scheduling process.
+//!
+//! Every scheduler in this workspace — FCFS, SJF, the OR-Tools-class
+//! replanner, and the ReAct LLM agent — implements [`SchedulingPolicy`] and
+//! is driven through the same validated decision loop.
+
+use std::fmt;
+
+use rsched_cluster::JobId;
+use rsched_simkit::SimTime;
+
+use crate::view::SystemView;
+
+/// One scheduling decision (paper §2.2's action space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Start the given waiting job immediately.
+    StartJob(JobId),
+    /// Start the given waiting job as a backfill: it must not delay the
+    /// shadow start time of the current head of the queue.
+    BackfillJob(JobId),
+    /// Defer: advance simulation time to the next event.
+    Delay,
+    /// End the scheduling process (valid once every job has been started).
+    Stop,
+}
+
+impl Action {
+    /// The job this action targets, if any.
+    pub fn job_id(&self) -> Option<JobId> {
+        match self {
+            Action::StartJob(id) | Action::BackfillJob(id) => Some(*id),
+            Action::Delay | Action::Stop => None,
+        }
+    }
+
+    /// `true` for `StartJob`/`BackfillJob` — the "successful scheduling
+    /// actions" whose latency the paper's overhead analysis counts (§3.7.1).
+    pub fn is_placement(&self) -> bool {
+        matches!(self, Action::StartJob(_) | Action::BackfillJob(_))
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::StartJob(id) => write!(f, "StartJob(job_id={id})"),
+            Action::BackfillJob(id) => write!(f, "BackfillJob(job_id={id})"),
+            Action::Delay => f.write_str("Delay"),
+            Action::Stop => f.write_str("Stop"),
+        }
+    }
+}
+
+/// Why the constraint-enforcement module rejected an action (paper §2.4).
+///
+/// These structured reasons are rendered into natural-language feedback by
+/// the agent crate, e.g. *"Job 32 cannot be started — requires 256 Nodes,
+/// 8 GB; available: 238 Nodes, 576 GB."*
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The job id is not in the waiting queue (unknown, not yet arrived,
+    /// already running, or already completed).
+    NotInQueue(JobId),
+    /// Not enough free resources at this instant.
+    InsufficientResources {
+        /// Job that was requested.
+        job: JobId,
+        /// Nodes the job needs.
+        needed_nodes: u32,
+        /// Memory (GB) the job needs.
+        needed_memory_gb: u64,
+        /// Free nodes right now.
+        free_nodes: u32,
+        /// Free memory (GB) right now.
+        free_memory_gb: u64,
+    },
+    /// The job can never run on this machine (exceeds total capacity).
+    ExceedsCapacity(JobId),
+    /// A `BackfillJob` that would delay the head of the queue's shadow
+    /// start time.
+    WouldDelayHead {
+        /// The candidate backfill job.
+        job: JobId,
+        /// Current head of the waiting queue.
+        head: JobId,
+        /// The head's shadow start time that would be violated.
+        shadow: SimTime,
+    },
+    /// `Stop` issued while jobs are still waiting or yet to arrive.
+    StopWithPendingJobs {
+        /// Jobs currently in the waiting queue.
+        waiting: usize,
+        /// Jobs that have not yet arrived.
+        pending_arrivals: usize,
+    },
+}
+
+/// The simulator's verdict on one proposed action, reported back to the
+/// policy via [`SchedulingPolicy::observe`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionOutcome {
+    /// Simulation time of the decision epoch.
+    pub time: SimTime,
+    /// The proposed action.
+    pub action: Action,
+    /// `None` if applied; `Some(reason)` if rejected.
+    pub rejected: Option<RejectReason>,
+}
+
+impl ActionOutcome {
+    /// `true` if the action was applied.
+    pub fn accepted(&self) -> bool {
+        self.rejected.is_none()
+    }
+}
+
+/// A scheduling policy driven by the discrete-event simulator.
+///
+/// The simulator queries [`decide`](SchedulingPolicy::decide) at each
+/// decision epoch, validates the returned action, applies it if feasible,
+/// and reports the verdict through [`observe`](SchedulingPolicy::observe) —
+/// the closed loop of paper Figure 1.
+pub trait SchedulingPolicy {
+    /// Short, stable identifier used in reports (e.g. `"FCFS"`,
+    /// `"Claude-3.7"`).
+    fn name(&self) -> &str;
+
+    /// Choose an action given the current system snapshot.
+    fn decide(&mut self, view: &SystemView) -> Action;
+
+    /// Learn the verdict on the previously returned action. Policies with
+    /// memory (the ReAct agent's scratchpad) append feedback here.
+    fn observe(&mut self, outcome: &ActionOutcome) {
+        let _ = outcome;
+    }
+
+    /// Reset internal state so the policy can schedule a fresh workload.
+    fn reset(&mut self) {}
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::NotInQueue(id) => {
+                write!(f, "job {id} is not in the waiting queue")
+            }
+            RejectReason::InsufficientResources {
+                job,
+                needed_nodes,
+                needed_memory_gb,
+                free_nodes,
+                free_memory_gb,
+            } => write!(
+                f,
+                "job {job} cannot be started — requires {needed_nodes} Nodes, \
+                 {needed_memory_gb} GB; available: {free_nodes} Nodes, {free_memory_gb} GB"
+            ),
+            RejectReason::ExceedsCapacity(id) => {
+                write!(f, "job {id} exceeds total machine capacity and can never run")
+            }
+            RejectReason::WouldDelayHead { job, head, shadow } => write!(
+                f,
+                "backfilling job {job} would delay head-of-queue job {head} \
+                 past its reserved start ({shadow})"
+            ),
+            RejectReason::StopWithPendingJobs {
+                waiting,
+                pending_arrivals,
+            } => write!(
+                f,
+                "cannot stop: {waiting} job(s) still waiting and {pending_arrivals} yet to arrive"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_display_matches_paper_syntax() {
+        assert_eq!(Action::StartJob(JobId(2)).to_string(), "StartJob(job_id=2)");
+        assert_eq!(
+            Action::BackfillJob(JobId(40)).to_string(),
+            "BackfillJob(job_id=40)"
+        );
+        assert_eq!(Action::Delay.to_string(), "Delay");
+        assert_eq!(Action::Stop.to_string(), "Stop");
+    }
+
+    #[test]
+    fn placement_classification() {
+        assert!(Action::StartJob(JobId(1)).is_placement());
+        assert!(Action::BackfillJob(JobId(1)).is_placement());
+        assert!(!Action::Delay.is_placement());
+        assert!(!Action::Stop.is_placement());
+        assert_eq!(Action::StartJob(JobId(7)).job_id(), Some(JobId(7)));
+        assert_eq!(Action::Delay.job_id(), None);
+    }
+
+    #[test]
+    fn reject_reason_renders_resource_amounts() {
+        let r = RejectReason::InsufficientResources {
+            job: JobId(32),
+            needed_nodes: 256,
+            needed_memory_gb: 8,
+            free_nodes: 238,
+            free_memory_gb: 576,
+        };
+        let text = r.to_string();
+        assert!(text.contains("job 32"));
+        assert!(text.contains("requires 256 Nodes, 8 GB"));
+        assert!(text.contains("available: 238 Nodes, 576 GB"));
+    }
+
+    #[test]
+    fn outcome_accepted() {
+        let ok = ActionOutcome {
+            time: SimTime::ZERO,
+            action: Action::Delay,
+            rejected: None,
+        };
+        assert!(ok.accepted());
+        let bad = ActionOutcome {
+            time: SimTime::ZERO,
+            action: Action::Stop,
+            rejected: Some(RejectReason::StopWithPendingJobs {
+                waiting: 2,
+                pending_arrivals: 0,
+            }),
+        };
+        assert!(!bad.accepted());
+        assert!(bad.rejected.as_ref().map(|r| r.to_string()).filter(|t| t.contains("cannot stop")).is_some());
+    }
+}

@@ -1,0 +1,870 @@
+//! The discrete-event scheduling simulator (paper §3.1, Algorithm 1's
+//! environment side).
+//!
+//! [`run_simulation`] drives a [`SchedulingPolicy`] over a workload until
+//! every job completes, validating each proposed action (paper §2.4) and
+//! advancing time only at arrivals and completions.
+
+use std::collections::BTreeSet;
+
+use rsched_cluster::{
+    backfill_is_safe, shadow_start, ClusterConfig, ClusterState, JobId, JobSpec, StartError,
+    StepIntegral,
+};
+use rsched_cluster::reservation::Demand;
+use rsched_simkit::{EventQueue, SimTime};
+
+use crate::events::SimEvent;
+use crate::outcome::{DecisionRecord, SimOutcome, SimStats};
+use crate::policy::{Action, ActionOutcome, RejectReason, SchedulingPolicy};
+use crate::view::{RunningSummary, SystemView};
+
+/// Simulator knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// After this many consecutive rejected actions in one decision epoch,
+    /// the simulator forces a `Delay` — bounding the retry loop of paper
+    /// §2.4 so a confused policy cannot livelock.
+    pub max_invalid_per_epoch: usize,
+    /// Hard cap on total policy queries across the run.
+    pub max_queries: usize,
+    /// Query the policy only when at least one waiting job fits the free
+    /// resources (or when everything has been started, to allow `Stop`).
+    /// This is the paper's behaviour — its per-model call counts equal the
+    /// job count (§3.7.1), so saturated states advance time without an LLM
+    /// round-trip. Disable to consult the policy at every event.
+    pub query_only_when_placeable: bool,
+    /// Validate `BackfillJob` with the EASY shadow-time test (the backfill
+    /// must not delay the queue head's reserved start). The paper's
+    /// constraint module checks only resource feasibility and eligibility
+    /// (§2.4), so this defaults to `false`; the EASY ablation baseline
+    /// turns it on.
+    pub strict_backfill: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            max_invalid_per_epoch: 5,
+            max_queries: 1_000_000,
+            query_only_when_placeable: true,
+            strict_backfill: false,
+        }
+    }
+}
+
+/// Why a simulation could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Two jobs share an id.
+    DuplicateJobId(JobId),
+    /// A job demands more than the machine has; it could never run.
+    InfeasibleJob {
+        /// Offending job.
+        id: JobId,
+        /// Nodes requested.
+        nodes: u32,
+        /// Memory requested (GB).
+        memory_gb: u64,
+    },
+    /// The policy delayed (or was forced to delay) with no future event to
+    /// advance to: jobs wait forever.
+    Stuck {
+        /// Time at which progress stopped.
+        time: SimTime,
+        /// Jobs still waiting.
+        waiting: usize,
+    },
+    /// The policy query budget was exhausted.
+    QueryBudgetExhausted {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::DuplicateJobId(id) => write!(f, "duplicate job id {id}"),
+            SimError::InfeasibleJob { id, nodes, memory_gb } => write!(
+                f,
+                "job {id} requests {nodes} nodes / {memory_gb} GB, exceeding machine capacity"
+            ),
+            SimError::Stuck { time, waiting } => write!(
+                f,
+                "simulation stuck at {time}: {waiting} job(s) waiting with no future events"
+            ),
+            SimError::QueryBudgetExhausted { limit } => {
+                write!(f, "policy query budget ({limit}) exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Run `policy` over `jobs` on a cluster of the given configuration.
+///
+/// Returns the completed schedule, the full decision log and aggregate
+/// counters. The run is deterministic given a deterministic policy.
+pub fn run_simulation(
+    config: ClusterConfig,
+    jobs: &[JobSpec],
+    policy: &mut dyn SchedulingPolicy,
+    options: &SimOptions,
+) -> Result<SimOutcome, SimError> {
+    validate_workload(config, jobs)?;
+
+    let mut cluster = ClusterState::new(config);
+    let mut events: EventQueue<SimEvent> = EventQueue::with_capacity(jobs.len() * 2);
+    for (idx, job) in jobs.iter().enumerate() {
+        events.push(job.submit, SimEvent::Arrival(idx));
+    }
+
+    let mut waiting: Vec<JobSpec> = Vec::new();
+    let mut pending_arrivals = jobs.len();
+    let mut decisions: Vec<DecisionRecord> = Vec::new();
+    let mut stats = SimStats::default();
+    let mut stopped = false;
+
+    let start_time = events.peek_time().unwrap_or(SimTime::ZERO);
+    let mut node_integral = StepIntegral::new(start_time, 0.0);
+    let mut mem_integral = StepIntegral::new(start_time, 0.0);
+    let mut now = start_time;
+
+    while cluster.completed().len() < jobs.len() {
+        let Some(t) = events.peek_time() else {
+            return Err(SimError::Stuck {
+                time: now,
+                waiting: waiting.len(),
+            });
+        };
+        now = t;
+
+        for event in events.pop_at(t) {
+            match event {
+                SimEvent::Arrival(idx) => {
+                    waiting.push(jobs[idx].clone());
+                    pending_arrivals -= 1;
+                }
+                SimEvent::Completion(id) => {
+                    cluster.complete_job(id, t);
+                }
+            }
+        }
+        waiting.sort_by_key(|j| (j.submit, j.id));
+        node_integral.update(now, cluster.busy_nodes() as f64);
+        mem_integral.update(now, cluster.busy_memory_gb() as f64);
+
+        // Decision epoch: consult the policy while jobs are waiting, or —
+        // once everything has arrived — to give it the chance to `Stop`
+        // (the paper's traces show a final Stop query with an empty queue).
+        // Under `query_only_when_placeable`, saturated states (jobs waiting
+        // but nothing fits) skip the query and advance time directly.
+        let placeable = waiting.iter().any(|j| cluster.can_fit(j));
+        let should_query = if options.query_only_when_placeable {
+            placeable || (waiting.is_empty() && pending_arrivals == 0)
+        } else {
+            !waiting.is_empty() || pending_arrivals == 0
+        };
+        if !stopped && should_query {
+            stats.epochs += 1;
+            run_decision_epoch(DecisionEpoch {
+                cluster: &mut cluster,
+                events: &mut events,
+                waiting: &mut waiting,
+                pending_arrivals,
+                total_jobs: jobs.len(),
+                now,
+                policy,
+                options,
+                decisions: &mut decisions,
+                stats: &mut stats,
+                stopped: &mut stopped,
+                node_integral: &mut node_integral,
+                mem_integral: &mut mem_integral,
+            })?;
+        }
+
+        // A Delay with nothing running and nothing to arrive can never make
+        // progress.
+        if cluster.completed().len() < jobs.len()
+            && events.is_empty()
+            && cluster.running_count() == 0
+        {
+            return Err(SimError::Stuck {
+                time: now,
+                waiting: waiting.len(),
+            });
+        }
+    }
+
+    let end_time = now;
+    Ok(SimOutcome {
+        policy_name: policy.name().to_string(),
+        records: cluster.completed().to_vec(),
+        decisions,
+        stats,
+        end_time,
+        node_seconds: node_integral.integral_through(end_time),
+        memory_gb_seconds: mem_integral.integral_through(end_time),
+    })
+}
+
+fn validate_workload(config: ClusterConfig, jobs: &[JobSpec]) -> Result<(), SimError> {
+    let mut seen: BTreeSet<JobId> = BTreeSet::new();
+    for job in jobs {
+        if !seen.insert(job.id) {
+            return Err(SimError::DuplicateJobId(job.id));
+        }
+        if job.nodes > config.nodes || job.memory_gb > config.memory_gb {
+            return Err(SimError::InfeasibleJob {
+                id: job.id,
+                nodes: job.nodes,
+                memory_gb: job.memory_gb,
+            });
+        }
+    }
+    Ok(())
+}
+
+struct DecisionEpoch<'a> {
+    cluster: &'a mut ClusterState,
+    events: &'a mut EventQueue<SimEvent>,
+    waiting: &'a mut Vec<JobSpec>,
+    pending_arrivals: usize,
+    total_jobs: usize,
+    now: SimTime,
+    policy: &'a mut dyn SchedulingPolicy,
+    options: &'a SimOptions,
+    decisions: &'a mut Vec<DecisionRecord>,
+    stats: &'a mut SimStats,
+    stopped: &'a mut bool,
+    node_integral: &'a mut StepIntegral,
+    mem_integral: &'a mut StepIntegral,
+}
+
+fn run_decision_epoch(mut ctx: DecisionEpoch<'_>) -> Result<(), SimError> {
+    let mut consecutive_invalid = 0usize;
+    loop {
+        if ctx.stats.queries >= ctx.options.max_queries {
+            return Err(SimError::QueryBudgetExhausted {
+                limit: ctx.options.max_queries,
+            });
+        }
+        let view = build_view(&ctx);
+        let action = ctx.policy.decide(&view);
+        ctx.stats.queries += 1;
+
+        let verdict = validate_and_apply(&mut ctx, action);
+        let record = DecisionRecord {
+            time: ctx.now,
+            action,
+            rejected: verdict.as_ref().err().cloned(),
+            queue_len: ctx.waiting.len(),
+            free_nodes: ctx.cluster.free_nodes(),
+            free_memory_gb: ctx.cluster.free_memory_gb(),
+        };
+        ctx.policy.observe(&ActionOutcome {
+            time: ctx.now,
+            action,
+            rejected: record.rejected.clone(),
+        });
+        ctx.decisions.push(record);
+
+        match verdict {
+            Ok(Applied::Placement) => {
+                consecutive_invalid = 0;
+                ctx.stats.placements += 1;
+                if matches!(action, Action::BackfillJob(_)) {
+                    ctx.stats.backfills += 1;
+                }
+                // Same-timestep continuation: more jobs may fit now.
+                if ctx.waiting.is_empty() && ctx.pending_arrivals > 0 {
+                    return Ok(());
+                }
+                if ctx.options.query_only_when_placeable
+                    && !ctx.waiting.is_empty()
+                    && !ctx.waiting.iter().any(|j| ctx.cluster.can_fit(j))
+                {
+                    // Saturated again: skip the redundant Delay round-trip.
+                    return Ok(());
+                }
+                // Otherwise loop on — including the empty-queue case, which
+                // offers the policy its Stop query.
+            }
+            Ok(Applied::Delay) => {
+                ctx.stats.delays += 1;
+                return Ok(());
+            }
+            Ok(Applied::Stop) => {
+                *ctx.stopped = true;
+                return Ok(());
+            }
+            Err(_) => {
+                ctx.stats.rejections += 1;
+                consecutive_invalid += 1;
+                if consecutive_invalid >= ctx.options.max_invalid_per_epoch {
+                    // Force a delay: the policy is confused; move time on.
+                    ctx.stats.delays += 1;
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+enum Applied {
+    Placement,
+    Delay,
+    Stop,
+}
+
+fn validate_and_apply(
+    ctx: &mut DecisionEpoch<'_>,
+    action: Action,
+) -> Result<Applied, RejectReason> {
+    match action {
+        Action::Delay => Ok(Applied::Delay),
+        Action::Stop => {
+            if ctx.waiting.is_empty() && ctx.pending_arrivals == 0 {
+                Ok(Applied::Stop)
+            } else {
+                Err(RejectReason::StopWithPendingJobs {
+                    waiting: ctx.waiting.len(),
+                    pending_arrivals: ctx.pending_arrivals,
+                })
+            }
+        }
+        Action::StartJob(id) => {
+            let spec = lookup_waiting(ctx.waiting, id)?;
+            start_waiting_job(ctx, &spec)?;
+            Ok(Applied::Placement)
+        }
+        Action::BackfillJob(id) => {
+            let spec = lookup_waiting(ctx.waiting, id)?;
+            let head = ctx
+                .waiting
+                .iter()
+                .min_by_key(|j| (j.submit, j.id))
+                .cloned()
+                .expect("waiting non-empty: spec was found in it");
+            if head.id != spec.id && ctx.options.strict_backfill {
+                if !ctx.cluster.can_fit(&spec) {
+                    return Err(insufficient(ctx.cluster, &spec));
+                }
+                if !backfill_is_safe(ctx.cluster, ctx.now, &spec, &head) {
+                    let shadow =
+                        shadow_start(ctx.cluster, ctx.now, Demand::from(&head));
+                    return Err(RejectReason::WouldDelayHead {
+                        job: spec.id,
+                        head: head.id,
+                        shadow,
+                    });
+                }
+            }
+            start_waiting_job(ctx, &spec)?;
+            Ok(Applied::Placement)
+        }
+    }
+}
+
+fn lookup_waiting(waiting: &[JobSpec], id: JobId) -> Result<JobSpec, RejectReason> {
+    waiting
+        .iter()
+        .find(|j| j.id == id)
+        .cloned()
+        .ok_or(RejectReason::NotInQueue(id))
+}
+
+fn insufficient(cluster: &ClusterState, spec: &JobSpec) -> RejectReason {
+    RejectReason::InsufficientResources {
+        job: spec.id,
+        needed_nodes: spec.nodes,
+        needed_memory_gb: spec.memory_gb,
+        free_nodes: cluster.free_nodes(),
+        free_memory_gb: cluster.free_memory_gb(),
+    }
+}
+
+fn start_waiting_job(ctx: &mut DecisionEpoch<'_>, spec: &JobSpec) -> Result<(), RejectReason> {
+    match ctx.cluster.start_job(spec, ctx.now) {
+        Ok(running) => {
+            let end = running.end;
+            ctx.events.push(end, SimEvent::Completion(spec.id));
+            ctx.waiting.retain(|j| j.id != spec.id);
+            ctx.node_integral
+                .update(ctx.now, ctx.cluster.busy_nodes() as f64);
+            ctx.mem_integral
+                .update(ctx.now, ctx.cluster.busy_memory_gb() as f64);
+            ctx.cluster.check_invariants();
+            Ok(())
+        }
+        Err(StartError::InsufficientResources { .. }) => Err(insufficient(ctx.cluster, spec)),
+        Err(StartError::ExceedsCapacity) => Err(RejectReason::ExceedsCapacity(spec.id)),
+        Err(StartError::AlreadyRunning) | Err(StartError::AlreadyCompleted) => {
+            // Unreachable: the job was found in the waiting queue.
+            Err(RejectReason::NotInQueue(spec.id))
+        }
+    }
+}
+
+fn build_view(ctx: &DecisionEpoch<'_>) -> SystemView {
+    SystemView {
+        now: ctx.now,
+        config: ctx.cluster.config(),
+        free_nodes: ctx.cluster.free_nodes(),
+        free_memory_gb: ctx.cluster.free_memory_gb(),
+        waiting: ctx.waiting.clone(),
+        running: ctx
+            .cluster
+            .running()
+            .map(|r| RunningSummary {
+                id: r.spec.id,
+                user: r.spec.user,
+                nodes: r.spec.nodes,
+                memory_gb: r.spec.memory_gb,
+                start: r.start,
+                submit: r.spec.submit,
+                expected_end: r.start + r.spec.walltime,
+            })
+            .collect(),
+        completed: ctx.cluster.completed().to_vec(),
+        pending_arrivals: ctx.pending_arrivals,
+        total_jobs: ctx.total_jobs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_simkit::SimDuration;
+
+    /// Starts the first waiting job that fits; delays otherwise; stops when
+    /// everything has been started.
+    struct GreedyFirstFit;
+
+    impl SchedulingPolicy for GreedyFirstFit {
+        fn name(&self) -> &str {
+            "greedy-first-fit"
+        }
+        fn decide(&mut self, view: &SystemView) -> Action {
+            if view.all_jobs_started() {
+                return Action::Stop;
+            }
+            match view.eligible_now().next() {
+                Some(j) => Action::StartJob(j.id),
+                None => Action::Delay,
+            }
+        }
+    }
+
+    /// Always proposes a nonexistent job — exercises the invalid-action path.
+    struct AlwaysInvalid;
+
+    impl SchedulingPolicy for AlwaysInvalid {
+        fn name(&self) -> &str {
+            "always-invalid"
+        }
+        fn decide(&mut self, _view: &SystemView) -> Action {
+            Action::StartJob(JobId(9999))
+        }
+    }
+
+    fn spec(id: u32, submit_s: u64, dur_s: u64, nodes: u32, mem: u64) -> JobSpec {
+        JobSpec::new(
+            id,
+            id % 3,
+            SimTime::from_secs(submit_s),
+            SimDuration::from_secs(dur_s),
+            nodes,
+            mem,
+        )
+    }
+
+    fn small_cluster() -> ClusterConfig {
+        ClusterConfig::new(8, 64)
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let jobs = vec![spec(1, 0, 100, 4, 16)];
+        let out = run_simulation(
+            small_cluster(),
+            &jobs,
+            &mut GreedyFirstFit,
+            &SimOptions::default(),
+        )
+        .expect("runs");
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.records[0].start, SimTime::ZERO);
+        assert_eq!(out.records[0].end, SimTime::from_secs(100));
+        assert_eq!(out.end_time, SimTime::from_secs(100));
+        assert_eq!(out.stats.placements, 1);
+        // node_seconds = 4 nodes * 100 s.
+        assert!((out.node_seconds - 400.0).abs() < 1e-9);
+        assert!((out.memory_gb_seconds - 1600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_jobs_share_the_machine() {
+        // Two 4-node jobs fit side by side on 8 nodes.
+        let jobs = vec![spec(1, 0, 100, 4, 16), spec(2, 0, 100, 4, 16)];
+        let out = run_simulation(
+            small_cluster(),
+            &jobs,
+            &mut GreedyFirstFit,
+            &SimOptions::default(),
+        )
+        .expect("runs");
+        assert_eq!(out.end_time, SimTime::from_secs(100), "ran concurrently");
+        assert!(out.records.iter().all(|r| r.start == SimTime::ZERO));
+    }
+
+    #[test]
+    fn oversubscribed_jobs_serialize() {
+        // Two 8-node jobs must run one after the other.
+        let jobs = vec![spec(1, 0, 100, 8, 16), spec(2, 0, 50, 8, 16)];
+        let out = run_simulation(
+            small_cluster(),
+            &jobs,
+            &mut GreedyFirstFit,
+            &SimOptions::default(),
+        )
+        .expect("runs");
+        assert_eq!(out.end_time, SimTime::from_secs(150));
+        let r2 = out.records.iter().find(|r| r.spec.id == JobId(2)).unwrap();
+        assert_eq!(r2.start, SimTime::from_secs(100));
+        assert_eq!(r2.wait(), SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn dynamic_arrival_waits_for_submit_time() {
+        let jobs = vec![spec(1, 500, 10, 1, 1)];
+        let out = run_simulation(
+            small_cluster(),
+            &jobs,
+            &mut GreedyFirstFit,
+            &SimOptions::default(),
+        )
+        .expect("runs");
+        assert_eq!(out.records[0].start, SimTime::from_secs(500));
+        assert_eq!(out.records[0].wait(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn idle_gap_between_arrivals_is_skipped() {
+        let jobs = vec![spec(1, 0, 10, 8, 16), spec(2, 1000, 10, 8, 16)];
+        let out = run_simulation(
+            small_cluster(),
+            &jobs,
+            &mut GreedyFirstFit,
+            &SimOptions::default(),
+        )
+        .expect("runs");
+        assert_eq!(out.end_time, SimTime::from_secs(1010));
+        // Utilization integral only counts busy time: 2 jobs × 8 nodes × 10 s.
+        assert!((out.node_seconds - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_constraint_serializes_jobs() {
+        // Node-light but memory-heavy jobs: 40 GB each on a 64 GB machine.
+        let jobs = vec![spec(1, 0, 100, 1, 40), spec(2, 0, 100, 1, 40)];
+        let out = run_simulation(
+            small_cluster(),
+            &jobs,
+            &mut GreedyFirstFit,
+            &SimOptions::default(),
+        )
+        .expect("runs");
+        assert_eq!(out.end_time, SimTime::from_secs(200));
+    }
+
+    #[test]
+    fn invalid_policy_gets_stuck_error() {
+        let jobs = vec![spec(1, 0, 10, 1, 1)];
+        let err = run_simulation(
+            small_cluster(),
+            &jobs,
+            &mut AlwaysInvalid,
+            &SimOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::Stuck { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn rejections_are_recorded_and_bounded() {
+        let jobs = vec![spec(1, 0, 10, 1, 1), spec(2, 0, 10, 1, 1)];
+        // Policy that proposes an invalid id once, then behaves.
+        struct OneBadThenGreedy(bool);
+        impl SchedulingPolicy for OneBadThenGreedy {
+            fn name(&self) -> &str {
+                "one-bad"
+            }
+            fn decide(&mut self, view: &SystemView) -> Action {
+                if !self.0 {
+                    self.0 = true;
+                    return Action::StartJob(JobId(777));
+                }
+                if view.all_jobs_started() {
+                    return Action::Stop;
+                }
+                match view.eligible_now().next() {
+                    Some(j) => Action::StartJob(j.id),
+                    None => Action::Delay,
+                }
+            }
+        }
+        let out = run_simulation(
+            small_cluster(),
+            &jobs,
+            &mut OneBadThenGreedy(false),
+            &SimOptions::default(),
+        )
+        .expect("completes despite one bad action");
+        assert_eq!(out.stats.rejections, 1);
+        assert_eq!(out.records.len(), 2);
+        let rejected: Vec<_> = out.decisions.iter().filter(|d| !d.accepted()).collect();
+        assert_eq!(rejected.len(), 1);
+        assert_eq!(
+            rejected[0].rejected,
+            Some(RejectReason::NotInQueue(JobId(777)))
+        );
+    }
+
+    #[test]
+    fn stop_with_pending_jobs_is_rejected() {
+        struct EagerStopper {
+            tried_early_stop: bool,
+        }
+        impl SchedulingPolicy for EagerStopper {
+            fn name(&self) -> &str {
+                "eager-stopper"
+            }
+            fn decide(&mut self, view: &SystemView) -> Action {
+                if view.waiting.is_empty() {
+                    return Action::Stop;
+                }
+                // Propose one premature Stop; after its rejection, behave.
+                if !self.tried_early_stop {
+                    self.tried_early_stop = true;
+                    return Action::Stop;
+                }
+                match view.eligible_now().next() {
+                    Some(j) => Action::StartJob(j.id),
+                    None => Action::Delay,
+                }
+            }
+        }
+        let jobs = vec![spec(1, 0, 10, 1, 1), spec(2, 0, 10, 1, 1)];
+        let out = run_simulation(
+            small_cluster(),
+            &jobs,
+            &mut EagerStopper { tried_early_stop: false },
+            &SimOptions::default(),
+        )
+        .expect("completes");
+        let stop_rejects: Vec<_> = out
+            .decisions
+            .iter()
+            .filter(|d| d.action == Action::Stop && !d.accepted())
+            .collect();
+        assert!(!stop_rejects.is_empty(), "early Stop should be rejected");
+        assert_eq!(out.records.len(), 2);
+    }
+
+    #[test]
+    fn backfill_of_head_job_acts_like_start() {
+        struct BackfillEverything;
+        impl SchedulingPolicy for BackfillEverything {
+            fn name(&self) -> &str {
+                "backfill-all"
+            }
+            fn decide(&mut self, view: &SystemView) -> Action {
+                if view.all_jobs_started() {
+                    return Action::Stop;
+                }
+                match view.eligible_now().next() {
+                    Some(j) => Action::BackfillJob(j.id),
+                    None => Action::Delay,
+                }
+            }
+        }
+        let jobs = vec![spec(1, 0, 10, 4, 8), spec(2, 0, 10, 4, 8)];
+        let out = run_simulation(
+            small_cluster(),
+            &jobs,
+            &mut BackfillEverything,
+            &SimOptions::default(),
+        )
+        .expect("completes");
+        assert_eq!(out.stats.backfills, 2);
+        assert_eq!(out.records.len(), 2);
+    }
+
+    #[test]
+    fn unsafe_backfill_is_rejected() {
+        // A running job occupies 4 nodes until t=100. Head job 1 wants all 8
+        // nodes (shadow = 100). Job 2 wants 4 nodes for 1000 s: it fits now
+        // but at t=100 head needs 8 + job 2's 4 > 8 — it would delay the head.
+        let jobs = vec![
+            spec(0, 0, 100, 4, 8),  // becomes the running job
+            spec(1, 0, 50, 8, 8),   // head, can't start until t=100
+            spec(2, 0, 1000, 4, 8), // unsafe backfill candidate
+        ];
+        struct Scripted(usize);
+        impl SchedulingPolicy for Scripted {
+            fn name(&self) -> &str {
+                "scripted"
+            }
+            fn decide(&mut self, view: &SystemView) -> Action {
+                self.0 += 1;
+                match self.0 {
+                    1 => Action::StartJob(JobId(0)),
+                    2 => Action::BackfillJob(JobId(2)),
+                    _ => {
+                        if view.all_jobs_started() {
+                            return Action::Stop;
+                        }
+                        match view.eligible_now().next() {
+                            Some(j) => Action::StartJob(j.id),
+                            None => Action::Delay,
+                        }
+                    }
+                }
+            }
+        }
+        let out = run_simulation(
+            small_cluster(),
+            &jobs,
+            &mut Scripted(0),
+            &SimOptions {
+                strict_backfill: true,
+                ..SimOptions::default()
+            },
+        )
+        .expect("completes");
+        let delayed_head_rejects: Vec<_> = out
+            .decisions
+            .iter()
+            .filter(|d| matches!(d.rejected, Some(RejectReason::WouldDelayHead { .. })))
+            .collect();
+        assert_eq!(delayed_head_rejects.len(), 1, "decisions: {:#?}", out.decisions);
+        assert_eq!(out.records.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected_upfront() {
+        let jobs = vec![spec(1, 0, 10, 1, 1), spec(1, 0, 10, 1, 1)];
+        let err = run_simulation(
+            small_cluster(),
+            &jobs,
+            &mut GreedyFirstFit,
+            &SimOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::DuplicateJobId(JobId(1)));
+    }
+
+    #[test]
+    fn infeasible_job_rejected_upfront() {
+        let jobs = vec![spec(1, 0, 10, 9, 1)];
+        let err = run_simulation(
+            small_cluster(),
+            &jobs,
+            &mut GreedyFirstFit,
+            &SimOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::InfeasibleJob { .. }));
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let jobs: Vec<JobSpec> = (0..20)
+            .map(|i| spec(i, (i as u64) * 7 % 50, 20 + (i as u64 * 13) % 80, 1 + i % 8, 1 + (i as u64 * 5) % 60))
+            .collect();
+        let a = run_simulation(small_cluster(), &jobs, &mut GreedyFirstFit, &SimOptions::default())
+            .expect("runs");
+        let b = run_simulation(small_cluster(), &jobs, &mut GreedyFirstFit, &SimOptions::default())
+            .expect("runs");
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.decisions, b.decisions);
+    }
+
+    #[test]
+    fn capacity_invariant_holds_throughout() {
+        // Stress: 50 random-ish jobs; after the run the recorded schedule
+        // must never exceed capacity at any instant.
+        let jobs: Vec<JobSpec> = (0..50)
+            .map(|i| {
+                spec(
+                    i,
+                    (i as u64 * 31) % 200,
+                    10 + (i as u64 * 17) % 90,
+                    1 + (i * 3) % 8,
+                    1 + (i as u64 * 11) % 64,
+                )
+            })
+            .collect();
+        let out = run_simulation(
+            small_cluster(),
+            &jobs,
+            &mut GreedyFirstFit,
+            &SimOptions::default(),
+        )
+        .expect("runs");
+        assert_eq!(out.records.len(), 50);
+        // Check the schedule against capacity at every start instant.
+        for probe in &out.records {
+            let t = probe.start;
+            let nodes: u32 = out
+                .records
+                .iter()
+                .filter(|r| r.start <= t && t < r.end)
+                .map(|r| r.spec.nodes)
+                .sum();
+            let mem: u64 = out
+                .records
+                .iter()
+                .filter(|r| r.start <= t && t < r.end)
+                .map(|r| r.spec.memory_gb)
+                .sum();
+            assert!(nodes <= 8, "node capacity violated at {t}");
+            assert!(mem <= 64, "memory capacity violated at {t}");
+        }
+    }
+
+    #[test]
+    fn query_budget_enforced() {
+        let jobs = vec![spec(1, 0, 10, 1, 1)];
+        struct DelayForever;
+        impl SchedulingPolicy for DelayForever {
+            fn name(&self) -> &str {
+                "delay-forever"
+            }
+            fn decide(&mut self, _view: &SystemView) -> Action {
+                Action::Delay
+            }
+        }
+        let err = run_simulation(
+            small_cluster(),
+            &jobs,
+            &mut DelayForever,
+            &SimOptions {
+                max_invalid_per_epoch: 5,
+                max_queries: 3,
+                query_only_when_placeable: true,
+                strict_backfill: false,
+            },
+        )
+        .unwrap_err();
+        // Delaying forever with no running jobs → stuck (before budget).
+        assert!(
+            matches!(err, SimError::Stuck { .. } | SimError::QueryBudgetExhausted { .. }),
+            "got {err:?}"
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! The system snapshot handed to scheduling policies.
+//!
+//! This is the observable state `S_t` of the paper's formulation (§2.1):
+//! current time, free resources, the waiting queue with job metadata, and
+//! summaries of running and completed jobs. The ReAct agent renders this
+//! snapshot into its prompt; baseline policies read it directly.
+
+use rsched_cluster::{ClusterConfig, JobId, JobRecord, JobSpec, UserId};
+use rsched_simkit::SimTime;
+
+/// A running job as visible to a policy: its demands and *estimated* end
+/// time (start + requested walltime). True durations stay hidden, as in a
+/// real scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunningSummary {
+    /// Job id.
+    pub id: JobId,
+    /// Owning user.
+    pub user: UserId,
+    /// Nodes held.
+    pub nodes: u32,
+    /// Memory held (GB).
+    pub memory_gb: u64,
+    /// When the job started.
+    pub start: SimTime,
+    /// Submission time.
+    pub submit: SimTime,
+    /// `start + walltime`: when the scheduler expects it to finish.
+    pub expected_end: SimTime,
+}
+
+/// The full snapshot a policy decides from.
+#[derive(Debug, Clone)]
+pub struct SystemView {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Machine capacity.
+    pub config: ClusterConfig,
+    /// Free nodes at `now`.
+    pub free_nodes: u32,
+    /// Free memory (GB) at `now`.
+    pub free_memory_gb: u64,
+    /// Arrived, not-yet-started jobs — eligible for `StartJob`/`BackfillJob`.
+    /// Ordered by arrival (submit time, then id).
+    pub waiting: Vec<JobSpec>,
+    /// Currently executing jobs.
+    pub running: Vec<RunningSummary>,
+    /// Completed job records so far.
+    pub completed: Vec<JobRecord>,
+    /// Jobs known to the workload but not yet arrived.
+    pub pending_arrivals: usize,
+    /// Total jobs in the workload instance.
+    pub total_jobs: usize,
+}
+
+impl SystemView {
+    /// The waiting job with the given id.
+    pub fn waiting_job(&self, id: JobId) -> Option<&JobSpec> {
+        self.waiting.iter().find(|j| j.id == id)
+    }
+
+    /// The head of the queue: the earliest-submitted waiting job
+    /// (ties broken by id). `None` when the queue is empty.
+    pub fn head_of_queue(&self) -> Option<&JobSpec> {
+        self.waiting.iter().min_by_key(|j| (j.submit, j.id))
+    }
+
+    /// `true` if the job fits the free resources right now.
+    pub fn fits_now(&self, spec: &JobSpec) -> bool {
+        spec.nodes <= self.free_nodes && spec.memory_gb <= self.free_memory_gb
+    }
+
+    /// Waiting jobs that fit right now, in queue order.
+    pub fn eligible_now(&self) -> impl Iterator<Item = &JobSpec> {
+        self.waiting.iter().filter(|j| self.fits_now(j))
+    }
+
+    /// `true` once every job has arrived and been started (the paper's
+    /// condition for a valid `Stop`).
+    pub fn all_jobs_started(&self) -> bool {
+        self.waiting.is_empty() && self.pending_arrivals == 0
+    }
+
+    /// `true` once every job has completed.
+    pub fn all_jobs_completed(&self) -> bool {
+        self.completed.len() == self.total_jobs
+    }
+
+    /// How long the given waiting job has been queued.
+    pub fn wait_so_far(&self, spec: &JobSpec) -> rsched_simkit::SimDuration {
+        self.now.saturating_since(spec.submit)
+    }
+
+    /// Users that have at least one running or completed job.
+    pub fn users_served(&self) -> Vec<UserId> {
+        let mut users: Vec<UserId> = self
+            .running
+            .iter()
+            .map(|r| r.user)
+            .chain(self.completed.iter().map(|c| c.spec.user))
+            .collect();
+        users.sort();
+        users.dedup();
+        users
+    }
+
+    /// The earliest expected completion among running jobs.
+    pub fn next_expected_completion(&self) -> Option<SimTime> {
+        self.running.iter().map(|r| r.expected_end).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_simkit::SimDuration;
+
+    fn spec(id: u32, user: u32, submit_s: u64, nodes: u32, mem: u64) -> JobSpec {
+        JobSpec::new(
+            id,
+            user,
+            SimTime::from_secs(submit_s),
+            SimDuration::from_secs(60),
+            nodes,
+            mem,
+        )
+    }
+
+    fn view() -> SystemView {
+        SystemView {
+            now: SimTime::from_secs(100),
+            config: ClusterConfig::paper_default(),
+            free_nodes: 64,
+            free_memory_gb: 512,
+            waiting: vec![spec(3, 1, 50, 128, 256), spec(1, 0, 10, 32, 128), spec(2, 1, 10, 64, 600)],
+            running: vec![RunningSummary {
+                id: JobId(9),
+                user: UserId(2),
+                nodes: 192,
+                memory_gb: 1536,
+                start: SimTime::from_secs(90),
+                submit: SimTime::ZERO,
+                expected_end: SimTime::from_secs(200),
+            }],
+            completed: vec![JobRecord::new(spec(7, 3, 0, 1, 1), SimTime::ZERO)],
+            pending_arrivals: 2,
+            total_jobs: 6,
+        }
+    }
+
+    #[test]
+    fn head_of_queue_is_earliest_submit_then_lowest_id() {
+        let v = view();
+        assert_eq!(v.head_of_queue().map(|j| j.id), Some(JobId(1)));
+    }
+
+    #[test]
+    fn fits_and_eligible() {
+        let v = view();
+        assert!(v.fits_now(&spec(1, 0, 0, 32, 128)));
+        assert!(!v.fits_now(&spec(3, 0, 0, 128, 256)), "too many nodes");
+        assert!(!v.fits_now(&spec(2, 0, 0, 64, 600)), "too much memory");
+        let eligible: Vec<JobId> = v.eligible_now().map(|j| j.id).collect();
+        assert_eq!(eligible, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn lookup_and_waits() {
+        let v = view();
+        assert!(v.waiting_job(JobId(2)).is_some());
+        assert!(v.waiting_job(JobId(99)).is_none());
+        let j1 = v.waiting_job(JobId(1)).cloned().expect("present");
+        assert_eq!(v.wait_so_far(&j1), SimDuration::from_secs(90));
+    }
+
+    #[test]
+    fn stop_condition_tracking() {
+        let mut v = view();
+        assert!(!v.all_jobs_started());
+        v.waiting.clear();
+        assert!(!v.all_jobs_started(), "arrivals still pending");
+        v.pending_arrivals = 0;
+        assert!(v.all_jobs_started());
+        assert!(!v.all_jobs_completed());
+    }
+
+    #[test]
+    fn users_served_deduplicates() {
+        let v = view();
+        assert_eq!(v.users_served(), vec![UserId(2), UserId(3)]);
+    }
+
+    #[test]
+    fn next_expected_completion() {
+        let v = view();
+        assert_eq!(v.next_expected_completion(), Some(SimTime::from_secs(200)));
+    }
+}

@@ -1,0 +1,38 @@
+//! # rsched-workloads
+//!
+//! Scenario-driven HPC workload generation (paper §3.1).
+//!
+//! The paper evaluates on **seven benchmark scenarios**, each reflecting a
+//! distinct operational pattern observed in real job traces, instantiated
+//! with 10–100 jobs, with Poisson-process arrivals per scenario-specific
+//! rates:
+//!
+//! * *Homogeneous Short* — uniform 30–120 s jobs, 2 nodes / 4 GB (CI/test).
+//! * *Heterogeneous Mix* — Gamma(shape 1.5, scale 300) runtimes, varied
+//!   resources (production mix).
+//! * *Long-Job Dominant* — 20 % extremely long jobs (50 000 s, 128 nodes)
+//!   among short ones (500 s, 2 nodes) — convoy-effect probe.
+//! * *High Parallelism* — 64–256-node jobs with Gamma walltimes
+//!   (tightly-coupled simulations).
+//! * *Resource Sparse* — 1-node, <8 GB, 30–300 s jobs (minimal contention).
+//! * *Bursty + Idle* — alternating short/long jobs in bursts separated by
+//!   idle gaps.
+//! * *Adversarial* — one 128-node / 100 000 s blocker followed by many
+//!   1-node / 60 s jobs.
+//!
+//! [`polaris`] additionally provides the real-trace substrate of paper §5: a
+//! synthesizer calibrated to the published description of the Polaris
+//! November-2024 log plus the paper's exact preprocessing pipeline.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod arrivals;
+pub mod polaris;
+pub mod scenarios;
+pub mod trace;
+pub mod users;
+
+pub use arrivals::{ArrivalMode, ArrivalProcess};
+pub use scenarios::{generate, ScenarioKind, Workload};
+pub use users::UserModel;

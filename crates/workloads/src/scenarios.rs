@@ -1,0 +1,487 @@
+//! The seven benchmark scenarios of paper §3.1, with the paper's exact
+//! distribution parameters where given and documented calibrations where
+//! the paper specifies only the qualitative pattern (arrival rates, memory
+//! mixes).
+
+use rsched_cluster::{ClusterConfig, JobSpec};
+use rsched_simkit::dist::{Categorical, Clamped, Gamma, Sample, Uniform};
+use rsched_simkit::rng::{Rng, SeedTree};
+use rsched_simkit::{SimDuration, SimTime};
+
+use crate::arrivals::{ArrivalMode, ArrivalProcess};
+use crate::users::UserModel;
+
+/// One of the paper's seven workload scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// Uniform 30–120 s jobs with 2 nodes / 4 GB — lightweight CI/test.
+    HomogeneousShort,
+    /// Gamma(1.5, 300) runtimes with varied resources — production mix.
+    HeterogeneousMix,
+    /// 20 % extremely long jobs (50 000 s, 128 nodes) among short jobs
+    /// (500 s, 2 nodes) — convoy-effect probe.
+    LongJobDominant,
+    /// Large parallel jobs (64–256 nodes), Gamma walltimes — tightly
+    /// coupled simulations.
+    HighParallelism,
+    /// Lightweight 1-node, <8 GB, 30–300 s jobs — sparse workload.
+    ResourceSparse,
+    /// Alternating short/long jobs submitted in bursts with idle gaps.
+    BurstyIdle,
+    /// One large blocking job (128 nodes, 100 000 s) followed by many
+    /// small jobs (1 node, 60 s).
+    Adversarial,
+}
+
+impl ScenarioKind {
+    /// All seven scenarios, in the paper's presentation order.
+    pub fn all() -> [ScenarioKind; 7] {
+        [
+            ScenarioKind::HomogeneousShort,
+            ScenarioKind::HeterogeneousMix,
+            ScenarioKind::LongJobDominant,
+            ScenarioKind::HighParallelism,
+            ScenarioKind::ResourceSparse,
+            ScenarioKind::BurstyIdle,
+            ScenarioKind::Adversarial,
+        ]
+    }
+
+    /// The six scenarios shown in Figure 3 (Heterogeneous Mix is covered by
+    /// the scalability analysis of §3.6 instead).
+    pub fn figure3() -> [ScenarioKind; 6] {
+        [
+            ScenarioKind::HomogeneousShort,
+            ScenarioKind::LongJobDominant,
+            ScenarioKind::HighParallelism,
+            ScenarioKind::ResourceSparse,
+            ScenarioKind::BurstyIdle,
+            ScenarioKind::Adversarial,
+        ]
+    }
+
+    /// Human-readable name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioKind::HomogeneousShort => "Homogeneous Short",
+            ScenarioKind::HeterogeneousMix => "Heterogeneous Mix",
+            ScenarioKind::LongJobDominant => "Long-Job Dominant",
+            ScenarioKind::HighParallelism => "High Parallelism",
+            ScenarioKind::ResourceSparse => "Resource Sparse",
+            ScenarioKind::BurstyIdle => "Bursty + Idle",
+            ScenarioKind::Adversarial => "Adversarial",
+        }
+    }
+
+    /// Short machine-friendly slug for file names and seed derivation.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            ScenarioKind::HomogeneousShort => "homogeneous_short",
+            ScenarioKind::HeterogeneousMix => "heterogeneous_mix",
+            ScenarioKind::LongJobDominant => "long_job_dominant",
+            ScenarioKind::HighParallelism => "high_parallelism",
+            ScenarioKind::ResourceSparse => "resource_sparse",
+            ScenarioKind::BurstyIdle => "bursty_idle",
+            ScenarioKind::Adversarial => "adversarial",
+        }
+    }
+
+    /// The arrival process used in dynamic mode. Rates are calibrated (the
+    /// paper specifies "scenario-specific λ" without values) so that each
+    /// scenario exhibits its intended contention signature on the paper's
+    /// 256-node machine.
+    pub fn arrival_process(&self) -> ArrivalProcess {
+        match self {
+            ScenarioKind::HomogeneousShort => ArrivalProcess::Poisson {
+                mean_interarrival_secs: 5.0,
+            },
+            ScenarioKind::HeterogeneousMix => ArrivalProcess::Poisson {
+                mean_interarrival_secs: 30.0,
+            },
+            ScenarioKind::LongJobDominant => ArrivalProcess::Poisson {
+                mean_interarrival_secs: 60.0,
+            },
+            ScenarioKind::HighParallelism => ArrivalProcess::Poisson {
+                mean_interarrival_secs: 120.0,
+            },
+            ScenarioKind::ResourceSparse => ArrivalProcess::Poisson {
+                mean_interarrival_secs: 10.0,
+            },
+            ScenarioKind::BurstyIdle => ArrivalProcess::Bursty {
+                burst_size: 10,
+                within_burst_mean_secs: 5.0,
+                idle_gap_mean_secs: 600.0,
+            },
+            ScenarioKind::Adversarial => ArrivalProcess::BlockerThenFlood {
+                flood_mean_secs: 10.0,
+            },
+        }
+    }
+}
+
+/// A generated workload instance: the jobs plus provenance.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Which scenario produced it.
+    pub scenario: ScenarioKind,
+    /// The jobs, ordered by id (== submission order).
+    pub jobs: Vec<JobSpec>,
+    /// Static or dynamic arrivals.
+    pub mode: ArrivalMode,
+    /// Seed it was generated from.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` if no jobs were generated.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Sanity-check every job against a machine configuration.
+    pub fn validate(&self, config: ClusterConfig) -> Result<(), String> {
+        for j in &self.jobs {
+            if j.nodes == 0 {
+                return Err(format!("job {} requests zero nodes", j.id));
+            }
+            if j.nodes > config.nodes {
+                return Err(format!(
+                    "job {} requests {} nodes > capacity {}",
+                    j.id, j.nodes, config.nodes
+                ));
+            }
+            if j.memory_gb > config.memory_gb {
+                return Err(format!(
+                    "job {} requests {} GB > capacity {}",
+                    j.id, j.memory_gb, config.memory_gb
+                ));
+            }
+            if j.duration.is_zero() {
+                return Err(format!("job {} has zero duration", j.id));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The raw per-job shape a scenario produces, before arrival times and user
+/// metadata are attached.
+struct JobShape {
+    duration_secs: f64,
+    nodes: u32,
+    memory_gb: u64,
+}
+
+/// Generate one workload instance.
+///
+/// Determinism: the `(scenario, n, mode, seed)` tuple fully determines the
+/// output; shapes, arrivals and users draw from independent derived streams
+/// so changing `n` does not reshuffle earlier jobs.
+pub fn generate(scenario: ScenarioKind, n: usize, mode: ArrivalMode, seed: u64) -> Workload {
+    let tree = SeedTree::new(seed).subtree(scenario.slug(), 0);
+    let mut shape_rng = tree.rng("shapes", 0);
+    let mut arrival_rng = tree.rng("arrivals", 0);
+    let mut user_rng = tree.rng("users", 0);
+
+    let arrivals = match mode {
+        ArrivalMode::Static => vec![SimTime::ZERO; n],
+        ArrivalMode::Dynamic => scenario.arrival_process().generate(n, &mut arrival_rng),
+    };
+    let users = UserModel::for_job_count(n);
+
+    let jobs = (0..n)
+        .map(|i| {
+            let shape = job_shape(scenario, i, n, &mut shape_rng);
+            let (user, group) = users.sample(&mut user_rng);
+            JobSpec::new(
+                i as u32,
+                user,
+                arrivals[i],
+                SimDuration::from_secs_f64(shape.duration_secs.max(1.0)),
+                shape.nodes,
+                shape.memory_gb,
+            )
+            .with_group(group)
+        })
+        .collect();
+
+    let w = Workload {
+        scenario,
+        jobs,
+        mode,
+        seed,
+    };
+    debug_assert!(w.validate(ClusterConfig::paper_default()).is_ok());
+    w
+}
+
+fn job_shape(scenario: ScenarioKind, index: usize, n: usize, rng: &mut dyn Rng) -> JobShape {
+    match scenario {
+        ScenarioKind::HomogeneousShort => JobShape {
+            duration_secs: Uniform::new(30.0, 120.0).sample(rng),
+            nodes: 2,
+            memory_gb: 4,
+        },
+        ScenarioKind::HeterogeneousMix => heterogeneous_mix_shape(rng),
+        ScenarioKind::LongJobDominant => {
+            // Exactly ~20 % long jobs, deterministically interleaved so every
+            // instance size keeps the paper's ratio.
+            if index % 5 == 0 {
+                JobShape {
+                    duration_secs: 50_000.0,
+                    nodes: 128,
+                    memory_gb: 256,
+                }
+            } else {
+                JobShape {
+                    duration_secs: 500.0,
+                    nodes: 2,
+                    memory_gb: 4,
+                }
+            }
+        }
+        ScenarioKind::HighParallelism => {
+            let nodes = *[64u32, 96, 128, 192, 256]
+                .get(Categorical::new(&[0.3, 0.25, 0.25, 0.12, 0.08]).sample_index(rng))
+                .expect("index in range");
+            JobShape {
+                duration_secs: Clamped::new(Gamma::new(2.0, 500.0), 60.0, 7200.0).sample(rng),
+                nodes,
+                // 2 GB per node keeps even a 256-node job within 2048 GB.
+                memory_gb: nodes as u64 * 2,
+            }
+        }
+        ScenarioKind::ResourceSparse => JobShape {
+            duration_secs: Uniform::new(30.0, 300.0).sample(rng),
+            nodes: 1,
+            memory_gb: rng.gen_range_inclusive(1, 7),
+        },
+        ScenarioKind::BurstyIdle => {
+            // Alternate short and long jobs with modest demands (§3.1). The
+            // long jobs of successive bursts overlap, so several bursts in,
+            // the machine saturates and responsiveness differences appear.
+            if index % 2 == 0 {
+                JobShape {
+                    duration_secs: Uniform::new(60.0, 180.0).sample(rng),
+                    nodes: 2,
+                    memory_gb: 4,
+                }
+            } else {
+                JobShape {
+                    duration_secs: Uniform::new(3600.0, 7200.0).sample(rng),
+                    nodes: 24,
+                    memory_gb: 48,
+                }
+            }
+        }
+        ScenarioKind::Adversarial => {
+            let _ = n;
+            if index == 0 {
+                JobShape {
+                    duration_secs: 100_000.0,
+                    nodes: 128,
+                    memory_gb: 512,
+                }
+            } else {
+                JobShape {
+                    duration_secs: 60.0,
+                    nodes: 1,
+                    memory_gb: 2,
+                }
+            }
+        }
+    }
+}
+
+/// Varied runtimes and resources "reflecting realistic production
+/// environments". Node counts follow a heavy-tailed categorical mix with
+/// memory correlated to node count; runtimes are the paper's
+/// Gamma(1.5, 300).
+fn heterogeneous_mix_shape(rng: &mut dyn Rng) -> JobShape {
+    let duration = Clamped::new(Gamma::new(1.5, 300.0), 10.0, 20_000.0).sample(rng);
+    let class = Categorical::new(&[0.45, 0.30, 0.17, 0.08]).sample_index(rng);
+    let nodes = match class {
+        0 => rng.gen_range_inclusive(1, 4) as u32,
+        1 => rng.gen_range_inclusive(8, 32) as u32,
+        2 => rng.gen_range_inclusive(48, 128) as u32,
+        _ => rng.gen_range_inclusive(160, 256) as u32,
+    };
+    let per_node_gb = *[1u64, 2, 4, 8]
+        .get(Categorical::new(&[0.3, 0.35, 0.25, 0.1]).sample_index(rng))
+        .expect("index in range");
+    JobShape {
+        duration_secs: duration,
+        nodes,
+        memory_gb: (nodes as u64 * per_node_gb).min(2048),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(kind: ScenarioKind, n: usize) -> Workload {
+        generate(kind, n, ArrivalMode::Dynamic, 42)
+    }
+
+    #[test]
+    fn all_scenarios_generate_valid_workloads() {
+        for kind in ScenarioKind::all() {
+            for &n in &[10usize, 60, 100] {
+                let w = generate(kind, n, ArrivalMode::Dynamic, 1);
+                assert_eq!(w.len(), n);
+                w.validate(ClusterConfig::paper_default())
+                    .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+                // Ids are 0..n in submission order.
+                for (i, j) in w.jobs.iter().enumerate() {
+                    assert_eq!(j.id.0 as usize, i);
+                }
+                // Arrivals are non-decreasing.
+                for pair in w.jobs.windows(2) {
+                    assert!(pair[0].submit <= pair[1].submit);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_mode_all_at_zero() {
+        for kind in ScenarioKind::all() {
+            let w = generate(kind, 20, ArrivalMode::Static, 9);
+            assert!(w.jobs.iter().all(|j| j.submit == SimTime::ZERO));
+        }
+    }
+
+    #[test]
+    fn homogeneous_short_matches_paper_parameters() {
+        let w = gen(ScenarioKind::HomogeneousShort, 100);
+        for j in &w.jobs {
+            let d = j.duration.as_secs_f64();
+            assert!((30.0..=120.0).contains(&d), "duration {d}");
+            assert_eq!(j.nodes, 2);
+            assert_eq!(j.memory_gb, 4);
+        }
+    }
+
+    #[test]
+    fn long_job_dominant_ratio() {
+        let w = gen(ScenarioKind::LongJobDominant, 100);
+        let long = w
+            .jobs
+            .iter()
+            .filter(|j| j.duration == SimDuration::from_secs(50_000))
+            .count();
+        assert_eq!(long, 20, "exactly 20% long jobs");
+        let long_job = w
+            .jobs
+            .iter()
+            .find(|j| j.duration == SimDuration::from_secs(50_000))
+            .expect("exists");
+        assert_eq!(long_job.nodes, 128);
+        let short_job = w
+            .jobs
+            .iter()
+            .find(|j| j.duration == SimDuration::from_secs(500))
+            .expect("exists");
+        assert_eq!(short_job.nodes, 2);
+    }
+
+    #[test]
+    fn high_parallelism_node_range() {
+        let w = gen(ScenarioKind::HighParallelism, 100);
+        for j in &w.jobs {
+            assert!((64..=256).contains(&j.nodes), "nodes {}", j.nodes);
+            assert_eq!(j.memory_gb, j.nodes as u64 * 2);
+        }
+        assert!(
+            w.jobs.iter().any(|j| j.nodes >= 192),
+            "some very large jobs appear"
+        );
+    }
+
+    #[test]
+    fn resource_sparse_is_tiny() {
+        let w = gen(ScenarioKind::ResourceSparse, 100);
+        for j in &w.jobs {
+            assert_eq!(j.nodes, 1);
+            assert!(j.memory_gb < 8, "memory {}", j.memory_gb);
+            let d = j.duration.as_secs_f64();
+            assert!((30.0..=300.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn bursty_idle_alternates() {
+        let w = gen(ScenarioKind::BurstyIdle, 40);
+        for (i, j) in w.jobs.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(j.duration <= SimDuration::from_secs(180));
+            } else {
+                assert!(j.duration >= SimDuration::from_secs(1800));
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_blocker_then_flood() {
+        let w = gen(ScenarioKind::Adversarial, 60);
+        let blocker = &w.jobs[0];
+        assert_eq!(blocker.nodes, 128);
+        assert_eq!(blocker.duration, SimDuration::from_secs(100_000));
+        assert_eq!(blocker.submit, SimTime::ZERO);
+        for j in &w.jobs[1..] {
+            assert_eq!(j.nodes, 1);
+            assert_eq!(j.duration, SimDuration::from_secs(60));
+        }
+    }
+
+    #[test]
+    fn heterogeneous_mix_statistics() {
+        let w = gen(ScenarioKind::HeterogeneousMix, 400);
+        let mean_dur: f64 = w
+            .jobs
+            .iter()
+            .map(|j| j.duration.as_secs_f64())
+            .sum::<f64>()
+            / w.len() as f64;
+        // Gamma(1.5, 300) has mean 450 (clamping perturbs slightly).
+        assert!((350.0..550.0).contains(&mean_dur), "mean duration {mean_dur}");
+        let small = w.jobs.iter().filter(|j| j.nodes <= 4).count();
+        let large = w.jobs.iter().filter(|j| j.nodes >= 48).count();
+        assert!(small > large, "node mix skews small");
+        assert!(large > 0, "large jobs exist");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for kind in ScenarioKind::all() {
+            let a = generate(kind, 50, ArrivalMode::Dynamic, 123);
+            let b = generate(kind, 50, ArrivalMode::Dynamic, 123);
+            assert_eq!(a.jobs, b.jobs, "{}", kind.name());
+            let c = generate(kind, 50, ArrivalMode::Dynamic, 124);
+            assert_ne!(a.jobs, c.jobs, "{} ignores seed", kind.name());
+        }
+    }
+
+    #[test]
+    fn users_are_assigned_from_a_small_pool() {
+        let w = gen(ScenarioKind::HeterogeneousMix, 60);
+        let mut users: Vec<u32> = w.jobs.iter().map(|j| j.user.0).collect();
+        users.sort_unstable();
+        users.dedup();
+        assert!(users.len() >= 2, "multiple users");
+        assert!(users.len() <= 10, "bounded user pool");
+    }
+
+    #[test]
+    fn figure3_excludes_heterogeneous_mix() {
+        let f3 = ScenarioKind::figure3();
+        assert_eq!(f3.len(), 6);
+        assert!(!f3.contains(&ScenarioKind::HeterogeneousMix));
+    }
+}

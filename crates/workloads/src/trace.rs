@@ -1,0 +1,124 @@
+//! CSV serialization of preprocessed workloads.
+//!
+//! Lets the experiment harness dump the exact job set behind every figure
+//! and reload it later ("all workload data … publicly available for
+//! reproducibility", paper §3.3).
+
+use rsched_cluster::JobSpec;
+use rsched_simkit::csv::{self, Table};
+use rsched_simkit::{SimDuration, SimTime};
+
+/// Columns of the canonical workload CSV.
+const HEADER: [&str; 8] = [
+    "job_id",
+    "user",
+    "group",
+    "submit_s",
+    "duration_s",
+    "walltime_s",
+    "nodes",
+    "memory_gb",
+];
+
+/// Serialize jobs to CSV text (with header).
+pub fn jobs_to_csv(jobs: &[JobSpec]) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(jobs.len() + 1);
+    rows.push(HEADER.iter().map(|s| s.to_string()).collect());
+    for j in jobs {
+        rows.push(vec![
+            j.id.0.to_string(),
+            j.user.0.to_string(),
+            j.group.0.to_string(),
+            format!("{:.3}", j.submit.as_secs_f64()),
+            format!("{:.3}", j.duration.as_secs_f64()),
+            format!("{:.3}", j.walltime.as_secs_f64()),
+            j.nodes.to_string(),
+            j.memory_gb.to_string(),
+        ]);
+    }
+    csv::write_rows(rows)
+}
+
+/// Error from [`jobs_from_csv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError(pub String);
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "workload trace error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parse jobs back from CSV text produced by [`jobs_to_csv`].
+pub fn jobs_from_csv(text: &str) -> Result<Vec<JobSpec>, TraceError> {
+    let table = Table::parse(text).map_err(|e| TraceError(e.to_string()))?;
+    for col in HEADER {
+        if table.column(col).is_none() {
+            return Err(TraceError(format!("missing column `{col}`")));
+        }
+    }
+    let mut jobs = Vec::with_capacity(table.rows.len());
+    for row in 0..table.rows.len() {
+        let get = |name: &str| -> &str { table.get(row, name).expect("validated column") };
+        let parse_f64 = |name: &str| -> Result<f64, TraceError> {
+            get(name)
+                .parse::<f64>()
+                .map_err(|e| TraceError(format!("row {row}, column {name}: {e}")))
+        };
+        let parse_u64 = |name: &str| -> Result<u64, TraceError> {
+            get(name)
+                .parse::<u64>()
+                .map_err(|e| TraceError(format!("row {row}, column {name}: {e}")))
+        };
+        let spec = JobSpec::new(
+            parse_u64("job_id")? as u32,
+            parse_u64("user")? as u32,
+            SimTime::from_secs_f64(parse_f64("submit_s")?),
+            SimDuration::from_secs_f64(parse_f64("duration_s")?),
+            parse_u64("nodes")? as u32,
+            parse_u64("memory_gb")?,
+        )
+        .with_group(parse_u64("group")? as u32)
+        .with_walltime(SimDuration::from_secs_f64(parse_f64("walltime_s")?));
+        jobs.push(spec);
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{generate, ScenarioKind};
+    use crate::arrivals::ArrivalMode;
+
+    #[test]
+    fn roundtrip_preserves_jobs() {
+        let w = generate(ScenarioKind::HeterogeneousMix, 30, ArrivalMode::Dynamic, 5);
+        let text = jobs_to_csv(&w.jobs);
+        let back = jobs_from_csv(&text).expect("parse");
+        assert_eq!(back, w.jobs);
+    }
+
+    #[test]
+    fn missing_column_is_reported() {
+        let err = jobs_from_csv("job_id,user\n1,2\n").unwrap_err();
+        assert!(err.0.contains("missing column"));
+    }
+
+    #[test]
+    fn bad_number_is_reported_with_location() {
+        let text = "job_id,user,group,submit_s,duration_s,walltime_s,nodes,memory_gb\n\
+                    0,0,0,0.0,10.0,10.0,not_a_number,4\n";
+        let err = jobs_from_csv(text).unwrap_err();
+        assert!(err.0.contains("nodes"), "{err}");
+        assert!(err.0.contains("row 0"), "{err}");
+    }
+
+    #[test]
+    fn empty_table_yields_no_jobs() {
+        let text = jobs_to_csv(&[]);
+        assert_eq!(jobs_from_csv(&text).expect("parse"), Vec::<JobSpec>::new());
+    }
+}

@@ -1,0 +1,58 @@
+//! Plugging a *real* language model into the agent.
+//!
+//! The agent talks to any [`LanguageModel`]: prompt text in, a
+//! `Thought:`/`Action:` completion out. [`ProcessBackend`] bridges that to
+//! an external command — point it at a shell script wrapping your API CLI
+//! and the whole evaluation harness drives your model instead of the
+//! simulated personas.
+//!
+//! This example uses a tiny `sh` one-liner as the "model": it ignores the
+//! prompt and always answers with the head job — a degenerate but valid
+//! scheduler that demonstrates the contract (including constraint
+//! rejections being absorbed as scratchpad feedback).
+//!
+//! ```text
+//! cargo run --release --example bring_your_own_llm
+//! ```
+
+use reasoned_scheduler::llm::process::ProcessBackend;
+use reasoned_scheduler::prelude::*;
+
+fn main() {
+    let cluster = ClusterConfig::paper_default();
+    let workload = generate(ScenarioKind::ResourceSparse, 6, ArrivalMode::Static, 9);
+
+    // A "model" that always proposes job 0, then job 1, … — it keeps state
+    // in a temp file to move through the queue. Real deployments would call
+    // an API here; the contract is exactly the same.
+    let script = r#"
+        state="${TMPDIR:-/tmp}/byollm_counter"
+        n=$(cat "$state" 2>/dev/null || echo 0)
+        cat > /dev/null
+        if [ "$n" -ge 6 ]; then
+            printf 'Thought: every job has been scheduled\nAction: Stop'
+        else
+            printf 'Thought: next in line is job %s\nAction: StartJob(job_id=%s)' "$n" "$n"
+            echo $((n + 1)) > "$state"
+        fi
+    "#;
+    std::fs::write(
+        std::env::temp_dir().join("byollm_counter"),
+        "0",
+    )
+    .expect("seed counter");
+
+    let backend = ProcessBackend::new("sh-fcfs", "sh", ["-c".to_string(), script.to_string()]);
+    let mut policy = LlmSchedulingPolicy::new(Box::new(backend));
+
+    let outcome = run_simulation(cluster, &workload.jobs, &mut policy, &SimOptions::default())
+        .expect("completes");
+    let report = MetricsReport::compute(&outcome.records, cluster);
+    println!(
+        "external-process model `{}` scheduled {} jobs ({} calls, measured wall latency)\n",
+        outcome.policy_name,
+        outcome.records.len(),
+        policy.overhead().call_count()
+    );
+    println!("{report}");
+}

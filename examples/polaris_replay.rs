@@ -1,0 +1,47 @@
+//! The §5 real-trace pipeline end to end: synthesize a raw Polaris-style
+//! job log (with failures, unsorted, absolute timestamps), run the paper's
+//! preprocessing (filter, sort, normalize, factorize, derive memory), and
+//! replay it under FCFS and the LLM agent on the 560-node machine.
+//!
+//! Drop a real exported log through `raw_from_csv` to replay production
+//! data instead.
+//!
+//! ```text
+//! cargo run --release --example polaris_replay
+//! ```
+
+use reasoned_scheduler::prelude::*;
+use reasoned_scheduler::workloads::polaris;
+
+fn main() {
+    // 1. A raw log, as exported: includes EXIT_STATUS=-1 failures and
+    //    unsorted submissions.
+    let raw = polaris::synthesize_raw_trace(100, 2024);
+    let failed = raw.iter().filter(|r| r.exit_status == -1).count();
+    println!(
+        "raw log: {} rows ({} failed jobs will be dropped)",
+        raw.len(),
+        failed
+    );
+
+    // 2. The paper's preprocessing pipeline.
+    let jobs = polaris::preprocess(&raw, 100);
+    println!(
+        "preprocessed: {} jobs, users factorized to {} ids, memory = nodes × {} GB\n",
+        jobs.len(),
+        jobs.iter().map(|j| j.user.0).max().unwrap_or(0) + 1,
+        polaris::POLARIS_GB_PER_NODE
+    );
+
+    // 3. Replay on the Polaris partition.
+    let cluster = ClusterConfig::polaris();
+    for mut policy in [
+        Box::new(Fcfs) as Box<dyn SchedulingPolicy>,
+        Box::new(LlmSchedulingPolicy::claude37(2024)),
+    ] {
+        let outcome = run_simulation(cluster, &jobs, policy.as_mut(), &SimOptions::default())
+            .expect("trace completes");
+        let report = MetricsReport::compute(&outcome.records, cluster);
+        println!("=== {} ===\n{report}\n", outcome.policy_name);
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: schedule one workload with every method the paper compares
+//! and print the §3.2 metrics side by side.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use reasoned_scheduler::prelude::*;
+use reasoned_scheduler::metrics::TextTable;
+
+fn main() {
+    let cluster = ClusterConfig::paper_default();
+    let workload = generate(ScenarioKind::HeterogeneousMix, 40, ArrivalMode::Dynamic, 7);
+    println!(
+        "Workload: {} — {} jobs on {} nodes / {} GB\n",
+        workload.scenario.name(),
+        workload.len(),
+        cluster.nodes,
+        cluster.memory_gb
+    );
+
+    let mut table = TextTable::new([
+        "scheduler",
+        "makespan_s",
+        "avg_wait_s",
+        "throughput",
+        "node_util",
+        "wait_fairness",
+        "user_fairness",
+    ]);
+
+    // The paper's five schedulers. The LLM agents run against simulated
+    // reasoning models; swap in `LlmSchedulingPolicy::new(Box::new(...))`
+    // with a `ProcessBackend` to drive a real model.
+    let mut policies: Vec<Box<dyn SchedulingPolicy>> = vec![
+        Box::new(Fcfs),
+        Box::new(Sjf),
+        Box::new(OrToolsPolicy::new(&workload.jobs)),
+        Box::new(LlmSchedulingPolicy::claude37(7)),
+        Box::new(LlmSchedulingPolicy::o4mini(7)),
+    ];
+
+    for policy in policies.iter_mut() {
+        let outcome = run_simulation(cluster, &workload.jobs, policy.as_mut(), &SimOptions::default())
+            .expect("workload completes");
+        let report = MetricsReport::compute(&outcome.records, cluster);
+        table.push_row([
+            outcome.policy_name.clone(),
+            format!("{:.0}", report.makespan_secs),
+            format!("{:.0}", report.avg_wait_secs),
+            format!("{:.4}", report.throughput),
+            format!("{:.3}", report.node_utilization),
+            format!("{:.3}", report.wait_fairness),
+            format!("{:.3}", report.user_fairness),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,32 @@
+//! Figure 2 material: run the ReAct agent on an adversarial workload and
+//! print its interpretable decision traces — thought, action, and any
+//! constraint feedback, exactly the panels the paper shows.
+//!
+//! ```text
+//! cargo run --release --example reasoning_traces
+//! ```
+
+use reasoned_scheduler::prelude::*;
+
+fn main() {
+    let cluster = ClusterConfig::paper_default();
+    // The adversarial scenario: a 128-node, 100 000 s blocker followed by a
+    // flood of 1-node jobs — the convoy-effect stress test.
+    let workload = generate(ScenarioKind::Adversarial, 12, ArrivalMode::Dynamic, 3);
+
+    let mut agent = LlmSchedulingPolicy::claude37(3);
+    let outcome = run_simulation(cluster, &workload.jobs, &mut agent, &SimOptions::default())
+        .expect("workload completes");
+
+    println!(
+        "{} scheduled {} jobs in {} decisions ({} LLM calls)\n",
+        agent.name(),
+        outcome.records.len(),
+        outcome.decisions.len(),
+        agent.overhead().call_count()
+    );
+    println!("{}", agent.trace().render());
+
+    println!("\n\n=== Scratchpad (decision history the model sees) ===\n");
+    println!("{}", agent.agent().scratchpad().render());
+}

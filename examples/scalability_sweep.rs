@@ -1,0 +1,57 @@
+//! A Figure 4-style scalability sweep through the public API: the
+//! Heterogeneous Mix at growing queue sizes, FCFS vs the LLM agent,
+//! showing how the performance gap opens with problem complexity — plus
+//! the energy view of the same schedules (the future-work extension).
+//!
+//! ```text
+//! cargo run --release --example scalability_sweep
+//! ```
+
+use reasoned_scheduler::metrics::energy::{EnergyReport, PowerModel};
+use reasoned_scheduler::metrics::TextTable;
+use reasoned_scheduler::prelude::*;
+
+fn main() {
+    let cluster = ClusterConfig::paper_default();
+    let power = PowerModel::typical_cpu_node();
+
+    let mut table = TextTable::new([
+        "jobs",
+        "scheduler",
+        "makespan_s",
+        "avg_wait_s",
+        "node_util",
+        "energy_kwh",
+        "idle_energy_%",
+    ]);
+
+    for &n in &[10usize, 20, 40, 60] {
+        let workload = generate(ScenarioKind::HeterogeneousMix, n, ArrivalMode::Dynamic, 31);
+        for llm in [false, true] {
+            let mut policy: Box<dyn SchedulingPolicy> = if llm {
+                Box::new(LlmSchedulingPolicy::claude37(31))
+            } else {
+                Box::new(Fcfs)
+            };
+            let outcome =
+                run_simulation(cluster, &workload.jobs, policy.as_mut(), &SimOptions::default())
+                    .expect("completes");
+            let report = MetricsReport::compute(&outcome.records, cluster);
+            let energy = EnergyReport::compute(&outcome.records, cluster, &power);
+            table.push_row([
+                n.to_string(),
+                outcome.policy_name.clone(),
+                format!("{:.0}", report.makespan_secs),
+                format!("{:.0}", report.avg_wait_secs),
+                format!("{:.3}", report.node_utilization),
+                format!("{:.1}", energy.total_kwh()),
+                format!("{:.1}", energy.idle_fraction() * 100.0),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Small queues are indistinguishable; as contention grows the agent's packing\n\
+         cuts makespan, wait, and — through shorter idle windows — energy."
+    );
+}

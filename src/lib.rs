@@ -1,0 +1,75 @@
+//! # reasoned-scheduler
+//!
+//! A complete Rust implementation of **“Evaluating the Efficacy of
+//! LLM-Based Reasoning for Multiobjective HPC Job Scheduling”** (SC 2025):
+//! a ReAct-style LLM scheduling agent with persistent scratchpad memory and
+//! simulator-side constraint enforcement, evaluated against FCFS, SJF, and
+//! an optimization (OR-Tools-class) baseline on seven synthetic workload
+//! scenarios and a Polaris-style trace.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! namespace. See the individual crates for details:
+//!
+//! * [`simkit`] — discrete-event kernel, RNG, distributions, statistics.
+//! * [`cluster`] — the HPC machine model (nodes, memory, first-fit).
+//! * [`workloads`] — the seven paper scenarios + the Polaris substrate.
+//! * [`sim`] — the event-driven scheduling simulator and policy interface.
+//! * [`metrics`] — the eight evaluation objectives and normalization.
+//! * [`schedulers`] — FCFS, SJF, EASY, Random, OR-Tools baselines.
+//! * [`cpsolver`] — the cumulative-resource optimization solver.
+//! * [`llm`] — the language-model substrate (simulated personas, scripted
+//!   and external-process backends).
+//! * [`agent`] — the paper's contribution: the ReAct scheduling agent.
+//! * [`parallel`] — the work-stealing pool for experiment sweeps.
+//! * [`experiments`] — the figure-regeneration harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use reasoned_scheduler::prelude::*;
+//!
+//! // 20 Heterogeneous-Mix jobs with Poisson arrivals (paper §3.1).
+//! let workload = generate(ScenarioKind::HeterogeneousMix, 20, ArrivalMode::Dynamic, 42);
+//!
+//! // The simulated Claude 3.7 ReAct agent (paper §3.3).
+//! let mut agent = LlmSchedulingPolicy::claude37(42);
+//!
+//! let outcome = run_simulation(
+//!     ClusterConfig::paper_default(),
+//!     &workload.jobs,
+//!     &mut agent,
+//!     &SimOptions::default(),
+//! )
+//! .expect("workload completes");
+//!
+//! let report = MetricsReport::compute(&outcome.records, ClusterConfig::paper_default());
+//! assert!(report.makespan_secs > 0.0);
+//! println!("{report}");
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use rsched_cluster as cluster;
+pub use rsched_core as agent;
+pub use rsched_cpsolver as cpsolver;
+pub use rsched_experiments as experiments;
+pub use rsched_llm as llm;
+pub use rsched_metrics as metrics;
+pub use rsched_parallel as parallel;
+pub use rsched_schedulers as schedulers;
+pub use rsched_sim as sim;
+pub use rsched_simkit as simkit;
+pub use rsched_workloads as workloads;
+
+/// The most commonly used items across the workspace.
+pub mod prelude {
+    pub use rsched_cluster::{ClusterConfig, JobId, JobRecord, JobSpec, UserId};
+    pub use rsched_core::{LlmSchedulingPolicy, ReActAgent};
+    pub use rsched_llm::{LanguageModel, SimulatedLlm};
+    pub use rsched_metrics::{Metric, MetricsReport};
+    pub use rsched_schedulers::{EasyBackfill, Fcfs, OrToolsPolicy, RandomPolicy, Sjf};
+    pub use rsched_sim::{run_simulation, Action, SchedulingPolicy, SimOptions, SystemView};
+    pub use rsched_simkit::{SimDuration, SimTime};
+    pub use rsched_workloads::{generate, ArrivalMode, ScenarioKind, Workload};
+}

@@ -1,0 +1,179 @@
+//! Cross-crate integration tests: every scheduler against every scenario,
+//! feasibility of every produced schedule, and end-to-end determinism.
+
+use reasoned_scheduler::prelude::*;
+use reasoned_scheduler::cpsolver::SolverConfig;
+use reasoned_scheduler::schedulers::OrToolsPolicy;
+use reasoned_scheduler::sim::SimOutcome;
+use reasoned_scheduler::workloads::polaris::polaris_workload;
+
+fn quick_solver() -> SolverConfig {
+    SolverConfig {
+        sa_iterations_per_task: 40,
+        sa_iteration_cap: 800,
+        exact_max_tasks: 6,
+        ..SolverConfig::default()
+    }
+}
+
+fn run_kind(name: &str, jobs: &[JobSpec], cluster: ClusterConfig, seed: u64) -> SimOutcome {
+    let mut policy: Box<dyn SchedulingPolicy> = match name {
+        "fcfs" => Box::new(Fcfs),
+        "sjf" => Box::new(Sjf),
+        "easy" => Box::new(EasyBackfill::new()),
+        "random" => Box::new(RandomPolicy::new(seed)),
+        "ortools" => Box::new(OrToolsPolicy::with_config(jobs, quick_solver())),
+        "claude" => Box::new(LlmSchedulingPolicy::claude37(seed)),
+        "o4mini" => Box::new(LlmSchedulingPolicy::o4mini(seed)),
+        other => panic!("unknown scheduler {other}"),
+    };
+    run_simulation(cluster, jobs, policy.as_mut(), &SimOptions::default())
+        .unwrap_or_else(|e| panic!("{name} failed: {e}"))
+}
+
+/// Capacity must hold at every start instant of the realized schedule.
+fn assert_schedule_feasible(outcome: &SimOutcome, cluster: ClusterConfig) {
+    for probe in &outcome.records {
+        let t = probe.start;
+        let nodes: u64 = outcome
+            .records
+            .iter()
+            .filter(|r| r.start <= t && t < r.end)
+            .map(|r| r.spec.nodes as u64)
+            .sum();
+        let mem: u64 = outcome
+            .records
+            .iter()
+            .filter(|r| r.start <= t && t < r.end)
+            .map(|r| r.spec.memory_gb)
+            .sum();
+        assert!(
+            nodes <= cluster.nodes as u64,
+            "{}: node capacity violated at {t}",
+            outcome.policy_name
+        );
+        assert!(
+            mem <= cluster.memory_gb,
+            "{}: memory capacity violated at {t}",
+            outcome.policy_name
+        );
+    }
+}
+
+#[test]
+fn every_scheduler_completes_every_scenario() {
+    let cluster = ClusterConfig::paper_default();
+    for scenario in ScenarioKind::all() {
+        let workload = generate(scenario, 12, ArrivalMode::Dynamic, 42);
+        for name in ["fcfs", "sjf", "easy", "random", "ortools", "claude", "o4mini"] {
+            let outcome = run_kind(name, &workload.jobs, cluster, 42);
+            assert_eq!(
+                outcome.records.len(),
+                workload.len(),
+                "{name} on {}",
+                scenario.name()
+            );
+            assert_schedule_feasible(&outcome, cluster);
+            // Every job starts at or after its submission.
+            for r in &outcome.records {
+                assert!(r.start >= r.spec.submit);
+            }
+        }
+    }
+}
+
+#[test]
+fn static_workloads_complete_too() {
+    let cluster = ClusterConfig::paper_default();
+    let workload = generate(ScenarioKind::HeterogeneousMix, 15, ArrivalMode::Static, 5);
+    for name in ["fcfs", "sjf", "ortools", "claude"] {
+        let outcome = run_kind(name, &workload.jobs, cluster, 5);
+        assert_eq!(outcome.records.len(), 15, "{name}");
+        assert_schedule_feasible(&outcome, cluster);
+    }
+}
+
+#[test]
+fn end_to_end_runs_are_deterministic() {
+    let cluster = ClusterConfig::paper_default();
+    let workload = generate(ScenarioKind::BurstyIdle, 14, ArrivalMode::Dynamic, 9);
+    for name in ["fcfs", "sjf", "easy", "random", "ortools", "claude", "o4mini"] {
+        let a = run_kind(name, &workload.jobs, cluster, 9);
+        let b = run_kind(name, &workload.jobs, cluster, 9);
+        assert_eq!(a.records, b.records, "{name} not deterministic");
+        assert_eq!(a.stats, b.stats, "{name} stats drift");
+    }
+}
+
+#[test]
+fn metrics_are_consistent_with_simulator_integrals() {
+    // The closed-form utilization (Σ n·d / C·makespan) must agree with the
+    // simulator's live step-function integral.
+    let cluster = ClusterConfig::paper_default();
+    let workload = generate(ScenarioKind::HighParallelism, 12, ArrivalMode::Dynamic, 3);
+    let outcome = run_kind("fcfs", &workload.jobs, cluster, 3);
+    let report = MetricsReport::compute(&outcome.records, cluster);
+
+    let first_submit = outcome
+        .records
+        .iter()
+        .map(|r| r.spec.submit)
+        .min()
+        .expect("non-empty");
+    let makespan = outcome.makespan_end().since(first_submit).as_secs_f64();
+    let util_from_integral = outcome.node_seconds / (cluster.nodes as f64 * makespan);
+    assert!(
+        (report.node_utilization - util_from_integral).abs() < 1e-6,
+        "closed form {} vs integral {}",
+        report.node_utilization,
+        util_from_integral
+    );
+}
+
+#[test]
+fn polaris_pipeline_end_to_end() {
+    let cluster = ClusterConfig::polaris();
+    let jobs = polaris_workload(30, 77);
+    assert_eq!(jobs.len(), 30);
+    for name in ["fcfs", "claude"] {
+        let outcome = run_kind(name, &jobs, cluster, 77);
+        assert_eq!(outcome.records.len(), 30, "{name}");
+        assert_schedule_feasible(&outcome, cluster);
+    }
+}
+
+#[test]
+fn llm_agent_records_full_interpretability_artifacts() {
+    let cluster = ClusterConfig::paper_default();
+    let workload = generate(ScenarioKind::Adversarial, 10, ArrivalMode::Dynamic, 21);
+    let mut policy = LlmSchedulingPolicy::claude37(21);
+    let outcome = run_simulation(cluster, &workload.jobs, &mut policy, &SimOptions::default())
+        .expect("completes");
+    // One trace entry per LLM call; every placement is explained.
+    assert_eq!(policy.trace().len(), policy.overhead().call_count());
+    assert!(policy.overhead().call_count() >= outcome.stats.placements);
+    let rendered = policy.trace().render();
+    assert!(rendered.contains("# Thought"));
+    assert!(rendered.contains("StartJob(job_id="));
+    // The scratchpad retains the whole history.
+    assert!(policy.agent().scratchpad().len() >= 2 * outcome.stats.placements);
+}
+
+#[test]
+fn llm_wait_improvement_holds_on_long_job_dominant() {
+    // The paper's headline Long-Job-Dominant claim, end to end: LLM agents
+    // dramatically reduce average wait versus FCFS.
+    let cluster = ClusterConfig::paper_default();
+    let workload = generate(ScenarioKind::LongJobDominant, 20, ArrivalMode::Dynamic, 13);
+    let fcfs = run_kind("fcfs", &workload.jobs, cluster, 13);
+    let claude = run_kind("claude", &workload.jobs, cluster, 13);
+    let wait = |o: &SimOutcome| {
+        MetricsReport::compute(&o.records, cluster).avg_wait_secs
+    };
+    assert!(
+        wait(&claude) < 0.7 * wait(&fcfs),
+        "Claude wait {} should be well below FCFS {}",
+        wait(&claude),
+        wait(&fcfs)
+    );
+}

@@ -1,0 +1,392 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: the allocator ledger, the event queue, SGS feasibility,
+//! metric ranges, the action-grammar round trip, and the prompt round trip.
+
+use proptest::prelude::*;
+
+use reasoned_scheduler::cluster::{
+    ClusterConfig, FirstFitAllocator, JobId, JobRecord, JobSpec,
+};
+use reasoned_scheduler::cpsolver::{Instance, Task};
+use reasoned_scheduler::llm::prompt_parse::parse_prompt;
+use reasoned_scheduler::metrics::{jain_index, MetricsReport};
+use reasoned_scheduler::agent::action::{parse_action, parse_completion};
+use reasoned_scheduler::agent::{PromptBuilder, Scratchpad};
+use reasoned_scheduler::sim::{Action, RunningSummary, SystemView};
+use reasoned_scheduler::simkit::csv;
+use reasoned_scheduler::simkit::{EventQueue, SimDuration, SimTime};
+
+// ---------------------------------------------------------------- allocator
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Interleaved allocate/release sequences never oversubscribe and
+    /// always restore the empty state after releasing everything.
+    #[test]
+    fn allocator_conserves_resources(
+        requests in prop::collection::vec((1u32..16, 1u64..64), 1..40)
+    ) {
+        let mut alloc = FirstFitAllocator::new(32, 256);
+        let mut live = Vec::new();
+        for (i, (nodes, mem)) in requests.into_iter().enumerate() {
+            if let Some(grant) = alloc.try_allocate(nodes, mem) {
+                prop_assert_eq!(grant.node_count(), nodes);
+                live.push(grant);
+            }
+            // Periodically release the oldest grant.
+            if i % 3 == 2 && !live.is_empty() {
+                let grant = live.remove(0);
+                alloc.release(&grant);
+            }
+            alloc.check_invariants();
+            let live_nodes: u32 = live.iter().map(|g| g.node_count()).sum();
+            let live_mem: u64 = live.iter().map(|g| g.memory_gb).sum();
+            prop_assert_eq!(alloc.free_nodes(), 32 - live_nodes);
+            prop_assert_eq!(alloc.free_memory_gb(), 256 - live_mem);
+        }
+        for grant in live.drain(..) {
+            alloc.release(&grant);
+        }
+        prop_assert_eq!(alloc.free_nodes(), 32);
+        prop_assert_eq!(alloc.free_memory_gb(), 256);
+    }
+
+    /// No two live allocations ever share a node.
+    #[test]
+    fn allocations_are_disjoint(
+        requests in prop::collection::vec(1u32..8, 1..12)
+    ) {
+        let mut alloc = FirstFitAllocator::new(24, 1024);
+        let mut live: Vec<reasoned_scheduler::cluster::Allocation> = Vec::new();
+        for nodes in requests {
+            if let Some(grant) = alloc.try_allocate(nodes, 1) {
+                for earlier in &live {
+                    prop_assert!(!grant.nodes.intersects(&earlier.nodes));
+                }
+                live.push(grant);
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- event queue
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Pops come out sorted by time, FIFO within a timestamp.
+    #[test]
+    fn event_queue_is_stable_priority_queue(
+        times in prop::collection::vec(0u64..50, 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (seq, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_secs(t), seq);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, seq)) = q.pop() {
+            if let Some((lt, lseq)) = last {
+                prop_assert!(t >= lt, "time order violated");
+                if t == lt {
+                    prop_assert!(seq > lseq, "FIFO violated within timestamp");
+                }
+            }
+            last = Some((t, seq));
+        }
+    }
+}
+
+// ------------------------------------------------------------------- solver
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every permutation decodes to a feasible schedule whose makespan
+    /// dominates the instance lower bound.
+    #[test]
+    fn sgs_decodings_are_feasible(
+        specs in prop::collection::vec((1u64..200, 1u32..4, 1u64..12, 0u64..100), 1..12),
+        seed in 0u64..1000
+    ) {
+        let tasks: Vec<Task> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(dur, nodes, mem, release))| Task {
+                id: i as u32,
+                duration: dur,
+                nodes,
+                memory: mem,
+                release,
+            })
+            .collect();
+        let inst = Instance::new(tasks, 4, 16);
+        // A pseudo-random permutation derived from the seed.
+        let mut order: Vec<usize> = (0..inst.len()).collect();
+        let n = order.len();
+        for i in (1..n).rev() {
+            let j = ((seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64 * 1442695040888963407)) % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let (schedule, makespan) = reasoned_scheduler::cpsolver::sgs::decode_with_makespan(&inst, &order);
+        prop_assert!(schedule.is_feasible(&inst));
+        prop_assert!(makespan >= reasoned_scheduler::cpsolver::bounds::lower_bound(&inst));
+    }
+}
+
+// ------------------------------------------------------------------ metrics
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Jain's index is always in (0, 1] and is scale invariant.
+    #[test]
+    fn jain_index_range_and_scale_invariance(
+        values in prop::collection::vec(0.0f64..1e6, 1..50),
+        scale in 0.001f64..1000.0
+    ) {
+        let j = jain_index(&values);
+        prop_assert!(j > 0.0 && j <= 1.0 + 1e-12, "jain {j}");
+        let scaled: Vec<f64> = values.iter().map(|v| v * scale).collect();
+        prop_assert!((jain_index(&scaled) - j).abs() < 1e-9);
+    }
+
+    /// For any sequential (non-overlapping) schedule, the metric report is
+    /// internally consistent: utilization ≤ 1, makespan at least the
+    /// longest job, waits non-negative.
+    #[test]
+    fn metric_report_invariants(
+        jobs in prop::collection::vec((1u64..500, 1u32..8, 1u64..64, 0u64..100), 1..20)
+    ) {
+        let config = ClusterConfig::new(8, 64);
+        // Build a strictly sequential schedule: each job starts when the
+        // previous ends (always feasible).
+        let mut t = 0u64;
+        let records: Vec<JobRecord> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(dur, nodes, mem, submit))| {
+                let spec = JobSpec::new(
+                    i as u32,
+                    (i % 5) as u32,
+                    SimTime::from_secs(submit.min(t)),
+                    SimDuration::from_secs(dur),
+                    nodes,
+                    mem,
+                );
+                let start = t.max(submit.min(t));
+                t = start + dur;
+                JobRecord::new(spec, SimTime::from_secs(start))
+            })
+            .collect();
+        let report = MetricsReport::compute(&records, config);
+        prop_assert!(report.node_utilization <= 1.0 + 1e-9);
+        prop_assert!(report.memory_utilization <= 1.0 + 1e-9);
+        prop_assert!(report.wait_fairness > 0.0 && report.wait_fairness <= 1.0 + 1e-9);
+        prop_assert!(report.user_fairness > 0.0 && report.user_fairness <= 1.0 + 1e-9);
+        let longest = jobs.iter().map(|&(d, ..)| d).max().unwrap() as f64;
+        prop_assert!(report.makespan_secs + 1e-9 >= longest);
+        prop_assert!(report.avg_wait_secs >= 0.0);
+        prop_assert!(report.avg_turnaround_secs >= report.avg_wait_secs);
+    }
+}
+
+// ----------------------------------------------------------- action grammar
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// format → parse round trip over the whole action space.
+    #[test]
+    fn action_roundtrip(id in 0u32..100_000, which in 0usize..4) {
+        let action = match which {
+            0 => Action::StartJob(JobId(id)),
+            1 => Action::BackfillJob(JobId(id)),
+            2 => Action::Delay,
+            _ => Action::Stop,
+        };
+        let text = action.to_string();
+        prop_assert_eq!(parse_action(&text).expect("round trip"), action);
+        // And inside a full completion.
+        let completion = format!("Thought: some reasoning\nAction: {text}");
+        let parsed = parse_completion(&completion).expect("completion parses");
+        prop_assert_eq!(parsed.action, action);
+    }
+}
+
+// ------------------------------------------------------------- prompt round trip
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The prompt builder's output always parses back to the same state.
+    #[test]
+    fn prompt_roundtrip(
+        now in 0u64..100_000,
+        free_nodes in 0u32..256,
+        free_mem in 0u64..2048,
+        waiting in prop::collection::vec((0u32..50, 1u32..256, 1u64..2048, 1u64..10_000, 0u64..1000), 0..8),
+        running in prop::collection::vec((50u32..99, 1u32..256, 1u64..2048, 0u64..1000), 0..4),
+        pending in 0usize..10
+    ) {
+        // Unique ids for waiting jobs (map index onto id space).
+        let waiting_specs: Vec<JobSpec> = waiting
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, nodes, mem, wall, submit))| {
+                JobSpec::new(
+                    i as u32,
+                    (i % 7) as u32,
+                    SimTime::from_secs(submit.min(now)),
+                    SimDuration::from_secs(wall),
+                    nodes,
+                    mem,
+                )
+            })
+            .collect();
+        let running_summaries: Vec<RunningSummary> = running
+            .iter()
+            .enumerate()
+            .map(|(i, &(id, nodes, mem, start))| RunningSummary {
+                id: JobId(1000 + id + i as u32),
+                user: reasoned_scheduler::cluster::UserId((i % 5) as u32),
+                nodes,
+                memory_gb: mem,
+                start: SimTime::from_secs(start.min(now)),
+                submit: SimTime::from_secs(start.min(now)),
+                expected_end: SimTime::from_secs(now + 100),
+            })
+            .collect();
+        let view = SystemView {
+            now: SimTime::from_secs(now),
+            config: ClusterConfig::paper_default(),
+            free_nodes,
+            free_memory_gb: free_mem,
+            waiting: waiting_specs.clone(),
+            running: running_summaries.clone(),
+            completed: vec![],
+            pending_arrivals: pending,
+            total_jobs: waiting_specs.len() + running_summaries.len() + pending,
+        };
+        let text = PromptBuilder::render(&view, &Scratchpad::default());
+        let parsed = parse_prompt(&text).expect("builder output parses");
+        prop_assert_eq!(parsed.now_secs, now);
+        prop_assert_eq!(parsed.available_nodes, free_nodes);
+        prop_assert_eq!(parsed.available_memory_gb, free_mem);
+        prop_assert_eq!(parsed.waiting.len(), waiting_specs.len());
+        prop_assert_eq!(parsed.running.len(), running_summaries.len());
+        prop_assert_eq!(parsed.pending_arrivals, pending);
+        for (p, s) in parsed.waiting.iter().zip(&waiting_specs) {
+            prop_assert_eq!(p.id, s.id.0);
+            prop_assert_eq!(p.nodes, s.nodes);
+            prop_assert_eq!(p.memory_gb, s.memory_gb);
+            prop_assert_eq!(p.walltime_secs, s.walltime.as_secs());
+        }
+    }
+}
+
+// ----------------------------------------------------------------- CSV layer
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary cell contents survive a CSV write/parse round trip.
+    #[test]
+    fn csv_roundtrip(rows in prop::collection::vec(
+        prop::collection::vec("[ -~]*", 1..6), 1..10
+    )) {
+        let text = csv::write_rows(rows.iter().map(|r| r.iter().map(|s| s.as_str())));
+        let parsed = csv::parse(&text).expect("parses");
+        prop_assert_eq!(parsed, rows);
+    }
+}
+
+// ------------------------------------------------------------ fuzz robustness
+
+use reasoned_scheduler::prelude::*;
+use reasoned_scheduler::sim::SimError;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The completion parser never panics on arbitrary model output — a
+    /// hallucinating LLM must degrade gracefully, not crash the agent.
+    #[test]
+    fn completion_parser_never_panics(text in "\\PC*") {
+        let _ = parse_completion(&text);
+    }
+
+    /// Neither does the action grammar.
+    #[test]
+    fn action_parser_never_panics(text in "\\PC*") {
+        let _ = parse_action(&text);
+    }
+
+    /// The prompt parser never panics on arbitrary text either.
+    #[test]
+    fn prompt_parser_never_panics(text in "\\PC*") {
+        let _ = parse_prompt(&text);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A random policy over a random feasible workload either completes
+    /// with a capacity-respecting schedule or reports a structured error —
+    /// the simulator's invariants hold under arbitrary decision sequences.
+    #[test]
+    fn random_policy_preserves_invariants(
+        jobs in prop::collection::vec((1u64..300, 1u32..8, 1u64..60, 0u64..200), 1..25),
+        seed in 0u64..10_000
+    ) {
+        let cluster = ClusterConfig::new(8, 64);
+        let specs: Vec<JobSpec> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(dur, nodes, mem, submit))| {
+                JobSpec::new(
+                    i as u32,
+                    (i % 4) as u32,
+                    SimTime::from_secs(submit),
+                    SimDuration::from_secs(dur),
+                    nodes,
+                    mem,
+                )
+            })
+            .collect();
+        let mut policy = RandomPolicy::new(seed);
+        match run_simulation(cluster, &specs, &mut policy, &SimOptions::default()) {
+            Ok(outcome) => {
+                prop_assert_eq!(outcome.records.len(), specs.len());
+                for probe in &outcome.records {
+                    let t = probe.start;
+                    let nodes: u64 = outcome
+                        .records
+                        .iter()
+                        .filter(|r| r.start <= t && t < r.end)
+                        .map(|r| r.spec.nodes as u64)
+                        .sum();
+                    let mem: u64 = outcome
+                        .records
+                        .iter()
+                        .filter(|r| r.start <= t && t < r.end)
+                        .map(|r| r.spec.memory_gb)
+                        .sum();
+                    prop_assert!(nodes <= 8, "node capacity violated");
+                    prop_assert!(mem <= 64, "memory capacity violated");
+                    prop_assert!(probe.start >= probe.spec.submit);
+                }
+            }
+            Err(e) => {
+                // The only legitimate failure for this workload class is a
+                // budget/stuck condition, never a panic or inconsistency.
+                let benign = matches!(
+                    e,
+                    SimError::Stuck { .. } | SimError::QueryBudgetExhausted { .. }
+                );
+                prop_assert!(benign, "unexpected simulation error: {e}");
+            }
+        }
+    }
+}
