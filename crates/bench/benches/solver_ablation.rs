@@ -67,7 +67,7 @@ fn ablation(c: &mut Criterion) {
             b.iter(|| {
                 std::hint::black_box(evolve(
                     &inst,
-                    &[seed_order.clone()],
+                    std::slice::from_ref(&seed_order),
                     &GeneticConfig {
                         generations: 40,
                         seed: 7,
@@ -79,11 +79,7 @@ fn ablation(c: &mut Criterion) {
 
         if n <= 8 {
             group.bench_with_input(BenchmarkId::new("branch_and_bound", n), &n, |b, _| {
-                b.iter(|| {
-                    std::hint::black_box(
-                        BranchAndBound::default().solve(&inst, &seed_order),
-                    )
-                })
+                b.iter(|| std::hint::black_box(BranchAndBound::default().solve(&inst, &seed_order)))
             });
         }
     }

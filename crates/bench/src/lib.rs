@@ -15,6 +15,9 @@
 //!   priority rules vs simulated annealing vs the genetic stage vs exact
 //!   branch-and-bound on identical instances.
 
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
 /// Shared reduced-scale experiment options for the figure benches.
 pub fn bench_options() -> rsched_experiments::ExperimentOptions {
     rsched_experiments::ExperimentOptions {

@@ -209,11 +209,8 @@ impl ClusterState {
 
     /// `(end_time, job_id)` pairs for all running jobs, ascending by end.
     pub fn completion_schedule(&self) -> Vec<(SimTime, JobId)> {
-        let mut v: Vec<(SimTime, JobId)> = self
-            .running
-            .values()
-            .map(|j| (j.end, j.spec.id))
-            .collect();
+        let mut v: Vec<(SimTime, JobId)> =
+            self.running.values().map(|j| (j.end, j.spec.id)).collect();
         v.sort();
         v
     }
@@ -249,9 +246,7 @@ impl ClusterState {
 
     /// Remaining runtime of the running job `id` at time `now`.
     pub fn remaining(&self, id: JobId, now: SimTime) -> Option<SimDuration> {
-        self.running
-            .get(&id)
-            .map(|j| j.end.saturating_since(now))
+        self.running.get(&id).map(|j| j.end.saturating_since(now))
     }
 }
 
@@ -261,7 +256,14 @@ mod tests {
     use rsched_simkit::SimDuration;
 
     fn spec(id: u32, dur_s: u64, nodes: u32, mem: u64) -> JobSpec {
-        JobSpec::new(id, 0, SimTime::ZERO, SimDuration::from_secs(dur_s), nodes, mem)
+        JobSpec::new(
+            id,
+            0,
+            SimTime::ZERO,
+            SimDuration::from_secs(dur_s),
+            nodes,
+            mem,
+        )
     }
 
     #[test]
@@ -367,7 +369,8 @@ mod tests {
     #[test]
     fn busy_accounting() {
         let mut c = ClusterState::new(ClusterConfig::paper_default());
-        c.start_job(&spec(1, 10, 100, 1000), SimTime::ZERO).expect("ok");
+        c.start_job(&spec(1, 10, 100, 1000), SimTime::ZERO)
+            .expect("ok");
         assert_eq!(c.busy_nodes(), 100);
         assert_eq!(c.busy_memory_gb(), 1000);
         assert_eq!(c.running_count(), 1);

@@ -148,7 +148,14 @@ mod tests {
     use super::*;
 
     fn spec() -> JobSpec {
-        JobSpec::new(7, 2, SimTime::from_secs(10), SimDuration::from_secs(100), 4, 16)
+        JobSpec::new(
+            7,
+            2,
+            SimTime::from_secs(10),
+            SimDuration::from_secs(100),
+            4,
+            16,
+        )
     }
 
     #[test]

@@ -62,10 +62,7 @@ impl NodeMask {
 
     /// `true` if `self` and `other` share any node.
     pub fn intersects(&self, other: &NodeMask) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// `true` if every node of `other` is also in `self`.

@@ -128,14 +128,22 @@ mod tests {
     use rsched_simkit::SimDuration;
 
     fn spec(id: u32, dur_s: u64, nodes: u32, mem: u64) -> JobSpec {
-        JobSpec::new(id, 0, SimTime::ZERO, SimDuration::from_secs(dur_s), nodes, mem)
+        JobSpec::new(
+            id,
+            0,
+            SimTime::ZERO,
+            SimDuration::from_secs(dur_s),
+            nodes,
+            mem,
+        )
     }
 
     /// 8-node, 64 GB cluster with two running jobs: 6 nodes ending at t=100,
     /// 1 node ending at t=50.
     fn busy_cluster() -> ClusterState {
         let mut c = ClusterState::new(ClusterConfig::new(8, 64));
-        c.start_job(&spec(1, 100, 6, 32), SimTime::ZERO).expect("ok");
+        c.start_job(&spec(1, 100, 6, 32), SimTime::ZERO)
+            .expect("ok");
         c.start_job(&spec(2, 50, 1, 8), SimTime::ZERO).expect("ok");
         c
     }
@@ -143,7 +151,14 @@ mod tests {
     #[test]
     fn shadow_now_when_fits() {
         let c = busy_cluster();
-        let t = shadow_start(&c, SimTime::ZERO, Demand { nodes: 1, memory_gb: 8 });
+        let t = shadow_start(
+            &c,
+            SimTime::ZERO,
+            Demand {
+                nodes: 1,
+                memory_gb: 8,
+            },
+        );
         assert_eq!(t, SimTime::ZERO);
     }
 
@@ -152,16 +167,37 @@ mod tests {
         let c = busy_cluster();
         // 3 nodes free after job 2 (t=50): 1+1=2 — not enough; after job 1
         // (t=100): 8 free.
-        let t = shadow_start(&c, SimTime::ZERO, Demand { nodes: 4, memory_gb: 8 });
+        let t = shadow_start(
+            &c,
+            SimTime::ZERO,
+            Demand {
+                nodes: 4,
+                memory_gb: 8,
+            },
+        );
         assert_eq!(t, SimTime::from_secs(100));
-        let t = shadow_start(&c, SimTime::ZERO, Demand { nodes: 2, memory_gb: 8 });
+        let t = shadow_start(
+            &c,
+            SimTime::ZERO,
+            Demand {
+                nodes: 2,
+                memory_gb: 8,
+            },
+        );
         assert_eq!(t, SimTime::from_secs(50));
     }
 
     #[test]
     fn shadow_infeasible_demand_is_max() {
         let c = busy_cluster();
-        let t = shadow_start(&c, SimTime::ZERO, Demand { nodes: 9, memory_gb: 8 });
+        let t = shadow_start(
+            &c,
+            SimTime::ZERO,
+            Demand {
+                nodes: 9,
+                memory_gb: 8,
+            },
+        );
         assert_eq!(t, SimTime::MAX);
     }
 
@@ -176,7 +212,10 @@ mod tests {
         let t = shadow_start(
             &c,
             SimTime::from_secs(10),
-            Demand { nodes: 8, memory_gb: 8 },
+            Demand {
+                nodes: 8,
+                memory_gb: 8,
+            },
         );
         assert_eq!(t, SimTime::from_secs(10));
     }
@@ -205,7 +244,10 @@ mod tests {
         // node only — won't fit now. Use memory collision instead: candidate
         // 1 node / 24 GB (fits now), head needs 48 GB; at shadow, free mem =
         // 64, head 48 + candidate 24 = 72 > 64 → delayed.
-        let head = JobSpec { memory_gb: 48, ..head };
+        let head = JobSpec {
+            memory_gb: 48,
+            ..head
+        };
         let cand = spec(11, 500, 1, 24);
         assert!(!backfill_is_safe(&c, SimTime::ZERO, &cand, &head));
         assert!(head_delay_if_backfilled(&c, SimTime::ZERO, &cand, &head) > SimDuration::ZERO);

@@ -95,7 +95,7 @@ mod tests {
         let mut s = StepIntegral::new(SimTime::ZERO, 1.0);
         s.update(SimTime::from_secs(5), 3.0); // 5 s at 1
         s.update(SimTime::from_secs(8), 0.5); // 3 s at 3
-        // through t=10: 5·1 + 3·3 + 2·0.5 = 15
+                                              // through t=10: 5·1 + 3·3 + 2·0.5 = 15
         assert!((s.integral_through(SimTime::from_secs(10)) - 15.0).abs() < 1e-9);
         assert_eq!(s.value(), 0.5);
     }

@@ -90,13 +90,10 @@ pub fn parse_action(text: &str) -> Result<Action, ActionParseError> {
     if t.eq_ignore_ascii_case("stop") {
         return Ok(Action::Stop);
     }
-    for (prefix, make) in [
-        ("startjob", true),
-        ("backfilljob", false),
-    ] {
+    for (prefix, make) in [("startjob", true), ("backfilljob", false)] {
         if let Some(rest) = strip_prefix_ci(t, prefix) {
-            let id = parse_job_id_args(rest)
-                .ok_or_else(|| ActionParseError::BadJobId(t.to_string()))?;
+            let id =
+                parse_job_id_args(rest).ok_or_else(|| ActionParseError::BadJobId(t.to_string()))?;
             return Ok(if make {
                 Action::StartJob(JobId(id))
             } else {
@@ -150,7 +147,10 @@ mod tests {
 
     #[test]
     fn all_four_actions() {
-        assert_eq!(parse_action("StartJob(job_id=2)"), Ok(Action::StartJob(JobId(2))));
+        assert_eq!(
+            parse_action("StartJob(job_id=2)"),
+            Ok(Action::StartJob(JobId(2)))
+        );
         assert_eq!(
             parse_action("BackfillJob(job_id=40)"),
             Ok(Action::BackfillJob(JobId(40)))
@@ -161,11 +161,17 @@ mod tests {
 
     #[test]
     fn tolerant_variants() {
-        assert_eq!(parse_action("  startjob( job_id = 7 ) "), Ok(Action::StartJob(JobId(7))));
+        assert_eq!(
+            parse_action("  startjob( job_id = 7 ) "),
+            Ok(Action::StartJob(JobId(7)))
+        );
         assert_eq!(parse_action("StartJob(7)"), Ok(Action::StartJob(JobId(7))));
         assert_eq!(parse_action("STOP."), Ok(Action::Stop));
         assert_eq!(parse_action("delay"), Ok(Action::Delay));
-        assert_eq!(parse_action("BackfillJob(id=3)"), Ok(Action::BackfillJob(JobId(3))));
+        assert_eq!(
+            parse_action("BackfillJob(id=3)"),
+            Ok(Action::BackfillJob(JobId(3)))
+        );
     }
 
     #[test]
@@ -226,7 +232,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ActionParseError::MissingAction.to_string().contains("Action"));
+        assert!(ActionParseError::MissingAction
+            .to_string()
+            .contains("Action"));
         assert!(ActionParseError::UnknownAction("X".into())
             .to_string()
             .contains("X"));

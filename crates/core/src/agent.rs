@@ -94,12 +94,8 @@ impl ReActAgent {
                 self.scratchpad.push_thought(now, &parsed.thought);
                 self.scratchpad.push_action(now, &action_text);
                 if self.options.record_trace {
-                    self.trace.push(
-                        now,
-                        &parsed.thought,
-                        &action_text,
-                        completion.latency_secs,
-                    );
+                    self.trace
+                        .push(now, &parsed.thought, &action_text, completion.latency_secs);
                 }
                 self.overhead.set_last_action(parsed.action);
                 parsed.action
@@ -111,8 +107,12 @@ impl ReActAgent {
                     &format!("Output could not be parsed ({e}); defaulting to Delay."),
                 );
                 if self.options.record_trace {
-                    self.trace
-                        .push(now, &completion.text, "Delay (forced)", completion.latency_secs);
+                    self.trace.push(
+                        now,
+                        &completion.text,
+                        "Delay (forced)",
+                        completion.latency_secs,
+                    );
                 }
                 self.overhead.set_last_action(Action::Delay);
                 Action::Delay
@@ -188,10 +188,9 @@ mod tests {
 
     #[test]
     fn step_parses_and_records() {
-        let backend = ScriptedBackend::new([
-            "Thought: job 9 is extremely short\nAction: StartJob(job_id=9)",
-        ])
-        .with_latency(3.5);
+        let backend =
+            ScriptedBackend::new(["Thought: job 9 is extremely short\nAction: StartJob(job_id=9)"])
+                .with_latency(3.5);
         let mut agent = ReActAgent::new(Box::new(backend), AgentOptions::default());
         let action = agent.step(&view_with_waiting());
         assert_eq!(action, Action::StartJob(JobId(9)));
@@ -205,9 +204,8 @@ mod tests {
 
     #[test]
     fn rejection_feedback_lands_in_scratchpad_and_trace() {
-        let backend = ScriptedBackend::new([
-            "Thought: try the big one\nAction: StartJob(job_id=9)",
-        ]);
+        let backend =
+            ScriptedBackend::new(["Thought: try the big one\nAction: StartJob(job_id=9)"]);
         let mut agent = ReActAgent::new(Box::new(backend), AgentOptions::default());
         let action = agent.step(&view_with_waiting());
         agent.absorb(&ActionOutcome {
@@ -230,10 +228,8 @@ mod tests {
 
     #[test]
     fn accepted_placement_counts_in_overhead() {
-        let backend = ScriptedBackend::new([
-            "Thought: go\nAction: StartJob(job_id=9)",
-        ])
-        .with_latency(7.0);
+        let backend =
+            ScriptedBackend::new(["Thought: go\nAction: StartJob(job_id=9)"]).with_latency(7.0);
         let mut agent = ReActAgent::new(Box::new(backend), AgentOptions::default());
         let action = agent.step(&view_with_waiting());
         agent.absorb(&ActionOutcome {
@@ -268,10 +264,8 @@ mod tests {
 
     #[test]
     fn scratchpad_accumulates_across_steps() {
-        let backend = ScriptedBackend::new([
-            "Thought: one\nAction: Delay",
-            "Thought: two\nAction: Delay",
-        ]);
+        let backend =
+            ScriptedBackend::new(["Thought: one\nAction: Delay", "Thought: two\nAction: Delay"]);
         let mut agent = ReActAgent::new(Box::new(backend), AgentOptions::default());
         agent.step(&view_with_waiting());
         agent.step(&view_with_waiting());

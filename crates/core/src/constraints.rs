@@ -27,7 +27,10 @@ pub fn render_feedback(action: &Action, reason: &RejectReason) -> String {
         RejectReason::WouldDelayHead { .. } => "would delay the reserved head job",
         RejectReason::StopWithPendingJobs { .. } => "jobs still pending",
     };
-    format!("Action: {verb} failed ({category}) — {}.", capitalize(&reason.to_string()))
+    format!(
+        "Action: {verb} failed ({category}) — {}.",
+        capitalize(&reason.to_string())
+    )
 }
 
 fn capitalize(text: &str) -> String {

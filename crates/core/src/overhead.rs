@@ -96,8 +96,7 @@ impl OverheadTracker {
         self.calls
             .iter()
             .filter(|c| {
-                c.accepted == Some(true)
-                    && c.action.map(|a| a.is_placement()).unwrap_or(false)
+                c.accepted == Some(true) && c.action.map(|a| a.is_placement()).unwrap_or(false)
             })
             .map(|c| c.latency_secs)
             .collect()

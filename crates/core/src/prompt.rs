@@ -132,14 +132,7 @@ mod tests {
             free_nodes: 238,
             free_memory_gb: 576,
             waiting: vec![
-                JobSpec::new(
-                    32,
-                    6,
-                    SimTime::ZERO,
-                    SimDuration::from_secs(147),
-                    200,
-                    8,
-                ),
+                JobSpec::new(32, 6, SimTime::ZERO, SimDuration::from_secs(147), 200, 8),
                 JobSpec::new(
                     40,
                     1,

@@ -177,7 +177,7 @@ mod tests {
             }
             for i in 0..k {
                 heap_permutations(k - 1, arr, visit);
-                if k % 2 == 0 {
+                if k.is_multiple_of(2) {
                     arr.swap(i, k - 1);
                 } else {
                     arr.swap(0, k - 1);
@@ -203,7 +203,11 @@ mod tests {
                     20 + (x % 180),
                     1 + ((x / 7) % 4) as u32,
                     1 + (x / 13) % 12,
-                    if x % 3 == 0 { (x / 17) % 100 } else { 0 },
+                    if x.is_multiple_of(3) {
+                        (x / 17) % 100
+                    } else {
+                        0
+                    },
                 )
             })
             .collect();
@@ -272,16 +276,15 @@ mod tests {
         let result = BranchAndBound::default().solve(&inst, &incumbent);
         assert!(result.proven_optimal);
         assert_eq!(result.makespan, 300);
-        assert!(result.nodes_explored < 100, "symmetry breaking should prune");
+        assert!(
+            result.nodes_explored < 100,
+            "symmetry breaking should prune"
+        );
     }
 
     #[test]
     fn releases_respected_in_optimum() {
-        let inst = Instance::new(
-            vec![task(0, 10, 4, 1, 1000), task(1, 10, 4, 1, 0)],
-            4,
-            16,
-        );
+        let inst = Instance::new(vec![task(0, 10, 4, 1, 1000), task(1, 10, 4, 1, 0)], 4, 16);
         let result = BranchAndBound::default().solve(&inst, &[0, 1]);
         assert!(result.proven_optimal);
         assert_eq!(result.makespan, 1010);

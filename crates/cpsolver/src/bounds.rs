@@ -65,11 +65,7 @@ mod tests {
 
     #[test]
     fn critical_task_dominates() {
-        let inst = Instance::new(
-            vec![task(1, 1000, 1, 1, 0), task(2, 10, 1, 1, 0)],
-            8,
-            64,
-        );
+        let inst = Instance::new(vec![task(1, 1000, 1, 1, 0), task(2, 10, 1, 1, 0)], 8, 64);
         assert_eq!(lower_bound(&inst), 1000);
     }
 

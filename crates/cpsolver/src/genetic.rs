@@ -108,11 +108,7 @@ pub fn evolve(instance: &Instance, seeds: &[Vec<usize>], config: &GeneticConfig)
     }
 }
 
-fn tournament(
-    population: &[(Vec<usize>, u64)],
-    k: usize,
-    rng: &mut Xoshiro256PlusPlus,
-) -> usize {
+fn tournament(population: &[(Vec<usize>, u64)], k: usize, rng: &mut Xoshiro256PlusPlus) -> usize {
     let mut best = rng.gen_index(population.len());
     for _ in 1..k.max(1) {
         let challenger = rng.gen_index(population.len());
@@ -169,7 +165,9 @@ mod tests {
     fn pseudo_random_instance(seed: u64, n: usize) -> Instance {
         let tasks: Vec<Task> = (0..n)
             .map(|i| {
-                let x = seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64 * 53);
+                let x = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(i as u64 * 53);
                 task(
                     i as u32,
                     30 + (x % 250),

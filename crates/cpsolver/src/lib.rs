@@ -37,4 +37,4 @@ pub mod portfolio;
 pub mod sgs;
 
 pub use model::{Instance, Schedule, Task};
-pub use portfolio::{SolveMethod, Solution, Solver, SolverConfig};
+pub use portfolio::{Solution, SolveMethod, Solver, SolverConfig};

@@ -162,16 +162,25 @@ mod tests {
     fn feasibility_checks_capacity() {
         let inst = Instance::new(vec![task(1, 100, 2, 4), task(2, 100, 2, 4)], 3, 10);
         // Overlapping: 4 nodes > 3 capacity.
-        assert!(!Schedule { starts: vec![0, 50] }.is_feasible(&inst));
+        assert!(!Schedule {
+            starts: vec![0, 50]
+        }
+        .is_feasible(&inst));
         // Sequential: fine.
-        assert!(Schedule { starts: vec![0, 100] }.is_feasible(&inst));
+        assert!(Schedule {
+            starts: vec![0, 100]
+        }
+        .is_feasible(&inst));
     }
 
     #[test]
     fn feasibility_checks_memory() {
         let inst = Instance::new(vec![task(1, 100, 1, 8), task(2, 100, 1, 8)], 10, 10);
         assert!(!Schedule { starts: vec![0, 0] }.is_feasible(&inst));
-        assert!(Schedule { starts: vec![0, 100] }.is_feasible(&inst));
+        assert!(Schedule {
+            starts: vec![0, 100]
+        }
+        .is_feasible(&inst));
     }
 
     #[test]
@@ -193,7 +202,10 @@ mod tests {
     fn exact_end_instants_do_not_conflict() {
         // Task 2 starts exactly when task 1 ends — no overlap.
         let inst = Instance::new(vec![task(1, 100, 2, 2), task(2, 100, 2, 2)], 2, 2);
-        assert!(Schedule { starts: vec![0, 100] }.is_feasible(&inst));
+        assert!(Schedule {
+            starts: vec![0, 100]
+        }
+        .is_feasible(&inst));
     }
 
     #[test]

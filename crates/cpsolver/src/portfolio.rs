@@ -205,7 +205,9 @@ mod tests {
     fn pseudo_random_instance(seed: u64, n: usize) -> Instance {
         let tasks: Vec<Task> = (0..n)
             .map(|i| {
-                let x = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(i as u64 * 17);
+                let x = seed
+                    .wrapping_mul(0x2545F4914F6CDD1D)
+                    .wrapping_add(i as u64 * 17);
                 task(
                     i as u32,
                     25 + (x % 400),
@@ -281,11 +283,7 @@ mod tests {
 
     #[test]
     fn releases_are_honored() {
-        let inst = Instance::new(
-            vec![task(0, 100, 4, 1, 0), task(1, 100, 4, 1, 50)],
-            4,
-            16,
-        );
+        let inst = Instance::new(vec![task(0, 100, 4, 1, 0), task(1, 100, 4, 1, 50)], 4, 16);
         let sol = Solver::default().solve(&inst);
         assert!(sol.schedule.is_feasible(&inst));
         assert_eq!(sol.makespan, 200, "serializes due to node conflict");

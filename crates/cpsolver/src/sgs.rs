@@ -98,8 +98,7 @@ mod tests {
         let n = inst.len();
         let idperm: Vec<usize> = (0..n).collect();
         let reversed: Vec<usize> = (0..n).rev().collect();
-        let evens_then_odds: Vec<usize> =
-            (0..n).step_by(2).chain((1..n).step_by(2)).collect();
+        let evens_then_odds: Vec<usize> = (0..n).step_by(2).chain((1..n).step_by(2)).collect();
         for order in [idperm, reversed, evens_then_odds] {
             let s = decode(&inst, &order);
             assert!(s.is_feasible(&inst), "order {order:?}");

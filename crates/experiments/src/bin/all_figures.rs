@@ -85,7 +85,12 @@ fn main() {
     let rows: Vec<(Vec<String>, _)> = f6
         .cells
         .iter()
-        .map(|c| (vec![c.jobs.to_string(), c.model.clone()], c.overhead.clone()))
+        .map(|c| {
+            (
+                vec![c.jobs.to_string(), c.model.clone()],
+                c.overhead.clone(),
+            )
+        })
         .collect();
     write(
         "results/fig6.csv",
@@ -96,12 +101,20 @@ fn main() {
     print!("{}", f7.render());
     {
         use rsched_metrics::Metric;
-        let mut rows: Vec<Vec<String>> = vec![
-            ["scheduler", "metric", "n", "min", "q1", "median", "q3", "max", "outliers"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
-        ];
+        let mut rows: Vec<Vec<String>> = vec![[
+            "scheduler",
+            "metric",
+            "n",
+            "min",
+            "q1",
+            "median",
+            "q3",
+            "max",
+            "outliers",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()];
         for (name, dist) in &f7.distributions {
             for metric in Metric::all() {
                 if let Some(b) = dist.boxplot(metric) {

@@ -112,10 +112,7 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> AblationOutput {
         (name, MetricsReport::compute(&outcome.records, cluster))
     });
 
-    let mut rows = vec![(
-        "FCFS".to_string(),
-        normalize_against(&baseline, &baseline),
-    )];
+    let mut rows = vec![("FCFS".to_string(), normalize_against(&baseline, &baseline))];
     rows.extend(
         reports
             .into_iter()
@@ -127,10 +124,7 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> AblationOutput {
 impl AblationOutput {
     /// One profile's normalized report.
     pub fn row(&self, name: &str) -> Option<&NormalizedReport> {
-        self.rows
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, r)| r)
+        self.rows.iter().find(|(n, _)| n == name).map(|(_, r)| r)
     }
 
     /// Render the sweep table.

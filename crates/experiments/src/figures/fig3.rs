@@ -81,10 +81,7 @@ impl Fig3Output {
     }
 
     /// Rows for one scenario.
-    pub fn scenario_rows(
-        &self,
-        scenario: ScenarioKind,
-    ) -> Option<&[(String, NormalizedReport)]> {
+    pub fn scenario_rows(&self, scenario: ScenarioKind) -> Option<&[(String, NormalizedReport)]> {
         self.scenarios
             .iter()
             .find(|(s, _)| *s == scenario)

@@ -95,14 +95,11 @@ impl Fig5Output {
         let mut table = TextTable::new(header);
         for c in &self.cells {
             let mut row = vec![c.scenario.name().to_string(), c.model.clone()];
-            row.extend(
-                latency_row(
-                    c.overhead.call_count,
-                    c.overhead.total_elapsed_secs,
-                    &c.overhead.placement_latencies,
-                )
-                .into_iter(),
-            );
+            row.extend(latency_row(
+                c.overhead.call_count,
+                c.overhead.total_elapsed_secs,
+                &c.overhead.placement_latencies,
+            ));
             table.push_row(row);
         }
         let _ = writeln!(out, "{}", table.render());

@@ -15,9 +15,7 @@ use rsched_simkit::rng::SeedTree;
 use rsched_workloads::ScenarioKind;
 
 use crate::options::ExperimentOptions;
-use crate::runner::{
-    policy_seed, run_matrix, scenario_jobs, MatrixCell, SchedulerKind,
-};
+use crate::runner::{policy_seed, run_matrix, scenario_jobs, MatrixCell, SchedulerKind};
 
 /// Repetitions (5 in the paper).
 pub const REPETITIONS: usize = 5;
@@ -102,7 +100,14 @@ impl Fig7Output {
         for metric in Metric::all() {
             let _ = writeln!(out, "## {}", metric.name());
             let mut table = TextTable::new([
-                "scheduler", "n", "min", "q1", "median", "q3", "max", "outliers",
+                "scheduler",
+                "n",
+                "min",
+                "q1",
+                "median",
+                "q3",
+                "max",
+                "outliers",
             ]);
             for (name, dist) in &self.distributions {
                 match dist.boxplot(metric) {

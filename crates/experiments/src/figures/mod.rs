@@ -47,10 +47,7 @@ pub(crate) fn latency_row(call_count: usize, elapsed: f64, latencies: &[f64]) ->
         Some(x) => format!("{x:.1}"),
         None => "-".to_string(),
     };
-    let max = latencies
-        .iter()
-        .copied()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let max = latencies.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let mean = if latencies.is_empty() {
         None
     } else {
@@ -62,6 +59,10 @@ pub(crate) fn latency_row(call_count: usize, elapsed: f64, latencies: &[f64]) ->
         fmt(mean),
         fmt(quantile(latencies, 0.5)),
         fmt(quantile(latencies, 0.95)),
-        fmt(if latencies.is_empty() { None } else { Some(max) }),
+        fmt(if latencies.is_empty() {
+            None
+        } else {
+            Some(max)
+        }),
     ]
 }

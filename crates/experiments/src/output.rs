@@ -17,7 +17,11 @@ pub fn normalized_rows_to_csv(
 ) -> String {
     let mut table: Vec<Vec<String>> = Vec::with_capacity(rows.len() + 1);
     let mut header: Vec<String> = label_headers.iter().map(|s| s.to_string()).collect();
-    header.extend(Metric::all().iter().map(|m| m.name().replace(' ', "_").to_lowercase()));
+    header.extend(
+        Metric::all()
+            .iter()
+            .map(|m| m.name().replace(' ', "_").to_lowercase()),
+    );
     table.push(header);
     for (labels, report) in rows {
         let mut row = labels.clone();
@@ -39,9 +43,16 @@ pub fn overhead_rows_to_csv(
     let mut table: Vec<Vec<String>> = Vec::with_capacity(rows.len() + 1);
     let mut header: Vec<String> = label_headers.iter().map(|s| s.to_string()).collect();
     header.extend(
-        ["calls", "elapsed_s", "latency_mean_s", "latency_p50_s", "latency_p95_s", "latency_max_s"]
-            .iter()
-            .map(|s| s.to_string()),
+        [
+            "calls",
+            "elapsed_s",
+            "latency_mean_s",
+            "latency_p50_s",
+            "latency_p95_s",
+            "latency_max_s",
+        ]
+        .iter()
+        .map(|s| s.to_string()),
     );
     table.push(header);
     for (labels, overhead) in rows {
@@ -56,10 +67,7 @@ pub fn overhead_rows_to_csv(
                 .map(|v| format!("{v:.3}"))
                 .unwrap_or_default()
         };
-        let max = lat
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max = lat.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let mut row = labels.clone();
         row.extend([
             overhead.call_count.to_string(),

@@ -106,10 +106,7 @@ pub fn run_policy(
     let (outcome, overhead) = match kind {
         SchedulerKind::Fcfs => (run(jobs, cluster, &mut Fcfs, &options), None),
         SchedulerKind::Sjf => (run(jobs, cluster, &mut Sjf, &options), None),
-        SchedulerKind::Easy => (
-            run(jobs, cluster, &mut EasyBackfill::new(), &options),
-            None,
-        ),
+        SchedulerKind::Easy => (run(jobs, cluster, &mut EasyBackfill::new(), &options), None),
         SchedulerKind::Random => (
             run(jobs, cluster, &mut RandomPolicy::new(policy_seed), &options),
             None,
@@ -191,10 +188,7 @@ pub fn run_matrix(cells: Vec<MatrixCell>, pool: &ThreadPool) -> Vec<RunResult> {
 
 /// Normalize a set of results against the named baseline (FCFS in every
 /// paper figure), returning `(scheduler, normalized)` rows in input order.
-pub fn normalize_table(
-    results: &[RunResult],
-    baseline: &str,
-) -> Vec<(String, NormalizedReport)> {
+pub fn normalize_table(results: &[RunResult], baseline: &str) -> Vec<(String, NormalizedReport)> {
     let base = results
         .iter()
         .find(|r| r.scheduler == baseline)
@@ -271,7 +265,10 @@ mod tests {
             .collect();
         let results = run_matrix(cells, &pool);
         let names: Vec<&str> = results.iter().map(|r| r.scheduler.as_str()).collect();
-        assert_eq!(names, vec!["FCFS", "SJF", "OR-Tools", "Claude-3.7", "O4-Mini"]);
+        assert_eq!(
+            names,
+            vec!["FCFS", "SJF", "OR-Tools", "Claude-3.7", "O4-Mini"]
+        );
     }
 
     #[test]
@@ -279,9 +276,7 @@ mod tests {
         let jobs = scenario_jobs(ScenarioKind::HomogeneousShort, 10, 3);
         let results: Vec<RunResult> = [SchedulerKind::Fcfs, SchedulerKind::Sjf]
             .into_iter()
-            .map(|k| {
-                run_policy(k, &jobs, ClusterConfig::paper_default(), 1, &quick_solver())
-            })
+            .map(|k| run_policy(k, &jobs, ClusterConfig::paper_default(), 1, &quick_solver()))
             .collect();
         let table = normalize_table(&results, "FCFS");
         let (name, fcfs_row) = &table[0];

@@ -124,8 +124,8 @@ mod tests {
     #[test]
     fn weights_roughly_normalized() {
         for p in [Persona::claude37(), Persona::o4mini()] {
-            let sum = p.weights.fairness + p.weights.throughput + p.weights.packing
-                + p.weights.makespan;
+            let sum =
+                p.weights.fairness + p.weights.throughput + p.weights.packing + p.weights.makespan;
             assert!((sum - 1.0).abs() < 1e-9, "{}: {sum}", p.name);
         }
     }

@@ -90,8 +90,11 @@ mod tests {
         let mut backend = ProcessBackend::new(
             "shell-model",
             "sh",
-            ["-c", "cat > /dev/null; printf 'Thought: scripted\\nAction: Delay'"]
-                .map(String::from),
+            [
+                "-c",
+                "cat > /dev/null; printf 'Thought: scripted\\nAction: Delay'",
+            ]
+            .map(String::from),
         );
         let c = backend.complete("a prompt").expect("completes");
         assert_eq!(c.text, "Thought: scripted\nAction: Delay");
@@ -123,8 +126,7 @@ mod tests {
 
     #[test]
     fn missing_program_is_an_error() {
-        let mut backend =
-            ProcessBackend::new("ghost", "definitely-not-a-real-binary-2026", []);
+        let mut backend = ProcessBackend::new("ghost", "definitely-not-a-real-binary-2026", []);
         assert!(backend.complete("p").is_err());
     }
 }

@@ -202,9 +202,7 @@ fn parse_capacity(text: &str) -> Result<(u32, u64), ParseError> {
         "capacity nodes",
     )? as u32;
     let memory = parse_u64(
-        mem_part
-            .strip_suffix(" GB memory")
-            .unwrap_or(mem_part),
+        mem_part.strip_suffix(" GB memory").unwrap_or(mem_part),
         "capacity memory",
     )?;
     Ok((nodes, memory))

@@ -142,11 +142,7 @@ pub fn deliberate(
         return Deliberation {
             action: ReasonedAction::Delay,
             rationale: Rationale::NothingFits {
-                next_completion_secs: prompt
-                    .running
-                    .iter()
-                    .map(|r| r.expected_end_secs)
-                    .min(),
+                next_completion_secs: prompt.running.iter().map(|r| r.expected_end_secs).min(),
                 waiting: prompt.waiting.len(),
             },
         };
@@ -281,7 +277,14 @@ mod tests {
         Xoshiro256PlusPlus::seed_from_u64(42)
     }
 
-    fn waiting(id: u32, user: u32, nodes: u32, mem: u64, walltime: u64, wait: u64) -> ParsedWaitingJob {
+    fn waiting(
+        id: u32,
+        user: u32,
+        nodes: u32,
+        mem: u64,
+        walltime: u64,
+        wait: u64,
+    ) -> ParsedWaitingJob {
         ParsedWaitingJob {
             id,
             user,
@@ -322,10 +325,7 @@ mod tests {
         }];
         let d = deliberate(&p, &ObjectiveWeights::balanced(), 0.0, &mut rng());
         assert_eq!(d.action, ReasonedAction::Stop);
-        assert_eq!(
-            d.rationale,
-            Rationale::AllScheduled { still_running: 1 }
-        );
+        assert_eq!(d.rationale, Rationale::AllScheduled { still_running: 1 });
     }
 
     #[test]
@@ -364,10 +364,7 @@ mod tests {
     #[test]
     fn throughput_heavy_weights_pick_the_short_job() {
         let mut p = base_prompt();
-        p.waiting = vec![
-            waiting(1, 0, 4, 8, 10_000, 0),
-            waiting(2, 1, 4, 8, 50, 0),
-        ];
+        p.waiting = vec![waiting(1, 0, 4, 8, 10_000, 0), waiting(2, 1, 4, 8, 50, 0)];
         let w = ObjectiveWeights {
             fairness: 0.0,
             throughput: 1.0,
@@ -381,10 +378,7 @@ mod tests {
     #[test]
     fn makespan_heavy_weights_pick_the_long_job() {
         let mut p = base_prompt();
-        p.waiting = vec![
-            waiting(1, 0, 4, 8, 10_000, 0),
-            waiting(2, 1, 4, 8, 50, 0),
-        ];
+        p.waiting = vec![waiting(1, 0, 4, 8, 10_000, 0), waiting(2, 1, 4, 8, 50, 0)];
         let w = ObjectiveWeights {
             fairness: 0.0,
             throughput: 0.0,
@@ -483,7 +477,10 @@ mod tests {
         assert_eq!(d.action, ReasonedAction::Backfill(40));
         match d.rationale {
             Rationale::Picked {
-                backfill, head_id, head_fits, ..
+                backfill,
+                head_id,
+                head_fits,
+                ..
             } => {
                 assert!(backfill);
                 assert_eq!(head_id, 1);
@@ -496,10 +493,7 @@ mod tests {
     #[test]
     fn plain_start_when_head_fits_but_another_job_wins() {
         let mut p = base_prompt();
-        p.waiting = vec![
-            waiting(1, 0, 2, 4, 10_000, 10),
-            waiting(2, 1, 2, 4, 50, 10),
-        ];
+        p.waiting = vec![waiting(1, 0, 2, 4, 10_000, 10), waiting(2, 1, 2, 4, 50, 10)];
         let w = ObjectiveWeights {
             fairness: 0.0,
             throughput: 1.0,
@@ -545,10 +539,7 @@ mod tests {
     #[test]
     fn zero_temperature_is_deterministic_across_rng_states() {
         let mut p = base_prompt();
-        p.waiting = vec![
-            waiting(1, 0, 2, 4, 500, 10),
-            waiting(2, 1, 2, 4, 50, 10),
-        ];
+        p.waiting = vec![waiting(1, 0, 2, 4, 500, 10), waiting(2, 1, 2, 4, 50, 10)];
         // Different rng seeds, temperature 0: tie-break noise is 1e-9 scale
         // and the scores differ by much more, so the pick is stable.
         let d1 = deliberate(

@@ -27,13 +27,7 @@ pub fn render_thought(
             head_id,
             head_fits,
         } => picked_thought(
-            prompt,
-            *chosen,
-            *backfill,
-            scores,
-            *head_id,
-            *head_fits,
-            style,
+            prompt, *chosen, *backfill, scores, *head_id, *head_fits, style,
         ),
         Rationale::NothingFits {
             next_completion_secs,
@@ -92,8 +86,14 @@ fn picked_thought(
                     t,
                     "Job {} ({} nodes, {} GB, walltime={} s) scores fairness {:.2}, \
                      throughput {:.2}, packing {:.2}, makespan {:.2}. ",
-                    s.id, j.nodes, j.memory_gb, j.walltime_secs,
-                    s.fairness, s.throughput, s.packing, s.makespan,
+                    s.id,
+                    j.nodes,
+                    j.memory_gb,
+                    j.walltime_secs,
+                    s.fairness,
+                    s.throughput,
+                    s.packing,
+                    s.makespan,
                 );
             }
         }
@@ -137,10 +137,22 @@ fn picked_thought(
 
 fn dominant_objective(score: &crate::reasoner::JobScore) -> &'static str {
     let components = [
-        (score.fairness, "it has been waiting longest, so starting it minimizes variance in user wait times"),
-        (score.throughput, "it completes quickly, improving the number of jobs finished per unit time"),
-        (score.packing, "it makes efficient use of the free nodes and memory, avoiding idle resources"),
-        (score.makespan, "getting this long job started early shortens the total time to finish all jobs"),
+        (
+            score.fairness,
+            "it has been waiting longest, so starting it minimizes variance in user wait times",
+        ),
+        (
+            score.throughput,
+            "it completes quickly, improving the number of jobs finished per unit time",
+        ),
+        (
+            score.packing,
+            "it makes efficient use of the free nodes and memory, avoiding idle resources",
+        ),
+        (
+            score.makespan,
+            "getting this long job started early shortens the total time to finish all jobs",
+        ),
     ];
     components
         .iter()
@@ -360,7 +372,10 @@ mod tests {
     #[test]
     fn completion_format_matches_paper() {
         let text = render_completion("because reasons", ReasonedAction::Backfill(40));
-        assert_eq!(text, "Thought: because reasons\nAction: BackfillJob(job_id=40)");
+        assert_eq!(
+            text,
+            "Thought: because reasons\nAction: BackfillJob(job_id=40)"
+        );
         let text = render_completion("waiting", ReasonedAction::Delay);
         assert!(text.ends_with("Action: Delay"));
     }

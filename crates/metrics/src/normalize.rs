@@ -132,10 +132,16 @@ mod tests {
         let better = report(80.0, 10.0, 0.7);
         let n = normalize_against(&better, &base);
         assert_eq!(n.no_worse_than_baseline(Metric::Makespan), Some(true));
-        assert_eq!(n.no_worse_than_baseline(Metric::NodeUtilization), Some(true));
+        assert_eq!(
+            n.no_worse_than_baseline(Metric::NodeUtilization),
+            Some(true)
+        );
         let worse = report(120.0, 10.0, 0.4);
         let n = normalize_against(&worse, &base);
         assert_eq!(n.no_worse_than_baseline(Metric::Makespan), Some(false));
-        assert_eq!(n.no_worse_than_baseline(Metric::NodeUtilization), Some(false));
+        assert_eq!(
+            n.no_worse_than_baseline(Metric::NodeUtilization),
+            Some(false)
+        );
     }
 }

@@ -60,11 +60,7 @@ pub fn memory_utilization(records: &[JobRecord], config: ClusterConfig) -> f64 {
     )
 }
 
-fn utilization(
-    work: impl Iterator<Item = f64>,
-    capacity: f64,
-    records: &[JobRecord],
-) -> f64 {
+fn utilization(work: impl Iterator<Item = f64>, capacity: f64, records: &[JobRecord]) -> f64 {
     let span = makespan(records).as_secs_f64();
     if span <= 0.0 || capacity <= 0.0 {
         return 0.0;

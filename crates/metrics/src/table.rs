@@ -139,7 +139,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(fmt_float(3.14159, 2), "3.14");
+        assert_eq!(fmt_float(1.23456, 2), "1.23");
         assert_eq!(fmt_float(f64::NAN, 2), "-");
         assert_eq!(fmt_float(f64::INFINITY, 1), "-");
     }

@@ -15,6 +15,7 @@
 //! * condvar parking when the system runs dry.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod pool;
 

@@ -146,9 +146,7 @@ fn worker_loop(index: usize, local: Worker<Task>, shared: Arc<Shared>) {
         if shared.shutdown.load(Ordering::SeqCst) || !shared.injector.is_empty() {
             continue;
         }
-        shared
-            .wakeup
-            .wait_for(&mut guard, Duration::from_millis(5));
+        shared.wakeup.wait_for(&mut guard, Duration::from_millis(5));
     }
 }
 

@@ -119,10 +119,10 @@ mod tests {
     #[test]
     fn unsafe_backfill_is_skipped_after_rejection() {
         let jobs = vec![
-            spec(0, 0, 100, 6), // running, 2 nodes free
-            spec(1, 5, 50, 8),  // head blocked until t=100
+            spec(0, 0, 100, 6),  // running, 2 nodes free
+            spec(1, 5, 50, 8),   // head blocked until t=100
             spec(2, 6, 1000, 2), // would overlap shadow & steal nodes: unsafe
-            spec(3, 7, 10, 1),  // safe alternative
+            spec(3, 7, 10, 1),   // safe alternative
         ];
         let out = run(&jobs);
         // Job 2 (2 nodes, very long) would leave only 6 free at shadow time

@@ -59,11 +59,7 @@ impl OrToolsPolicy {
                 release: j.submit.as_millis(),
             })
             .collect();
-        let instance = Instance::new(
-            tasks,
-            view.config.nodes,
-            view.config.memory_gb,
-        );
+        let instance = Instance::new(tasks, view.config.nodes, view.config.memory_gb);
         let solution = self.solver.solve(&instance);
         let mut plan: Vec<(u64, JobId)> = solution
             .schedule

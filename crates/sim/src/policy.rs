@@ -164,7 +164,10 @@ impl fmt::Display for RejectReason {
                  {needed_memory_gb} GB; available: {free_nodes} Nodes, {free_memory_gb} GB"
             ),
             RejectReason::ExceedsCapacity(id) => {
-                write!(f, "job {id} exceeds total machine capacity and can never run")
+                write!(
+                    f,
+                    "job {id} exceeds total machine capacity and can never run"
+                )
             }
             RejectReason::WouldDelayHead { job, head, shadow } => write!(
                 f,
@@ -239,6 +242,11 @@ mod tests {
             }),
         };
         assert!(!bad.accepted());
-        assert!(bad.rejected.as_ref().map(|r| r.to_string()).filter(|t| t.contains("cannot stop")).is_some());
+        assert!(bad
+            .rejected
+            .as_ref()
+            .map(|r| r.to_string())
+            .filter(|t| t.contains("cannot stop"))
+            .is_some());
     }
 }

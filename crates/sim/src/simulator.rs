@@ -7,11 +7,11 @@
 
 use std::collections::BTreeSet;
 
+use rsched_cluster::reservation::Demand;
 use rsched_cluster::{
     backfill_is_safe, shadow_start, ClusterConfig, ClusterState, JobId, JobSpec, StartError,
     StepIntegral,
 };
-use rsched_cluster::reservation::Demand;
 use rsched_simkit::{EventQueue, SimTime};
 
 use crate::events::SimEvent;
@@ -86,7 +86,11 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::DuplicateJobId(id) => write!(f, "duplicate job id {id}"),
-            SimError::InfeasibleJob { id, nodes, memory_gb } => write!(
+            SimError::InfeasibleJob {
+                id,
+                nodes,
+                memory_gb,
+            } => write!(
                 f,
                 "job {id} requests {nodes} nodes / {memory_gb} GB, exceeding machine capacity"
             ),
@@ -354,8 +358,7 @@ fn validate_and_apply(
                     return Err(insufficient(ctx.cluster, &spec));
                 }
                 if !backfill_is_safe(ctx.cluster, ctx.now, &spec, &head) {
-                    let shadow =
-                        shadow_start(ctx.cluster, ctx.now, Demand::from(&head));
+                    let shadow = shadow_start(ctx.cluster, ctx.now, Demand::from(&head));
                     return Err(RejectReason::WouldDelayHead {
                         job: spec.id,
                         head: head.id,
@@ -662,7 +665,9 @@ mod tests {
         let out = run_simulation(
             small_cluster(),
             &jobs,
-            &mut EagerStopper { tried_early_stop: false },
+            &mut EagerStopper {
+                tried_early_stop: false,
+            },
             &SimOptions::default(),
         )
         .expect("completes");
@@ -751,7 +756,12 @@ mod tests {
             .iter()
             .filter(|d| matches!(d.rejected, Some(RejectReason::WouldDelayHead { .. })))
             .collect();
-        assert_eq!(delayed_head_rejects.len(), 1, "decisions: {:#?}", out.decisions);
+        assert_eq!(
+            delayed_head_rejects.len(),
+            1,
+            "decisions: {:#?}",
+            out.decisions
+        );
         assert_eq!(out.records.len(), 3);
     }
 
@@ -784,12 +794,30 @@ mod tests {
     #[test]
     fn simulation_is_deterministic() {
         let jobs: Vec<JobSpec> = (0..20)
-            .map(|i| spec(i, (i as u64) * 7 % 50, 20 + (i as u64 * 13) % 80, 1 + i % 8, 1 + (i as u64 * 5) % 60))
+            .map(|i| {
+                spec(
+                    i,
+                    (i as u64) * 7 % 50,
+                    20 + (i as u64 * 13) % 80,
+                    1 + i % 8,
+                    1 + (i as u64 * 5) % 60,
+                )
+            })
             .collect();
-        let a = run_simulation(small_cluster(), &jobs, &mut GreedyFirstFit, &SimOptions::default())
-            .expect("runs");
-        let b = run_simulation(small_cluster(), &jobs, &mut GreedyFirstFit, &SimOptions::default())
-            .expect("runs");
+        let a = run_simulation(
+            small_cluster(),
+            &jobs,
+            &mut GreedyFirstFit,
+            &SimOptions::default(),
+        )
+        .expect("runs");
+        let b = run_simulation(
+            small_cluster(),
+            &jobs,
+            &mut GreedyFirstFit,
+            &SimOptions::default(),
+        )
+        .expect("runs");
         assert_eq!(a.records, b.records);
         assert_eq!(a.decisions, b.decisions);
     }
@@ -863,7 +891,10 @@ mod tests {
         .unwrap_err();
         // Delaying forever with no running jobs → stuck (before budget).
         assert!(
-            matches!(err, SimError::Stuck { .. } | SimError::QueryBudgetExhausted { .. }),
+            matches!(
+                err,
+                SimError::Stuck { .. } | SimError::QueryBudgetExhausted { .. }
+            ),
             "got {err:?}"
         );
     }

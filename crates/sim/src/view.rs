@@ -132,7 +132,11 @@ mod tests {
             config: ClusterConfig::paper_default(),
             free_nodes: 64,
             free_memory_gb: 512,
-            waiting: vec![spec(3, 1, 50, 128, 256), spec(1, 0, 10, 32, 128), spec(2, 1, 10, 64, 600)],
+            waiting: vec![
+                spec(3, 1, 50, 128, 256),
+                spec(1, 0, 10, 32, 128),
+                spec(2, 1, 10, 64, 600),
+            ],
             running: vec![RunningSummary {
                 id: JobId(9),
                 user: UserId(2),

@@ -26,8 +26,7 @@ impl std::error::Error for CsvError {}
 
 /// Escape one field for CSV output, quoting only when necessary.
 pub fn escape_field(field: &str) -> String {
-    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r')
-    {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
         let mut out = String::with_capacity(field.len() + 2);
         out.push('"');
         for c in field.chars() {
@@ -182,11 +181,7 @@ impl Table {
             if row.len() != header.len() {
                 return Err(CsvError {
                     line: i + 2,
-                    message: format!(
-                        "row has {} fields, header has {}",
-                        row.len(),
-                        header.len()
-                    ),
+                    message: format!("row has {} fields, header has {}", row.len(), header.len()),
                 });
             }
         }

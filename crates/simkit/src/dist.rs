@@ -45,7 +45,10 @@ impl Uniform {
     /// # Panics
     /// Panics if `lo > hi` or either bound is non-finite.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite(), "Uniform: non-finite bound");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "Uniform: non-finite bound"
+        );
         assert!(lo <= hi, "Uniform: lo > hi");
         Uniform { lo, hi }
     }
@@ -72,13 +75,19 @@ impl Exponential {
     /// # Panics
     /// Panics if `rate` is not strictly positive and finite.
     pub fn new(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "Exponential: rate must be > 0");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "Exponential: rate must be > 0"
+        );
         Exponential { rate }
     }
 
     /// Exponential with the given mean (`1/rate`).
     pub fn with_mean(mean: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "Exponential: mean must be > 0");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "Exponential: mean must be > 0"
+        );
         Exponential { rate: 1.0 / mean }
     }
 }
@@ -105,7 +114,10 @@ impl Normal {
     /// # Panics
     /// Panics if `std < 0` or either parameter is non-finite.
     pub fn new(mean: f64, std: f64) -> Self {
-        assert!(mean.is_finite() && std.is_finite(), "Normal: non-finite parameter");
+        assert!(
+            mean.is_finite() && std.is_finite(),
+            "Normal: non-finite parameter"
+        );
         assert!(std >= 0.0, "Normal: negative std");
         Normal { mean, std }
     }
@@ -147,7 +159,10 @@ impl LogNormal {
     /// # Panics
     /// Panics if `sigma < 0` or either parameter is non-finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite(), "LogNormal: non-finite parameter");
+        assert!(
+            mu.is_finite() && sigma.is_finite(),
+            "LogNormal: non-finite parameter"
+        );
         assert!(sigma >= 0.0, "LogNormal: negative sigma");
         LogNormal { mu, sigma }
     }
@@ -204,9 +219,7 @@ impl Gamma {
             let v3 = v * v * v;
             let u = rng.unit_f64_open();
             // Squeeze step, then full acceptance test.
-            if u < 1.0 - 0.0331 * x.powi(4)
-                || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln())
-            {
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
                 return d * v3;
             }
         }
@@ -356,7 +369,10 @@ impl Poisson {
     /// # Panics
     /// Panics unless `lambda` is strictly positive and finite.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda.is_finite() && lambda > 0.0, "Poisson: lambda must be > 0");
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "Poisson: lambda must be > 0"
+        );
         Poisson { lambda }
     }
 

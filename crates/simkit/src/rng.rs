@@ -168,7 +168,10 @@ impl Xoshiro256PlusPlus {
     /// # Panics
     /// Panics if the state is all zeros (the one invalid state).
     pub fn from_state(s: [u64; 4]) -> Self {
-        assert!(s.iter().any(|&w| w != 0), "xoshiro256++ state must be non-zero");
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256++ state must be non-zero"
+        );
         Xoshiro256PlusPlus { s }
     }
 
@@ -183,10 +186,7 @@ impl Rng for Xoshiro256PlusPlus {
     #[inline]
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];

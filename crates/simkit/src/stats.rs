@@ -332,7 +332,11 @@ impl Histogram {
         let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
         let mut out = String::new();
         for (edge, count) in self.iter_edges() {
-            let bar = "#".repeat((count as usize * max_width).div_ceil(peak as usize).min(max_width));
+            let bar = "#".repeat(
+                (count as usize * max_width)
+                    .div_ceil(peak as usize)
+                    .min(max_width),
+            );
             out.push_str(&format!("{edge:>10.2} | {bar} {count}\n"));
         }
         out

@@ -231,7 +231,7 @@ fn job_shape(scenario: ScenarioKind, index: usize, n: usize, rng: &mut dyn Rng) 
         ScenarioKind::LongJobDominant => {
             // Exactly ~20 % long jobs, deterministically interleaved so every
             // instance size keeps the paper's ratio.
-            if index % 5 == 0 {
+            if index.is_multiple_of(5) {
                 JobShape {
                     duration_secs: 50_000.0,
                     nodes: 128,
@@ -265,7 +265,7 @@ fn job_shape(scenario: ScenarioKind, index: usize, n: usize, rng: &mut dyn Rng) 
             // Alternate short and long jobs with modest demands (§3.1). The
             // long jobs of successive bursts overlap, so several bursts in,
             // the machine saturates and responsiveness differences appear.
-            if index % 2 == 0 {
+            if index.is_multiple_of(2) {
                 JobShape {
                     duration_secs: Uniform::new(60.0, 180.0).sample(rng),
                     nodes: 2,
@@ -443,14 +443,13 @@ mod tests {
     #[test]
     fn heterogeneous_mix_statistics() {
         let w = gen(ScenarioKind::HeterogeneousMix, 400);
-        let mean_dur: f64 = w
-            .jobs
-            .iter()
-            .map(|j| j.duration.as_secs_f64())
-            .sum::<f64>()
-            / w.len() as f64;
+        let mean_dur: f64 =
+            w.jobs.iter().map(|j| j.duration.as_secs_f64()).sum::<f64>() / w.len() as f64;
         // Gamma(1.5, 300) has mean 450 (clamping perturbs slightly).
-        assert!((350.0..550.0).contains(&mean_dur), "mean duration {mean_dur}");
+        assert!(
+            (350.0..550.0).contains(&mean_dur),
+            "mean duration {mean_dur}"
+        );
         let small = w.jobs.iter().filter(|j| j.nodes <= 4).count();
         let large = w.jobs.iter().filter(|j| j.nodes >= 48).count();
         assert!(small > large, "node mix skews small");

@@ -90,8 +90,8 @@ pub fn jobs_from_csv(text: &str) -> Result<Vec<JobSpec>, TraceError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenarios::{generate, ScenarioKind};
     use crate::arrivals::ArrivalMode;
+    use crate::scenarios::{generate, ScenarioKind};
 
     #[test]
     fn roundtrip_preserves_jobs() {

@@ -29,9 +29,7 @@ impl UserModel {
             .collect();
         UserModel {
             weights: Categorical::new(&weights),
-            groups_of_users: (0..num_users)
-                .map(|u| (u % num_groups) as u32)
-                .collect(),
+            groups_of_users: (0..num_users).map(|u| (u % num_groups) as u32).collect(),
         }
     }
 
@@ -64,7 +62,7 @@ mod tests {
     fn zipf_skews_toward_low_ranks() {
         let m = UserModel::zipf(10, 2, 1.2);
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for _ in 0..20_000 {
             let (u, g) = m.sample(&mut rng);
             counts[u as usize] += 1;

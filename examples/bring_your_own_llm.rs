@@ -36,11 +36,7 @@ fn main() {
             echo $((n + 1)) > "$state"
         fi
     "#;
-    std::fs::write(
-        std::env::temp_dir().join("byollm_counter"),
-        "0",
-    )
-    .expect("seed counter");
+    std::fs::write(std::env::temp_dir().join("byollm_counter"), "0").expect("seed counter");
 
     let backend = ProcessBackend::new("sh-fcfs", "sh", ["-c".to_string(), script.to_string()]);
     let mut policy = LlmSchedulingPolicy::new(Box::new(backend));

@@ -14,11 +14,7 @@ use reasoned_scheduler::prelude::*;
 fn main() {
     let cluster = ClusterConfig::paper_default();
     let workload = generate(ScenarioKind::LongJobDominant, 30, ArrivalMode::Dynamic, 11);
-    let long_jobs = workload
-        .jobs
-        .iter()
-        .filter(|j| j.nodes == 128)
-        .count();
+    let long_jobs = workload.jobs.iter().filter(|j| j.nodes == 128).count();
     println!(
         "Long-Job Dominant: {} jobs ({} are 128-node/50000 s blockers)\n",
         workload.len(),
@@ -40,8 +36,13 @@ fn main() {
         Box::new(LlmSchedulingPolicy::claude37(11)),
     ];
     for policy in policies.iter_mut() {
-        let outcome = run_simulation(cluster, &workload.jobs, policy.as_mut(), &SimOptions::default())
-            .expect("completes");
+        let outcome = run_simulation(
+            cluster,
+            &workload.jobs,
+            policy.as_mut(),
+            &SimOptions::default(),
+        )
+        .expect("completes");
         let report = MetricsReport::compute(&outcome.records, cluster);
         let mut waits: Vec<f64> = outcome
             .records

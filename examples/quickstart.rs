@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use reasoned_scheduler::prelude::*;
 use reasoned_scheduler::metrics::TextTable;
+use reasoned_scheduler::prelude::*;
 
 fn main() {
     let cluster = ClusterConfig::paper_default();
@@ -41,8 +41,13 @@ fn main() {
     ];
 
     for policy in policies.iter_mut() {
-        let outcome = run_simulation(cluster, &workload.jobs, policy.as_mut(), &SimOptions::default())
-            .expect("workload completes");
+        let outcome = run_simulation(
+            cluster,
+            &workload.jobs,
+            policy.as_mut(),
+            &SimOptions::default(),
+        )
+        .expect("workload completes");
         let report = MetricsReport::compute(&outcome.records, cluster);
         table.push_row([
             outcome.policy_name.clone(),

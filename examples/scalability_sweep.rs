@@ -33,9 +33,13 @@ fn main() {
             } else {
                 Box::new(Fcfs)
             };
-            let outcome =
-                run_simulation(cluster, &workload.jobs, policy.as_mut(), &SimOptions::default())
-                    .expect("completes");
+            let outcome = run_simulation(
+                cluster,
+                &workload.jobs,
+                policy.as_mut(),
+                &SimOptions::default(),
+            )
+            .expect("completes");
             let report = MetricsReport::compute(&outcome.records, cluster);
             let energy = EnergyReport::compute(&outcome.records, cluster, &power);
             table.push_row([

@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: every scheduler against every scenario,
 //! feasibility of every produced schedule, and end-to-end determinism.
 
-use reasoned_scheduler::prelude::*;
 use reasoned_scheduler::cpsolver::SolverConfig;
+use reasoned_scheduler::prelude::*;
 use reasoned_scheduler::schedulers::OrToolsPolicy;
 use reasoned_scheduler::sim::SimOutcome;
 use reasoned_scheduler::workloads::polaris::polaris_workload;
@@ -65,7 +65,9 @@ fn every_scheduler_completes_every_scenario() {
     let cluster = ClusterConfig::paper_default();
     for scenario in ScenarioKind::all() {
         let workload = generate(scenario, 12, ArrivalMode::Dynamic, 42);
-        for name in ["fcfs", "sjf", "easy", "random", "ortools", "claude", "o4mini"] {
+        for name in [
+            "fcfs", "sjf", "easy", "random", "ortools", "claude", "o4mini",
+        ] {
             let outcome = run_kind(name, &workload.jobs, cluster, 42);
             assert_eq!(
                 outcome.records.len(),
@@ -97,7 +99,9 @@ fn static_workloads_complete_too() {
 fn end_to_end_runs_are_deterministic() {
     let cluster = ClusterConfig::paper_default();
     let workload = generate(ScenarioKind::BurstyIdle, 14, ArrivalMode::Dynamic, 9);
-    for name in ["fcfs", "sjf", "easy", "random", "ortools", "claude", "o4mini"] {
+    for name in [
+        "fcfs", "sjf", "easy", "random", "ortools", "claude", "o4mini",
+    ] {
         let a = run_kind(name, &workload.jobs, cluster, 9);
         let b = run_kind(name, &workload.jobs, cluster, 9);
         assert_eq!(a.records, b.records, "{name} not deterministic");
@@ -167,9 +171,7 @@ fn llm_wait_improvement_holds_on_long_job_dominant() {
     let workload = generate(ScenarioKind::LongJobDominant, 20, ArrivalMode::Dynamic, 13);
     let fcfs = run_kind("fcfs", &workload.jobs, cluster, 13);
     let claude = run_kind("claude", &workload.jobs, cluster, 13);
-    let wait = |o: &SimOutcome| {
-        MetricsReport::compute(&o.records, cluster).avg_wait_secs
-    };
+    let wait = |o: &SimOutcome| MetricsReport::compute(&o.records, cluster).avg_wait_secs;
     assert!(
         wait(&claude) < 0.7 * wait(&fcfs),
         "Claude wait {} should be well below FCFS {}",

@@ -1,0 +1,113 @@
+//! Facade-drift guard: construct (or otherwise exercise) every item the
+//! `reasoned_scheduler::prelude` re-exports, so a renamed or dropped
+//! export breaks CI here instead of breaking downstream users.
+
+use reasoned_scheduler::agent::AgentOptions;
+use reasoned_scheduler::cpsolver::SolverConfig;
+use reasoned_scheduler::prelude::*;
+
+#[test]
+fn cluster_types_construct() {
+    let config = ClusterConfig::paper_default();
+    assert!(config.nodes > 0 && config.memory_gb > 0);
+
+    let spec = JobSpec::new(
+        7,
+        1,
+        SimTime::from_secs(0),
+        SimDuration::from_secs(120),
+        2,
+        8,
+    );
+    assert_eq!(spec.id, JobId(7));
+    assert_eq!(spec.user, UserId(1));
+
+    let record = JobRecord::new(spec, SimTime::from_secs(30));
+    assert_eq!(record.start, SimTime::from_secs(30));
+}
+
+#[test]
+fn simkit_types_construct() {
+    let t = SimTime::from_secs(5);
+    let d = SimDuration::from_secs(3);
+    assert_eq!(t + d, SimTime::from_secs(8));
+}
+
+#[test]
+fn workload_types_construct() {
+    let workload: Workload = generate(ScenarioKind::HeterogeneousMix, 4, ArrivalMode::Static, 1);
+    assert_eq!(workload.jobs.len(), 4);
+    // Every scenario kind is reachable through the prelude name.
+    assert!(ScenarioKind::all().len() >= 7);
+}
+
+#[test]
+fn llm_types_construct() {
+    let mut llm: SimulatedLlm = SimulatedLlm::claude37(11);
+    // `LanguageModel` is the prelude's trait handle to any backend.
+    let named: &mut dyn LanguageModel = &mut llm;
+    assert!(!named.model_name().is_empty());
+}
+
+#[test]
+fn agent_types_construct() {
+    let agent = ReActAgent::new(Box::new(SimulatedLlm::o4mini(3)), AgentOptions::default());
+    assert!(!agent.name().is_empty());
+    let policy = LlmSchedulingPolicy::claude37(3);
+    drop(policy);
+}
+
+#[test]
+fn scheduler_policies_construct() {
+    let workload = generate(ScenarioKind::HeterogeneousMix, 3, ArrivalMode::Static, 2);
+    let policies: Vec<Box<dyn SchedulingPolicy>> = vec![
+        Box::new(Fcfs),
+        Box::new(Sjf),
+        Box::new(EasyBackfill::new()),
+        Box::new(RandomPolicy::new(2)),
+        Box::new(OrToolsPolicy::with_config(
+            &workload.jobs,
+            SolverConfig::default(),
+        )),
+    ];
+    assert_eq!(policies.len(), 5);
+}
+
+#[test]
+fn sim_types_construct_and_run() {
+    let action = Action::Delay;
+    assert!(!action.to_string().is_empty());
+
+    let config = ClusterConfig::paper_default();
+    let view = SystemView {
+        now: SimTime::from_secs(0),
+        config,
+        free_nodes: config.nodes,
+        free_memory_gb: config.memory_gb,
+        waiting: vec![],
+        running: vec![],
+        completed: vec![],
+        pending_arrivals: 0,
+        total_jobs: 0,
+    };
+    assert_eq!(view.free_nodes, config.nodes);
+
+    let workload = generate(ScenarioKind::HeterogeneousMix, 3, ArrivalMode::Static, 4);
+    let outcome = run_simulation(config, &workload.jobs, &mut Fcfs, &SimOptions::default())
+        .expect("tiny workload completes");
+    assert_eq!(outcome.records.len(), 3);
+}
+
+#[test]
+fn metric_types_construct() {
+    let workload = generate(ScenarioKind::HeterogeneousMix, 3, ArrivalMode::Static, 6);
+    let config = ClusterConfig::paper_default();
+    let outcome = run_simulation(config, &workload.jobs, &mut Fcfs, &SimOptions::default())
+        .expect("completes");
+    let report = MetricsReport::compute(&outcome.records, config);
+    assert!(report.makespan_secs > 0.0);
+    // Every metric enum variant answers its accessor on a real report.
+    for metric in Metric::all() {
+        assert!(report.get(metric).is_finite());
+    }
+}

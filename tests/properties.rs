@@ -4,14 +4,12 @@
 
 use proptest::prelude::*;
 
-use reasoned_scheduler::cluster::{
-    ClusterConfig, FirstFitAllocator, JobId, JobRecord, JobSpec,
-};
+use reasoned_scheduler::agent::action::{parse_action, parse_completion};
+use reasoned_scheduler::agent::{PromptBuilder, Scratchpad};
+use reasoned_scheduler::cluster::{ClusterConfig, FirstFitAllocator, JobId, JobRecord, JobSpec};
 use reasoned_scheduler::cpsolver::{Instance, Task};
 use reasoned_scheduler::llm::prompt_parse::parse_prompt;
 use reasoned_scheduler::metrics::{jain_index, MetricsReport};
-use reasoned_scheduler::agent::action::{parse_action, parse_completion};
-use reasoned_scheduler::agent::{PromptBuilder, Scratchpad};
 use reasoned_scheduler::sim::{Action, RunningSummary, SystemView};
 use reasoned_scheduler::simkit::csv;
 use reasoned_scheduler::simkit::{EventQueue, SimDuration, SimTime};
