@@ -10,7 +10,10 @@ use rsched_cpsolver::{Instance, Task};
 use rsched_llm::backend::LanguageModel;
 use rsched_llm::prompt_parse::parse_prompt;
 use rsched_llm::SimulatedLlm;
-use rsched_sim::{run_simulation, RunningSummary, SchedulingPolicy, SimOptions, SystemView};
+use rsched_sim::{
+    run_simulation, CountingObserver, RunningSummary, SchedulingPolicy, SimOptions, Simulation,
+    SystemView,
+};
 use rsched_simkit::{EventQueue, SimDuration, SimTime};
 use rsched_workloads::{generate, ArrivalMode, ScenarioKind};
 
@@ -153,6 +156,26 @@ fn full_simulation_fcfs(c: &mut Criterion) {
     });
 }
 
+fn full_simulation_with_observer(c: &mut Criterion) {
+    // The streaming-observer hooks must stay ~free on the kernel's hot
+    // path: compare with `simulate_fcfs_hetmix_60` above.
+    let workload = generate(ScenarioKind::HeterogeneousMix, 60, ArrivalMode::Dynamic, 5);
+    c.bench_function("simulate_fcfs_hetmix_60_with_observer", |b| {
+        b.iter_batched(
+            || (rsched_schedulers::Fcfs, CountingObserver::new()),
+            |(mut policy, mut counter)| {
+                let outcome = Simulation::new(ClusterConfig::paper_default())
+                    .jobs(&workload.jobs)
+                    .observer(&mut counter)
+                    .run(&mut policy as &mut dyn SchedulingPolicy)
+                    .expect("completes");
+                std::hint::black_box((outcome, counter.decisions))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 criterion_group!(
     benches,
     event_queue_throughput,
@@ -160,6 +183,7 @@ criterion_group!(
     sgs_decode,
     prompt_pipeline,
     agent_decision_step,
-    full_simulation_fcfs
+    full_simulation_fcfs,
+    full_simulation_with_observer
 );
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use rsched_llm::backend::LanguageModel;
 use rsched_llm::SimulatedLlm;
-use rsched_sim::{Action, ActionOutcome, SchedulingPolicy, SystemView};
+use rsched_sim::{Action, ActionOutcome, OverheadReport, SchedulingPolicy, SystemView};
 
 use crate::agent::{AgentOptions, ReActAgent};
 use crate::overhead::OverheadTracker;
@@ -70,6 +70,15 @@ impl SchedulingPolicy for LlmSchedulingPolicy {
 
     fn reset(&mut self) {
         self.agent.reset();
+    }
+
+    fn overhead_report(&self) -> Option<OverheadReport> {
+        let tracker = self.agent.overhead();
+        Some(OverheadReport {
+            total_elapsed_secs: tracker.total_elapsed_secs(),
+            call_count: tracker.call_count(),
+            placement_latencies: tracker.placement_latencies(),
+        })
     }
 }
 

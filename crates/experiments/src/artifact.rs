@@ -1,0 +1,235 @@
+//! Machine-readable per-cell JSON artifacts.
+//!
+//! Every figure run can dump its raw (pre-normalization) cells —
+//! scheduler, scenario label, the eight §3.2 metrics, simulator counters,
+//! and the LLM overhead ledger — as one JSON document per figure under
+//! `results/cells/`. Fixed key order and fixed-precision floats keep the
+//! files byte-diffable across commits, so the perf/quality trajectory of
+//! the harness is visible in plain `git diff`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rsched_metrics::Metric;
+use rsched_simkit::stats::quantile;
+
+use crate::runner::RunResult;
+
+/// JSON-escape a string (control characters, quotes, backslashes).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Fixed-precision float for stable diffs; non-finite values (impossible
+/// for our metrics, but never emit invalid JSON) serialize as `null`.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn metric_key(metric: Metric) -> String {
+    metric.name().replace(' ', "_").to_lowercase()
+}
+
+fn cell_to_json(figure: &str, result: &RunResult) -> String {
+    let mut s = String::with_capacity(512);
+    s.push_str(&format!(
+        "{{\"figure\":\"{}\",\"scheduler\":\"{}\",\"scenario\":\"{}\",",
+        escape(figure),
+        escape(&result.scheduler),
+        escape(&result.scenario)
+    ));
+    s.push_str("\"metrics\":{");
+    let metrics: Vec<String> = Metric::all()
+        .into_iter()
+        .map(|m| format!("\"{}\":{}", metric_key(m), num(result.report.get(m))))
+        .collect();
+    s.push_str(&metrics.join(","));
+    s.push_str("},\"stats\":{");
+    s.push_str(&format!(
+        "\"queries\":{},\"placements\":{},\"backfills\":{},\"delays\":{},\
+         \"rejections\":{},\"epochs\":{}",
+        result.stats.queries,
+        result.stats.placements,
+        result.stats.backfills,
+        result.stats.delays,
+        result.stats.rejections,
+        result.stats.epochs
+    ));
+    s.push_str("},\"overhead\":");
+    match &result.overhead {
+        None => s.push_str("null"),
+        Some(o) => {
+            let lat = &o.placement_latencies;
+            let mean = if lat.is_empty() {
+                "null".to_string()
+            } else {
+                num(lat.iter().sum::<f64>() / lat.len() as f64)
+            };
+            let q = |p: f64| quantile(lat, p).map(num).unwrap_or_else(|| "null".into());
+            s.push_str(&format!(
+                "{{\"call_count\":{},\"total_elapsed_secs\":{},\"latency_mean_s\":{},\
+                 \"latency_p50_s\":{},\"latency_p95_s\":{}}}",
+                o.call_count,
+                num(o.total_elapsed_secs),
+                mean,
+                q(0.5),
+                q(0.95)
+            ));
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Serialize one figure's raw cells as a JSON array (one object per cell,
+/// one line per cell for readable diffs).
+pub fn cells_to_json(figure: &str, runs: &[RunResult]) -> String {
+    let mut s = String::from("[\n");
+    let body: Vec<String> = runs
+        .iter()
+        .map(|r| format!("  {}", cell_to_json(figure, r)))
+        .collect();
+    s.push_str(&body.join(",\n"));
+    s.push_str("\n]\n");
+    s
+}
+
+/// Write `<dir>/<figure>.json` and return its path.
+pub fn write_cells_json(dir: &Path, figure: &str, runs: &[RunResult]) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{figure}.json"));
+    fs::write(&path, cells_to_json(figure, runs))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::OverheadSummary;
+    use rsched_metrics::MetricsReport;
+    use rsched_sim::SimStats;
+
+    fn result(overhead: Option<OverheadSummary>) -> RunResult {
+        RunResult {
+            scheduler: "Claude-3.7".to_string(),
+            scenario: "long-job-dominant/60".to_string(),
+            report: MetricsReport {
+                makespan_secs: 120.5,
+                avg_wait_secs: 10.0,
+                avg_turnaround_secs: 55.25,
+                throughput: 0.5,
+                node_utilization: 0.75,
+                memory_utilization: 0.5,
+                wait_fairness: 0.9,
+                user_fairness: 0.8,
+            },
+            stats: SimStats {
+                queries: 70,
+                placements: 60,
+                backfills: 5,
+                delays: 9,
+                rejections: 1,
+                epochs: 64,
+            },
+            overhead,
+        }
+    }
+
+    /// Minimal structural validation: balanced braces/brackets outside
+    /// strings and no trailing garbage.
+    fn assert_balanced(text: &str) {
+        let mut depth = 0i64;
+        let mut in_string = false;
+        let mut escaped = false;
+        for c in text.chars() {
+            if in_string {
+                match (escaped, c) {
+                    (true, _) => escaped = false,
+                    (false, '\\') => escaped = true,
+                    (false, '"') => in_string = false,
+                    _ => {}
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced close in {text}");
+        }
+        assert_eq!(depth, 0, "unbalanced JSON: {text}");
+        assert!(!in_string);
+    }
+
+    #[test]
+    fn cells_json_contains_all_sections() {
+        let text = cells_to_json(
+            "fig3",
+            &[result(Some(OverheadSummary {
+                total_elapsed_secs: 900.0,
+                call_count: 61,
+                placement_latencies: vec![10.0, 20.0, 30.0],
+            }))],
+        );
+        assert_balanced(&text);
+        for key in [
+            "\"figure\":\"fig3\"",
+            "\"scheduler\":\"Claude-3.7\"",
+            "\"scenario\":\"long-job-dominant/60\"",
+            "\"makespan\":120.500000",
+            "\"user_fairness\":0.800000",
+            "\"queries\":70",
+            "\"epochs\":64",
+            "\"call_count\":61",
+            "\"latency_mean_s\":20.000000",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+
+    #[test]
+    fn missing_overhead_serializes_as_null() {
+        let text = cells_to_json("fig8", &[result(None)]);
+        assert_balanced(&text);
+        assert!(text.contains("\"overhead\":null"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut r = result(None);
+        r.scenario = "weird \"label\"\nwith\tcontrol".to_string();
+        let text = cells_to_json("x", &[r]);
+        assert_balanced(&text);
+        assert!(text.contains("weird \\\"label\\\"\\nwith\\tcontrol"));
+    }
+
+    #[test]
+    fn write_creates_directory_and_file() {
+        let dir = std::env::temp_dir().join("rsched_artifact_test");
+        let _ = fs::remove_dir_all(&dir);
+        let path = write_cells_json(&dir, "fig3", &[result(None)]).expect("writes");
+        assert!(path.ends_with("fig3.json"));
+        let text = fs::read_to_string(&path).expect("readable");
+        assert_balanced(&text);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

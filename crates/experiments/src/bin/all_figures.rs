@@ -1,12 +1,16 @@
 //! Regenerates every figure of the paper's evaluation in one run, printing
-//! the paper-style tables and writing machine-readable CSVs under
-//! `results/`.
+//! the paper-style tables and writing machine-readable artifacts under
+//! `results/`: per-figure CSVs plus per-cell JSON documents
+//! (`results/cells/*.json`) whose raw metrics/stats/overhead are diffable
+//! across commits.
 
 use std::fs;
 use std::path::Path;
 
+use rsched_experiments::artifact::write_cells_json;
 use rsched_experiments::figures::{ablation, fig3, fig4, fig5, fig6, fig7, fig8};
 use rsched_experiments::output::{normalized_rows_to_csv, overhead_rows_to_csv};
+use rsched_experiments::runner::RunResult;
 use rsched_experiments::ExperimentOptions;
 use rsched_parallel::ThreadPool;
 
@@ -19,6 +23,13 @@ fn write(path: &str, content: &str) {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
         eprintln!("wrote {}", path.display());
+    }
+}
+
+fn write_cells(figure: &str, runs: &[RunResult]) {
+    match write_cells_json(Path::new("results/cells"), figure, runs) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write cells for {figure}: {e}"),
     }
 }
 
@@ -47,6 +58,7 @@ fn main() {
         "results/fig3.csv",
         &normalized_rows_to_csv(&["scenario", "scheduler"], &rows),
     );
+    write_cells("fig3", &f3.runs);
 
     let f4 = fig4::run(&opts, &pool);
     print!("{}", f4.render());
@@ -62,6 +74,7 @@ fn main() {
         "results/fig4.csv",
         &normalized_rows_to_csv(&["jobs", "scheduler"], &rows),
     );
+    write_cells("fig4", &f4.runs);
 
     let f5 = fig5::run(&opts, &pool);
     print!("{}", f5.render());
@@ -79,6 +92,7 @@ fn main() {
         "results/fig5.csv",
         &overhead_rows_to_csv(&["scenario", "model"], &rows),
     );
+    write_cells("fig5", &f5.runs);
 
     let f6 = fig6::run(&opts, &pool);
     print!("{}", f6.render());
@@ -96,6 +110,7 @@ fn main() {
         "results/fig6.csv",
         &overhead_rows_to_csv(&["jobs", "model"], &rows),
     );
+    write_cells("fig6", &f6.runs);
 
     let f7 = fig7::run(&opts, &pool);
     print!("{}", f7.render());
@@ -133,6 +148,7 @@ fn main() {
             }
         }
         write("results/fig7.csv", &rsched_simkit::csv::write_rows(rows));
+        write_cells("fig7", &f7.runs);
     }
 
     let f8 = fig8::run(&opts, &pool);
@@ -146,6 +162,7 @@ fn main() {
         "results/fig8.csv",
         &normalized_rows_to_csv(&["scheduler"], &rows),
     );
+    write_cells("fig8", &f8.runs);
 
     let ab = ablation::run(&opts, &pool);
     print!("{}", ab.render());
@@ -158,4 +175,5 @@ fn main() {
         "results/ablation.csv",
         &normalized_rows_to_csv(&["persona"], &rows),
     );
+    write_cells("ablation", &ab.runs);
 }

@@ -1,0 +1,144 @@
+//! **Deprecated shims** for the pre-registry, enum-addressed harness API.
+//!
+//! [`SchedulerKind`] predates the open
+//! [`PolicyRegistry`](rsched_registry::PolicyRegistry); each variant is now
+//! a thin alias for a registry name, and the shim functions delegate to the
+//! name-addressed API in [`crate::runner`]. Prefer registry names — they
+//! cover policies this closed enum can never know about.
+
+use rsched_cluster::{ClusterConfig, JobSpec};
+use rsched_cpsolver::SolverConfig;
+use rsched_registry::names;
+
+use crate::runner::{policy_seed_named, run_named, RunResult};
+
+/// The compared schedulers, as a closed enum. **Deprecated**: prefer the
+/// registry names in [`rsched_registry::names`].
+#[deprecated(note = "address schedulers by registry name (`rsched_registry::names`)")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// First-come-first-served (the normalization baseline).
+    Fcfs,
+    /// Shortest job first.
+    Sjf,
+    /// The optimization baseline (OR-Tools substitute).
+    OrTools,
+    /// Simulated Claude 3.7 ReAct agent.
+    Claude37,
+    /// Simulated O4-Mini ReAct agent.
+    O4Mini,
+    /// FCFS + EASY backfilling (ablation).
+    Easy,
+    /// Random eligible pick (ablation floor).
+    Random,
+}
+
+#[allow(deprecated)]
+impl SchedulerKind {
+    /// The paper's five compared schedulers, in figure order.
+    pub fn all_paper() -> [SchedulerKind; 5] {
+        [
+            SchedulerKind::Fcfs,
+            SchedulerKind::Sjf,
+            SchedulerKind::OrTools,
+            SchedulerKind::Claude37,
+            SchedulerKind::O4Mini,
+        ]
+    }
+
+    /// The two LLM agents (overhead figures).
+    pub fn llm_pair() -> [SchedulerKind; 2] {
+        [SchedulerKind::Claude37, SchedulerKind::O4Mini]
+    }
+
+    /// The registry name this variant aliases (also the display name used
+    /// in tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Fcfs => names::FCFS,
+            SchedulerKind::Sjf => names::SJF,
+            SchedulerKind::OrTools => names::OR_TOOLS,
+            SchedulerKind::Claude37 => names::CLAUDE37,
+            SchedulerKind::O4Mini => names::O4_MINI,
+            SchedulerKind::Easy => names::EASY,
+            SchedulerKind::Random => names::RANDOM,
+        }
+    }
+}
+
+/// **Deprecated shim** over [`run_named`] for enum-addressed callers.
+#[deprecated(note = "use `run_named` with a registry name")]
+#[allow(deprecated)]
+pub fn run_policy(
+    kind: SchedulerKind,
+    jobs: &[JobSpec],
+    cluster: ClusterConfig,
+    policy_seed: u64,
+    solver: &SolverConfig,
+) -> RunResult {
+    run_named(kind.name(), jobs, cluster, policy_seed, solver)
+        .expect("every SchedulerKind aliases a builtin registry name")
+}
+
+/// **Deprecated shim** over [`policy_seed_named`] (derives from
+/// `kind.name()`, so values are identical to the pre-registry harness).
+#[deprecated(note = "use `policy_seed_named` with a registry name")]
+#[allow(deprecated)]
+pub fn policy_seed(root: u64, kind: SchedulerKind, rep: u64) -> u64 {
+    policy_seed_named(root, kind.name(), rep)
+}
+
+#[cfg(test)]
+#[allow(deprecated)]
+mod tests {
+    use super::*;
+    use crate::runner::scenario_jobs;
+    use rsched_workloads::ScenarioKind;
+
+    fn quick_solver() -> SolverConfig {
+        SolverConfig {
+            sa_iterations_per_task: 40,
+            sa_iteration_cap: 800,
+            exact_max_tasks: 6,
+            ..SolverConfig::default()
+        }
+    }
+
+    #[test]
+    fn kind_shim_matches_named_runs() {
+        let jobs = scenario_jobs(ScenarioKind::ResourceSparse, 10, 4);
+        for kind in SchedulerKind::all_paper() {
+            let via_kind = run_policy(
+                kind,
+                &jobs,
+                ClusterConfig::paper_default(),
+                5,
+                &quick_solver(),
+            );
+            let via_name = run_named(
+                kind.name(),
+                &jobs,
+                ClusterConfig::paper_default(),
+                5,
+                &quick_solver(),
+            )
+            .expect("builtin");
+            assert_eq!(via_kind.scheduler, via_name.scheduler);
+            assert_eq!(via_kind.stats, via_name.stats, "{}", kind.name());
+            assert_eq!(
+                via_kind.report.makespan_secs,
+                via_name.report.makespan_secs,
+                "{}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn policy_seeds_are_stable_and_distinct() {
+        let a = policy_seed_named(2025, names::CLAUDE37, 0);
+        assert_eq!(a, policy_seed(2025, SchedulerKind::Claude37, 0));
+        assert_ne!(a, policy_seed_named(2025, names::CLAUDE37, 1));
+        assert_ne!(a, policy_seed_named(2025, names::O4_MINI, 0));
+    }
+}

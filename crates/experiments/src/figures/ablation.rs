@@ -16,13 +16,13 @@ use rsched_llm::SimulatedLlm;
 use rsched_metrics::{normalize_against, MetricsReport, NormalizedReport};
 use rsched_parallel::ThreadPool;
 use rsched_schedulers::Fcfs;
-use rsched_sim::{run_simulation, SimOptions};
+use rsched_sim::{SchedulingPolicy, Simulation};
 use rsched_simkit::rng::SeedTree;
 use rsched_workloads::ScenarioKind;
 
 use crate::figures::normalized_table;
 use crate::options::ExperimentOptions;
-use crate::runner::scenario_jobs;
+use crate::runner::{scenario_jobs, RunResult};
 
 /// The swept weight profiles.
 pub fn weight_profiles() -> Vec<(&'static str, ObjectiveWeights)> {
@@ -76,6 +76,8 @@ pub struct AblationOutput {
     pub jobs: usize,
     /// `(profile name, normalized report)` rows.
     pub rows: Vec<(String, NormalizedReport)>,
+    /// The raw cells (FCFS baseline first), for the JSON artifacts.
+    pub runs: Vec<RunResult>,
 }
 
 /// Run the ablation sweep.
@@ -88,12 +90,29 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> AblationOutput {
         tree.derive("workload", 0),
     );
     let cluster = ClusterConfig::paper_default();
+    let scenario_label = format!("heterogeneous-mix/{n}");
 
-    let baseline = {
-        let outcome = run_simulation(cluster, &jobs, &mut Fcfs, &SimOptions::default())
-            .expect("FCFS completes");
-        MetricsReport::compute(&outcome.records, cluster)
+    let to_result = move |name: String,
+                          scenario: &str,
+                          outcome: rsched_sim::SimOutcome,
+                          overhead: Option<crate::runner::OverheadSummary>| {
+        RunResult {
+            scheduler: name,
+            scenario: scenario.to_string(),
+            report: MetricsReport::compute(&outcome.records, cluster),
+            stats: outcome.stats,
+            overhead,
+        }
     };
+
+    let baseline_run = {
+        let outcome = Simulation::new(cluster)
+            .jobs(&jobs)
+            .run(&mut Fcfs)
+            .expect("FCFS completes");
+        to_result("FCFS".to_string(), &scenario_label, outcome, None)
+    };
+    let baseline = baseline_run.report;
 
     let seed = tree.derive("policy", 0);
     let cells: Vec<(String, ObjectiveWeights)> = weight_profiles()
@@ -101,24 +120,31 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> AblationOutput {
         .map(|(name, w)| (name.to_string(), w))
         .collect();
     let jobs_shared = jobs.clone();
-    let reports = pool.par_map(cells, move |(name, weights)| {
+    let label_shared = scenario_label.clone();
+    let mut runs = vec![baseline_run];
+    runs.extend(pool.par_map(cells, move |(name, weights)| {
         let persona = Persona {
             temperature: 0.0,
             ..Persona::custom(name.clone(), weights)
         };
         let mut policy = LlmSchedulingPolicy::new(Box::new(SimulatedLlm::new(persona, seed)));
-        let outcome = run_simulation(cluster, &jobs_shared, &mut policy, &SimOptions::default())
+        let outcome = Simulation::new(cluster)
+            .jobs(&jobs_shared)
+            .run(&mut policy)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        (name, MetricsReport::compute(&outcome.records, cluster))
-    });
+        let overhead = policy.overhead_report();
+        to_result(name, &label_shared, outcome, overhead)
+    }));
 
-    let mut rows = vec![("FCFS".to_string(), normalize_against(&baseline, &baseline))];
-    rows.extend(
-        reports
-            .into_iter()
-            .map(|(name, report)| (name, normalize_against(&report, &baseline))),
-    );
-    AblationOutput { jobs: n, rows }
+    let rows = runs
+        .iter()
+        .map(|r| (r.scheduler.clone(), normalize_against(&r.report, &baseline)))
+        .collect();
+    AblationOutput {
+        jobs: n,
+        rows,
+        runs,
+    }
 }
 
 impl AblationOutput {

@@ -16,8 +16,9 @@ use rsched_workloads::ScenarioKind;
 use crate::figures::normalized_table;
 use crate::options::ExperimentOptions;
 use crate::runner::{
-    normalize_table, policy_seed, run_matrix, scenario_jobs, MatrixCell, SchedulerKind,
+    normalize_table, policy_seed_named, run_matrix, scenario_jobs, MatrixCell, RunResult,
 };
+use rsched_registry::names;
 
 /// Figure 3 results: per-scenario normalized tables.
 #[derive(Debug, Clone)]
@@ -26,23 +27,26 @@ pub struct Fig3Output {
     pub jobs_per_scenario: usize,
     /// `(scenario, rows)` in presentation order.
     pub scenarios: Vec<(ScenarioKind, Vec<(String, NormalizedReport)>)>,
+    /// The raw (pre-normalization) cells, for the JSON artifacts.
+    pub runs: Vec<RunResult>,
 }
 
 /// Run the Figure 3 experiment.
 pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig3Output {
     let n = opts.scaled(60);
     let tree = SeedTree::new(opts.seed).subtree("fig3", 0);
-    let schedulers = SchedulerKind::all_paper();
+    let schedulers = names::PAPER_SET;
 
     let mut cells = Vec::new();
     for (s_idx, scenario) in ScenarioKind::figure3().into_iter().enumerate() {
         let jobs = scenario_jobs(scenario, n, tree.derive(scenario.slug(), 0));
-        for kind in schedulers {
+        for name in schedulers {
             cells.push(MatrixCell {
-                kind,
+                scheduler: name.to_string(),
+                scenario: format!("{}/{}", scenario.slug(), n),
                 jobs: jobs.clone(),
                 cluster: ClusterConfig::paper_default(),
-                policy_seed: policy_seed(tree.derive("policy", s_idx as u64), kind, 0),
+                policy_seed: policy_seed_named(tree.derive("policy", s_idx as u64), name, 0),
                 solver: opts.solver,
             });
         }
@@ -61,6 +65,7 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig3Output {
     Fig3Output {
         jobs_per_scenario: n,
         scenarios,
+        runs: results,
     }
 }
 

@@ -12,8 +12,9 @@ use rsched_workloads::ScenarioKind;
 use crate::figures::normalized_table;
 use crate::options::ExperimentOptions;
 use crate::runner::{
-    normalize_table, policy_seed, run_matrix, scenario_jobs, MatrixCell, SchedulerKind,
+    normalize_table, policy_seed_named, run_matrix, scenario_jobs, MatrixCell, RunResult,
 };
+use rsched_registry::names;
 
 /// The paper's queue sizes.
 pub const PAPER_SIZES: [usize; 6] = [10, 20, 40, 60, 80, 100];
@@ -23,6 +24,8 @@ pub const PAPER_SIZES: [usize; 6] = [10, 20, 40, 60, 80, 100];
 pub struct Fig4Output {
     /// `(queue size, rows)` ascending.
     pub sizes: Vec<(usize, Vec<(String, NormalizedReport)>)>,
+    /// The raw (pre-normalization) cells, for the JSON artifacts.
+    pub runs: Vec<RunResult>,
 }
 
 /// Run the Figure 4 experiment.
@@ -33,7 +36,7 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig4Output {
         PAPER_SIZES.to_vec()
     };
     let tree = SeedTree::new(opts.seed).subtree("fig4", 0);
-    let schedulers = SchedulerKind::all_paper();
+    let schedulers = names::PAPER_SET;
 
     let mut cells = Vec::new();
     for (i, &n) in sizes.iter().enumerate() {
@@ -42,12 +45,13 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig4Output {
             n,
             tree.derive("workload", n as u64),
         );
-        for kind in schedulers {
+        for name in schedulers {
             cells.push(MatrixCell {
-                kind,
+                scheduler: name.to_string(),
+                scenario: format!("heterogeneous-mix/{n}"),
                 jobs: jobs.clone(),
                 cluster: ClusterConfig::paper_default(),
-                policy_seed: policy_seed(tree.derive("policy", i as u64), kind, 0),
+                policy_seed: policy_seed_named(tree.derive("policy", i as u64), name, 0),
                 solver: opts.solver,
             });
         }
@@ -61,7 +65,10 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig4Output {
             (n, normalize_table(slice, "FCFS"))
         })
         .collect();
-    Fig4Output { sizes }
+    Fig4Output {
+        sizes,
+        runs: results,
+    }
 }
 
 impl Fig4Output {

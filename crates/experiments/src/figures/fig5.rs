@@ -14,8 +14,9 @@ use rsched_workloads::ScenarioKind;
 use crate::figures::{latency_columns, latency_row};
 use crate::options::ExperimentOptions;
 use crate::runner::{
-    policy_seed, run_matrix, scenario_jobs, MatrixCell, OverheadSummary, SchedulerKind,
+    policy_seed_named, run_matrix, scenario_jobs, MatrixCell, OverheadSummary, RunResult,
 };
+use rsched_registry::names;
 
 /// One (scenario, model) overhead measurement.
 #[derive(Debug, Clone)]
@@ -35,25 +36,28 @@ pub struct Fig5Output {
     pub jobs_per_scenario: usize,
     /// All `(scenario, model)` cells, scenario-major.
     pub cells: Vec<OverheadCell>,
+    /// The raw cells, for the JSON artifacts.
+    pub runs: Vec<RunResult>,
 }
 
 /// Run the Figure 5 experiment.
 pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig5Output {
     let n = opts.scaled(60);
     let tree = SeedTree::new(opts.seed).subtree("fig5", 0);
-    let models = SchedulerKind::llm_pair();
+    let models = names::LLM_PAIR;
 
     let mut cells = Vec::new();
     let mut labels = Vec::new();
     for (s_idx, scenario) in ScenarioKind::figure3().into_iter().enumerate() {
         let jobs = scenario_jobs(scenario, n, tree.derive(scenario.slug(), 0));
-        for kind in models {
-            labels.push((scenario, kind));
+        for name in models {
+            labels.push(scenario);
             cells.push(MatrixCell {
-                kind,
+                scheduler: name.to_string(),
+                scenario: format!("{}/{}", scenario.slug(), n),
                 jobs: jobs.clone(),
                 cluster: ClusterConfig::paper_default(),
-                policy_seed: policy_seed(tree.derive("policy", s_idx as u64), kind, 0),
+                policy_seed: policy_seed_named(tree.derive("policy", s_idx as u64), name, 0),
                 solver: opts.solver,
             });
         }
@@ -61,16 +65,17 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig5Output {
     let results = run_matrix(cells, pool);
     let cells = labels
         .into_iter()
-        .zip(results)
-        .map(|((scenario, _), result)| OverheadCell {
+        .zip(&results)
+        .map(|(scenario, result)| OverheadCell {
             scenario,
             model: result.scheduler.clone(),
-            overhead: result.overhead.expect("LLM runs track overhead"),
+            overhead: result.overhead.clone().expect("LLM runs track overhead"),
         })
         .collect();
     Fig5Output {
         jobs_per_scenario: n,
         cells,
+        runs: results,
     }
 }
 

@@ -14,8 +14,9 @@ use rsched_workloads::ScenarioKind;
 use crate::figures::{latency_columns, latency_row};
 use crate::options::ExperimentOptions;
 use crate::runner::{
-    policy_seed, run_matrix, scenario_jobs, MatrixCell, OverheadSummary, SchedulerKind,
+    policy_seed_named, run_matrix, scenario_jobs, MatrixCell, OverheadSummary, RunResult,
 };
+use rsched_registry::names;
 
 /// One (size, model) overhead measurement.
 #[derive(Debug, Clone)]
@@ -33,6 +34,8 @@ pub struct ScalingCell {
 pub struct Fig6Output {
     /// All `(size, model)` cells, size-major ascending.
     pub cells: Vec<ScalingCell>,
+    /// The raw cells, for the JSON artifacts.
+    pub runs: Vec<RunResult>,
 }
 
 /// Run the Figure 6 experiment.
@@ -43,7 +46,7 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig6Output {
         crate::figures::fig4::PAPER_SIZES.to_vec()
     };
     let tree = SeedTree::new(opts.seed).subtree("fig6", 0);
-    let models = SchedulerKind::llm_pair();
+    let models = names::LLM_PAIR;
 
     let mut cells = Vec::new();
     let mut labels = Vec::new();
@@ -53,13 +56,14 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig6Output {
             n,
             tree.derive("workload", n as u64),
         );
-        for kind in models {
-            labels.push((n, kind));
+        for name in models {
+            labels.push(n);
             cells.push(MatrixCell {
-                kind,
+                scheduler: name.to_string(),
+                scenario: format!("heterogeneous-mix/{n}"),
                 jobs: jobs.clone(),
                 cluster: ClusterConfig::paper_default(),
-                policy_seed: policy_seed(tree.derive("policy", n as u64), kind, 0),
+                policy_seed: policy_seed_named(tree.derive("policy", n as u64), name, 0),
                 solver: opts.solver,
             });
         }
@@ -67,14 +71,17 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig6Output {
     let results = run_matrix(cells, pool);
     let cells = labels
         .into_iter()
-        .zip(results)
-        .map(|((jobs, _), result)| ScalingCell {
+        .zip(&results)
+        .map(|(jobs, result)| ScalingCell {
             jobs,
             model: result.scheduler.clone(),
-            overhead: result.overhead.expect("LLM runs track overhead"),
+            overhead: result.overhead.clone().expect("LLM runs track overhead"),
         })
         .collect();
-    Fig6Output { cells }
+    Fig6Output {
+        cells,
+        runs: results,
+    }
 }
 
 impl Fig6Output {

@@ -15,7 +15,8 @@ use rsched_simkit::rng::SeedTree;
 use rsched_workloads::ScenarioKind;
 
 use crate::options::ExperimentOptions;
-use crate::runner::{policy_seed, run_matrix, scenario_jobs, MatrixCell, SchedulerKind};
+use crate::runner::{policy_seed_named, run_matrix, scenario_jobs, MatrixCell, RunResult};
+use rsched_registry::names;
 
 /// Repetitions (5 in the paper).
 pub const REPETITIONS: usize = 5;
@@ -27,6 +28,8 @@ pub struct Fig7Output {
     pub jobs: usize,
     /// `(scheduler, distributions)` in paper order.
     pub distributions: Vec<(String, MetricDistributions)>,
+    /// The raw cells (rep-major), for the JSON artifacts.
+    pub runs: Vec<RunResult>,
 }
 
 /// Run the Figure 7 experiment.
@@ -39,16 +42,17 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig7Output {
         n,
         tree.derive("workload", 0),
     );
-    let schedulers = SchedulerKind::all_paper();
+    let schedulers = names::PAPER_SET;
 
     let mut cells = Vec::new();
     for rep in 0..reps {
-        for kind in schedulers {
+        for name in schedulers {
             cells.push(MatrixCell {
-                kind,
+                scheduler: name.to_string(),
+                scenario: format!("heterogeneous-mix/{n}/rep{rep}"),
                 jobs: jobs.clone(),
                 cluster: ClusterConfig::paper_default(),
-                policy_seed: policy_seed(tree.derive("rep", rep as u64), kind, rep as u64),
+                policy_seed: policy_seed_named(tree.derive("rep", rep as u64), name, rep as u64),
                 solver: opts.solver,
             });
         }
@@ -65,7 +69,7 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig7Output {
 
     let mut distributions: Vec<(String, MetricDistributions)> = schedulers
         .iter()
-        .map(|k| (k.name().to_string(), MetricDistributions::new()))
+        .map(|name| (name.to_string(), MetricDistributions::new()))
         .collect();
     for (i, result) in results.iter().enumerate() {
         let scheduler_idx = i % schedulers.len();
@@ -76,6 +80,7 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig7Output {
     Fig7Output {
         jobs: n,
         distributions,
+        runs: results,
     }
 }
 

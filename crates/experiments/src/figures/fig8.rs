@@ -16,7 +16,8 @@ use rsched_workloads::polaris::polaris_workload;
 
 use crate::figures::normalized_table;
 use crate::options::ExperimentOptions;
-use crate::runner::{normalize_table, policy_seed, run_matrix, MatrixCell, SchedulerKind};
+use crate::runner::{normalize_table, policy_seed_named, run_matrix, MatrixCell, RunResult};
+use rsched_registry::names;
 
 /// Figure 8 results.
 #[derive(Debug, Clone)]
@@ -25,6 +26,8 @@ pub struct Fig8Output {
     pub jobs: usize,
     /// `(scheduler, normalized)` rows.
     pub rows: Vec<(String, NormalizedReport)>,
+    /// The raw cells, for the JSON artifacts.
+    pub runs: Vec<RunResult>,
 }
 
 /// Run the Figure 8 experiment.
@@ -34,13 +37,14 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig8Output {
     let jobs = polaris_workload(n, tree.derive("trace", 0));
     let cluster = ClusterConfig::polaris();
 
-    let cells: Vec<MatrixCell> = SchedulerKind::all_paper()
+    let cells: Vec<MatrixCell> = names::PAPER_SET
         .into_iter()
-        .map(|kind| MatrixCell {
-            kind,
+        .map(|name| MatrixCell {
+            scheduler: name.to_string(),
+            scenario: format!("polaris/{}", jobs.len()),
             jobs: jobs.clone(),
             cluster,
-            policy_seed: policy_seed(tree.derive("policy", 0), kind, 0),
+            policy_seed: policy_seed_named(tree.derive("policy", 0), name, 0),
             solver: opts.solver,
         })
         .collect();
@@ -48,6 +52,7 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig8Output {
     Fig8Output {
         jobs: jobs.len(),
         rows: normalize_table(&results, "FCFS"),
+        runs: results,
     }
 }
 

@@ -19,13 +19,18 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod artifact;
+pub mod compat;
 pub mod figures;
 pub mod options;
 pub mod output;
 pub mod runner;
 
+#[allow(deprecated)]
+pub use compat::{policy_seed, run_policy, SchedulerKind};
 pub use options::ExperimentOptions;
+pub use rsched_registry::{builtins, names, PolicyContext, PolicyRegistry, RegistryError};
 pub use runner::{
-    normalize_table, run_matrix, run_policy, scenario_jobs, OverheadSummary, RunResult,
-    SchedulerKind,
+    normalize_table, policy_seed_named, run_matrix, run_named, run_with_registry, scenario_jobs,
+    MatrixCell, OverheadSummary, RunResult,
 };

@@ -1,82 +1,41 @@
 //! Running one (scheduler, workload) cell and fanning out the matrix.
+//!
+//! Schedulers are addressed by **registry name** (see
+//! [`rsched_registry::names`]): every cell is a registry lookup plus one
+//! [`Simulation`] run, so third-party policies registered into a
+//! [`PolicyRegistry`] flow through the same harness as the builtins.
 
 use rsched_cluster::{ClusterConfig, JobSpec};
-use rsched_core::LlmSchedulingPolicy;
-use rsched_cpsolver::SolverConfig;
 use rsched_metrics::{normalize_against, MetricsReport, NormalizedReport};
 use rsched_parallel::ThreadPool;
-use rsched_schedulers::{EasyBackfill, Fcfs, OrToolsPolicy, RandomPolicy, Sjf};
-use rsched_sim::{run_simulation, SchedulingPolicy, SimOptions, SimOutcome, SimStats};
+use rsched_registry::{builtins, PolicyContext, PolicyRegistry, RegistryError};
+use rsched_sim::{SimOptions, SimStats, Simulation};
 use rsched_simkit::rng::SeedTree;
 use rsched_workloads::{generate, ArrivalMode, ScenarioKind};
 
-/// The compared schedulers. `all_paper()` is the paper's comparison set;
-/// `Easy` and `Random` are this repository's ablation extensions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum SchedulerKind {
-    /// First-come-first-served (the normalization baseline).
-    Fcfs,
-    /// Shortest job first.
-    Sjf,
-    /// The optimization baseline (OR-Tools substitute).
-    OrTools,
-    /// Simulated Claude 3.7 ReAct agent.
-    Claude37,
-    /// Simulated O4-Mini ReAct agent.
-    O4Mini,
-    /// FCFS + EASY backfilling (ablation).
-    Easy,
-    /// Random eligible pick (ablation floor).
-    Random,
-}
+pub use rsched_cpsolver::SolverConfig;
 
-impl SchedulerKind {
-    /// The paper's five compared schedulers, in figure order.
-    pub fn all_paper() -> [SchedulerKind; 5] {
-        [
-            SchedulerKind::Fcfs,
-            SchedulerKind::Sjf,
-            SchedulerKind::OrTools,
-            SchedulerKind::Claude37,
-            SchedulerKind::O4Mini,
-        ]
-    }
+// The pre-registry, enum-addressed shims stay importable from their old
+// paths.
+#[allow(deprecated)]
+pub use crate::compat::{policy_seed, run_policy, SchedulerKind};
 
-    /// The two LLM agents (overhead figures).
-    pub fn llm_pair() -> [SchedulerKind; 2] {
-        [SchedulerKind::Claude37, SchedulerKind::O4Mini]
-    }
-
-    /// Display name used in tables.
-    pub fn name(&self) -> &'static str {
-        match self {
-            SchedulerKind::Fcfs => "FCFS",
-            SchedulerKind::Sjf => "SJF",
-            SchedulerKind::OrTools => "OR-Tools",
-            SchedulerKind::Claude37 => "Claude-3.7",
-            SchedulerKind::O4Mini => "O4-Mini",
-            SchedulerKind::Easy => "EASY",
-            SchedulerKind::Random => "Random",
-        }
-    }
-}
-
-/// LLM overhead numbers extracted from a run (paper §3.7).
-#[derive(Debug, Clone, PartialEq)]
-pub struct OverheadSummary {
-    /// Total elapsed scheduling time (sum of call latencies), seconds.
-    pub total_elapsed_secs: f64,
-    /// Number of LLM calls.
-    pub call_count: usize,
-    /// Latencies of accepted placement calls, seconds.
-    pub placement_latencies: Vec<f64>,
-}
+/// LLM overhead numbers extracted from a run (paper §3.7) — re-exported
+/// from the policy trait's uniform [`overhead_report`] hook.
+///
+/// [`overhead_report`]: rsched_sim::SchedulingPolicy::overhead_report
+pub type OverheadSummary = rsched_sim::OverheadReport;
 
 /// One cell's outcome.
 #[derive(Debug, Clone)]
 pub struct RunResult {
-    /// Scheduler display name.
+    /// The registry display name the cell was addressed by — stable for
+    /// baseline lookups and artifacts even when the policy's own `name()`
+    /// differs.
     pub scheduler: String,
+    /// Free-form workload label (scenario slug, queue size, …) carried
+    /// through from [`MatrixCell::scenario`]; empty for ad-hoc runs.
+    pub scenario: String,
     /// The eight §3.2 metrics.
     pub report: MetricsReport,
     /// Simulator counters.
@@ -91,98 +50,92 @@ pub fn scenario_jobs(scenario: ScenarioKind, n: usize, seed: u64) -> Vec<JobSpec
     generate(scenario, n, ArrivalMode::Dynamic, seed).jobs
 }
 
-/// Run one scheduler over one workload.
+/// Run the named scheduler from `registry` over one workload.
 ///
 /// `policy_seed` feeds the stochastic schedulers (LLM sampling noise,
 /// random policy, solver restarts); deterministic baselines ignore it.
-pub fn run_policy(
-    kind: SchedulerKind,
+/// Fails only on an unknown name; a simulation failure panics, as a
+/// registered policy that cannot finish a workload is a harness bug.
+pub fn run_with_registry(
+    registry: &PolicyRegistry,
+    scheduler: &str,
     jobs: &[JobSpec],
     cluster: ClusterConfig,
     policy_seed: u64,
     solver: &SolverConfig,
-) -> RunResult {
-    let options = SimOptions::default();
-    let (outcome, overhead) = match kind {
-        SchedulerKind::Fcfs => (run(jobs, cluster, &mut Fcfs, &options), None),
-        SchedulerKind::Sjf => (run(jobs, cluster, &mut Sjf, &options), None),
-        SchedulerKind::Easy => (run(jobs, cluster, &mut EasyBackfill::new(), &options), None),
-        SchedulerKind::Random => (
-            run(jobs, cluster, &mut RandomPolicy::new(policy_seed), &options),
-            None,
-        ),
-        SchedulerKind::OrTools => {
-            let config = SolverConfig {
-                seed: policy_seed,
-                ..*solver
-            };
-            let mut policy = OrToolsPolicy::with_config(jobs, config);
-            (run(jobs, cluster, &mut policy, &options), None)
-        }
-        SchedulerKind::Claude37 | SchedulerKind::O4Mini => {
-            let mut policy = match kind {
-                SchedulerKind::Claude37 => LlmSchedulingPolicy::claude37(policy_seed),
-                _ => LlmSchedulingPolicy::o4mini(policy_seed),
-            };
-            let outcome = run(jobs, cluster, &mut policy, &options);
-            let tracker = policy.overhead();
-            let overhead = OverheadSummary {
-                total_elapsed_secs: tracker.total_elapsed_secs(),
-                call_count: tracker.call_count(),
-                placement_latencies: tracker.placement_latencies(),
-            };
-            (outcome, Some(overhead))
-        }
-    };
-    RunResult {
-        scheduler: kind.name().to_string(),
+) -> Result<RunResult, RegistryError> {
+    let ctx = PolicyContext::new(jobs, cluster)
+        .with_seed(policy_seed)
+        .with_solver(*solver);
+    let mut policy = registry.build(scheduler, &ctx)?;
+    let display = registry
+        .display_name(scheduler)
+        .expect("build succeeded, so the name resolves")
+        .to_string();
+    let outcome = Simulation::new(cluster)
+        .jobs(jobs)
+        .options(SimOptions::default())
+        .run(policy.as_mut())
+        .unwrap_or_else(|e| {
+            panic!(
+                "simulation failed under {}: {e} (jobs={})",
+                policy.name(),
+                jobs.len()
+            )
+        });
+    Ok(RunResult {
+        scheduler: display,
+        scenario: String::new(),
         report: MetricsReport::compute(&outcome.records, cluster),
         stats: outcome.stats,
-        overhead,
-    }
+        overhead: policy.overhead_report(),
+    })
 }
 
-fn run(
+/// [`run_with_registry`] against the shared builtin registry.
+pub fn run_named(
+    scheduler: &str,
     jobs: &[JobSpec],
     cluster: ClusterConfig,
-    policy: &mut dyn SchedulingPolicy,
-    options: &SimOptions,
-) -> SimOutcome {
-    run_simulation(cluster, jobs, policy, options).unwrap_or_else(|e| {
-        panic!(
-            "simulation failed under {}: {e} (jobs={})",
-            policy.name(),
-            jobs.len()
-        )
-    })
+    policy_seed: u64,
+    solver: &SolverConfig,
+) -> Result<RunResult, RegistryError> {
+    run_with_registry(builtins(), scheduler, jobs, cluster, policy_seed, solver)
 }
 
 /// A cell of the experiment matrix.
 #[derive(Debug, Clone)]
 pub struct MatrixCell {
-    /// Scheduler to run.
-    pub kind: SchedulerKind,
+    /// Registry name of the scheduler to run.
+    pub scheduler: String,
+    /// Free-form workload label propagated into [`RunResult::scenario`]
+    /// (and from there into the per-cell JSON artifacts).
+    pub scenario: String,
     /// The workload.
     pub jobs: Vec<JobSpec>,
     /// Machine configuration.
     pub cluster: ClusterConfig,
     /// Policy seed.
     pub policy_seed: u64,
-    /// Solver budget for OR-Tools cells.
+    /// Solver budget for solver-backed cells.
     pub solver: SolverConfig,
 }
 
 /// Run many cells in parallel on the work-stealing pool, preserving input
-/// order.
+/// order. Cells resolve against the shared builtin registry.
 pub fn run_matrix(cells: Vec<MatrixCell>, pool: &ThreadPool) -> Vec<RunResult> {
     pool.par_map(cells, |cell| {
-        run_policy(
-            cell.kind,
+        let mut result = run_with_registry(
+            builtins(),
+            &cell.scheduler,
             &cell.jobs,
             cell.cluster,
             cell.policy_seed,
             &cell.solver,
         )
+        .unwrap_or_else(|e| panic!("matrix cell failed: {e}"));
+        result.scenario = cell.scenario;
+        result
     })
 }
 
@@ -200,16 +153,18 @@ pub fn normalize_table(results: &[RunResult], baseline: &str) -> Vec<(String, No
         .collect()
 }
 
-/// Derive the per-cell policy seed for run `rep` of `kind` from a root
-/// seed — stable across machines and runs.
-pub fn policy_seed(root: u64, kind: SchedulerKind, rep: u64) -> u64 {
-    SeedTree::new(root).derive(kind.name(), rep)
+/// Derive the per-cell policy seed for run `rep` of the named scheduler
+/// from a root seed — stable across machines and runs.
+pub fn policy_seed_named(root: u64, scheduler: &str, rep: u64) -> u64 {
+    SeedTree::new(root).derive(scheduler, rep)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rsched_metrics::Metric;
+    use rsched_registry::names;
+    use rsched_sim::{Action, SchedulingPolicy, SystemView};
 
     fn quick_solver() -> SolverConfig {
         SolverConfig {
@@ -221,42 +176,85 @@ mod tests {
     }
 
     #[test]
-    fn every_scheduler_completes_a_small_scenario() {
+    fn every_builtin_name_completes_a_small_scenario() {
         let jobs = scenario_jobs(ScenarioKind::HeterogeneousMix, 10, 1);
-        for kind in [
-            SchedulerKind::Fcfs,
-            SchedulerKind::Sjf,
-            SchedulerKind::OrTools,
-            SchedulerKind::Claude37,
-            SchedulerKind::O4Mini,
-            SchedulerKind::Easy,
-            SchedulerKind::Random,
-        ] {
-            let r = run_policy(
-                kind,
+        for name in names::ALL_BUILTIN {
+            let r = run_named(
+                name,
                 &jobs,
                 ClusterConfig::paper_default(),
                 7,
                 &quick_solver(),
-            );
-            assert!(r.report.makespan_secs > 0.0, "{}", kind.name());
+            )
+            .expect("builtin");
+            assert!(r.report.makespan_secs > 0.0, "{name}");
             assert_eq!(
                 r.overhead.is_some(),
-                matches!(kind, SchedulerKind::Claude37 | SchedulerKind::O4Mini),
-                "{}",
-                kind.name()
+                names::LLM_PAIR.contains(&name),
+                "{name}"
             );
         }
+    }
+
+    #[test]
+    fn unknown_scheduler_name_errors_without_panicking() {
+        let jobs = scenario_jobs(ScenarioKind::ResourceSparse, 8, 1);
+        let err = run_named(
+            "pbs-pro",
+            &jobs,
+            ClusterConfig::paper_default(),
+            1,
+            &quick_solver(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn custom_registry_flows_through_the_harness() {
+        struct NarrowestFirst;
+        impl SchedulingPolicy for NarrowestFirst {
+            fn name(&self) -> &str {
+                // Deliberately differs from the registry name: results must
+                // be labeled by the name the cell was addressed with.
+                "NarrowestFirst v2"
+            }
+            fn decide(&mut self, view: &SystemView) -> Action {
+                if view.all_jobs_started() {
+                    return Action::Stop;
+                }
+                match view.eligible_now().min_by_key(|j| j.nodes) {
+                    Some(j) => Action::StartJob(j.id),
+                    None => Action::Delay,
+                }
+            }
+        }
+        let mut registry = PolicyRegistry::with_builtins();
+        registry
+            .register("narrowest-first", |_| Box::new(NarrowestFirst))
+            .expect("fresh name");
+        let jobs = scenario_jobs(ScenarioKind::HeterogeneousMix, 10, 2);
+        let r = run_with_registry(
+            &registry,
+            "narrowest-first",
+            &jobs,
+            ClusterConfig::paper_default(),
+            1,
+            &quick_solver(),
+        )
+        .expect("registered");
+        assert_eq!(r.scheduler, "narrowest-first");
+        assert!(r.overhead.is_none());
     }
 
     #[test]
     fn matrix_runs_in_parallel_and_preserves_order() {
         let pool = ThreadPool::new(4);
         let jobs = scenario_jobs(ScenarioKind::ResourceSparse, 10, 2);
-        let cells: Vec<MatrixCell> = SchedulerKind::all_paper()
+        let cells: Vec<MatrixCell> = names::PAPER_SET
             .into_iter()
-            .map(|kind| MatrixCell {
-                kind,
+            .map(|name| MatrixCell {
+                scheduler: name.to_string(),
+                scenario: "resource-sparse".to_string(),
                 jobs: jobs.clone(),
                 cluster: ClusterConfig::paper_default(),
                 policy_seed: 3,
@@ -264,19 +262,29 @@ mod tests {
             })
             .collect();
         let results = run_matrix(cells, &pool);
-        let names: Vec<&str> = results.iter().map(|r| r.scheduler.as_str()).collect();
+        let names_out: Vec<&str> = results.iter().map(|r| r.scheduler.as_str()).collect();
         assert_eq!(
-            names,
+            names_out,
             vec!["FCFS", "SJF", "OR-Tools", "Claude-3.7", "O4-Mini"]
         );
+        assert!(results.iter().all(|r| r.scenario == "resource-sparse"));
     }
 
     #[test]
     fn normalization_against_fcfs() {
         let jobs = scenario_jobs(ScenarioKind::HomogeneousShort, 10, 3);
-        let results: Vec<RunResult> = [SchedulerKind::Fcfs, SchedulerKind::Sjf]
+        let results: Vec<RunResult> = [names::FCFS, names::SJF]
             .into_iter()
-            .map(|k| run_policy(k, &jobs, ClusterConfig::paper_default(), 1, &quick_solver()))
+            .map(|name| {
+                run_named(
+                    name,
+                    &jobs,
+                    ClusterConfig::paper_default(),
+                    1,
+                    &quick_solver(),
+                )
+                .expect("builtin")
+            })
             .collect();
         let table = normalize_table(&results, "FCFS");
         let (name, fcfs_row) = &table[0];
@@ -290,23 +298,23 @@ mod tests {
 
     #[test]
     fn policy_seeds_are_stable_and_distinct() {
-        let a = policy_seed(2025, SchedulerKind::Claude37, 0);
-        assert_eq!(a, policy_seed(2025, SchedulerKind::Claude37, 0));
-        assert_ne!(a, policy_seed(2025, SchedulerKind::Claude37, 1));
-        assert_ne!(a, policy_seed(2025, SchedulerKind::O4Mini, 0));
+        let a = policy_seed_named(2025, names::CLAUDE37, 0);
+        assert_ne!(a, policy_seed_named(2025, names::CLAUDE37, 1));
+        assert_ne!(a, policy_seed_named(2025, names::O4_MINI, 0));
     }
 
     #[test]
     #[should_panic(expected = "baseline `FCFS` missing")]
     fn missing_baseline_panics() {
         let jobs = scenario_jobs(ScenarioKind::ResourceSparse, 8, 1);
-        let results = vec![run_policy(
-            SchedulerKind::Sjf,
+        let results = vec![run_named(
+            names::SJF,
             &jobs,
             ClusterConfig::paper_default(),
             1,
             &quick_solver(),
-        )];
+        )
+        .expect("builtin")];
         let _ = normalize_table(&results, "FCFS");
     }
 }

@@ -16,17 +16,26 @@
 //! ledger (the constraint-enforcement module of paper §2.4) and reporting
 //! structured rejection reasons that the agent renders as natural-language
 //! feedback.
+//!
+//! The public entry point is the [`Simulation`] builder, which attaches any
+//! number of streaming [`SimObserver`]s to the run; [`run_simulation`] is a
+//! thin compatibility wrapper over it.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod builder;
 pub mod events;
+pub mod observer;
 pub mod outcome;
 pub mod policy;
 pub mod simulator;
 pub mod view;
 
+pub use builder::Simulation;
+pub use events::SimEvent;
+pub use observer::{CountingObserver, ProgressObserver, SimObserver};
 pub use outcome::{DecisionRecord, SimOutcome, SimStats};
-pub use policy::{Action, ActionOutcome, RejectReason, SchedulingPolicy};
+pub use policy::{Action, ActionOutcome, OverheadReport, RejectReason, SchedulingPolicy};
 pub use simulator::{run_simulation, SimError, SimOptions};
 pub use view::{RunningSummary, SystemView};

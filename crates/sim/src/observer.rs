@@ -1,0 +1,222 @@
+//! Streaming observation of a running simulation.
+//!
+//! A [`SimObserver`] receives callbacks *while* [`crate::Simulation`] runs —
+//! every clock event, every validated (or rejected) decision, and the final
+//! outcome — so metrics, traces, and progress reporting can stream instead
+//! of being reconstructed from `SimOutcome`'s vectors after the fact.
+//!
+//! Observers are attached through
+//! [`Simulation::observer`](crate::Simulation::observer) and borrowed
+//! mutably for the duration of the run, so they can accumulate state that
+//! the caller inspects afterwards.
+
+use rsched_simkit::SimTime;
+
+use crate::events::SimEvent;
+use crate::outcome::{DecisionRecord, SimOutcome};
+
+/// Callbacks streamed from a simulation run.
+///
+/// All methods default to no-ops; implement only the hooks you need. The
+/// simulator guarantees:
+///
+/// * [`on_event`](SimObserver::on_event) fires once per popped clock event,
+///   in nondecreasing time order;
+/// * [`on_decision`](SimObserver::on_decision) fires once per policy
+///   decision (accepted *and* rejected), in nondecreasing time order;
+/// * [`on_complete`](SimObserver::on_complete) fires exactly once, after
+///   the last decision, and only for runs that finish without a
+///   [`SimError`](crate::SimError).
+pub trait SimObserver {
+    /// A clock event (arrival or completion) was popped at `time`.
+    fn on_event(&mut self, event: &SimEvent, time: SimTime) {
+        let _ = (event, time);
+    }
+
+    /// The policy made a decision and the constraint module ruled on it.
+    fn on_decision(&mut self, record: &DecisionRecord) {
+        let _ = record;
+    }
+
+    /// The run finished; `outcome` is the value the caller will receive.
+    fn on_complete(&mut self, outcome: &SimOutcome) {
+        let _ = outcome;
+    }
+}
+
+/// Counts every callback and checks time monotonicity — the cheapest way
+/// to smoke-test observer plumbing, and a building block for progress UIs.
+#[derive(Debug, Clone)]
+pub struct CountingObserver {
+    /// Clock events seen.
+    pub events: usize,
+    /// Decisions seen (accepted + rejected).
+    pub decisions: usize,
+    /// Accepted placements seen.
+    pub placements: usize,
+    /// `on_complete` invocations (must end at exactly 1).
+    pub completions: usize,
+    /// Time of the most recent event callback.
+    pub last_event_time: Option<SimTime>,
+    /// Time of the most recent decision callback.
+    pub last_decision_time: Option<SimTime>,
+    /// `false` iff any callback arrived with a time earlier than its
+    /// predecessor's.
+    pub time_ordered: bool,
+}
+
+impl CountingObserver {
+    /// A fresh observer with all counters at zero.
+    pub fn new() -> Self {
+        CountingObserver {
+            events: 0,
+            decisions: 0,
+            placements: 0,
+            completions: 0,
+            last_event_time: None,
+            last_decision_time: None,
+            time_ordered: true,
+        }
+    }
+}
+
+impl Default for CountingObserver {
+    fn default() -> Self {
+        CountingObserver::new()
+    }
+}
+
+impl SimObserver for CountingObserver {
+    fn on_event(&mut self, _event: &SimEvent, time: SimTime) {
+        if self.last_event_time.is_some_and(|prev| time < prev) {
+            self.time_ordered = false;
+        }
+        self.last_event_time = Some(time);
+        self.events += 1;
+    }
+
+    fn on_decision(&mut self, record: &DecisionRecord) {
+        if self
+            .last_decision_time
+            .is_some_and(|prev| record.time < prev)
+        {
+            self.time_ordered = false;
+        }
+        self.last_decision_time = Some(record.time);
+        self.decisions += 1;
+        if record.accepted() && record.action.is_placement() {
+            self.placements += 1;
+        }
+    }
+
+    fn on_complete(&mut self, _outcome: &SimOutcome) {
+        self.completions += 1;
+    }
+}
+
+/// Streams a one-line progress report to a sink every `every` decisions,
+/// plus a summary line on completion — live feedback for long sweeps.
+pub struct ProgressObserver<W: std::io::Write> {
+    sink: W,
+    every: usize,
+    seen: usize,
+}
+
+impl<W: std::io::Write> ProgressObserver<W> {
+    /// Report to `sink` every `every` decisions (0 disables the periodic
+    /// lines; the completion summary still prints).
+    pub fn new(sink: W, every: usize) -> Self {
+        ProgressObserver {
+            sink,
+            every,
+            seen: 0,
+        }
+    }
+}
+
+impl ProgressObserver<std::io::Stderr> {
+    /// Report to standard error every `every` decisions.
+    pub fn stderr(every: usize) -> Self {
+        ProgressObserver::new(std::io::stderr(), every)
+    }
+}
+
+impl<W: std::io::Write> SimObserver for ProgressObserver<W> {
+    fn on_decision(&mut self, record: &DecisionRecord) {
+        self.seen += 1;
+        if self.every > 0 && self.seen.is_multiple_of(self.every) {
+            let _ = writeln!(
+                self.sink,
+                "[{}] {} decisions, queue={}, free={} nodes / {} GB",
+                record.time, self.seen, record.queue_len, record.free_nodes, record.free_memory_gb
+            );
+        }
+    }
+
+    fn on_complete(&mut self, outcome: &SimOutcome) {
+        let _ = writeln!(
+            self.sink,
+            "[{}] {} done: {} jobs, {} decisions, {} placements, {} rejections",
+            outcome.end_time,
+            outcome.policy_name,
+            outcome.records.len(),
+            outcome.decisions.len(),
+            outcome.stats.placements,
+            outcome.stats.rejections
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Action;
+    use rsched_cluster::JobId;
+
+    fn record(t: u64) -> DecisionRecord {
+        DecisionRecord {
+            time: SimTime::from_secs(t),
+            action: Action::StartJob(JobId(1)),
+            rejected: None,
+            queue_len: 1,
+            free_nodes: 4,
+            free_memory_gb: 8,
+        }
+    }
+
+    #[test]
+    fn counting_observer_tracks_order() {
+        let mut obs = CountingObserver::new();
+        obs.on_decision(&record(1));
+        obs.on_decision(&record(5));
+        assert!(obs.time_ordered);
+        assert_eq!(obs.decisions, 2);
+        assert_eq!(obs.placements, 2);
+        obs.on_decision(&record(2));
+        assert!(!obs.time_ordered);
+    }
+
+    #[test]
+    fn counting_observer_sees_events() {
+        let mut obs = CountingObserver::new();
+        obs.on_event(&SimEvent::Arrival(0), SimTime::from_secs(3));
+        obs.on_event(&SimEvent::Completion(JobId(1)), SimTime::from_secs(7));
+        assert_eq!(obs.events, 2);
+        assert_eq!(obs.last_event_time, Some(SimTime::from_secs(7)));
+        assert!(obs.time_ordered);
+    }
+
+    #[test]
+    fn progress_observer_writes_periodic_lines() {
+        let mut buf: Vec<u8> = Vec::new();
+        {
+            let mut obs = ProgressObserver::new(&mut buf, 2);
+            obs.on_decision(&record(1));
+            obs.on_decision(&record(2));
+            obs.on_decision(&record(3));
+        }
+        let text = String::from_utf8(buf).expect("utf8");
+        assert_eq!(text.lines().count(), 1, "one line per 2 decisions: {text}");
+        assert!(text.contains("2 decisions"));
+    }
+}

@@ -122,6 +122,26 @@ impl ActionOutcome {
     }
 }
 
+/// Decision-overhead ledger a policy may expose after a run (paper §3.7).
+///
+/// Policies that consult an expensive oracle (an LLM, a solver) report how
+/// much wall-clock scheduling time the run cost through
+/// [`SchedulingPolicy::overhead_report`]; purely algorithmic baselines
+/// return `None`. Keeping this on the trait lets harnesses extract the
+/// ledger uniformly from a `Box<dyn SchedulingPolicy>` without downcasting
+/// to concrete types.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OverheadReport {
+    /// Total elapsed scheduling time (sum of oracle call latencies),
+    /// seconds.
+    pub total_elapsed_secs: f64,
+    /// Number of oracle calls made.
+    pub call_count: usize,
+    /// Latencies of accepted placement calls, seconds — the distribution
+    /// the paper's overhead figures plot.
+    pub placement_latencies: Vec<f64>,
+}
+
 /// A scheduling policy driven by the discrete-event simulator.
 ///
 /// The simulator queries [`decide`](SchedulingPolicy::decide) at each
@@ -144,6 +164,12 @@ pub trait SchedulingPolicy {
 
     /// Reset internal state so the policy can schedule a fresh workload.
     fn reset(&mut self) {}
+
+    /// The run's decision-overhead ledger, if this policy tracks one.
+    /// Defaults to `None` (free algorithmic policies).
+    fn overhead_report(&self) -> Option<OverheadReport> {
+        None
+    }
 }
 
 impl fmt::Display for RejectReason {

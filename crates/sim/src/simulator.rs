@@ -111,11 +111,30 @@ impl std::error::Error for SimError {}
 ///
 /// Returns the completed schedule, the full decision log and aggregate
 /// counters. The run is deterministic given a deterministic policy.
+///
+/// This is a compatibility wrapper over the [`Simulation`](crate::Simulation)
+/// builder, which additionally supports streaming
+/// [`SimObserver`](crate::SimObserver)s.
 pub fn run_simulation(
     config: ClusterConfig,
     jobs: &[JobSpec],
     policy: &mut dyn SchedulingPolicy,
     options: &SimOptions,
+) -> Result<SimOutcome, SimError> {
+    crate::Simulation::new(config)
+        .jobs(jobs)
+        .options(*options)
+        .run(policy)
+}
+
+/// The decision loop shared by [`run_simulation`] and the
+/// [`Simulation`](crate::Simulation) builder.
+pub(crate) fn simulate(
+    config: ClusterConfig,
+    jobs: &[JobSpec],
+    policy: &mut dyn SchedulingPolicy,
+    options: &SimOptions,
+    observers: &mut [&mut dyn crate::SimObserver],
 ) -> Result<SimOutcome, SimError> {
     validate_workload(config, jobs)?;
 
@@ -146,6 +165,9 @@ pub fn run_simulation(
         now = t;
 
         for event in events.pop_at(t) {
+            for observer in observers.iter_mut() {
+                observer.on_event(&event, t);
+            }
             match event {
                 SimEvent::Arrival(idx) => {
                     waiting.push(jobs[idx].clone());
@@ -173,7 +195,8 @@ pub fn run_simulation(
         };
         if !stopped && should_query {
             stats.epochs += 1;
-            run_decision_epoch(DecisionEpoch {
+            let first_new = decisions.len();
+            let verdict = run_decision_epoch(DecisionEpoch {
                 cluster: &mut cluster,
                 events: &mut events,
                 waiting: &mut waiting,
@@ -187,7 +210,15 @@ pub fn run_simulation(
                 stopped: &mut stopped,
                 node_integral: &mut node_integral,
                 mem_integral: &mut mem_integral,
-            })?;
+            });
+            // Stream the epoch's decisions (even when the epoch errored,
+            // so observers see everything that happened before failure).
+            for record in &decisions[first_new..] {
+                for observer in observers.iter_mut() {
+                    observer.on_decision(record);
+                }
+            }
+            verdict?;
         }
 
         // A Delay with nothing running and nothing to arrive can never make
@@ -204,7 +235,7 @@ pub fn run_simulation(
     }
 
     let end_time = now;
-    Ok(SimOutcome {
+    let outcome = SimOutcome {
         policy_name: policy.name().to_string(),
         records: cluster.completed().to_vec(),
         decisions,
@@ -212,7 +243,11 @@ pub fn run_simulation(
         end_time,
         node_seconds: node_integral.integral_through(end_time),
         memory_gb_seconds: mem_integral.integral_through(end_time),
-    })
+    };
+    for observer in observers.iter_mut() {
+        observer.on_complete(&outcome);
+    }
+    Ok(outcome)
 }
 
 fn validate_workload(config: ClusterConfig, jobs: &[JobSpec]) -> Result<(), SimError> {

@@ -1,10 +1,14 @@
-//! Plugging a *real* language model into the agent.
+//! Plugging a *real* language model into the harness — without touching
+//! any workspace code.
 //!
-//! The agent talks to any [`LanguageModel`]: prompt text in, a
-//! `Thought:`/`Action:` completion out. [`ProcessBackend`] bridges that to
-//! an external command — point it at a shell script wrapping your API CLI
-//! and the whole evaluation harness drives your model instead of the
-//! simulated personas.
+//! The open [`PolicyRegistry`] is the extension seam: register a factory
+//! under a name of your choosing and every registry-driven surface (the
+//! [`Simulation`] builder, the experiments matrix, your own sweeps) can
+//! drive your policy alongside the builtins. Here the policy wraps
+//! [`ProcessBackend`], which bridges the agent's `Thought:`/`Action:`
+//! contract to an external command — point it at a shell script wrapping
+//! your API CLI and the whole evaluation harness drives your model instead
+//! of the simulated personas.
 //!
 //! This example uses a tiny `sh` one-liner as the "model": it ignores the
 //! prompt and always answers with the head job — a degenerate but valid
@@ -38,17 +42,48 @@ fn main() {
     "#;
     std::fs::write(std::env::temp_dir().join("byollm_counter"), "0").expect("seed counter");
 
-    let backend = ProcessBackend::new("sh-fcfs", "sh", ["-c".to_string(), script.to_string()]);
-    let mut policy = LlmSchedulingPolicy::new(Box::new(backend));
+    // Third-party registration: the factory is ordinary user code. The
+    // builtins stay available next to it ("FCFS", "Claude-3.7", …).
+    let mut registry = PolicyRegistry::with_builtins();
+    registry
+        .register("sh-fcfs", move |_ctx| {
+            let backend =
+                ProcessBackend::new("sh-fcfs", "sh", ["-c".to_string(), script.to_string()]);
+            Box::new(LlmSchedulingPolicy::new(Box::new(backend)))
+        })
+        .expect("name is free");
+    println!("registered policies: {}\n", registry.names().join(", "));
 
-    let outcome = run_simulation(cluster, &workload.jobs, &mut policy, &SimOptions::default())
+    let ctx = PolicyContext::new(&workload.jobs, cluster).with_seed(9);
+    let mut policy = registry.build("sh-fcfs", &ctx).expect("just registered");
+
+    // Observers stream the run as it happens — watch the external process
+    // schedule each job live instead of replaying the decision log.
+    struct LiveLog;
+    impl SimObserver for LiveLog {
+        fn on_decision(&mut self, d: &DecisionRecord) {
+            let verdict = match &d.rejected {
+                None => "ok".to_string(),
+                Some(reason) => format!("rejected: {reason}"),
+            };
+            println!("  [{}] {} -> {verdict}", d.time, d.action);
+        }
+    }
+    let mut live = LiveLog;
+
+    let outcome = Simulation::new(cluster)
+        .jobs(&workload.jobs)
+        .observer(&mut live)
+        .run(policy.as_mut())
         .expect("completes");
+
     let report = MetricsReport::compute(&outcome.records, cluster);
+    let overhead = policy.overhead_report().expect("LLM policies track calls");
     println!(
-        "external-process model `{}` scheduled {} jobs ({} calls, measured wall latency)\n",
+        "\nexternal-process model `{}` scheduled {} jobs ({} calls, measured wall latency)\n",
         outcome.policy_name,
         outcome.records.len(),
-        policy.overhead().call_count()
+        overhead.call_count
     );
     println!("{report}");
 }

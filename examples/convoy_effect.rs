@@ -10,6 +10,7 @@
 
 use reasoned_scheduler::metrics::TextTable;
 use reasoned_scheduler::prelude::*;
+use reasoned_scheduler::registry::names;
 
 fn main() {
     let cluster = ClusterConfig::paper_default();
@@ -29,20 +30,15 @@ fn main() {
         "user_fairness",
     ]);
 
-    let mut policies: Vec<Box<dyn SchedulingPolicy>> = vec![
-        Box::new(Fcfs),
-        Box::new(EasyBackfill::new()),
-        Box::new(Sjf),
-        Box::new(LlmSchedulingPolicy::claude37(11)),
-    ];
-    for policy in policies.iter_mut() {
-        let outcome = run_simulation(
-            cluster,
-            &workload.jobs,
-            policy.as_mut(),
-            &SimOptions::default(),
-        )
-        .expect("completes");
+    let registry = PolicyRegistry::with_builtins();
+    let ctx = PolicyContext::new(&workload.jobs, cluster).with_seed(11);
+
+    for name in [names::FCFS, names::EASY, names::SJF, names::CLAUDE37] {
+        let mut policy = registry.build(name, &ctx).expect("builtin policy");
+        let outcome = Simulation::new(cluster)
+            .jobs(&workload.jobs)
+            .run(policy.as_mut())
+            .expect("completes");
         let report = MetricsReport::compute(&outcome.records, cluster);
         let mut waits: Vec<f64> = outcome
             .records

@@ -11,6 +11,7 @@
 //! ```
 
 use reasoned_scheduler::prelude::*;
+use reasoned_scheduler::registry::names;
 use reasoned_scheduler::workloads::polaris;
 
 fn main() {
@@ -33,13 +34,15 @@ fn main() {
         polaris::POLARIS_GB_PER_NODE
     );
 
-    // 3. Replay on the Polaris partition.
+    // 3. Replay on the Polaris partition, policies by registry name.
     let cluster = ClusterConfig::polaris();
-    for mut policy in [
-        Box::new(Fcfs) as Box<dyn SchedulingPolicy>,
-        Box::new(LlmSchedulingPolicy::claude37(2024)),
-    ] {
-        let outcome = run_simulation(cluster, &jobs, policy.as_mut(), &SimOptions::default())
+    let registry = PolicyRegistry::with_builtins();
+    let ctx = PolicyContext::new(&jobs, cluster).with_seed(2024);
+    for name in [names::FCFS, names::CLAUDE37] {
+        let mut policy = registry.build(name, &ctx).expect("builtin policy");
+        let outcome = Simulation::new(cluster)
+            .jobs(&jobs)
+            .run(policy.as_mut())
             .expect("trace completes");
         let report = MetricsReport::compute(&outcome.records, cluster);
         println!("=== {} ===\n{report}\n", outcome.policy_name);

@@ -1,12 +1,17 @@
 //! Quickstart: schedule one workload with every method the paper compares
 //! and print the §3.2 metrics side by side.
 //!
+//! Schedulers are resolved by name from the builtin [`PolicyRegistry`] and
+//! driven through the [`Simulation`] builder — the same two pieces a
+//! third-party policy plugs into (see `bring_your_own_llm.rs`).
+//!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use reasoned_scheduler::metrics::TextTable;
 use reasoned_scheduler::prelude::*;
+use reasoned_scheduler::registry::names;
 
 fn main() {
     let cluster = ClusterConfig::paper_default();
@@ -29,25 +34,18 @@ fn main() {
         "user_fairness",
     ]);
 
-    // The paper's five schedulers. The LLM agents run against simulated
-    // reasoning models; swap in `LlmSchedulingPolicy::new(Box::new(...))`
-    // with a `ProcessBackend` to drive a real model.
-    let mut policies: Vec<Box<dyn SchedulingPolicy>> = vec![
-        Box::new(Fcfs),
-        Box::new(Sjf),
-        Box::new(OrToolsPolicy::new(&workload.jobs)),
-        Box::new(LlmSchedulingPolicy::claude37(7)),
-        Box::new(LlmSchedulingPolicy::o4mini(7)),
-    ];
+    // The paper's five schedulers, by registry name. The LLM agents run
+    // against simulated reasoning models; register a `ProcessBackend`
+    // policy to drive a real model instead.
+    let registry = PolicyRegistry::with_builtins();
+    let ctx = PolicyContext::new(&workload.jobs, cluster).with_seed(7);
 
-    for policy in policies.iter_mut() {
-        let outcome = run_simulation(
-            cluster,
-            &workload.jobs,
-            policy.as_mut(),
-            &SimOptions::default(),
-        )
-        .expect("workload completes");
+    for name in names::PAPER_SET {
+        let mut policy = registry.build(name, &ctx).expect("builtin policy");
+        let outcome = Simulation::new(cluster)
+            .jobs(&workload.jobs)
+            .run(policy.as_mut())
+            .expect("workload completes");
         let report = MetricsReport::compute(&outcome.records, cluster);
         table.push_row([
             outcome.policy_name.clone(),

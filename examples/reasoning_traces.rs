@@ -2,11 +2,38 @@
 //! print its interpretable decision traces — thought, action, and any
 //! constraint feedback, exactly the panels the paper shows.
 //!
+//! The run streams: a [`SimObserver`] prints every validated decision the
+//! moment the constraint module rules on it, then the agent's full
+//! thought trace and scratchpad are rendered post-hoc.
+//!
 //! ```text
 //! cargo run --release --example reasoning_traces
 //! ```
 
 use reasoned_scheduler::prelude::*;
+
+/// Prints each decision as the simulation makes it.
+struct LiveDecisions {
+    shown: usize,
+}
+
+impl SimObserver for LiveDecisions {
+    fn on_decision(&mut self, d: &DecisionRecord) {
+        self.shown += 1;
+        let verdict = match &d.rejected {
+            None => "applied".to_string(),
+            Some(reason) => format!("REJECTED ({reason})"),
+        };
+        println!(
+            "[{:>8}] {:<24} {} (queue={}, free={} nodes)",
+            d.time.to_string(),
+            d.action.to_string(),
+            verdict,
+            d.queue_len,
+            d.free_nodes
+        );
+    }
+}
 
 fn main() {
     let cluster = ClusterConfig::paper_default();
@@ -14,15 +41,23 @@ fn main() {
     // flood of 1-node jobs — the convoy-effect stress test.
     let workload = generate(ScenarioKind::Adversarial, 12, ArrivalMode::Dynamic, 3);
 
+    // The concrete agent type (not a registry handle) so the thought trace
+    // and scratchpad stay inspectable after the run.
     let mut agent = LlmSchedulingPolicy::claude37(3);
-    let outcome = run_simulation(cluster, &workload.jobs, &mut agent, &SimOptions::default())
+    let mut live = LiveDecisions { shown: 0 };
+
+    println!("=== Decisions, streamed live ===\n");
+    let outcome = Simulation::new(cluster)
+        .jobs(&workload.jobs)
+        .observer(&mut live)
+        .run(&mut agent)
         .expect("workload completes");
 
     println!(
-        "{} scheduled {} jobs in {} decisions ({} LLM calls)\n",
+        "\n{} scheduled {} jobs in {} decisions ({} LLM calls)\n",
         agent.name(),
         outcome.records.len(),
-        outcome.decisions.len(),
+        live.shown,
         agent.overhead().call_count()
     );
     println!("{}", agent.trace().render());

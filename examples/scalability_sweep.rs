@@ -10,10 +10,12 @@
 use reasoned_scheduler::metrics::energy::{EnergyReport, PowerModel};
 use reasoned_scheduler::metrics::TextTable;
 use reasoned_scheduler::prelude::*;
+use reasoned_scheduler::registry::names;
 
 fn main() {
     let cluster = ClusterConfig::paper_default();
     let power = PowerModel::typical_cpu_node();
+    let registry = PolicyRegistry::with_builtins();
 
     let mut table = TextTable::new([
         "jobs",
@@ -27,19 +29,13 @@ fn main() {
 
     for &n in &[10usize, 20, 40, 60] {
         let workload = generate(ScenarioKind::HeterogeneousMix, n, ArrivalMode::Dynamic, 31);
-        for llm in [false, true] {
-            let mut policy: Box<dyn SchedulingPolicy> = if llm {
-                Box::new(LlmSchedulingPolicy::claude37(31))
-            } else {
-                Box::new(Fcfs)
-            };
-            let outcome = run_simulation(
-                cluster,
-                &workload.jobs,
-                policy.as_mut(),
-                &SimOptions::default(),
-            )
-            .expect("completes");
+        let ctx = PolicyContext::new(&workload.jobs, cluster).with_seed(31);
+        for name in [names::FCFS, names::CLAUDE37] {
+            let mut policy = registry.build(name, &ctx).expect("builtin policy");
+            let outcome = Simulation::new(cluster)
+                .jobs(&workload.jobs)
+                .run(policy.as_mut())
+                .expect("completes");
             let report = MetricsReport::compute(&outcome.records, cluster);
             let energy = EnergyReport::compute(&outcome.records, cluster, &power);
             table.push_row([

@@ -20,29 +20,39 @@
 //! * [`llm`] — the language-model substrate (simulated personas, scripted
 //!   and external-process backends).
 //! * [`agent`] — the paper's contribution: the ReAct scheduling agent.
+//! * [`registry`] — the open, string-keyed policy registry.
 //! * [`parallel`] — the work-stealing pool for experiment sweeps.
 //! * [`experiments`] — the figure-regeneration harness.
 //!
 //! ## Quickstart
 //!
+//! Policies are resolved by name from the open [`registry`] (builtins plus
+//! anything you [`register`](registry::PolicyRegistry::register)), and runs
+//! are described with the [`Simulation`](sim::Simulation) builder, which
+//! can stream decisions to observers as they happen:
+//!
 //! ```
 //! use reasoned_scheduler::prelude::*;
 //!
 //! // 20 Heterogeneous-Mix jobs with Poisson arrivals (paper §3.1).
+//! let cluster = ClusterConfig::paper_default();
 //! let workload = generate(ScenarioKind::HeterogeneousMix, 20, ArrivalMode::Dynamic, 42);
 //!
-//! // The simulated Claude 3.7 ReAct agent (paper §3.3).
-//! let mut agent = LlmSchedulingPolicy::claude37(42);
+//! // The simulated Claude 3.7 ReAct agent (paper §3.3), by registry name.
+//! let registry = PolicyRegistry::with_builtins();
+//! let ctx = PolicyContext::new(&workload.jobs, cluster).with_seed(42);
+//! let mut agent = registry.build("Claude-3.7", &ctx).expect("builtin policy");
 //!
-//! let outcome = run_simulation(
-//!     ClusterConfig::paper_default(),
-//!     &workload.jobs,
-//!     &mut agent,
-//!     &SimOptions::default(),
-//! )
-//! .expect("workload completes");
+//! let mut progress = CountingObserver::new();
+//! let outcome = Simulation::new(cluster)
+//!     .jobs(&workload.jobs)
+//!     .observer(&mut progress)
+//!     .run(agent.as_mut())
+//!     .expect("workload completes");
+//! assert_eq!(progress.completions, 1);
+//! assert_eq!(progress.decisions, outcome.decisions.len());
 //!
-//! let report = MetricsReport::compute(&outcome.records, ClusterConfig::paper_default());
+//! let report = MetricsReport::compute(&outcome.records, cluster);
 //! assert!(report.makespan_secs > 0.0);
 //! println!("{report}");
 //! ```
@@ -57,6 +67,7 @@ pub use rsched_experiments as experiments;
 pub use rsched_llm as llm;
 pub use rsched_metrics as metrics;
 pub use rsched_parallel as parallel;
+pub use rsched_registry as registry;
 pub use rsched_schedulers as schedulers;
 pub use rsched_sim as sim;
 pub use rsched_simkit as simkit;
@@ -68,8 +79,12 @@ pub mod prelude {
     pub use rsched_core::{LlmSchedulingPolicy, ReActAgent};
     pub use rsched_llm::{LanguageModel, SimulatedLlm};
     pub use rsched_metrics::{Metric, MetricsReport};
+    pub use rsched_registry::{PolicyContext, PolicyRegistry};
     pub use rsched_schedulers::{EasyBackfill, Fcfs, OrToolsPolicy, RandomPolicy, Sjf};
-    pub use rsched_sim::{run_simulation, Action, SchedulingPolicy, SimOptions, SystemView};
+    pub use rsched_sim::{
+        run_simulation, Action, CountingObserver, DecisionRecord, SchedulingPolicy, SimObserver,
+        SimOptions, SimOutcome, Simulation, SystemView,
+    };
     pub use rsched_simkit::{SimDuration, SimTime};
     pub use rsched_workloads::{generate, ArrivalMode, ScenarioKind, Workload};
 }

@@ -3,8 +3,6 @@
 
 use reasoned_scheduler::cpsolver::SolverConfig;
 use reasoned_scheduler::prelude::*;
-use reasoned_scheduler::schedulers::OrToolsPolicy;
-use reasoned_scheduler::sim::SimOutcome;
 use reasoned_scheduler::workloads::polaris::polaris_workload;
 
 fn quick_solver() -> SolverConfig {
@@ -16,18 +14,18 @@ fn quick_solver() -> SolverConfig {
     }
 }
 
+/// Resolve a scheduler by (case-insensitive) registry name and drive it
+/// through the `Simulation` builder — the same path the harness uses.
 fn run_kind(name: &str, jobs: &[JobSpec], cluster: ClusterConfig, seed: u64) -> SimOutcome {
-    let mut policy: Box<dyn SchedulingPolicy> = match name {
-        "fcfs" => Box::new(Fcfs),
-        "sjf" => Box::new(Sjf),
-        "easy" => Box::new(EasyBackfill::new()),
-        "random" => Box::new(RandomPolicy::new(seed)),
-        "ortools" => Box::new(OrToolsPolicy::with_config(jobs, quick_solver())),
-        "claude" => Box::new(LlmSchedulingPolicy::claude37(seed)),
-        "o4mini" => Box::new(LlmSchedulingPolicy::o4mini(seed)),
-        other => panic!("unknown scheduler {other}"),
-    };
-    run_simulation(cluster, jobs, policy.as_mut(), &SimOptions::default())
+    let ctx = PolicyContext::new(jobs, cluster)
+        .with_seed(seed)
+        .with_solver(quick_solver());
+    let mut policy = PolicyRegistry::with_builtins()
+        .build(name, &ctx)
+        .unwrap_or_else(|e| panic!("{e}"));
+    Simulation::new(cluster)
+        .jobs(jobs)
+        .run(policy.as_mut())
         .unwrap_or_else(|e| panic!("{name} failed: {e}"))
 }
 
@@ -66,7 +64,13 @@ fn every_scheduler_completes_every_scenario() {
     for scenario in ScenarioKind::all() {
         let workload = generate(scenario, 12, ArrivalMode::Dynamic, 42);
         for name in [
-            "fcfs", "sjf", "easy", "random", "ortools", "claude", "o4mini",
+            "fcfs",
+            "sjf",
+            "easy",
+            "random",
+            "or-tools",
+            "claude-3.7",
+            "o4-mini",
         ] {
             let outcome = run_kind(name, &workload.jobs, cluster, 42);
             assert_eq!(
@@ -88,7 +92,7 @@ fn every_scheduler_completes_every_scenario() {
 fn static_workloads_complete_too() {
     let cluster = ClusterConfig::paper_default();
     let workload = generate(ScenarioKind::HeterogeneousMix, 15, ArrivalMode::Static, 5);
-    for name in ["fcfs", "sjf", "ortools", "claude"] {
+    for name in ["fcfs", "sjf", "or-tools", "claude-3.7"] {
         let outcome = run_kind(name, &workload.jobs, cluster, 5);
         assert_eq!(outcome.records.len(), 15, "{name}");
         assert_schedule_feasible(&outcome, cluster);
@@ -100,7 +104,13 @@ fn end_to_end_runs_are_deterministic() {
     let cluster = ClusterConfig::paper_default();
     let workload = generate(ScenarioKind::BurstyIdle, 14, ArrivalMode::Dynamic, 9);
     for name in [
-        "fcfs", "sjf", "easy", "random", "ortools", "claude", "o4mini",
+        "fcfs",
+        "sjf",
+        "easy",
+        "random",
+        "or-tools",
+        "claude-3.7",
+        "o4-mini",
     ] {
         let a = run_kind(name, &workload.jobs, cluster, 9);
         let b = run_kind(name, &workload.jobs, cluster, 9);
@@ -139,7 +149,7 @@ fn polaris_pipeline_end_to_end() {
     let cluster = ClusterConfig::polaris();
     let jobs = polaris_workload(30, 77);
     assert_eq!(jobs.len(), 30);
-    for name in ["fcfs", "claude"] {
+    for name in ["fcfs", "claude-3.7"] {
         let outcome = run_kind(name, &jobs, cluster, 77);
         assert_eq!(outcome.records.len(), 30, "{name}");
         assert_schedule_feasible(&outcome, cluster);
@@ -170,7 +180,7 @@ fn llm_wait_improvement_holds_on_long_job_dominant() {
     let cluster = ClusterConfig::paper_default();
     let workload = generate(ScenarioKind::LongJobDominant, 20, ArrivalMode::Dynamic, 13);
     let fcfs = run_kind("fcfs", &workload.jobs, cluster, 13);
-    let claude = run_kind("claude", &workload.jobs, cluster, 13);
+    let claude = run_kind("claude-3.7", &workload.jobs, cluster, 13);
     let wait = |o: &SimOutcome| MetricsReport::compute(&o.records, cluster).avg_wait_secs;
     assert!(
         wait(&claude) < 0.7 * wait(&fcfs),

@@ -99,6 +99,36 @@ fn sim_types_construct_and_run() {
 }
 
 #[test]
+fn registry_and_builder_types_construct_and_run() {
+    // Every piece of the registry + builder + observer surface is reachable
+    // through the prelude.
+    let workload = generate(ScenarioKind::HeterogeneousMix, 3, ArrivalMode::Static, 8);
+    let cluster = ClusterConfig::paper_default();
+
+    let mut registry = PolicyRegistry::with_builtins();
+    assert!(registry.contains("FCFS"));
+    registry
+        .register("always-fcfs", |_| Box::new(Fcfs))
+        .expect("fresh name");
+
+    let ctx = PolicyContext::new(&workload.jobs, cluster).with_seed(8);
+    let mut policy = registry.build("always-fcfs", &ctx).expect("registered");
+
+    let mut counter = CountingObserver::new();
+    let outcome: SimOutcome = Simulation::new(cluster)
+        .jobs(&workload.jobs)
+        .options(SimOptions::default())
+        .observer(&mut counter)
+        .run(policy.as_mut())
+        .expect("tiny workload completes");
+    assert_eq!(outcome.records.len(), 3);
+    assert_eq!(counter.completions, 1);
+    assert_eq!(counter.decisions, outcome.decisions.len());
+    let first: &DecisionRecord = &outcome.decisions[0];
+    assert!(first.accepted());
+}
+
+#[test]
 fn metric_types_construct() {
     let workload = generate(ScenarioKind::HeterogeneousMix, 3, ArrivalMode::Static, 6);
     let config = ClusterConfig::paper_default();

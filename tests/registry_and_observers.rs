@@ -1,0 +1,229 @@
+//! The tentpole API's contracts, tested from outside the workspace:
+//!
+//! * registry-constructed policies are **bit-identical** to directly
+//!   constructed ones (property test over all seven builtin names and many
+//!   seeds);
+//! * observers stream in order: decisions arrive in nondecreasing
+//!   `SimTime`, and `on_complete` fires exactly once with the same outcome
+//!   the caller receives;
+//! * a custom third-party policy registers by name and runs through
+//!   `Simulation` with an observer — no workspace code touched.
+
+use proptest::prelude::*;
+
+use reasoned_scheduler::cpsolver::SolverConfig;
+use reasoned_scheduler::prelude::*;
+use reasoned_scheduler::registry::names;
+use reasoned_scheduler::sim::SimError;
+
+fn quick_solver() -> SolverConfig {
+    SolverConfig {
+        sa_iterations_per_task: 40,
+        sa_iteration_cap: 800,
+        exact_max_tasks: 6,
+        ..SolverConfig::default()
+    }
+}
+
+/// Construct the policy the old hardcoded way — the reference the registry
+/// must reproduce exactly.
+fn direct_policy(name: &str, jobs: &[JobSpec], seed: u64) -> Box<dyn SchedulingPolicy> {
+    match name {
+        "FCFS" => Box::new(Fcfs),
+        "SJF" => Box::new(Sjf),
+        "EASY" => Box::new(EasyBackfill::new()),
+        "Random" => Box::new(RandomPolicy::new(seed)),
+        "OR-Tools" => Box::new(OrToolsPolicy::with_config(
+            jobs,
+            SolverConfig {
+                seed,
+                ..quick_solver()
+            },
+        )),
+        "Claude-3.7" => Box::new(LlmSchedulingPolicy::claude37(seed)),
+        "O4-Mini" => Box::new(LlmSchedulingPolicy::o4mini(seed)),
+        other => panic!("not a builtin: {other}"),
+    }
+}
+
+fn outcomes_identical(a: &SimOutcome, b: &SimOutcome, label: &str) {
+    assert_eq!(a.policy_name, b.policy_name, "{label}");
+    assert_eq!(a.records, b.records, "{label}");
+    assert_eq!(a.decisions, b.decisions, "{label}");
+    assert_eq!(a.stats, b.stats, "{label}");
+    assert_eq!(a.end_time, b.end_time, "{label}");
+    assert!(a.node_seconds == b.node_seconds, "{label}: node integral");
+    assert!(
+        a.memory_gb_seconds == b.memory_gb_seconds,
+        "{label}: memory integral"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// For every builtin name, the registry factory and direct construction
+    /// schedule bit-identically across seeds, scenario draws, and sizes.
+    #[test]
+    fn registry_policies_match_direct_construction(
+        seed in 0u64..10_000,
+        workload_seed in 0u64..10_000,
+        n in 8usize..14,
+        scenario_idx in 0usize..3,
+    ) {
+        let scenario = [
+            ScenarioKind::HeterogeneousMix,
+            ScenarioKind::ResourceSparse,
+            ScenarioKind::LongJobDominant,
+        ][scenario_idx];
+        let cluster = ClusterConfig::paper_default();
+        let jobs = generate(scenario, n, ArrivalMode::Dynamic, workload_seed).jobs;
+        let registry = PolicyRegistry::with_builtins();
+        let ctx = PolicyContext::new(&jobs, cluster)
+            .with_seed(seed)
+            .with_solver(quick_solver());
+
+        for name in names::ALL_BUILTIN {
+            let mut from_registry = registry.build(name, &ctx).expect("builtin");
+            let mut from_direct = direct_policy(name, &jobs, seed);
+            let a = Simulation::new(cluster)
+                .jobs(&jobs)
+                .run(from_registry.as_mut())
+                .unwrap_or_else(|e| panic!("{name} (registry): {e}"));
+            let b = Simulation::new(cluster)
+                .jobs(&jobs)
+                .run(from_direct.as_mut())
+                .unwrap_or_else(|e| panic!("{name} (direct): {e}"));
+            outcomes_identical(&a, &b, name);
+        }
+    }
+}
+
+/// Records the stream an observer sees, for post-hoc assertions.
+#[derive(Default)]
+struct Recorder {
+    decisions: Vec<DecisionRecord>,
+    event_times: Vec<SimTime>,
+    completes: usize,
+    final_decision_count: Option<usize>,
+}
+
+impl SimObserver for Recorder {
+    fn on_event(&mut self, _event: &reasoned_scheduler::sim::SimEvent, time: SimTime) {
+        self.event_times.push(time);
+    }
+    fn on_decision(&mut self, record: &DecisionRecord) {
+        self.decisions.push(record.clone());
+    }
+    fn on_complete(&mut self, outcome: &SimOutcome) {
+        self.completes += 1;
+        self.final_decision_count = Some(outcome.decisions.len());
+    }
+}
+
+#[test]
+fn observer_stream_is_ordered_and_complete_fires_once() {
+    let cluster = ClusterConfig::paper_default();
+    let workload = generate(ScenarioKind::Adversarial, 15, ArrivalMode::Dynamic, 21);
+    let mut agent = LlmSchedulingPolicy::claude37(21);
+    let mut recorder = Recorder::default();
+
+    let outcome = Simulation::new(cluster)
+        .jobs(&workload.jobs)
+        .observer(&mut recorder)
+        .run(&mut agent)
+        .expect("completes");
+
+    // Decisions stream in nondecreasing SimTime.
+    for pair in recorder.decisions.windows(2) {
+        assert!(
+            pair[0].time <= pair[1].time,
+            "decision stream went backwards: {} then {}",
+            pair[0].time,
+            pair[1].time
+        );
+    }
+    for pair in recorder.event_times.windows(2) {
+        assert!(pair[0] <= pair[1], "event stream went backwards");
+    }
+    // on_complete fired exactly once, after every decision was streamed.
+    assert_eq!(recorder.completes, 1);
+    assert_eq!(
+        recorder.final_decision_count,
+        Some(recorder.decisions.len())
+    );
+    // The stream is exactly the post-hoc decision log.
+    assert_eq!(recorder.decisions, outcome.decisions);
+}
+
+#[test]
+fn failed_runs_never_fire_on_complete() {
+    struct DelayForever;
+    impl SchedulingPolicy for DelayForever {
+        fn name(&self) -> &str {
+            "delay-forever"
+        }
+        fn decide(&mut self, _view: &SystemView) -> Action {
+            Action::Delay
+        }
+    }
+    let cluster = ClusterConfig::paper_default();
+    let workload = generate(ScenarioKind::HomogeneousShort, 4, ArrivalMode::Static, 2);
+    let mut recorder = Recorder::default();
+    let err = Simulation::new(cluster)
+        .jobs(&workload.jobs)
+        .observer(&mut recorder)
+        .run(&mut DelayForever);
+    assert!(matches!(err, Err(SimError::Stuck { .. })));
+    assert_eq!(recorder.completes, 0);
+    // ... but the decisions that did happen were streamed.
+    assert!(!recorder.decisions.is_empty());
+}
+
+#[test]
+fn third_party_policy_runs_by_name_through_simulation_with_observer() {
+    /// A policy no workspace crate knows about: most-memory-first.
+    struct MemoryHog;
+    impl SchedulingPolicy for MemoryHog {
+        fn name(&self) -> &str {
+            "memory-hog-first"
+        }
+        fn decide(&mut self, view: &SystemView) -> Action {
+            if view.all_jobs_started() {
+                return Action::Stop;
+            }
+            match view.eligible_now().max_by_key(|j| j.memory_gb) {
+                Some(j) => Action::StartJob(j.id),
+                None => Action::Delay,
+            }
+        }
+    }
+
+    let mut registry = PolicyRegistry::with_builtins();
+    registry
+        .register("memory-hog-first", |_| Box::new(MemoryHog))
+        .expect("fresh name");
+
+    let cluster = ClusterConfig::paper_default();
+    let workload = generate(ScenarioKind::HeterogeneousMix, 12, ArrivalMode::Dynamic, 5);
+    let ctx = PolicyContext::new(&workload.jobs, cluster).with_seed(5);
+    let mut policy = registry
+        .build("Memory-Hog-First", &ctx) // case-insensitive lookup
+        .expect("registered");
+
+    let mut counter = CountingObserver::new();
+    let outcome = Simulation::new(cluster)
+        .jobs(&workload.jobs)
+        .observer(&mut counter)
+        .run(policy.as_mut())
+        .expect("completes");
+
+    assert_eq!(outcome.policy_name, "memory-hog-first");
+    assert_eq!(outcome.records.len(), workload.len());
+    assert_eq!(counter.completions, 1);
+    assert_eq!(counter.decisions, outcome.decisions.len());
+    assert_eq!(counter.placements, outcome.stats.placements);
+    assert!(counter.time_ordered);
+    // Plain algorithmic policy: no overhead ledger.
+    assert!(policy.overhead_report().is_none());
+}
