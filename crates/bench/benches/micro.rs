@@ -15,7 +15,7 @@ use rsched_sim::{
     SystemView,
 };
 use rsched_simkit::{EventQueue, SimDuration, SimTime};
-use rsched_workloads::{generate, ArrivalMode, ScenarioKind};
+use rsched_workloads::{scenario_builtins, ScenarioContext};
 
 fn event_queue_throughput(c: &mut Criterion) {
     c.bench_function("event_queue_push_pop_10k", |b| {
@@ -136,7 +136,9 @@ fn agent_decision_step(c: &mut Criterion) {
 }
 
 fn full_simulation_fcfs(c: &mut Criterion) {
-    let workload = generate(ScenarioKind::HeterogeneousMix, 60, ArrivalMode::Dynamic, 5);
+    let workload = scenario_builtins()
+        .generate("heterogeneous_mix", &ScenarioContext::new(60).with_seed(5))
+        .expect("builtin scenario");
     c.bench_function("simulate_fcfs_hetmix_60", |b| {
         b.iter_batched(
             || rsched_schedulers::Fcfs,
@@ -159,7 +161,9 @@ fn full_simulation_fcfs(c: &mut Criterion) {
 fn full_simulation_with_observer(c: &mut Criterion) {
     // The streaming-observer hooks must stay ~free on the kernel's hot
     // path: compare with `simulate_fcfs_hetmix_60` above.
-    let workload = generate(ScenarioKind::HeterogeneousMix, 60, ArrivalMode::Dynamic, 5);
+    let workload = scenario_builtins()
+        .generate("heterogeneous_mix", &ScenarioContext::new(60).with_seed(5))
+        .expect("builtin scenario");
     c.bench_function("simulate_fcfs_hetmix_60_with_observer", |b| {
         b.iter_batched(
             || (rsched_schedulers::Fcfs, CountingObserver::new()),

@@ -15,7 +15,7 @@
 //!   priority rules vs simulated annealing vs the genetic stage vs exact
 //!   branch-and-bound on identical instances.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 /// Shared reduced-scale experiment options for the figure benches.

@@ -25,8 +25,24 @@
 //!   backfilling.
 //! * [`utilization`] — step-function resource integrals for the utilization
 //!   objectives.
+//!
+//! ```
+//! use rsched_cluster::{ClusterConfig, FirstFitAllocator};
+//!
+//! let config = ClusterConfig::paper_default();
+//! let mut alloc = FirstFitAllocator::new(config.nodes, config.memory_gb);
+//!
+//! // First-fit placement against both capacity constraints.
+//! let grant = alloc.try_allocate(16, 64).expect("machine is empty");
+//! assert_eq!(grant.node_count(), 16);
+//! assert_eq!(alloc.free_nodes(), config.nodes - 16);
+//!
+//! alloc.release(&grant);
+//! assert_eq!(alloc.free_nodes(), config.nodes);
+//! assert_eq!(alloc.free_memory_gb(), config.memory_gb);
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod allocator;

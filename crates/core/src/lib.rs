@@ -21,7 +21,7 @@
 //! * [`trace::DecisionTrace`] — the interpretable decision records behind
 //!   the paper's Figure 2.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod action;

@@ -87,11 +87,20 @@ mod tests {
     use super::*;
     use rsched_cluster::ClusterConfig;
     use rsched_sim::{run_simulation, SimOptions};
-    use rsched_workloads::{generate, ArrivalMode, ScenarioKind};
+    use rsched_workloads::{scenario_builtins, ArrivalMode, ScenarioContext, Workload};
+
+    fn gen(scenario: &str, n: usize, mode: ArrivalMode, seed: u64) -> Workload {
+        scenario_builtins()
+            .generate(
+                scenario,
+                &ScenarioContext::new(n).with_mode(mode).with_seed(seed),
+            )
+            .expect("builtin scenario")
+    }
 
     #[test]
     fn claude_schedules_a_small_static_workload_end_to_end() {
-        let w = generate(ScenarioKind::HomogeneousShort, 8, ArrivalMode::Static, 3);
+        let w = gen("homogeneous_short", 8, ArrivalMode::Static, 3);
         let mut policy = LlmSchedulingPolicy::claude37(3);
         let out = run_simulation(
             ClusterConfig::paper_default(),
@@ -109,7 +118,7 @@ mod tests {
 
     #[test]
     fn o4mini_schedules_dynamic_heterogeneous_workload() {
-        let w = generate(ScenarioKind::HeterogeneousMix, 12, ArrivalMode::Dynamic, 5);
+        let w = gen("heterogeneous_mix", 12, ArrivalMode::Dynamic, 5);
         let mut policy = LlmSchedulingPolicy::o4mini(5);
         let out = run_simulation(
             ClusterConfig::paper_default(),
@@ -128,7 +137,7 @@ mod tests {
 
     #[test]
     fn adversarial_scenario_exercises_backfilling() {
-        let w = generate(ScenarioKind::Adversarial, 15, ArrivalMode::Dynamic, 7);
+        let w = gen("adversarial", 15, ArrivalMode::Dynamic, 7);
         let mut policy = LlmSchedulingPolicy::claude37(7);
         let out = run_simulation(
             ClusterConfig::paper_default(),
@@ -161,7 +170,7 @@ mod tests {
 
     #[test]
     fn reset_allows_reuse_across_runs() {
-        let w = generate(ScenarioKind::ResourceSparse, 5, ArrivalMode::Static, 1);
+        let w = gen("resource_sparse", 5, ArrivalMode::Static, 1);
         let mut policy = LlmSchedulingPolicy::claude37(1);
         let a = run_simulation(
             ClusterConfig::paper_default(),

@@ -22,8 +22,21 @@
 //!
 //! [`portfolio::Solver`] picks the strategy by instance size under a
 //! deterministic iteration budget.
+//!
+//! ```
+//! use rsched_cpsolver::{Instance, Solver, SolverConfig, Task};
+//!
+//! // Two 4-node tasks and one 8-node task on an 8-node machine: the pair
+//! // can run together, so the optimum beats serial execution.
+//! let task = |id, nodes| Task { id, duration: 100, nodes, memory: 1, release: 0 };
+//! let instance = Instance::new(vec![task(0, 4), task(1, 4), task(2, 8)], 8, 64);
+//!
+//! let solution = Solver::new(SolverConfig::default()).solve(&instance);
+//! assert!(solution.schedule.is_feasible(&instance));
+//! assert_eq!(solution.makespan, 200, "pair packed in parallel");
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod anneal;

@@ -13,6 +13,13 @@ use rsched_experiments::output::{normalized_rows_to_csv, overhead_rows_to_csv};
 use rsched_experiments::runner::RunResult;
 use rsched_experiments::ExperimentOptions;
 use rsched_parallel::ThreadPool;
+use rsched_workloads::scenario_builtins;
+
+/// The human-readable title of a registry scenario name (CSV labels keep
+/// the paper's figure names).
+fn scenario_title(name: &str) -> String {
+    scenario_builtins().title(name).unwrap_or(name).to_string()
+}
 
 fn write(path: &str, content: &str) {
     let path = Path::new(path);
@@ -49,9 +56,8 @@ fn main() {
         .scenarios
         .iter()
         .flat_map(|(scenario, rows)| {
-            rows.iter().map(move |(name, report)| {
-                (vec![scenario.name().to_string(), name.clone()], *report)
-            })
+            rows.iter()
+                .map(move |(name, report)| (vec![scenario_title(scenario), name.clone()], *report))
         })
         .collect();
     write(
@@ -83,7 +89,7 @@ fn main() {
         .iter()
         .map(|c| {
             (
-                vec![c.scenario.name().to_string(), c.model.clone()],
+                vec![scenario_title(&c.scenario), c.model.clone()],
                 c.overhead.clone(),
             )
         })

@@ -9,8 +9,10 @@
 use rsched_cluster::{ClusterConfig, JobSpec};
 use rsched_cpsolver::SolverConfig;
 use rsched_registry::names;
+#[allow(deprecated)]
+use rsched_workloads::ScenarioKind;
 
-use crate::runner::{policy_seed_named, run_named, RunResult};
+use crate::runner::{policy_seed_named, run_named, scenario_jobs_named, RunResult};
 
 /// The compared schedulers, as a closed enum. **Deprecated**: prefer the
 /// registry names in [`rsched_registry::names`].
@@ -64,6 +66,16 @@ impl SchedulerKind {
             SchedulerKind::Random => names::RANDOM,
         }
     }
+}
+
+/// **Deprecated shim** over [`scenario_jobs_named`] for enum-addressed
+/// callers (identical output: the registry generators key their seed trees
+/// by the same slugs).
+#[deprecated(note = "use `scenario_jobs_named` with a scenario name")]
+#[allow(deprecated)]
+pub fn scenario_jobs(scenario: ScenarioKind, n: usize, seed: u64) -> Vec<JobSpec> {
+    scenario_jobs_named(scenario.slug(), n, seed)
+        .expect("every ScenarioKind aliases a builtin scenario name")
 }
 
 /// **Deprecated shim** over [`run_named`] for enum-addressed callers.

@@ -18,11 +18,11 @@ use rsched_parallel::ThreadPool;
 use rsched_schedulers::Fcfs;
 use rsched_sim::{SchedulingPolicy, Simulation};
 use rsched_simkit::rng::SeedTree;
-use rsched_workloads::ScenarioKind;
+use rsched_workloads::names as scenario_names;
 
 use crate::figures::normalized_table;
 use crate::options::ExperimentOptions;
-use crate::runner::{scenario_jobs, RunResult};
+use crate::runner::{scenario_jobs_named, RunResult};
 
 /// The swept weight profiles.
 pub fn weight_profiles() -> Vec<(&'static str, ObjectiveWeights)> {
@@ -84,11 +84,12 @@ pub struct AblationOutput {
 pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> AblationOutput {
     let n = opts.scaled(60);
     let tree = SeedTree::new(opts.seed).subtree("ablation", 0);
-    let jobs = scenario_jobs(
-        ScenarioKind::HeterogeneousMix,
+    let jobs = scenario_jobs_named(
+        scenario_names::HETEROGENEOUS_MIX,
         n,
         tree.derive("workload", 0),
-    );
+    )
+    .expect("builtin scenario");
     let cluster = ClusterConfig::paper_default();
     let scenario_label = format!("heterogeneous-mix/{n}");
 

@@ -11,12 +11,12 @@ use rsched_cluster::ClusterConfig;
 use rsched_metrics::NormalizedReport;
 use rsched_parallel::ThreadPool;
 use rsched_simkit::rng::SeedTree;
-use rsched_workloads::ScenarioKind;
+use rsched_workloads::{names as scenario_names, scenario_builtins};
 
 use crate::figures::normalized_table;
 use crate::options::ExperimentOptions;
 use crate::runner::{
-    normalize_table, policy_seed_named, run_matrix, scenario_jobs, MatrixCell, RunResult,
+    normalize_table, policy_seed_named, run_matrix, scenario_jobs_named, MatrixCell, RunResult,
 };
 use rsched_registry::names;
 
@@ -25,8 +25,8 @@ use rsched_registry::names;
 pub struct Fig3Output {
     /// Jobs per scenario instance (60 in the paper).
     pub jobs_per_scenario: usize,
-    /// `(scenario, rows)` in presentation order.
-    pub scenarios: Vec<(ScenarioKind, Vec<(String, NormalizedReport)>)>,
+    /// `(scenario name, rows)` in presentation order.
+    pub scenarios: Vec<(String, Vec<(String, NormalizedReport)>)>,
     /// The raw (pre-normalization) cells, for the JSON artifacts.
     pub runs: Vec<RunResult>,
 }
@@ -38,12 +38,13 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig3Output {
     let schedulers = names::PAPER_SET;
 
     let mut cells = Vec::new();
-    for (s_idx, scenario) in ScenarioKind::figure3().into_iter().enumerate() {
-        let jobs = scenario_jobs(scenario, n, tree.derive(scenario.slug(), 0));
+    for (s_idx, scenario) in scenario_names::FIGURE3.into_iter().enumerate() {
+        let jobs = scenario_jobs_named(scenario, n, tree.derive(scenario, 0))
+            .expect("figure-3 scenarios are builtin");
         for name in schedulers {
             cells.push(MatrixCell {
                 scheduler: name.to_string(),
-                scenario: format!("{}/{}", scenario.slug(), n),
+                scenario: format!("{scenario}/{n}"),
                 jobs: jobs.clone(),
                 cluster: ClusterConfig::paper_default(),
                 policy_seed: policy_seed_named(tree.derive("policy", s_idx as u64), name, 0),
@@ -53,12 +54,12 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig3Output {
     }
     let results = run_matrix(cells, pool);
 
-    let scenarios = ScenarioKind::figure3()
+    let scenarios = scenario_names::FIGURE3
         .into_iter()
         .enumerate()
         .map(|(s_idx, scenario)| {
             let slice = &results[s_idx * schedulers.len()..(s_idx + 1) * schedulers.len()];
-            (scenario, normalize_table(slice, "FCFS"))
+            (scenario.to_string(), normalize_table(slice, "FCFS"))
         })
         .collect();
 
@@ -79,17 +80,18 @@ impl Fig3Output {
             self.jobs_per_scenario
         );
         for (scenario, rows) in &self.scenarios {
-            let _ = writeln!(out, "## {}", scenario.name());
+            let title = scenario_builtins().title(scenario).unwrap_or(scenario);
+            let _ = writeln!(out, "## {title}");
             let _ = writeln!(out, "{}", normalized_table(rows).render());
         }
         out
     }
 
-    /// Rows for one scenario.
-    pub fn scenario_rows(&self, scenario: ScenarioKind) -> Option<&[(String, NormalizedReport)]> {
+    /// Rows for one scenario, by registry name.
+    pub fn scenario_rows(&self, scenario: &str) -> Option<&[(String, NormalizedReport)]> {
         self.scenarios
             .iter()
-            .find(|(s, _)| *s == scenario)
+            .find(|(s, _)| s == scenario)
             .map(|(_, rows)| rows.as_slice())
     }
 }
@@ -119,7 +121,7 @@ mod tests {
         let out = run(&tiny_opts(), &pool);
         assert_eq!(out.scenarios.len(), 6);
         for (scenario, rows) in &out.scenarios {
-            assert_eq!(rows.len(), 5, "{}", scenario.name());
+            assert_eq!(rows.len(), 5, "{scenario}");
             assert_eq!(rows[0].0, "FCFS");
             // FCFS normalizes to 1.0 on every defined metric.
             for (_, v) in rows[0].1.defined() {
@@ -137,7 +139,7 @@ mod tests {
         let pool = ThreadPool::new(4);
         let out = run(&tiny_opts(), &pool);
         let rows = out
-            .scenario_rows(ScenarioKind::Adversarial)
+            .scenario_rows(scenario_names::ADVERSARIAL)
             .expect("present");
         for (name, report) in rows {
             if let Some(v) = report.get(Metric::Makespan) {

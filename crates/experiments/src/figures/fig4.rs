@@ -7,12 +7,12 @@ use rsched_cluster::ClusterConfig;
 use rsched_metrics::NormalizedReport;
 use rsched_parallel::ThreadPool;
 use rsched_simkit::rng::SeedTree;
-use rsched_workloads::ScenarioKind;
+use rsched_workloads::names as scenario_names;
 
 use crate::figures::normalized_table;
 use crate::options::ExperimentOptions;
 use crate::runner::{
-    normalize_table, policy_seed_named, run_matrix, scenario_jobs, MatrixCell, RunResult,
+    normalize_table, policy_seed_named, run_matrix, scenario_jobs_named, MatrixCell, RunResult,
 };
 use rsched_registry::names;
 
@@ -40,11 +40,12 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig4Output {
 
     let mut cells = Vec::new();
     for (i, &n) in sizes.iter().enumerate() {
-        let jobs = scenario_jobs(
-            ScenarioKind::HeterogeneousMix,
+        let jobs = scenario_jobs_named(
+            scenario_names::HETEROGENEOUS_MIX,
             n,
             tree.derive("workload", n as u64),
-        );
+        )
+        .expect("builtin scenario");
         for name in schedulers {
             cells.push(MatrixCell {
                 scheduler: name.to_string(),

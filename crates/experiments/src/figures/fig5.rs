@@ -9,20 +9,20 @@ use rsched_cluster::ClusterConfig;
 use rsched_metrics::TextTable;
 use rsched_parallel::ThreadPool;
 use rsched_simkit::rng::SeedTree;
-use rsched_workloads::ScenarioKind;
+use rsched_workloads::{names as scenario_names, scenario_builtins};
 
 use crate::figures::{latency_columns, latency_row};
 use crate::options::ExperimentOptions;
 use crate::runner::{
-    policy_seed_named, run_matrix, scenario_jobs, MatrixCell, OverheadSummary, RunResult,
+    policy_seed_named, run_matrix, scenario_jobs_named, MatrixCell, OverheadSummary, RunResult,
 };
 use rsched_registry::names;
 
 /// One (scenario, model) overhead measurement.
 #[derive(Debug, Clone)]
 pub struct OverheadCell {
-    /// Scenario measured.
-    pub scenario: ScenarioKind,
+    /// Registry name of the scenario measured.
+    pub scenario: String,
     /// Model name.
     pub model: String,
     /// The run's overhead ledger.
@@ -48,13 +48,14 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig5Output {
 
     let mut cells = Vec::new();
     let mut labels = Vec::new();
-    for (s_idx, scenario) in ScenarioKind::figure3().into_iter().enumerate() {
-        let jobs = scenario_jobs(scenario, n, tree.derive(scenario.slug(), 0));
+    for (s_idx, scenario) in scenario_names::FIGURE3.into_iter().enumerate() {
+        let jobs = scenario_jobs_named(scenario, n, tree.derive(scenario, 0))
+            .expect("figure-3 scenarios are builtin");
         for name in models {
             labels.push(scenario);
             cells.push(MatrixCell {
                 scheduler: name.to_string(),
-                scenario: format!("{}/{}", scenario.slug(), n),
+                scenario: format!("{scenario}/{n}"),
                 jobs: jobs.clone(),
                 cluster: ClusterConfig::paper_default(),
                 policy_seed: policy_seed_named(tree.derive("policy", s_idx as u64), name, 0),
@@ -67,7 +68,7 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig5Output {
         .into_iter()
         .zip(&results)
         .map(|(scenario, result)| OverheadCell {
-            scenario,
+            scenario: scenario.to_string(),
             model: result.scheduler.clone(),
             overhead: result.overhead.clone().expect("LLM runs track overhead"),
         })
@@ -80,8 +81,8 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig5Output {
 }
 
 impl Fig5Output {
-    /// The cell for one (scenario, model) pair.
-    pub fn cell(&self, scenario: ScenarioKind, model: &str) -> Option<&OverheadCell> {
+    /// The cell for one (scenario name, model) pair.
+    pub fn cell(&self, scenario: &str, model: &str) -> Option<&OverheadCell> {
         self.cells
             .iter()
             .find(|c| c.scenario == scenario && c.model == model)
@@ -99,7 +100,10 @@ impl Fig5Output {
         header.extend(latency_columns().iter().map(|c| c.to_string()));
         let mut table = TextTable::new(header);
         for c in &self.cells {
-            let mut row = vec![c.scenario.name().to_string(), c.model.clone()];
+            let title = scenario_builtins()
+                .title(&c.scenario)
+                .unwrap_or(&c.scenario);
+            let mut row = vec![title.to_string(), c.model.clone()];
             row.extend(latency_row(
                 c.overhead.call_count,
                 c.overhead.total_elapsed_secs,
@@ -128,13 +132,12 @@ mod tests {
         let out = run(&opts, &pool);
         assert_eq!(out.cells.len(), 12, "6 scenarios × 2 models");
         // Claude is faster than O4-Mini on every scenario (paper: up to 7×).
-        for scenario in ScenarioKind::figure3() {
+        for scenario in scenario_names::FIGURE3 {
             let claude = out.cell(scenario, "Claude-3.7").expect("present");
             let o4 = out.cell(scenario, "O4-Mini").expect("present");
             assert!(
                 o4.overhead.total_elapsed_secs > claude.overhead.total_elapsed_secs,
-                "{}: O4-Mini {} should exceed Claude {}",
-                scenario.name(),
+                "{scenario}: O4-Mini {} should exceed Claude {}",
                 o4.overhead.total_elapsed_secs,
                 claude.overhead.total_elapsed_secs
             );

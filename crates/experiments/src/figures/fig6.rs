@@ -9,12 +9,12 @@ use rsched_cluster::ClusterConfig;
 use rsched_metrics::TextTable;
 use rsched_parallel::ThreadPool;
 use rsched_simkit::rng::SeedTree;
-use rsched_workloads::ScenarioKind;
+use rsched_workloads::names as scenario_names;
 
 use crate::figures::{latency_columns, latency_row};
 use crate::options::ExperimentOptions;
 use crate::runner::{
-    policy_seed_named, run_matrix, scenario_jobs, MatrixCell, OverheadSummary, RunResult,
+    policy_seed_named, run_matrix, scenario_jobs_named, MatrixCell, OverheadSummary, RunResult,
 };
 use rsched_registry::names;
 
@@ -51,11 +51,12 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig6Output {
     let mut cells = Vec::new();
     let mut labels = Vec::new();
     for &n in &sizes {
-        let jobs = scenario_jobs(
-            ScenarioKind::HeterogeneousMix,
+        let jobs = scenario_jobs_named(
+            scenario_names::HETEROGENEOUS_MIX,
             n,
             tree.derive("workload", n as u64),
-        );
+        )
+        .expect("builtin scenario");
         for name in models {
             labels.push(n);
             cells.push(MatrixCell {

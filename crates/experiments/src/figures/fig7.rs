@@ -12,10 +12,10 @@ use rsched_cluster::ClusterConfig;
 use rsched_metrics::{normalize_against, Metric, MetricDistributions, TextTable};
 use rsched_parallel::ThreadPool;
 use rsched_simkit::rng::SeedTree;
-use rsched_workloads::ScenarioKind;
+use rsched_workloads::names as scenario_names;
 
 use crate::options::ExperimentOptions;
-use crate::runner::{policy_seed_named, run_matrix, scenario_jobs, MatrixCell, RunResult};
+use crate::runner::{policy_seed_named, run_matrix, scenario_jobs_named, MatrixCell, RunResult};
 use rsched_registry::names;
 
 /// Repetitions (5 in the paper).
@@ -37,11 +37,12 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> Fig7Output {
     let n = opts.scaled(100);
     let reps = if opts.quick { 3 } else { REPETITIONS };
     let tree = SeedTree::new(opts.seed).subtree("fig7", 0);
-    let jobs = scenario_jobs(
-        ScenarioKind::HeterogeneousMix,
+    let jobs = scenario_jobs_named(
+        scenario_names::HETEROGENEOUS_MIX,
         n,
         tree.derive("workload", 0),
-    );
+    )
+    .expect("builtin scenario");
     let schedulers = names::PAPER_SET;
 
     let mut cells = Vec::new();

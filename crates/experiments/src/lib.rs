@@ -16,7 +16,7 @@
 //! `--bin all_figures` for the whole evaluation. Every run is
 //! deterministic given `--seed`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod artifact;
@@ -27,10 +27,10 @@ pub mod output;
 pub mod runner;
 
 #[allow(deprecated)]
-pub use compat::{policy_seed, run_policy, SchedulerKind};
+pub use compat::{policy_seed, run_policy, scenario_jobs, SchedulerKind};
 pub use options::ExperimentOptions;
 pub use rsched_registry::{builtins, names, PolicyContext, PolicyRegistry, RegistryError};
 pub use runner::{
-    normalize_table, policy_seed_named, run_matrix, run_named, run_with_registry, scenario_jobs,
-    MatrixCell, OverheadSummary, RunResult,
+    normalize_table, policy_seed_named, run_matrix, run_named, run_with_registry,
+    scenario_jobs_named, MatrixCell, OverheadSummary, RunResult,
 };

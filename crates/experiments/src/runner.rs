@@ -11,14 +11,14 @@ use rsched_parallel::ThreadPool;
 use rsched_registry::{builtins, PolicyContext, PolicyRegistry, RegistryError};
 use rsched_sim::{SimOptions, SimStats, Simulation};
 use rsched_simkit::rng::SeedTree;
-use rsched_workloads::{generate, ArrivalMode, ScenarioKind};
+use rsched_workloads::{scenario_builtins, ArrivalMode, ScenarioContext, WorkloadError};
 
 pub use rsched_cpsolver::SolverConfig;
 
 // The pre-registry, enum-addressed shims stay importable from their old
 // paths.
 #[allow(deprecated)]
-pub use crate::compat::{policy_seed, run_policy, SchedulerKind};
+pub use crate::compat::{policy_seed, run_policy, scenario_jobs, SchedulerKind};
 
 /// LLM overhead numbers extracted from a run (paper §3.7) — re-exported
 /// from the policy trait's uniform [`overhead_report`] hook.
@@ -44,10 +44,15 @@ pub struct RunResult {
     pub overhead: Option<OverheadSummary>,
 }
 
-/// Generate the jobs for a scenario instance (dynamic arrivals, as in the
-/// paper's §3.1 evaluation).
-pub fn scenario_jobs(scenario: ScenarioKind, n: usize, seed: u64) -> Vec<JobSpec> {
-    generate(scenario, n, ArrivalMode::Dynamic, seed).jobs
+/// Generate the jobs for a named scenario instance (dynamic arrivals, as
+/// in the paper's §3.1 evaluation). Resolves through the shared
+/// [`ScenarioRegistry`](rsched_workloads::ScenarioRegistry) builtins, so
+/// `swf:<path>` trace names work here too.
+pub fn scenario_jobs_named(name: &str, n: usize, seed: u64) -> Result<Vec<JobSpec>, WorkloadError> {
+    let ctx = ScenarioContext::new(n)
+        .with_mode(ArrivalMode::Dynamic)
+        .with_seed(seed);
+    Ok(scenario_builtins().generate(name, &ctx)?.jobs)
 }
 
 /// Run the named scheduler from `registry` over one workload.
@@ -121,6 +126,31 @@ pub struct MatrixCell {
     pub solver: SolverConfig,
 }
 
+impl MatrixCell {
+    /// Build a cell by **scenario name**: jobs come from the shared
+    /// scenario registry (dynamic arrivals, seeded with `workload_seed`),
+    /// and the cell label is `"<scenario>/<n>"`. Accepts any registered
+    /// name or an `swf:<path>` trace reference.
+    pub fn from_scenario(
+        scheduler: &str,
+        scenario: &str,
+        n: usize,
+        workload_seed: u64,
+        cluster: ClusterConfig,
+        policy_seed: u64,
+        solver: SolverConfig,
+    ) -> Result<MatrixCell, WorkloadError> {
+        Ok(MatrixCell {
+            scheduler: scheduler.to_string(),
+            scenario: format!("{scenario}/{n}"),
+            jobs: scenario_jobs_named(scenario, n, workload_seed)?,
+            cluster,
+            policy_seed,
+            solver,
+        })
+    }
+}
+
 /// Run many cells in parallel on the work-stealing pool, preserving input
 /// order. Cells resolve against the shared builtin registry.
 pub fn run_matrix(cells: Vec<MatrixCell>, pool: &ThreadPool) -> Vec<RunResult> {
@@ -165,6 +195,11 @@ mod tests {
     use rsched_metrics::Metric;
     use rsched_registry::names;
     use rsched_sim::{Action, SchedulingPolicy, SystemView};
+    use rsched_workloads::names as scenario_names;
+
+    fn jobs_for(scenario: &str, n: usize, seed: u64) -> Vec<JobSpec> {
+        scenario_jobs_named(scenario, n, seed).expect("builtin scenario")
+    }
 
     fn quick_solver() -> SolverConfig {
         SolverConfig {
@@ -177,7 +212,7 @@ mod tests {
 
     #[test]
     fn every_builtin_name_completes_a_small_scenario() {
-        let jobs = scenario_jobs(ScenarioKind::HeterogeneousMix, 10, 1);
+        let jobs = jobs_for(scenario_names::HETEROGENEOUS_MIX, 10, 1);
         for name in names::ALL_BUILTIN {
             let r = run_named(
                 name,
@@ -198,7 +233,7 @@ mod tests {
 
     #[test]
     fn unknown_scheduler_name_errors_without_panicking() {
-        let jobs = scenario_jobs(ScenarioKind::ResourceSparse, 8, 1);
+        let jobs = jobs_for(scenario_names::RESOURCE_SPARSE, 8, 1);
         let err = run_named(
             "pbs-pro",
             &jobs,
@@ -232,7 +267,7 @@ mod tests {
         registry
             .register("narrowest-first", |_| Box::new(NarrowestFirst))
             .expect("fresh name");
-        let jobs = scenario_jobs(ScenarioKind::HeterogeneousMix, 10, 2);
+        let jobs = jobs_for(scenario_names::HETEROGENEOUS_MIX, 10, 2);
         let r = run_with_registry(
             &registry,
             "narrowest-first",
@@ -249,7 +284,7 @@ mod tests {
     #[test]
     fn matrix_runs_in_parallel_and_preserves_order() {
         let pool = ThreadPool::new(4);
-        let jobs = scenario_jobs(ScenarioKind::ResourceSparse, 10, 2);
+        let jobs = jobs_for(scenario_names::RESOURCE_SPARSE, 10, 2);
         let cells: Vec<MatrixCell> = names::PAPER_SET
             .into_iter()
             .map(|name| MatrixCell {
@@ -272,7 +307,7 @@ mod tests {
 
     #[test]
     fn normalization_against_fcfs() {
-        let jobs = scenario_jobs(ScenarioKind::HomogeneousShort, 10, 3);
+        let jobs = jobs_for(scenario_names::HOMOGENEOUS_SHORT, 10, 3);
         let results: Vec<RunResult> = [names::FCFS, names::SJF]
             .into_iter()
             .map(|name| {
@@ -306,7 +341,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "baseline `FCFS` missing")]
     fn missing_baseline_panics() {
-        let jobs = scenario_jobs(ScenarioKind::ResourceSparse, 8, 1);
+        let jobs = jobs_for(scenario_names::RESOURCE_SPARSE, 8, 1);
         let results = vec![run_named(
             names::SJF,
             &jobs,

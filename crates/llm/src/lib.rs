@@ -26,7 +26,7 @@
 //! * [`script`] / [`process`] — a canned backend for tests and an external
 //!   command bridge for plugging in real models.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod backend;

@@ -17,8 +17,29 @@
 //! Plus the paper's presentation machinery: normalization against the FCFS
 //! baseline (with the 0/0 omission rule of §3.5), multi-run aggregation for
 //! the robustness boxplots (Figure 7), and plain-text table rendering.
+//!
+//! ```
+//! use rsched_cluster::{ClusterConfig, JobRecord, JobSpec};
+//! use rsched_metrics::{Metric, MetricsReport};
+//! use rsched_simkit::{SimDuration, SimTime};
+//!
+//! // Four 2-node jobs started back to back.
+//! let config = ClusterConfig::paper_default();
+//! let records: Vec<JobRecord> = (0..4)
+//!     .map(|i| {
+//!         let spec = JobSpec::new(i, 0, SimTime::ZERO, SimDuration::from_secs(120), 2, 4);
+//!         JobRecord::new(spec, SimTime::from_secs(30 * i as u64))
+//!     })
+//!     .collect();
+//!
+//! let report = MetricsReport::compute(&records, config);
+//! assert_eq!(report.makespan_secs, 210.0); // last start (90) + 120
+//! for metric in Metric::all() {
+//!     assert!(report.get(metric).is_finite());
+//! }
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod aggregate;

@@ -14,7 +14,7 @@
 //! * random-order stealing between workers,
 //! * condvar parking when the system runs dry.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod pool;

@@ -14,9 +14,11 @@
 //! use rsched_cluster::ClusterConfig;
 //! use rsched_registry::{names, PolicyContext, PolicyRegistry};
 //! use rsched_sim::Simulation;
-//! use rsched_workloads::{generate, ArrivalMode, ScenarioKind};
+//! use rsched_workloads::{scenario_builtins, ScenarioContext};
 //!
-//! let workload = generate(ScenarioKind::HeterogeneousMix, 10, ArrivalMode::Dynamic, 42);
+//! let workload = scenario_builtins()
+//!     .generate("heterogeneous_mix", &ScenarioContext::new(10).with_seed(42))
+//!     .expect("builtin scenario");
 //! let cluster = ClusterConfig::paper_default();
 //! let registry = PolicyRegistry::with_builtins();
 //!
@@ -29,7 +31,7 @@
 //! assert_eq!(outcome.records.len(), 10);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 use std::collections::BTreeMap;
@@ -275,10 +277,13 @@ pub fn builtins() -> &'static PolicyRegistry {
 mod tests {
     use super::*;
     use rsched_sim::{run_simulation, Action, SimOptions, SystemView};
-    use rsched_workloads::{generate, ArrivalMode, ScenarioKind};
+    use rsched_workloads::{scenario_builtins, ScenarioContext};
 
     fn ctx_jobs() -> Vec<JobSpec> {
-        generate(ScenarioKind::HeterogeneousMix, 8, ArrivalMode::Dynamic, 5).jobs
+        scenario_builtins()
+            .generate("heterogeneous_mix", &ScenarioContext::new(8).with_seed(5))
+            .expect("builtin scenario")
+            .jobs
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! * [`RandomPolicy`] — a seeded random eligible-job picker, the sanity
 //!   floor.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod easy;

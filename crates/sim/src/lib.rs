@@ -21,7 +21,7 @@
 //! number of streaming [`SimObserver`]s to the run; [`run_simulation`] is a
 //! thin compatibility wrapper over it.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod builder;

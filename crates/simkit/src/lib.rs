@@ -25,7 +25,7 @@
 //! Everything here is deterministic given a seed: the same root seed
 //! reproduces every experiment in the workspace bit-for-bit.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod csv;

@@ -45,6 +45,18 @@ pub enum ArrivalProcess {
         /// Mean interarrival of the flood jobs, seconds.
         flood_mean_secs: f64,
     },
+    /// A non-homogeneous Poisson process whose mean interarrival swings
+    /// sinusoidally between a busy peak and a quiet trough over one
+    /// `period_secs` cycle — the day/night submission rhythm of production
+    /// machines (the *Diurnal Wave* scenario).
+    Diurnal {
+        /// Length of one day/night cycle, seconds (86 400 for a real day).
+        period_secs: f64,
+        /// Mean interarrival at the peak of the cycle, seconds.
+        peak_mean_secs: f64,
+        /// Mean interarrival at the trough of the cycle, seconds.
+        trough_mean_secs: f64,
+    },
 }
 
 impl ArrivalProcess {
@@ -95,6 +107,33 @@ impl ArrivalProcess {
                     .map(|i| {
                         if i > 0 {
                             t += gap.sample(rng);
+                        }
+                        SimTime::from_secs_f64(t)
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Diurnal {
+                period_secs,
+                peak_mean_secs,
+                trough_mean_secs,
+            } => {
+                assert!(*period_secs > 0.0, "period must be positive");
+                assert!(
+                    *peak_mean_secs > 0.0 && *trough_mean_secs >= *peak_mean_secs,
+                    "peak must be the busier (smaller-mean) end of the cycle"
+                );
+                let mut t = 0.0;
+                (0..n)
+                    .map(|i| {
+                        if i > 0 {
+                            // Interarrival mean interpolates sinusoidally
+                            // with the phase of the current simulated time:
+                            // cycle start = peak rate, half-cycle = trough.
+                            let phase = (t / period_secs) * std::f64::consts::TAU;
+                            let busy = (phase.cos() + 1.0) / 2.0; // 1 at peak, 0 at trough
+                            let mean =
+                                trough_mean_secs + busy * (peak_mean_secs - trough_mean_secs);
+                            t += Exponential::with_mean(mean).sample(rng);
                         }
                         SimTime::from_secs_f64(t)
                     })
@@ -167,6 +206,37 @@ mod tests {
         assert_eq!(times[0], SimTime::ZERO);
         assert_monotone(&times);
         assert!(times[1] > SimTime::ZERO, "flood follows the blocker");
+    }
+
+    #[test]
+    fn diurnal_rate_swings_with_the_cycle() {
+        let p = ArrivalProcess::Diurnal {
+            period_secs: 10_000.0,
+            peak_mean_secs: 5.0,
+            trough_mean_secs: 500.0,
+        };
+        let times = p.generate(400, &mut rng());
+        assert_monotone(&times);
+        assert_eq!(times[0], SimTime::ZERO);
+        // Gaps near the cycle start (peak) must be much tighter than gaps
+        // near the half-cycle trough.
+        let gap_at = |lo: f64, hi: f64| {
+            let gaps: Vec<f64> = times
+                .windows(2)
+                .filter(|w| {
+                    let phase = (w[0].as_secs_f64() / 10_000.0).fract();
+                    (lo..hi).contains(&phase)
+                })
+                .map(|w| (w[1] - w[0]).as_secs_f64())
+                .collect();
+            gaps.iter().sum::<f64>() / gaps.len().max(1) as f64
+        };
+        let peak_mean = gap_at(0.0, 0.15);
+        let trough_mean = gap_at(0.35, 0.65);
+        assert!(
+            trough_mean > 5.0 * peak_mean,
+            "trough {trough_mean} vs peak {peak_mean}"
+        );
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! **Deprecated shims** for the pre-registry, enum-addressed scenario API.
+//!
+//! [`ScenarioKind`] predates the open
+//! [`ScenarioRegistry`](crate::ScenarioRegistry); each variant is
+//! now a thin alias for a registry name, and [`generate`] delegates to the
+//! name-addressed path. The delegation is **bit-identical**: the registry
+//! generators key their seed trees by the same slugs this enum used, so
+//! every workload the old API produced is reproduced exactly (equivalence
+//! tests below and in `tests/scenario_registry.rs`).
+
+use crate::arrivals::{ArrivalMode, ArrivalProcess};
+use crate::registry::{builtins, ScenarioContext};
+use crate::scenarios::{lookup_builtin, Workload};
+
+/// One of the paper's seven workload scenarios, as a closed enum.
+/// **Deprecated**: prefer the registry names in [`crate::names`] — they
+/// cover scenarios (and `swf:<path>` traces) this enum can never know
+/// about.
+#[deprecated(note = "address scenarios by registry name (`rsched_workloads::names`)")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// Uniform 30–120 s jobs with 2 nodes / 4 GB — lightweight CI/test.
+    HomogeneousShort,
+    /// Gamma(1.5, 300) runtimes with varied resources — production mix.
+    HeterogeneousMix,
+    /// 20 % extremely long jobs (50 000 s, 128 nodes) among short jobs
+    /// (500 s, 2 nodes) — convoy-effect probe.
+    LongJobDominant,
+    /// Large parallel jobs (64–256 nodes), Gamma walltimes — tightly
+    /// coupled simulations.
+    HighParallelism,
+    /// Lightweight 1-node, <8 GB, 30–300 s jobs — sparse workload.
+    ResourceSparse,
+    /// Alternating short/long jobs submitted in bursts with idle gaps.
+    BurstyIdle,
+    /// One large blocking job (128 nodes, 100 000 s) followed by many
+    /// small jobs (1 node, 60 s).
+    Adversarial,
+}
+
+#[allow(deprecated)]
+impl ScenarioKind {
+    /// All seven scenarios, in the paper's presentation order.
+    pub fn all() -> [ScenarioKind; 7] {
+        [
+            ScenarioKind::HomogeneousShort,
+            ScenarioKind::HeterogeneousMix,
+            ScenarioKind::LongJobDominant,
+            ScenarioKind::HighParallelism,
+            ScenarioKind::ResourceSparse,
+            ScenarioKind::BurstyIdle,
+            ScenarioKind::Adversarial,
+        ]
+    }
+
+    /// The six scenarios shown in Figure 3 (Heterogeneous Mix is covered by
+    /// the scalability analysis of §3.6 instead).
+    pub fn figure3() -> [ScenarioKind; 6] {
+        [
+            ScenarioKind::HomogeneousShort,
+            ScenarioKind::LongJobDominant,
+            ScenarioKind::HighParallelism,
+            ScenarioKind::ResourceSparse,
+            ScenarioKind::BurstyIdle,
+            ScenarioKind::Adversarial,
+        ]
+    }
+
+    /// Human-readable name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        lookup_builtin(self.slug())
+            .expect("legacy slug is builtin")
+            .title
+    }
+
+    /// Short machine-friendly slug — the registry name this variant
+    /// aliases, and the seed-derivation label.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            ScenarioKind::HomogeneousShort => "homogeneous_short",
+            ScenarioKind::HeterogeneousMix => "heterogeneous_mix",
+            ScenarioKind::LongJobDominant => "long_job_dominant",
+            ScenarioKind::HighParallelism => "high_parallelism",
+            ScenarioKind::ResourceSparse => "resource_sparse",
+            ScenarioKind::BurstyIdle => "bursty_idle",
+            ScenarioKind::Adversarial => "adversarial",
+        }
+    }
+
+    /// The arrival process used in dynamic mode.
+    pub fn arrival_process(&self) -> ArrivalProcess {
+        (lookup_builtin(self.slug())
+            .expect("legacy slug is builtin")
+            .arrival)()
+    }
+}
+
+/// **Deprecated shim** over the registry path for enum-addressed callers.
+/// Output is bit-identical to the registry's
+/// [`generate`](crate::ScenarioRegistry::generate) under the same
+/// `(slug, n, mode, seed)`.
+#[deprecated(note = "use `ScenarioRegistry::generate` with a scenario name")]
+#[allow(deprecated)]
+pub fn generate(scenario: ScenarioKind, n: usize, mode: ArrivalMode, seed: u64) -> Workload {
+    builtins()
+        .generate(
+            scenario.slug(),
+            &ScenarioContext::new(n).with_mode(mode).with_seed(seed),
+        )
+        .expect("every ScenarioKind aliases a builtin registry name")
+}
+
+#[cfg(test)]
+#[allow(deprecated)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_path_is_bit_identical_to_registry_path() {
+        for kind in ScenarioKind::all() {
+            for mode in [ArrivalMode::Static, ArrivalMode::Dynamic] {
+                let via_enum = generate(kind, 25, mode, 123);
+                let via_registry = builtins()
+                    .generate(
+                        kind.slug(),
+                        &ScenarioContext::new(25).with_mode(mode).with_seed(123),
+                    )
+                    .expect("builtin");
+                assert_eq!(via_enum.jobs, via_registry.jobs, "{}", kind.slug());
+                assert_eq!(via_enum.scenario, via_registry.scenario);
+                assert_eq!(via_enum.mode, via_registry.mode);
+                assert_eq!(via_enum.seed, via_registry.seed);
+            }
+        }
+    }
+
+    #[test]
+    fn names_and_slugs_match_the_registry() {
+        for kind in ScenarioKind::all() {
+            assert_eq!(builtins().title(kind.slug()), Some(kind.name()));
+            assert_eq!(builtins().display_name(kind.slug()), Some(kind.slug()));
+        }
+        assert_eq!(ScenarioKind::BurstyIdle.name(), "Bursty + Idle");
+    }
+
+    #[test]
+    fn figure3_excludes_heterogeneous_mix() {
+        let f3 = ScenarioKind::figure3();
+        assert_eq!(f3.len(), 6);
+        assert!(!f3.contains(&ScenarioKind::HeterogeneousMix));
+    }
+}

@@ -1,0 +1,116 @@
+//! The shared error type of the workload side.
+//!
+//! SWF ingestion, CSV round-trips, workload validation, and scenario
+//! registry lookups all report through one [`WorkloadError`], so harness
+//! code matches on a single enum and error text is uniform regardless of
+//! which ingestion path failed.
+
+use std::fmt;
+
+/// Why a workload operation (generation, ingestion, validation) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// A trace file could not be read.
+    Io {
+        /// Path that failed to open or read.
+        path: String,
+        /// The underlying I/O error text.
+        message: String,
+    },
+    /// A trace (SWF or CSV) could not be parsed.
+    Parse {
+        /// Where in the input the error was found (e.g. `line 12` or
+        /// `row 3, column nodes`).
+        location: String,
+        /// What went wrong there.
+        message: String,
+    },
+    /// A job in a generated or ingested workload violates a machine
+    /// constraint.
+    Validation {
+        /// Id of the offending job.
+        job: u32,
+        /// The violated constraint.
+        message: String,
+    },
+    /// A scenario name resolved to no registered generator.
+    UnknownScenario {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every registered scenario name, sorted.
+        known: Vec<String>,
+    },
+    /// A scenario was registered under a name already taken.
+    DuplicateScenario(String),
+    /// A scenario registration used the reserved `swf:` name prefix.
+    ReservedScenario(String),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Io { path, message } => {
+                write!(f, "cannot read trace `{path}`: {message}")
+            }
+            WorkloadError::Parse { location, message } => {
+                write!(f, "workload trace error: {location}: {message}")
+            }
+            WorkloadError::Validation { job, message } => {
+                write!(f, "invalid workload: job {job}: {message}")
+            }
+            WorkloadError::UnknownScenario { name, known } => write!(
+                f,
+                "no scenario registered under `{name}` (known: {}; `swf:<path>` \
+                 loads a Standard Workload Format trace)",
+                known.join(", ")
+            ),
+            WorkloadError::DuplicateScenario(name) => {
+                write!(f, "scenario `{name}` is already registered")
+            }
+            WorkloadError::ReservedScenario(name) => {
+                write!(
+                    f,
+                    "cannot register scenario `{name}`: the `swf:` prefix is \
+                     reserved for trace paths"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_uniform_and_specific() {
+        let io = WorkloadError::Io {
+            path: "x.swf".into(),
+            message: "no such file".into(),
+        };
+        assert!(io.to_string().contains("x.swf"));
+
+        let parse = WorkloadError::Parse {
+            location: "line 3".into(),
+            message: "expected 18 fields".into(),
+        };
+        assert!(parse.to_string().contains("line 3"));
+        assert!(parse.to_string().starts_with("workload trace error"));
+
+        let unknown = WorkloadError::UnknownScenario {
+            name: "nope".into(),
+            known: vec!["adversarial".into()],
+        };
+        assert!(unknown.to_string().contains("swf:<path>"));
+        assert!(unknown.to_string().contains("adversarial"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        let err: Box<dyn std::error::Error> =
+            Box::new(WorkloadError::DuplicateScenario("dup".into()));
+        assert!(err.to_string().contains("dup"));
+    }
+}

@@ -1,38 +1,60 @@
 //! # rsched-workloads
 //!
-//! Scenario-driven HPC workload generation (paper §3.1).
+//! Scenario-driven HPC workload generation (paper §3.1) behind an **open,
+//! string-keyed scenario registry** — the workload-side twin of the policy
+//! registry in `rsched-registry`.
 //!
-//! The paper evaluates on **seven benchmark scenarios**, each reflecting a
-//! distinct operational pattern observed in real job traces, instantiated
-//! with 10–100 jobs, with Poisson-process arrivals per scenario-specific
-//! rates:
+//! Workloads are addressed by name through [`ScenarioRegistry`]: the
+//! paper's seven synthetic scenarios (*Homogeneous Short*, *Heterogeneous
+//! Mix*, *Long-Job Dominant*, *High Parallelism*, *Resource Sparse*,
+//! *Bursty + Idle*, *Adversarial*), four extended ones (*Diurnal Wave*,
+//! *Wide-Job Convoy*, *GPU-Skewed Hetmix*, *Long-Tail Runtime*), the
+//! Polaris trace substrate of paper §5, and — via the `swf:<path>` name
+//! form — any [Standard Workload Format](swf) archive trace on disk.
+//! Registering a new scenario is one [`ScenarioRegistry::register`] call;
+//! no enum variant or `match` arm required.
 //!
-//! * *Homogeneous Short* — uniform 30–120 s jobs, 2 nodes / 4 GB (CI/test).
-//! * *Heterogeneous Mix* — Gamma(shape 1.5, scale 300) runtimes, varied
-//!   resources (production mix).
-//! * *Long-Job Dominant* — 20 % extremely long jobs (50 000 s, 128 nodes)
-//!   among short ones (500 s, 2 nodes) — convoy-effect probe.
-//! * *High Parallelism* — 64–256-node jobs with Gamma walltimes
-//!   (tightly-coupled simulations).
-//! * *Resource Sparse* — 1-node, <8 GB, 30–300 s jobs (minimal contention).
-//! * *Bursty + Idle* — alternating short/long jobs in bursts separated by
-//!   idle gaps.
-//! * *Adversarial* — one 128-node / 100 000 s blocker followed by many
-//!   1-node / 60 s jobs.
+//! ```
+//! use rsched_workloads::{names, scenario_builtins, ArrivalMode, ScenarioContext};
 //!
-//! [`polaris`] additionally provides the real-trace substrate of paper §5: a
-//! synthesizer calibrated to the published description of the Polaris
-//! November-2024 log plus the paper's exact preprocessing pipeline.
+//! // 20 Heterogeneous-Mix jobs with Poisson arrivals, by registry name.
+//! let ctx = ScenarioContext::new(20)
+//!     .with_mode(ArrivalMode::Dynamic)
+//!     .with_seed(42);
+//! let workload = scenario_builtins()
+//!     .generate(names::HETEROGENEOUS_MIX, &ctx)
+//!     .expect("builtin scenario");
+//! assert_eq!(workload.len(), 20);
+//! assert_eq!(workload.scenario, "heterogeneous_mix");
+//!
+//! // The registry knows every builtin by name (case-insensitively).
+//! assert!(scenario_builtins().contains("Bursty-Idle"));
+//! assert_eq!(scenario_builtins().len(), names::ALL_BUILTIN.len());
+//! ```
+//!
+//! The enum-addressed legacy API ([`ScenarioKind`], [`generate`]) survives
+//! as deprecated shims in [`compat`], bit-identical to the registry path.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod arrivals;
+pub mod compat;
+pub mod error;
 pub mod polaris;
+pub mod registry;
 pub mod scenarios;
+pub mod swf;
 pub mod trace;
 pub mod users;
 
 pub use arrivals::{ArrivalMode, ArrivalProcess};
-pub use scenarios::{generate, ScenarioKind, Workload};
+#[allow(deprecated)]
+pub use compat::{generate, ScenarioKind};
+pub use error::WorkloadError;
+pub use registry::{
+    builtins as scenario_builtins, names, ScenarioContext, ScenarioGenerator, ScenarioInfo,
+    ScenarioRegistry,
+};
+pub use scenarios::Workload;
 pub use users::UserModel;

@@ -18,6 +18,9 @@
 
 use rsched_cluster::{ClusterConfig, JobSpec};
 use rsched_simkit::csv::{self, Table};
+
+use crate::error::WorkloadError;
+use crate::trace::Factorizer;
 use rsched_simkit::dist::{Categorical, Clamped, LogNormal, Sample, Uniform};
 use rsched_simkit::rng::{Rng, RngExt, SeedTree};
 use rsched_simkit::{SimDuration, SimTime};
@@ -146,22 +149,13 @@ pub fn preprocess(raw: &[PolarisRawJob], limit: usize) -> Vec<JobSpec> {
     // 4. Normalize timestamps to the earliest submission.
     let origin = ok[0].queued_ts;
     // 5. Factorize users and groups in first-appearance order.
-    let mut users: Vec<String> = Vec::new();
-    let mut groups: Vec<String> = Vec::new();
-    fn factorize(pool: &mut Vec<String>, name: &str) -> u32 {
-        match pool.iter().position(|u| u == name) {
-            Some(idx) => idx as u32,
-            None => {
-                pool.push(name.to_string());
-                (pool.len() - 1) as u32
-            }
-        }
-    }
+    let mut users = Factorizer::new();
+    let mut groups = Factorizer::new();
     ok.iter()
         .enumerate()
         .map(|(i, r)| {
-            let user = factorize(&mut users, r.user.as_str());
-            let group = factorize(&mut groups, r.group.as_str());
+            let user = users.id(&r.user);
+            let group = groups.id(&r.group);
             JobSpec::new(
                 i as u32,
                 user,
@@ -210,20 +204,27 @@ pub fn raw_to_csv(rows: &[PolarisRawJob]) -> String {
 }
 
 /// Parse a raw log from CSV (column names as in [`raw_to_csv`]).
-pub fn raw_from_csv(text: &str) -> Result<Vec<PolarisRawJob>, String> {
-    let table = Table::parse(text).map_err(|e| e.to_string())?;
+pub fn raw_from_csv(text: &str) -> Result<Vec<PolarisRawJob>, WorkloadError> {
+    let table = Table::parse(text).map_err(|e| WorkloadError::Parse {
+        location: "csv".to_string(),
+        message: e.to_string(),
+    })?;
     for col in RAW_HEADER {
         if table.column(col).is_none() {
-            return Err(format!("missing column `{col}`"));
+            return Err(WorkloadError::Parse {
+                location: "header".to_string(),
+                message: format!("missing column `{col}`"),
+            });
         }
     }
     (0..table.rows.len())
         .map(|row| {
             let get = |name: &str| table.get(row, name).expect("validated column");
-            let int = |name: &str| -> Result<i64, String> {
-                get(name)
-                    .parse::<i64>()
-                    .map_err(|e| format!("row {row}, column {name}: {e}"))
+            let int = |name: &str| -> Result<i64, WorkloadError> {
+                get(name).parse::<i64>().map_err(|e| WorkloadError::Parse {
+                    location: format!("row {row}, column {name}"),
+                    message: e.to_string(),
+                })
             };
             Ok(PolarisRawJob {
                 job_name: get("JOB_NAME").to_string(),
@@ -329,6 +330,7 @@ mod tests {
     fn raw_csv_missing_column() {
         assert!(raw_from_csv("JOB_NAME,USER\nx,y\n")
             .unwrap_err()
+            .to_string()
             .contains("missing column"));
     }
 

@@ -1,0 +1,537 @@
+//! [Standard Workload Format](https://www.cs.huji.ac.il/labs/parallel/workload/swf.html)
+//! (SWF) trace ingestion.
+//!
+//! SWF is the archive format of the Parallel Workloads Archive: `;`-prefixed
+//! header directives (`; MaxNodes: 1428`) followed by one job per line with
+//! **18 whitespace-separated numeric fields**, where `-1` marks an unknown
+//! value. This module parses traces into [`SwfTrace`] and converts them to
+//! simulator-ready [`JobSpec`]s with the same discipline as the Polaris
+//! pipeline (paper §5): drop failed/cancelled jobs, sort by submission,
+//! normalize timestamps to the earliest submission, factorize user/group
+//! labels, and derive memory where the trace does not record it.
+//!
+//! The scenario registry resolves `swf:<path>` names through
+//! [`load_workload`], so any archive trace sweeps through the experiment
+//! harness by name alone.
+
+use std::fmt;
+use std::fs;
+
+use rsched_cluster::{ClusterConfig, JobSpec};
+use rsched_simkit::{SimDuration, SimTime};
+
+use crate::arrivals::ArrivalMode;
+use crate::error::WorkloadError;
+use crate::registry::ScenarioContext;
+use crate::scenarios::Workload;
+use crate::trace::Factorizer;
+
+/// Fields per SWF job line.
+pub const SWF_FIELD_COUNT: usize = 18;
+
+/// Memory ascribed to each processor when the trace records none
+/// (`used_memory_kb == -1`), in GB.
+pub const DEFAULT_GB_PER_PROC: u64 = 2;
+
+/// One job line of an SWF trace, fields in archive order. `-1` means
+/// "unknown" throughout (field 6, average CPU time, is kept as `f64`; the
+/// archive allows fractional seconds there).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwfJob {
+    /// 1 — job number.
+    pub job_id: i64,
+    /// 2 — submit time, seconds since trace start.
+    pub submit_secs: i64,
+    /// 3 — wait time in the queue, seconds.
+    pub wait_secs: i64,
+    /// 4 — actual run time, seconds.
+    pub run_secs: i64,
+    /// 5 — number of allocated processors.
+    pub allocated_procs: i64,
+    /// 6 — average CPU time used, seconds.
+    pub avg_cpu_secs: f64,
+    /// 7 — used memory, KB per processor.
+    pub used_memory_kb: i64,
+    /// 8 — requested processors.
+    pub requested_procs: i64,
+    /// 9 — requested time (walltime estimate), seconds.
+    pub requested_secs: i64,
+    /// 10 — requested memory, KB per processor.
+    pub requested_memory_kb: i64,
+    /// 11 — completion status: 1 completed, 0 failed, 5 cancelled.
+    pub status: i64,
+    /// 12 — user id.
+    pub user: i64,
+    /// 13 — group id.
+    pub group: i64,
+    /// 14 — executable (application) number.
+    pub executable: i64,
+    /// 15 — queue number.
+    pub queue: i64,
+    /// 16 — partition number.
+    pub partition: i64,
+    /// 17 — preceding job number (workflow dependency).
+    pub preceding_job: i64,
+    /// 18 — think time from preceding job, seconds.
+    pub think_secs: i64,
+}
+
+impl SwfJob {
+    /// The processor count to schedule with: allocated if known, else
+    /// requested; `None` if the trace records neither.
+    pub fn procs(&self) -> Option<u32> {
+        [self.allocated_procs, self.requested_procs]
+            .into_iter()
+            .find(|&p| p > 0)
+            .map(|p| p as u32)
+    }
+
+    /// The runtime to simulate with: actual if known, else requested;
+    /// `None` if the trace records neither.
+    pub fn runtime_secs(&self) -> Option<u64> {
+        [self.run_secs, self.requested_secs]
+            .into_iter()
+            .find(|&r| r > 0)
+            .map(|r| r as u64)
+    }
+
+    /// `true` for jobs the conversion keeps: not failed (status 0), not
+    /// cancelled (status 5), with a usable runtime and processor count.
+    pub fn is_usable(&self) -> bool {
+        self.status != 0
+            && self.status != 5
+            && self.procs().is_some()
+            && self.runtime_secs().is_some()
+    }
+}
+
+/// A parsed SWF trace: the header directives plus the job lines, in file
+/// order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SwfTrace {
+    /// `(key, value)` header directives in file order (e.g.
+    /// `("MaxNodes", "1428")`). Comment lines without a `:` are skipped.
+    pub directives: Vec<(String, String)>,
+    /// The job lines, in file order (SWF traces are usually but not always
+    /// submit-sorted).
+    pub jobs: Vec<SwfJob>,
+}
+
+impl SwfTrace {
+    /// Parse SWF text. Header directives may appear anywhere; every
+    /// non-comment, non-blank line must carry exactly
+    /// [`SWF_FIELD_COUNT`] numeric fields.
+    pub fn parse(text: &str) -> Result<SwfTrace, WorkloadError> {
+        let mut trace = SwfTrace::default();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix(';') {
+                // `; Key: value` is a directive; anything else is comment.
+                if let Some((key, value)) = rest.split_once(':') {
+                    let key = key.trim();
+                    if !key.is_empty() && !key.contains(char::is_whitespace) {
+                        trace
+                            .directives
+                            .push((key.to_string(), value.trim().to_string()));
+                    }
+                }
+                continue;
+            }
+            trace.jobs.push(parse_job_line(line, idx + 1)?);
+        }
+        Ok(trace)
+    }
+
+    /// The value of a header directive, matched case-insensitively.
+    pub fn directive(&self, key: &str) -> Option<&str> {
+        self.directives
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(key))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The machine size from the `MaxNodes` (preferred) or `MaxProcs`
+    /// directive, if present and numeric.
+    pub fn max_nodes(&self) -> Option<u32> {
+        ["MaxNodes", "MaxProcs"]
+            .into_iter()
+            .find_map(|key| self.directive(key))
+            .and_then(|v| v.trim().parse().ok())
+    }
+
+    /// A cluster sized to this trace: node count from the header (falling
+    /// back to the widest job), memory assuming [`DEFAULT_GB_PER_PROC`] per
+    /// node.
+    pub fn cluster(&self) -> ClusterConfig {
+        let widest = self
+            .jobs
+            .iter()
+            .filter_map(SwfJob::procs)
+            .max()
+            .unwrap_or(1);
+        let nodes = self.max_nodes().unwrap_or(widest).max(widest).max(1);
+        ClusterConfig::new(
+            nodes,
+            nodes as u64 * DEFAULT_GB_PER_PROC.max(mem_ceil_gb(self)),
+        )
+    }
+
+    /// Convert to simulator-ready jobs, Polaris-pipeline style: keep
+    /// [usable](SwfJob::is_usable) jobs, sort by `(submit, job_id)`, take at
+    /// most `limit` (0 = all), normalize submissions to the earliest kept
+    /// job, re-identify sequentially, and factorize users/groups in
+    /// first-appearance order.
+    ///
+    /// Memory per job is `used_memory_kb × procs` rounded up to whole GB,
+    /// or `procs ×` [`DEFAULT_GB_PER_PROC`] when the trace records none.
+    pub fn to_jobs(&self, limit: usize) -> Vec<JobSpec> {
+        let mut usable: Vec<&SwfJob> = self.jobs.iter().filter(|j| j.is_usable()).collect();
+        usable.sort_by_key(|j| (j.submit_secs, j.job_id));
+        if limit > 0 {
+            usable.truncate(limit);
+        }
+        let Some(origin) = usable.first().map(|j| j.submit_secs) else {
+            return Vec::new();
+        };
+        let mut users = Factorizer::new();
+        let mut groups = Factorizer::new();
+        usable
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                let procs = j.procs().expect("usable");
+                let runtime = j.runtime_secs().expect("usable").max(1);
+                let memory_gb = if j.used_memory_kb > 0 {
+                    ((j.used_memory_kb as u64 * procs as u64).div_ceil(1024 * 1024)).max(1)
+                } else {
+                    procs as u64 * DEFAULT_GB_PER_PROC
+                };
+                // Archive traces record overruns (run > requested, killed
+                // late); pad to the actual runtime so schedulers never see
+                // a job outlive its declared walltime, as in the Polaris
+                // pipeline.
+                let walltime = (j.requested_secs.max(0) as u64).max(runtime);
+                JobSpec::new(
+                    i as u32,
+                    users.id(&j.user),
+                    SimTime::from_secs((j.submit_secs - origin).max(0) as u64),
+                    SimDuration::from_secs(runtime),
+                    procs,
+                    memory_gb,
+                )
+                .with_group(groups.id(&j.group))
+                .with_walltime(SimDuration::from_secs(walltime))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for SwfTrace {
+    /// Re-export in SWF text form: directives first, then one 18-field line
+    /// per job. `SwfTrace::parse` of the output reproduces the trace.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (key, value) in &self.directives {
+            writeln!(f, "; {key}: {value}")?;
+        }
+        for j in &self.jobs {
+            writeln!(
+                f,
+                "{} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+                j.job_id,
+                j.submit_secs,
+                j.wait_secs,
+                j.run_secs,
+                j.allocated_procs,
+                j.avg_cpu_secs,
+                j.used_memory_kb,
+                j.requested_procs,
+                j.requested_secs,
+                j.requested_memory_kb,
+                j.status,
+                j.user,
+                j.group,
+                j.executable,
+                j.queue,
+                j.partition,
+                j.preceding_job,
+                j.think_secs
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn parse_job_line(line: &str, line_no: usize) -> Result<SwfJob, WorkloadError> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() != SWF_FIELD_COUNT {
+        return Err(WorkloadError::Parse {
+            location: format!("line {line_no}"),
+            message: format!("expected {SWF_FIELD_COUNT} fields, found {}", fields.len()),
+        });
+    }
+    let int = |idx: usize| -> Result<i64, WorkloadError> {
+        let raw = fields[idx];
+        // The archive occasionally writes integral fields as floats
+        // ("3600.0"); accept those but reject anything non-numeric,
+        // including `nan`/`inf` and values outside the i64 range.
+        raw.parse::<i64>()
+            .ok()
+            .or_else(|| {
+                raw.parse::<f64>()
+                    .ok()
+                    .filter(|v| v.is_finite() && (i64::MIN as f64..=i64::MAX as f64).contains(v))
+                    .map(|v| v as i64)
+            })
+            .ok_or_else(|| WorkloadError::Parse {
+                location: format!("line {line_no}, field {}", idx + 1),
+                message: format!("`{raw}` is not a number"),
+            })
+    };
+    let float = |idx: usize| -> Result<f64, WorkloadError> {
+        fields[idx]
+            .parse::<f64>()
+            .map_err(|_| WorkloadError::Parse {
+                location: format!("line {line_no}, field {}", idx + 1),
+                message: format!("`{}` is not a number", fields[idx]),
+            })
+    };
+    Ok(SwfJob {
+        job_id: int(0)?,
+        submit_secs: int(1)?,
+        wait_secs: int(2)?,
+        run_secs: int(3)?,
+        allocated_procs: int(4)?,
+        avg_cpu_secs: float(5)?,
+        used_memory_kb: int(6)?,
+        requested_procs: int(7)?,
+        requested_secs: int(8)?,
+        requested_memory_kb: int(9)?,
+        status: int(10)?,
+        user: int(11)?,
+        group: int(12)?,
+        executable: int(13)?,
+        queue: int(14)?,
+        partition: int(15)?,
+        preceding_job: int(16)?,
+        think_secs: int(17)?,
+    })
+}
+
+/// Parse an SWF trace from text (see [`SwfTrace::parse`]).
+pub fn parse_trace(text: &str) -> Result<SwfTrace, WorkloadError> {
+    SwfTrace::parse(text)
+}
+
+/// Read and parse an SWF trace from a file.
+pub fn load_trace(path: &str) -> Result<SwfTrace, WorkloadError> {
+    let text = fs::read_to_string(path).map_err(|e| WorkloadError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })?;
+    SwfTrace::parse(&text).map_err(|e| match e {
+        // Anchor parse locations to the file for multi-trace sweeps.
+        WorkloadError::Parse { location, message } => WorkloadError::Parse {
+            location: format!("{path}: {location}"),
+            message,
+        },
+        other => other,
+    })
+}
+
+/// The `swf:<path>` entry point used by the scenario registry: load the
+/// trace at `path` and convert at most `ctx.n` jobs (`0` = the whole
+/// trace). [`ArrivalMode::Static`] zeroes submissions; the context's seed
+/// is recorded but unused (trace replay is deterministic).
+pub fn load_workload(path: &str, ctx: &ScenarioContext) -> Result<Workload, WorkloadError> {
+    let trace = load_trace(path)?;
+    let mut jobs = trace.to_jobs(ctx.n);
+    if ctx.mode == ArrivalMode::Static {
+        for j in &mut jobs {
+            j.submit = SimTime::ZERO;
+        }
+    }
+    Ok(Workload {
+        scenario: format!("swf:{path}"),
+        jobs,
+        mode: ctx.mode,
+        seed: ctx.seed,
+    })
+}
+
+/// The largest per-job memory in the trace, in whole GB per processor —
+/// used to size a derived cluster so every job fits.
+fn mem_ceil_gb(trace: &SwfTrace) -> u64 {
+    trace
+        .jobs
+        .iter()
+        .filter(|j| j.used_memory_kb > 0)
+        .map(|j| (j.used_memory_kb as u64).div_ceil(1024 * 1024))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+; Version: 2.2
+; Computer: Example Machine
+; MaxNodes: 64
+; UnixStartTime: 1100000000
+; this free-form comment line is ignored
+1 100 10 300 4 -1 1048576 4 600 -1 1 3 1 -1 1 1 -1 -1
+2 160 -1 120 2 -1 -1 2 240 -1 1 5 1 -1 1 1 -1 -1
+3 40 0 60 1 -1 -1 1 60 -1 0 3 1 -1 1 1 -1 -1
+4 220 5 -1 8 -1 -1 8 900 -1 5 7 2 -1 1 1 -1 -1
+5 90 2 450 16 -1 2097152 16 600 -1 1 5 1 -1 1 1 -1 -1
+";
+
+    #[test]
+    fn header_directives_parse_case_insensitively() {
+        let trace = parse_trace(SAMPLE).expect("parses");
+        assert_eq!(trace.directive("maxnodes"), Some("64"));
+        assert_eq!(trace.directive("Computer"), Some("Example Machine"));
+        assert_eq!(trace.directive("UNIXSTARTTIME"), Some("1100000000"));
+        assert_eq!(trace.max_nodes(), Some(64));
+        assert_eq!(trace.jobs.len(), 5);
+    }
+
+    #[test]
+    fn sentinel_fields_survive_and_fallbacks_apply() {
+        let trace = parse_trace(SAMPLE).expect("parses");
+        // Job 2 has -1 wait and no memory record.
+        let j2 = &trace.jobs[1];
+        assert_eq!(j2.wait_secs, -1);
+        assert_eq!(j2.used_memory_kb, -1);
+        assert_eq!(j2.procs(), Some(2));
+        // Job 4 has -1 runtime but a requested time; cancelled, so unusable
+        // anyway.
+        let j4 = &trace.jobs[3];
+        assert_eq!(j4.run_secs, -1);
+        assert_eq!(j4.runtime_secs(), Some(900));
+        assert!(!j4.is_usable(), "cancelled jobs are dropped");
+    }
+
+    #[test]
+    fn conversion_drops_failed_sorts_and_normalizes() {
+        let trace = parse_trace(SAMPLE).expect("parses");
+        // Job 3 failed (status 0), job 4 cancelled (status 5) → 3 remain.
+        let jobs = trace.to_jobs(0);
+        assert_eq!(jobs.len(), 3);
+        // Sorted by submit: job 5 (t=90) first, normalized to zero.
+        assert_eq!(jobs[0].submit, SimTime::ZERO);
+        assert_eq!(jobs[0].nodes, 16);
+        assert_eq!(jobs[1].submit, SimTime::from_secs(10)); // 100 - 90
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id.0 as usize, i, "re-identified sequentially");
+        }
+        // Users factorized in first-appearance order: 5 → 0, 3 → 1.
+        assert_eq!(jobs[0].user.0, 0);
+        assert_eq!(jobs[1].user.0, 1);
+        // Memory: job 5 records 2 GB/proc × 16 procs = 32 GB; job 2 records
+        // none → DEFAULT_GB_PER_PROC × 2.
+        assert_eq!(jobs[0].memory_gb, 32);
+        assert_eq!(jobs[2].memory_gb, 2 * DEFAULT_GB_PER_PROC);
+        // Walltime comes from the requested time.
+        assert_eq!(jobs[0].walltime, SimDuration::from_secs(600));
+    }
+
+    #[test]
+    fn limit_truncates_after_sorting() {
+        let trace = parse_trace(SAMPLE).expect("parses");
+        let jobs = trace.to_jobs(2);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].nodes, 16, "earliest submit survives the cut");
+    }
+
+    #[test]
+    fn malformed_lines_report_location() {
+        let err = parse_trace("1 2 3\n").unwrap_err();
+        match &err {
+            WorkloadError::Parse { location, message } => {
+                assert_eq!(location, "line 1");
+                assert!(message.contains("18 fields"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let bad_token = SAMPLE.replace("5 90 2 450", "5 90 2 banana");
+        let err = parse_trace(&bad_token).unwrap_err();
+        match &err {
+            WorkloadError::Parse { location, message } => {
+                assert!(location.contains("field 4"), "{location}");
+                assert!(message.contains("banana"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_and_out_of_range_numbers_are_rejected() {
+        for bad in ["nan", "inf", "-inf", "1e300"] {
+            let line = format!("1 0 0 100 4 -1 -1 4 200 -1 {bad} 1 1 -1 1 1 -1 -1\n");
+            let err = parse_trace(&line).unwrap_err();
+            match &err {
+                WorkloadError::Parse { location, message } => {
+                    assert!(location.contains("field 11"), "{bad}: {location}");
+                    assert!(message.contains(bad), "{bad}: {message}");
+                }
+                other => panic!("{bad}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn walltime_is_padded_to_the_actual_runtime_on_overruns() {
+        // run (900) exceeds requested (600): the job overran and was killed
+        // late. Schedulers must never see duration > walltime.
+        let line = "1 0 0 900 4 -1 -1 4 600 -1 1 1 1 -1 1 1 -1 -1\n";
+        let jobs = parse_trace(line).expect("parses").to_jobs(0);
+        assert_eq!(jobs[0].duration, SimDuration::from_secs(900));
+        assert_eq!(jobs[0].walltime, SimDuration::from_secs(900));
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        let trace = parse_trace(SAMPLE).expect("parses");
+        let re = parse_trace(&trace.to_string()).expect("re-parses");
+        assert_eq!(re, trace);
+    }
+
+    #[test]
+    fn derived_cluster_fits_every_usable_job() {
+        let trace = parse_trace(SAMPLE).expect("parses");
+        let cluster = trace.cluster();
+        assert_eq!(cluster.nodes, 64, "header MaxNodes wins");
+        for j in trace.to_jobs(0) {
+            assert!(j.nodes <= cluster.nodes);
+            assert!(j.memory_gb <= cluster.memory_gb);
+        }
+    }
+
+    #[test]
+    fn headerless_trace_sizes_cluster_from_widest_job() {
+        let text = "7 0 0 100 12 -1 -1 12 100 -1 1 1 1 -1 1 1 -1 -1\n";
+        let trace = parse_trace(text).expect("parses");
+        assert_eq!(trace.max_nodes(), None);
+        assert_eq!(trace.cluster().nodes, 12);
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        match load_trace("/definitely/not/here.swf") {
+            Err(WorkloadError::Io { path, .. }) => assert!(path.ends_with("here.swf")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_trace_converts_to_no_jobs() {
+        let trace = parse_trace("; Version: 2.2\n").expect("parses");
+        assert!(trace.to_jobs(0).is_empty());
+    }
+}

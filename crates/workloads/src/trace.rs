@@ -39,38 +39,63 @@ pub fn jobs_to_csv(jobs: &[JobSpec]) -> String {
     csv::write_rows(rows)
 }
 
-/// Error from [`jobs_from_csv`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TraceError(pub String);
+use crate::error::WorkloadError;
 
-impl std::fmt::Display for TraceError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "workload trace error: {}", self.0)
+/// Dense-id factorization in first-appearance order, shared by the Polaris
+/// and SWF ingestion pipelines: the first distinct value becomes id 0, the
+/// next id 1, and so on. Hash-backed, so factorizing a multi-million-job
+/// archive trace stays linear in the job count.
+#[derive(Debug, Default)]
+pub(crate) struct Factorizer<T> {
+    ids: std::collections::HashMap<T, u32>,
+}
+
+impl<T: Eq + std::hash::Hash + Clone> Factorizer<T> {
+    pub(crate) fn new() -> Self {
+        Factorizer {
+            ids: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The dense id of `value`, assigning the next free id on first sight.
+    pub(crate) fn id(&mut self, value: &T) -> u32 {
+        if let Some(&id) = self.ids.get(value) {
+            return id;
+        }
+        let id = self.ids.len() as u32;
+        self.ids.insert(value.clone(), id);
+        id
     }
 }
 
-impl std::error::Error for TraceError {}
-
 /// Parse jobs back from CSV text produced by [`jobs_to_csv`].
-pub fn jobs_from_csv(text: &str) -> Result<Vec<JobSpec>, TraceError> {
-    let table = Table::parse(text).map_err(|e| TraceError(e.to_string()))?;
+pub fn jobs_from_csv(text: &str) -> Result<Vec<JobSpec>, WorkloadError> {
+    let table = Table::parse(text).map_err(|e| WorkloadError::Parse {
+        location: "csv".to_string(),
+        message: e.to_string(),
+    })?;
     for col in HEADER {
         if table.column(col).is_none() {
-            return Err(TraceError(format!("missing column `{col}`")));
+            return Err(WorkloadError::Parse {
+                location: "header".to_string(),
+                message: format!("missing column `{col}`"),
+            });
         }
     }
     let mut jobs = Vec::with_capacity(table.rows.len());
     for row in 0..table.rows.len() {
         let get = |name: &str| -> &str { table.get(row, name).expect("validated column") };
-        let parse_f64 = |name: &str| -> Result<f64, TraceError> {
-            get(name)
-                .parse::<f64>()
-                .map_err(|e| TraceError(format!("row {row}, column {name}: {e}")))
+        let parse_f64 = |name: &str| -> Result<f64, WorkloadError> {
+            get(name).parse::<f64>().map_err(|e| WorkloadError::Parse {
+                location: format!("row {row}, column {name}"),
+                message: e.to_string(),
+            })
         };
-        let parse_u64 = |name: &str| -> Result<u64, TraceError> {
-            get(name)
-                .parse::<u64>()
-                .map_err(|e| TraceError(format!("row {row}, column {name}: {e}")))
+        let parse_u64 = |name: &str| -> Result<u64, WorkloadError> {
+            get(name).parse::<u64>().map_err(|e| WorkloadError::Parse {
+                location: format!("row {row}, column {name}"),
+                message: e.to_string(),
+            })
         };
         let spec = JobSpec::new(
             parse_u64("job_id")? as u32,
@@ -90,12 +115,13 @@ pub fn jobs_from_csv(text: &str) -> Result<Vec<JobSpec>, TraceError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::arrivals::ArrivalMode;
-    use crate::scenarios::{generate, ScenarioKind};
+    use crate::registry::{builtins, ScenarioContext};
 
     #[test]
     fn roundtrip_preserves_jobs() {
-        let w = generate(ScenarioKind::HeterogeneousMix, 30, ArrivalMode::Dynamic, 5);
+        let w = builtins()
+            .generate("heterogeneous_mix", &ScenarioContext::new(30).with_seed(5))
+            .expect("builtin");
         let text = jobs_to_csv(&w.jobs);
         let back = jobs_from_csv(&text).expect("parse");
         assert_eq!(back, w.jobs);
@@ -104,7 +130,7 @@ mod tests {
     #[test]
     fn missing_column_is_reported() {
         let err = jobs_from_csv("job_id,user\n1,2\n").unwrap_err();
-        assert!(err.0.contains("missing column"));
+        assert!(err.to_string().contains("missing column"));
     }
 
     #[test]
@@ -112,8 +138,9 @@ mod tests {
         let text = "job_id,user,group,submit_s,duration_s,walltime_s,nodes,memory_gb\n\
                     0,0,0,0.0,10.0,10.0,not_a_number,4\n";
         let err = jobs_from_csv(text).unwrap_err();
-        assert!(err.0.contains("nodes"), "{err}");
-        assert!(err.0.contains("row 0"), "{err}");
+        let rendered = err.to_string();
+        assert!(rendered.contains("nodes"), "{rendered}");
+        assert!(rendered.contains("row 0"), "{rendered}");
     }
 
     #[test]

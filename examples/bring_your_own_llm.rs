@@ -24,7 +24,14 @@ use reasoned_scheduler::prelude::*;
 
 fn main() {
     let cluster = ClusterConfig::paper_default();
-    let workload = generate(ScenarioKind::ResourceSparse, 6, ArrivalMode::Static, 9);
+    let workload = scenario_builtins()
+        .generate(
+            "resource_sparse",
+            &ScenarioContext::new(6)
+                .with_mode(ArrivalMode::Static)
+                .with_seed(9),
+        )
+        .expect("builtin scenario");
 
     // A "model" that always proposes job 0, then job 1, … — it keeps state
     // in a temp file to move through the queue. Real deployments would call

@@ -14,7 +14,14 @@ use reasoned_scheduler::registry::names;
 
 fn main() {
     let cluster = ClusterConfig::paper_default();
-    let workload = generate(ScenarioKind::LongJobDominant, 30, ArrivalMode::Dynamic, 11);
+    let workload = scenario_builtins()
+        .generate(
+            "long_job_dominant",
+            &ScenarioContext::new(30)
+                .with_mode(ArrivalMode::Dynamic)
+                .with_seed(11),
+        )
+        .expect("builtin scenario");
     let long_jobs = workload.jobs.iter().filter(|j| j.nodes == 128).count();
     println!(
         "Long-Job Dominant: {} jobs ({} are 128-node/50000 s blockers)\n",

@@ -15,10 +15,19 @@ use reasoned_scheduler::registry::names;
 
 fn main() {
     let cluster = ClusterConfig::paper_default();
-    let workload = generate(ScenarioKind::HeterogeneousMix, 40, ArrivalMode::Dynamic, 7);
+    let workload = scenario_builtins()
+        .generate(
+            "heterogeneous_mix",
+            &ScenarioContext::new(40)
+                .with_mode(ArrivalMode::Dynamic)
+                .with_seed(7),
+        )
+        .expect("builtin scenario");
     println!(
         "Workload: {} — {} jobs on {} nodes / {} GB\n",
-        workload.scenario.name(),
+        scenario_builtins()
+            .title(&workload.scenario)
+            .unwrap_or(&workload.scenario),
         workload.len(),
         cluster.nodes,
         cluster.memory_gb

@@ -39,7 +39,14 @@ fn main() {
     let cluster = ClusterConfig::paper_default();
     // The adversarial scenario: a 128-node, 100 000 s blocker followed by a
     // flood of 1-node jobs — the convoy-effect stress test.
-    let workload = generate(ScenarioKind::Adversarial, 12, ArrivalMode::Dynamic, 3);
+    let workload = scenario_builtins()
+        .generate(
+            "adversarial",
+            &ScenarioContext::new(12)
+                .with_mode(ArrivalMode::Dynamic)
+                .with_seed(3),
+        )
+        .expect("builtin scenario");
 
     // The concrete agent type (not a registry handle) so the thought trace
     // and scratchpad stay inspectable after the run.

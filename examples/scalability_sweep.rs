@@ -28,7 +28,14 @@ fn main() {
     ]);
 
     for &n in &[10usize, 20, 40, 60] {
-        let workload = generate(ScenarioKind::HeterogeneousMix, n, ArrivalMode::Dynamic, 31);
+        let workload = scenario_builtins()
+            .generate(
+                "heterogeneous_mix",
+                &ScenarioContext::new(n)
+                    .with_mode(ArrivalMode::Dynamic)
+                    .with_seed(31),
+            )
+            .expect("builtin scenario");
         let ctx = PolicyContext::new(&workload.jobs, cluster).with_seed(31);
         for name in [names::FCFS, names::CLAUDE37] {
             let mut policy = registry.build(name, &ctx).expect("builtin policy");

@@ -1,0 +1,80 @@
+//! Replaying a **Standard Workload Format** archive trace through the
+//! harness — by name, with zero workspace changes.
+//!
+//! Any `swf:<path>` scenario name resolves through the shared
+//! [`ScenarioRegistry`]: the trace is parsed (header directives, 18-field
+//! job lines, `-1` sentinels), cleaned Polaris-pipeline style (drop
+//! failed/cancelled jobs, sort, normalize, factorize users), and handed to
+//! the simulator. Point the first CLI argument at any trace from the
+//! Parallel Workloads Archive to replay production data; with no argument
+//! the bundled `fixtures/sample.swf` runs.
+//!
+//! ```text
+//! cargo run --release --example swf_replay [path/to/trace.swf]
+//! ```
+
+use reasoned_scheduler::metrics::TextTable;
+use reasoned_scheduler::prelude::*;
+use reasoned_scheduler::registry::names;
+use reasoned_scheduler::workloads::swf;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "fixtures/sample.swf".to_string());
+
+    // Peek at the trace itself for a machine-sized cluster and the header.
+    let trace = match swf::load_trace(&path) {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let cluster = trace.cluster();
+    println!(
+        "trace: {} — {} job lines, machine {} nodes / {} GB (from {})",
+        path,
+        trace.jobs.len(),
+        cluster.nodes,
+        cluster.memory_gb,
+        trace
+            .directive("Computer")
+            .unwrap_or("widest job, no MaxNodes directive"),
+    );
+
+    // The same trace again, this time purely by scenario name — the path
+    // every registry-driven surface (examples, experiments matrix) uses.
+    let scenario = format!("swf:{path}");
+    let workload = scenario_builtins()
+        .generate(&scenario, &ScenarioContext::new(0).with_cluster(cluster))
+        .expect("trace parsed a moment ago");
+    workload.validate(cluster).expect("trace fits its machine");
+    println!("replaying {} usable jobs\n", workload.len());
+
+    let mut table = TextTable::new([
+        "scheduler",
+        "makespan_s",
+        "avg_wait_s",
+        "throughput",
+        "node_util",
+    ]);
+    let registry = PolicyRegistry::with_builtins();
+    let ctx = PolicyContext::new(&workload.jobs, cluster).with_seed(7);
+    for name in [names::FCFS, names::EASY, names::SJF, names::CLAUDE37] {
+        let mut policy = registry.build(name, &ctx).expect("builtin policy");
+        let outcome = Simulation::new(cluster)
+            .jobs(&workload.jobs)
+            .run(policy.as_mut())
+            .expect("trace completes");
+        let report = MetricsReport::compute(&outcome.records, cluster);
+        table.push_row([
+            outcome.policy_name.clone(),
+            format!("{:.0}", report.makespan_secs),
+            format!("{:.0}", report.avg_wait_secs),
+            format!("{:.4}", report.throughput),
+            format!("{:.3}", report.node_utilization),
+        ]);
+    }
+    println!("{}", table.render());
+}

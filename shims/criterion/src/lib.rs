@@ -11,7 +11,7 @@
 //! Swap this path dependency for the real crate when a registry is
 //! available; no bench code needs to change.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};

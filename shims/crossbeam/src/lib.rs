@@ -11,7 +11,7 @@
 //! Swap this path dependency for the real crate when a registry is
 //! available; no call sites need to change.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 /// Work-stealing double-ended queues (API-compatible subset).
 pub mod deque {

@@ -13,7 +13,7 @@
 //! Swap this path dependency for the real crate when a registry is
 //! available; no call sites need to change.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::sync::{self, PoisonError};
 use std::time::Duration;

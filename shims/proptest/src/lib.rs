@@ -18,7 +18,7 @@
 //! invariants over the same strategy space. Swap this path dependency for
 //! the real crate when a registry is available.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod strategy;
 pub mod test_runner;

@@ -39,6 +39,27 @@ macro_rules! int_range_strategy {
 
 int_range_strategy!(u8, u16, u32, u64, usize);
 
+macro_rules! signed_int_range_strategy {
+    ($($t:ty),+) => { $(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "empty integer range {}..{}",
+                    self.start,
+                    self.end
+                );
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )+ };
+}
+
+signed_int_range_strategy!(i8, i16, i32, i64, isize);
+
 impl Strategy for Range<f64> {
     type Value = f64;
 

@@ -12,7 +12,9 @@
 //!
 //! * [`simkit`] — discrete-event kernel, RNG, distributions, statistics.
 //! * [`cluster`] — the HPC machine model (nodes, memory, first-fit).
-//! * [`workloads`] — the seven paper scenarios + the Polaris substrate.
+//! * [`workloads`] — the open scenario registry: the seven paper
+//!   scenarios, four extended ones, the Polaris substrate, and SWF trace
+//!   ingestion (`swf:<path>`).
 //! * [`sim`] — the event-driven scheduling simulator and policy interface.
 //! * [`metrics`] — the eight evaluation objectives and normalization.
 //! * [`schedulers`] — FCFS, SJF, EASY, Random, OR-Tools baselines.
@@ -26,17 +28,23 @@
 //!
 //! ## Quickstart
 //!
-//! Policies are resolved by name from the open [`registry`] (builtins plus
-//! anything you [`register`](registry::PolicyRegistry::register)), and runs
-//! are described with the [`Simulation`](sim::Simulation) builder, which
-//! can stream decisions to observers as they happen:
+//! Both axes of a run are resolved **by name** from open registries:
+//! workloads from the [`ScenarioRegistry`](workloads::ScenarioRegistry)
+//! (builtin scenarios, your own registrations, or `swf:<path>` archive
+//! traces), policies from the [`registry`] (builtins plus anything you
+//! [`register`](registry::PolicyRegistry::register)). Runs are described
+//! with the [`Simulation`](sim::Simulation) builder, which can stream
+//! decisions to observers as they happen:
 //!
 //! ```
 //! use reasoned_scheduler::prelude::*;
 //!
-//! // 20 Heterogeneous-Mix jobs with Poisson arrivals (paper §3.1).
+//! // 20 Heterogeneous-Mix jobs with Poisson arrivals (paper §3.1), by
+//! // scenario name.
 //! let cluster = ClusterConfig::paper_default();
-//! let workload = generate(ScenarioKind::HeterogeneousMix, 20, ArrivalMode::Dynamic, 42);
+//! let workload = scenario_builtins()
+//!     .generate("heterogeneous_mix", &ScenarioContext::new(20).with_seed(42))
+//!     .expect("builtin scenario");
 //!
 //! // The simulated Claude 3.7 ReAct agent (paper §3.3), by registry name.
 //! let registry = PolicyRegistry::with_builtins();
@@ -57,7 +65,7 @@
 //! println!("{report}");
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub use rsched_cluster as cluster;
@@ -86,5 +94,9 @@ pub mod prelude {
         SimOptions, SimOutcome, Simulation, SystemView,
     };
     pub use rsched_simkit::{SimDuration, SimTime};
-    pub use rsched_workloads::{generate, ArrivalMode, ScenarioKind, Workload};
+    #[allow(deprecated)]
+    pub use rsched_workloads::{generate, ScenarioKind};
+    pub use rsched_workloads::{
+        scenario_builtins, ArrivalMode, ScenarioContext, ScenarioRegistry, Workload, WorkloadError,
+    };
 }

@@ -1,0 +1,89 @@
+//! Link checker for the top-level markdown docs: every relative link in
+//! `README.md` and `ARCHITECTURE.md` must point at a file or directory
+//! that exists in the repository (external URLs are not fetched — the
+//! build environment is offline — and intra-doc rustdoc links are already
+//! compiled under `RUSTDOCFLAGS="-D warnings"`).
+
+use std::path::Path;
+
+/// Extract `](target)` markdown link targets from `text`.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(close) = text[i + 2..].find(')') {
+                out.push(text[i + 2..i + 2 + close].to_string());
+                i += 2 + close;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The anchor ids a markdown file defines (GitHub-style slugs of its
+/// headings).
+fn anchors(text: &str) -> Vec<String> {
+    text.lines()
+        .filter(|l| l.starts_with('#'))
+        .map(|l| {
+            l.trim_start_matches('#')
+                .trim()
+                .chars()
+                .filter_map(|c| match c {
+                    ' ' => Some('-'),
+                    c if c.is_alphanumeric() || c == '-' || c == '_' => {
+                        Some(c.to_ascii_lowercase())
+                    }
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn check_file(name: &str) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(root.join(name))
+        .unwrap_or_else(|e| panic!("{name} must exist: {e}"));
+    let mut checked = 0usize;
+    for target in link_targets(&text) {
+        // External links: not checkable offline.
+        if target.starts_with("http://") || target.starts_with("https://") {
+            continue;
+        }
+        let (path, fragment) = match target.split_once('#') {
+            Some((p, f)) => (p, Some(f.to_string())),
+            None => (target.as_str(), None),
+        };
+        // Resolve the file part (a bare `#anchor` stays in this file).
+        let file = if path.is_empty() { name } else { path };
+        assert!(
+            root.join(file).exists(),
+            "{name}: broken link `{target}` (no such file `{file}`)"
+        );
+        if let Some(fragment) = fragment {
+            let linked = std::fs::read_to_string(root.join(file))
+                .unwrap_or_else(|e| panic!("{name}: `{file}` unreadable: {e}"));
+            assert!(
+                anchors(&linked).contains(&fragment),
+                "{name}: broken anchor `{target}` (no heading `#{fragment}` in `{file}`)"
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked > 0, "{name} should contain at least one local link");
+}
+
+#[test]
+fn readme_links_resolve() {
+    check_file("README.md");
+}
+
+#[test]
+fn architecture_links_resolve() {
+    check_file("ARCHITECTURE.md");
+}

@@ -3,7 +3,21 @@
 
 use reasoned_scheduler::cpsolver::SolverConfig;
 use reasoned_scheduler::prelude::*;
+use reasoned_scheduler::workloads::names as scenario_names;
 use reasoned_scheduler::workloads::polaris::polaris_workload;
+
+/// Generate a named scenario through the shared registry (dynamic
+/// arrivals) — the same path the experiment harness uses.
+fn named_workload(scenario: &str, n: usize, seed: u64) -> Workload {
+    scenario_builtins()
+        .generate(
+            scenario,
+            &ScenarioContext::new(n)
+                .with_mode(ArrivalMode::Dynamic)
+                .with_seed(seed),
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
+}
 
 fn quick_solver() -> SolverConfig {
     SolverConfig {
@@ -60,9 +74,15 @@ fn assert_schedule_feasible(outcome: &SimOutcome, cluster: ClusterConfig) {
 
 #[test]
 fn every_scheduler_completes_every_scenario() {
+    // Every synthetic scenario — the paper's seven plus the four extended
+    // ones (all calibrated to the paper machine; the Polaris substrate runs
+    // on its own cluster in `polaris_pipeline_end_to_end`).
     let cluster = ClusterConfig::paper_default();
-    for scenario in ScenarioKind::all() {
-        let workload = generate(scenario, 12, ArrivalMode::Dynamic, 42);
+    for scenario in scenario_names::LEGACY_SEVEN
+        .into_iter()
+        .chain(scenario_names::EXTENDED_FOUR)
+    {
+        let workload = named_workload(scenario, 12, 42);
         for name in [
             "fcfs",
             "sjf",
@@ -76,8 +96,7 @@ fn every_scheduler_completes_every_scenario() {
             assert_eq!(
                 outcome.records.len(),
                 workload.len(),
-                "{name} on {}",
-                scenario.name()
+                "{name} on {scenario}"
             );
             assert_schedule_feasible(&outcome, cluster);
             // Every job starts at or after its submission.
@@ -91,7 +110,14 @@ fn every_scheduler_completes_every_scenario() {
 #[test]
 fn static_workloads_complete_too() {
     let cluster = ClusterConfig::paper_default();
-    let workload = generate(ScenarioKind::HeterogeneousMix, 15, ArrivalMode::Static, 5);
+    let workload = scenario_builtins()
+        .generate(
+            scenario_names::HETEROGENEOUS_MIX,
+            &ScenarioContext::new(15)
+                .with_mode(ArrivalMode::Static)
+                .with_seed(5),
+        )
+        .expect("builtin scenario");
     for name in ["fcfs", "sjf", "or-tools", "claude-3.7"] {
         let outcome = run_kind(name, &workload.jobs, cluster, 5);
         assert_eq!(outcome.records.len(), 15, "{name}");
@@ -102,7 +128,7 @@ fn static_workloads_complete_too() {
 #[test]
 fn end_to_end_runs_are_deterministic() {
     let cluster = ClusterConfig::paper_default();
-    let workload = generate(ScenarioKind::BurstyIdle, 14, ArrivalMode::Dynamic, 9);
+    let workload = named_workload(scenario_names::BURSTY_IDLE, 14, 9);
     for name in [
         "fcfs",
         "sjf",
@@ -124,7 +150,7 @@ fn metrics_are_consistent_with_simulator_integrals() {
     // The closed-form utilization (Σ n·d / C·makespan) must agree with the
     // simulator's live step-function integral.
     let cluster = ClusterConfig::paper_default();
-    let workload = generate(ScenarioKind::HighParallelism, 12, ArrivalMode::Dynamic, 3);
+    let workload = named_workload(scenario_names::HIGH_PARALLELISM, 12, 3);
     let outcome = run_kind("fcfs", &workload.jobs, cluster, 3);
     let report = MetricsReport::compute(&outcome.records, cluster);
 
@@ -159,7 +185,7 @@ fn polaris_pipeline_end_to_end() {
 #[test]
 fn llm_agent_records_full_interpretability_artifacts() {
     let cluster = ClusterConfig::paper_default();
-    let workload = generate(ScenarioKind::Adversarial, 10, ArrivalMode::Dynamic, 21);
+    let workload = named_workload(scenario_names::ADVERSARIAL, 10, 21);
     let mut policy = LlmSchedulingPolicy::claude37(21);
     let outcome = run_simulation(cluster, &workload.jobs, &mut policy, &SimOptions::default())
         .expect("completes");
@@ -178,7 +204,7 @@ fn llm_wait_improvement_holds_on_long_job_dominant() {
     // The paper's headline Long-Job-Dominant claim, end to end: LLM agents
     // dramatically reduce average wait versus FCFS.
     let cluster = ClusterConfig::paper_default();
-    let workload = generate(ScenarioKind::LongJobDominant, 20, ArrivalMode::Dynamic, 13);
+    let workload = named_workload(scenario_names::LONG_JOB_DOMINANT, 20, 13);
     let fcfs = run_kind("fcfs", &workload.jobs, cluster, 13);
     let claude = run_kind("claude-3.7", &workload.jobs, cluster, 13);
     let wait = |o: &SimOutcome| MetricsReport::compute(&o.records, cluster).avg_wait_secs;

@@ -35,9 +35,27 @@ fn simkit_types_construct() {
 
 #[test]
 fn workload_types_construct() {
+    // The scenario registry surface is reachable through the prelude.
+    let registry: &ScenarioRegistry = scenario_builtins();
+    let ctx = ScenarioContext::new(4)
+        .with_mode(ArrivalMode::Static)
+        .with_seed(1);
+    let workload: Workload = registry
+        .generate("heterogeneous_mix", &ctx)
+        .expect("builtin scenario");
+    assert_eq!(workload.jobs.len(), 4);
+    assert!(registry.len() >= 12);
+    // Failures surface as the shared error type.
+    let err: WorkloadError = registry.generate("no-such-scenario", &ctx).unwrap_err();
+    assert!(err.to_string().contains("no scenario registered"));
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_workload_shims_still_resolve() {
+    // The enum-addressed legacy path stays importable from the prelude.
     let workload: Workload = generate(ScenarioKind::HeterogeneousMix, 4, ArrivalMode::Static, 1);
     assert_eq!(workload.jobs.len(), 4);
-    // Every scenario kind is reachable through the prelude name.
     assert!(ScenarioKind::all().len() >= 7);
 }
 
@@ -59,7 +77,14 @@ fn agent_types_construct() {
 
 #[test]
 fn scheduler_policies_construct() {
-    let workload = generate(ScenarioKind::HeterogeneousMix, 3, ArrivalMode::Static, 2);
+    let workload = scenario_builtins()
+        .generate(
+            "heterogeneous_mix",
+            &ScenarioContext::new(3)
+                .with_mode(ArrivalMode::Static)
+                .with_seed(2),
+        )
+        .expect("builtin scenario");
     let policies: Vec<Box<dyn SchedulingPolicy>> = vec![
         Box::new(Fcfs),
         Box::new(Sjf),
@@ -92,7 +117,14 @@ fn sim_types_construct_and_run() {
     };
     assert_eq!(view.free_nodes, config.nodes);
 
-    let workload = generate(ScenarioKind::HeterogeneousMix, 3, ArrivalMode::Static, 4);
+    let workload = scenario_builtins()
+        .generate(
+            "heterogeneous_mix",
+            &ScenarioContext::new(3)
+                .with_mode(ArrivalMode::Static)
+                .with_seed(4),
+        )
+        .expect("builtin scenario");
     let outcome = run_simulation(config, &workload.jobs, &mut Fcfs, &SimOptions::default())
         .expect("tiny workload completes");
     assert_eq!(outcome.records.len(), 3);
@@ -102,7 +134,14 @@ fn sim_types_construct_and_run() {
 fn registry_and_builder_types_construct_and_run() {
     // Every piece of the registry + builder + observer surface is reachable
     // through the prelude.
-    let workload = generate(ScenarioKind::HeterogeneousMix, 3, ArrivalMode::Static, 8);
+    let workload = scenario_builtins()
+        .generate(
+            "heterogeneous_mix",
+            &ScenarioContext::new(3)
+                .with_mode(ArrivalMode::Static)
+                .with_seed(8),
+        )
+        .expect("builtin scenario");
     let cluster = ClusterConfig::paper_default();
 
     let mut registry = PolicyRegistry::with_builtins();
@@ -130,7 +169,14 @@ fn registry_and_builder_types_construct_and_run() {
 
 #[test]
 fn metric_types_construct() {
-    let workload = generate(ScenarioKind::HeterogeneousMix, 3, ArrivalMode::Static, 6);
+    let workload = scenario_builtins()
+        .generate(
+            "heterogeneous_mix",
+            &ScenarioContext::new(3)
+                .with_mode(ArrivalMode::Static)
+                .with_seed(6),
+        )
+        .expect("builtin scenario");
     let config = ClusterConfig::paper_default();
     let outcome = run_simulation(config, &workload.jobs, &mut Fcfs, &SimOptions::default())
         .expect("completes");

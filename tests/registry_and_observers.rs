@@ -72,12 +72,20 @@ proptest! {
         scenario_idx in 0usize..3,
     ) {
         let scenario = [
-            ScenarioKind::HeterogeneousMix,
-            ScenarioKind::ResourceSparse,
-            ScenarioKind::LongJobDominant,
+            "heterogeneous_mix",
+            "resource_sparse",
+            "long_job_dominant",
         ][scenario_idx];
         let cluster = ClusterConfig::paper_default();
-        let jobs = generate(scenario, n, ArrivalMode::Dynamic, workload_seed).jobs;
+        let jobs = scenario_builtins()
+            .generate(
+                scenario,
+                &ScenarioContext::new(n)
+                    .with_mode(ArrivalMode::Dynamic)
+                    .with_seed(workload_seed),
+            )
+            .expect("builtin scenario")
+            .jobs;
         let registry = PolicyRegistry::with_builtins();
         let ctx = PolicyContext::new(&jobs, cluster)
             .with_seed(seed)
@@ -124,7 +132,14 @@ impl SimObserver for Recorder {
 #[test]
 fn observer_stream_is_ordered_and_complete_fires_once() {
     let cluster = ClusterConfig::paper_default();
-    let workload = generate(ScenarioKind::Adversarial, 15, ArrivalMode::Dynamic, 21);
+    let workload = scenario_builtins()
+        .generate(
+            "adversarial",
+            &ScenarioContext::new(15)
+                .with_mode(ArrivalMode::Dynamic)
+                .with_seed(21),
+        )
+        .expect("builtin scenario");
     let mut agent = LlmSchedulingPolicy::claude37(21);
     let mut recorder = Recorder::default();
 
@@ -168,7 +183,14 @@ fn failed_runs_never_fire_on_complete() {
         }
     }
     let cluster = ClusterConfig::paper_default();
-    let workload = generate(ScenarioKind::HomogeneousShort, 4, ArrivalMode::Static, 2);
+    let workload = scenario_builtins()
+        .generate(
+            "homogeneous_short",
+            &ScenarioContext::new(4)
+                .with_mode(ArrivalMode::Static)
+                .with_seed(2),
+        )
+        .expect("builtin scenario");
     let mut recorder = Recorder::default();
     let err = Simulation::new(cluster)
         .jobs(&workload.jobs)
@@ -205,7 +227,14 @@ fn third_party_policy_runs_by_name_through_simulation_with_observer() {
         .expect("fresh name");
 
     let cluster = ClusterConfig::paper_default();
-    let workload = generate(ScenarioKind::HeterogeneousMix, 12, ArrivalMode::Dynamic, 5);
+    let workload = scenario_builtins()
+        .generate(
+            "heterogeneous_mix",
+            &ScenarioContext::new(12)
+                .with_mode(ArrivalMode::Dynamic)
+                .with_seed(5),
+        )
+        .expect("builtin scenario");
     let ctx = PolicyContext::new(&workload.jobs, cluster).with_seed(5);
     let mut policy = registry
         .build("Memory-Hog-First", &ctx) // case-insensitive lookup
