@@ -68,12 +68,15 @@ fn sgs_decode(c: &mut Criterion) {
     });
 }
 
-fn sample_view(queue_len: usize) -> SystemView {
-    SystemView {
-        now: SimTime::from_secs(1554),
-        config: ClusterConfig::paper_default(),
-        free_nodes: 200,
-        free_memory_gb: 1500,
+/// Owns the queue/running/completed collections a borrowed
+/// [`SystemView`] points into.
+struct SampleState {
+    waiting: Vec<JobSpec>,
+    running: Vec<RunningSummary>,
+}
+
+fn sample_state(queue_len: usize) -> SampleState {
+    SampleState {
         waiting: (0..queue_len)
             .map(|i| {
                 JobSpec::new(
@@ -95,18 +98,32 @@ fn sample_view(queue_len: usize) -> SystemView {
             submit: SimTime::ZERO,
             expected_end: SimTime::from_secs(9_000),
         }],
-        completed: vec![],
-        pending_arrivals: 3,
-        total_jobs: queue_len + 4,
+    }
+}
+
+impl SampleState {
+    fn view(&self) -> SystemView<'_> {
+        SystemView {
+            now: SimTime::from_secs(1554),
+            config: ClusterConfig::paper_default(),
+            free_nodes: 200,
+            free_memory_gb: 1500,
+            waiting: &self.waiting,
+            running: &self.running,
+            completed: &[],
+            completed_stats: rsched_cluster::CompletedStats::default(),
+            pending_arrivals: 3,
+            total_jobs: self.waiting.len() + 4,
+        }
     }
 }
 
 fn prompt_pipeline(c: &mut Criterion) {
-    let view = sample_view(60);
+    let state = sample_state(60);
     let pad = Scratchpad::default();
-    let prompt = PromptBuilder::render(&view, &pad);
+    let prompt = PromptBuilder::render(&state.view(), &pad);
     c.bench_function("prompt_render_60_jobs", |b| {
-        b.iter(|| std::hint::black_box(PromptBuilder::render(&view, &pad)))
+        b.iter(|| std::hint::black_box(PromptBuilder::render(&state.view(), &pad)))
     });
     c.bench_function("prompt_parse_60_jobs", |b| {
         b.iter(|| std::hint::black_box(parse_prompt(&prompt).expect("parses")))
@@ -122,12 +139,12 @@ fn prompt_pipeline(c: &mut Criterion) {
 }
 
 fn agent_decision_step(c: &mut Criterion) {
-    let view = sample_view(60);
+    let state = sample_state(60);
     c.bench_function("simulated_llm_full_decision_60_jobs", |b| {
         b.iter_batched(
             || SimulatedLlm::claude37(7),
             |mut llm| {
-                let prompt = PromptBuilder::render(&view, &Scratchpad::default());
+                let prompt = PromptBuilder::render(&state.view(), &Scratchpad::default());
                 std::hint::black_box(llm.complete(&prompt).expect("completes"))
             },
             BatchSize::SmallInput,

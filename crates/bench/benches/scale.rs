@@ -1,0 +1,227 @@
+//! The `scale` bench group: proof that the zero-copy incremental kernel
+//! holds up at archive scale (10k–100k jobs), far beyond the paper's
+//! 75-job ceiling (§3.7).
+//!
+//! ```text
+//! cargo bench -p rsched-bench --bench scale          # measure
+//! cargo bench -p rsched-bench --bench scale -- --test # CI smoke (1 iter)
+//! ```
+//!
+//! A full measurement run also rewrites `BENCH_scale.json` at the
+//! workspace root, so every future PR inherits a perf trajectory to diff
+//! against. The pre-refactor cloning kernel measured on the same workloads
+//! is recorded there as the fixed baseline.
+
+use criterion::Criterion;
+use rsched_cluster::{ClusterConfig, CompletedStats, JobId, JobSpec, UserId};
+use rsched_schedulers::{Fcfs, Sjf};
+use rsched_sim::{run_simulation, RunningSummary, SimOptions, SystemView};
+use rsched_simkit::{SimDuration, SimTime};
+use rsched_workloads::swf::{SwfJob, SwfTrace};
+use rsched_workloads::{scenario_builtins, ArrivalMode, ScenarioContext};
+
+fn heavy_tail_jobs(n: usize) -> Vec<JobSpec> {
+    scenario_builtins()
+        .generate(
+            "long_tail",
+            &ScenarioContext::new(n)
+                .with_mode(ArrivalMode::Static)
+                .with_seed(7),
+        )
+        .expect("builtin scenario")
+        .jobs
+}
+
+/// A deterministic synthetic SWF archive, rendered to Standard Workload
+/// Format text and re-ingested through the full parse → clean → `JobSpec`
+/// pipeline — the same path `swf:<path>` scenario names take.
+fn synthetic_swf_jobs(n: usize) -> Vec<JobSpec> {
+    let jobs: Vec<SwfJob> = (0..n as i64)
+        .map(|i| SwfJob {
+            job_id: i + 1,
+            submit_secs: i * 5 + (i * 7919) % 60,
+            wait_secs: -1,
+            run_secs: 60 + (i * 104_729) % 20_000,
+            allocated_procs: 1 + (i * 31) % 128,
+            avg_cpu_secs: -1.0,
+            used_memory_kb: 1_000_000 + (i * 977) % 4_000_000,
+            requested_procs: 1 + (i * 31) % 128,
+            requested_secs: 120 + (i * 104_729) % 40_000,
+            requested_memory_kb: -1,
+            status: 1,
+            user: i % 97,
+            group: i % 11,
+            executable: -1,
+            queue: 1,
+            partition: 1,
+            preceding_job: -1,
+            think_secs: -1,
+        })
+        .collect();
+    let trace = SwfTrace {
+        directives: vec![("MaxNodes".to_string(), "560".to_string())],
+        jobs,
+    };
+    let reparsed = SwfTrace::parse(&trace.to_string()).expect("round trip");
+    reparsed.to_jobs(0)
+}
+
+fn simulate_fcfs_10k(c: &mut Criterion) {
+    let jobs = heavy_tail_jobs(10_000);
+    let cluster = ClusterConfig::polaris();
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(10);
+    group.bench_function("simulate_fcfs_10k", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                run_simulation(cluster, &jobs, &mut Fcfs, &SimOptions::default())
+                    .expect("completes"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn simulate_sjf_swf_replay(c: &mut Criterion) {
+    let jobs = synthetic_swf_jobs(10_000);
+    let cluster = ClusterConfig::polaris();
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(10);
+    group.bench_function("simulate_sjf_swf_replay_10k", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                run_simulation(cluster, &jobs, &mut Sjf, &SimOptions::default())
+                    .expect("completes"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn simulate_fcfs_heavy_tail_100k(c: &mut Criterion) {
+    let jobs = heavy_tail_jobs(100_000);
+    let cluster = ClusterConfig::polaris();
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(3);
+    group.bench_function("simulate_fcfs_heavy_tail_100k", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                run_simulation(cluster, &jobs, &mut Fcfs, &SimOptions::default())
+                    .expect("completes"),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// The zero-copy claim, isolated: constructing a borrowed view over a
+/// 10k-deep queue vs the compat path's owned deep copy of the same state.
+fn view_build(c: &mut Criterion) {
+    let waiting: Vec<JobSpec> = (0..10_000)
+        .map(|i| {
+            JobSpec::new(
+                i as u32,
+                (i % 97) as u32,
+                SimTime::from_secs(i as u64),
+                SimDuration::from_secs(60 + (i as u64 * 97) % 5000),
+                1 + (i as u32 * 13) % 64,
+                1 + (i as u64 * 31) % 256,
+            )
+        })
+        .collect();
+    let running: Vec<RunningSummary> = (0..256)
+        .map(|i| RunningSummary {
+            id: JobId(100_000 + i),
+            user: UserId(i % 97),
+            nodes: 1,
+            memory_gb: 4,
+            start: SimTime::ZERO,
+            submit: SimTime::ZERO,
+            expected_end: SimTime::from_secs(9_000),
+        })
+        .collect();
+    let make_view = || SystemView {
+        now: SimTime::from_secs(12_000),
+        config: ClusterConfig::polaris(),
+        free_nodes: 100,
+        free_memory_gb: 1_000,
+        waiting: &waiting,
+        running: &running,
+        completed: &[],
+        completed_stats: CompletedStats::default(),
+        pending_arrivals: 5,
+        total_jobs: waiting.len() + running.len() + 5,
+    };
+    let mut group = c.benchmark_group("scale");
+    group.bench_function("view_build_borrowed_10k", |b| {
+        b.iter(|| std::hint::black_box(make_view()))
+    });
+    #[allow(deprecated)]
+    group.bench_function("view_snapshot_owned_10k", |b| {
+        let view = make_view();
+        b.iter(|| std::hint::black_box(view.to_owned()))
+    });
+    group.finish();
+}
+
+/// Timings the pre-refactor cloning kernel produced for the same
+/// workloads on the reference container (measured immediately before the
+/// zero-copy refactor landed) — the denominator of the speedup column in
+/// `BENCH_scale.json`.
+const BASELINE_CLONING_KERNEL_US: &[(&str, f64)] = &[
+    ("scale/simulate_fcfs_10k", 943_000.0),
+    ("scale/simulate_fcfs_heavy_tail_100k", 161_913_000.0),
+];
+
+fn write_trend_file(criterion: &Criterion) {
+    if criterion.is_test_mode() || criterion.measurements().is_empty() {
+        return; // --test smoke mode: nothing measured, keep the file as-is.
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    let mut body = String::from("{\n  \"_comment\": \"scale-bench trend file; regenerate with `cargo bench -p rsched-bench --bench scale`. Baselines are the pre-refactor cloning kernel.\",\n  \"benches_us_per_iter\": {\n");
+    let measurements = criterion.measurements();
+    for (i, (label, t)) in measurements.iter().enumerate() {
+        let sep = if i + 1 == measurements.len() { "" } else { "," };
+        body.push_str(&format!(
+            "    \"{label}\": {:.3}{sep}\n",
+            t.as_secs_f64() * 1e6
+        ));
+    }
+    body.push_str("  },\n  \"baseline_cloning_kernel_us_per_iter\": {\n");
+    for (i, (label, us)) in BASELINE_CLONING_KERNEL_US.iter().enumerate() {
+        let sep = if i + 1 == BASELINE_CLONING_KERNEL_US.len() {
+            ""
+        } else {
+            ","
+        };
+        body.push_str(&format!("    \"{label}\": {us:.1}{sep}\n"));
+    }
+    body.push_str("  },\n  \"speedup_vs_cloning_kernel\": {\n");
+    let speedups: Vec<(String, f64)> = BASELINE_CLONING_KERNEL_US
+        .iter()
+        .filter_map(|(label, base)| {
+            measurements
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, t)| (label.to_string(), base / (t.as_secs_f64() * 1e6)))
+        })
+        .collect();
+    for (i, (label, x)) in speedups.iter().enumerate() {
+        let sep = if i + 1 == speedups.len() { "" } else { "," };
+        body.push_str(&format!("    \"{label}\": {x:.1}{sep}\n"));
+    }
+    body.push_str("  }\n}\n");
+    match std::fs::write(path, &body) {
+        Ok(()) => println!("wrote BENCH_scale.json"),
+        Err(e) => eprintln!("could not write BENCH_scale.json: {e}"),
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    simulate_fcfs_10k(&mut criterion);
+    simulate_sjf_swf_replay(&mut criterion);
+    simulate_fcfs_heavy_tail_100k(&mut criterion);
+    view_build(&mut criterion);
+    write_trend_file(&criterion);
+}

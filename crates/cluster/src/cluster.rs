@@ -5,7 +5,7 @@
 //! running jobs) and the part the constraint-enforcement module (paper
 //! §2.4) validates actions against.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use rsched_simkit::{SimDuration, SimTime};
 
@@ -77,6 +77,63 @@ pub enum StartError {
     AlreadyCompleted,
 }
 
+/// O(1) running aggregates over the completed-job ledger.
+///
+/// Maintained incrementally by [`ClusterState::complete_job`], so policies
+/// and views that only need totals (count, wait/turnaround sums, delivered
+/// node-seconds) never have to walk — or worse, clone — the full
+/// [`JobRecord`] vector. This is one of the incremental hooks behind the
+/// zero-copy `SystemView` snapshot in `rsched-sim`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompletedStats {
+    /// Number of completed jobs.
+    pub count: usize,
+    /// Sum of queued wait times (`x_j − s_j`), seconds.
+    pub total_wait_secs: f64,
+    /// Sum of turnaround times (`x_j + d_j − s_j`), seconds.
+    pub total_turnaround_secs: f64,
+    /// Sum of delivered node-seconds (`n_j · d_j`).
+    pub total_node_seconds: f64,
+}
+
+impl CompletedStats {
+    /// Fold one completed record into the aggregate.
+    pub fn absorb(&mut self, record: &JobRecord) {
+        self.count += 1;
+        self.total_wait_secs += record.wait().as_secs_f64();
+        self.total_turnaround_secs += record.turnaround().as_secs_f64();
+        self.total_node_seconds += record.spec.node_seconds();
+    }
+
+    /// The aggregate of a whole record slice (the straight-line reference
+    /// for the incremental path).
+    pub fn from_records(records: &[JobRecord]) -> Self {
+        let mut stats = CompletedStats::default();
+        for record in records {
+            stats.absorb(record);
+        }
+        stats
+    }
+
+    /// Mean wait time, seconds (`0.0` when nothing completed).
+    pub fn mean_wait_secs(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_wait_secs / self.count as f64
+        }
+    }
+
+    /// Mean turnaround time, seconds (`0.0` when nothing completed).
+    pub fn mean_turnaround_secs(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_turnaround_secs / self.count as f64
+        }
+    }
+}
+
 /// The mutable cluster state: allocator plus running/completed job sets.
 ///
 /// Every transition is invariant-checked: active node and memory demand can
@@ -88,6 +145,10 @@ pub struct ClusterState {
     allocator: FirstFitAllocator,
     running: BTreeMap<JobId, RunningJob>,
     completed: Vec<JobRecord>,
+    /// Id index over `completed` — keeps the double-start check O(log n)
+    /// instead of a per-start scan of the whole record vector.
+    completed_ids: BTreeSet<JobId>,
+    completed_stats: CompletedStats,
 }
 
 impl ClusterState {
@@ -98,6 +159,8 @@ impl ClusterState {
             config,
             running: BTreeMap::new(),
             completed: Vec::new(),
+            completed_ids: BTreeSet::new(),
+            completed_stats: CompletedStats::default(),
         }
     }
 
@@ -132,7 +195,7 @@ impl ClusterState {
         if self.running.contains_key(&spec.id) {
             return Err(StartError::AlreadyRunning);
         }
-        if self.completed.iter().any(|r| r.spec.id == spec.id) {
+        if self.completed_ids.contains(&spec.id) {
             return Err(StartError::AlreadyCompleted);
         }
         if !self.fits_capacity(spec) {
@@ -173,11 +236,14 @@ impl ClusterState {
             job.end, now
         );
         self.allocator.release(&job.allocation);
-        self.completed.push(JobRecord {
+        let record = JobRecord {
             spec: job.spec,
             start: job.start,
             end: job.end,
-        });
+        };
+        self.completed_stats.absorb(&record);
+        self.completed_ids.insert(record.spec.id);
+        self.completed.push(record);
         self.completed.last().expect("just pushed")
     }
 
@@ -199,6 +265,13 @@ impl ClusterState {
     /// Completed job records, in completion order.
     pub fn completed(&self) -> &[JobRecord] {
         &self.completed
+    }
+
+    /// O(1) aggregates over the completed records, maintained incrementally
+    /// at every [`ClusterState::complete_job`] — never recomputed by
+    /// scanning.
+    pub fn completed_stats(&self) -> CompletedStats {
+        self.completed_stats
     }
 
     /// The earliest end time among running jobs — the simulator's next
@@ -242,6 +315,11 @@ impl ClusterState {
         );
         assert_eq!(node_demand, self.busy_nodes(), "node ledger drift");
         assert_eq!(mem_demand, self.busy_memory_gb(), "memory ledger drift");
+        assert_eq!(
+            self.completed_stats.count,
+            self.completed.len(),
+            "completed-stats ledger drift"
+        );
     }
 
     /// Remaining runtime of the running job `id` at time `now`.
@@ -364,6 +442,31 @@ mod tests {
             Some(SimDuration::from_secs(60))
         );
         assert_eq!(c.remaining(JobId(9), SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn completed_stats_match_a_full_rescan() {
+        let mut c = ClusterState::new(ClusterConfig::paper_default());
+        for (i, (dur, nodes, start)) in [(100u64, 4u32, 0u64), (50, 8, 100), (70, 2, 150)]
+            .into_iter()
+            .enumerate()
+        {
+            let s = spec(i as u32 + 1, dur, nodes, 1);
+            c.start_job(&s, SimTime::from_secs(start)).expect("starts");
+            c.complete_job(s.id, SimTime::from_secs(start + dur));
+        }
+        let incremental = c.completed_stats();
+        let rescan = CompletedStats::from_records(c.completed());
+        assert_eq!(incremental, rescan, "incremental == straight-line rescan");
+        assert_eq!(incremental.count, 3);
+        // All submits are t=0, so total wait is the sum of start times.
+        assert!((incremental.total_wait_secs - 250.0).abs() < 1e-9);
+        assert!((incremental.total_turnaround_secs - (100.0 + 150.0 + 220.0)).abs() < 1e-9);
+        assert!((incremental.total_node_seconds - (400.0 + 400.0 + 140.0)).abs() < 1e-9);
+        assert!((incremental.mean_wait_secs() - 250.0 / 3.0).abs() < 1e-9);
+        assert!((incremental.mean_turnaround_secs() - 470.0 / 3.0).abs() < 1e-9);
+        assert_eq!(CompletedStats::default().mean_wait_secs(), 0.0);
+        assert_eq!(CompletedStats::default().mean_turnaround_secs(), 0.0);
     }
 
     #[test]

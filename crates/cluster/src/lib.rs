@@ -53,7 +53,7 @@ pub mod reservation;
 pub mod utilization;
 
 pub use allocator::{Allocation, FirstFitAllocator};
-pub use cluster::{ClusterConfig, ClusterState, RunningJob, StartError};
+pub use cluster::{ClusterConfig, ClusterState, CompletedStats, RunningJob, StartError};
 pub use job::{GroupId, JobId, JobRecord, JobSpec, UserId};
 pub use node::NodeMask;
 pub use reservation::{backfill_is_safe, shadow_start};

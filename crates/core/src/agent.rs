@@ -70,7 +70,7 @@ impl ReActAgent {
     /// One Reason + Act step: returns the action to propose to the
     /// simulator. LLM failures and unparseable completions degrade to
     /// `Delay`, with the problem recorded as scratchpad feedback.
-    pub fn step(&mut self, view: &SystemView) -> Action {
+    pub fn step(&mut self, view: &SystemView<'_>) -> Action {
         let now = view.now.as_secs();
         let prompt = PromptBuilder::render(view, &self.scratchpad);
         let completion = match self.llm.complete(&prompt) {
@@ -165,22 +165,27 @@ mod tests {
     use rsched_sim::RejectReason;
     use rsched_simkit::{SimDuration, SimTime};
 
-    fn view_with_waiting() -> SystemView {
+    fn waiting_jobs() -> Vec<JobSpec> {
+        vec![JobSpec::new(
+            9,
+            2,
+            SimTime::ZERO,
+            SimDuration::from_secs(2),
+            256,
+            2,
+        )]
+    }
+
+    fn view_with_waiting(waiting: &[JobSpec]) -> SystemView<'_> {
         SystemView {
             now: SimTime::ZERO,
             config: ClusterConfig::paper_default(),
             free_nodes: 256,
             free_memory_gb: 2048,
-            waiting: vec![JobSpec::new(
-                9,
-                2,
-                SimTime::ZERO,
-                SimDuration::from_secs(2),
-                256,
-                2,
-            )],
-            running: vec![],
-            completed: vec![],
+            waiting,
+            running: &[],
+            completed: &[],
+            completed_stats: rsched_cluster::CompletedStats::default(),
             pending_arrivals: 0,
             total_jobs: 1,
         }
@@ -192,7 +197,7 @@ mod tests {
             ScriptedBackend::new(["Thought: job 9 is extremely short\nAction: StartJob(job_id=9)"])
                 .with_latency(3.5);
         let mut agent = ReActAgent::new(Box::new(backend), AgentOptions::default());
-        let action = agent.step(&view_with_waiting());
+        let action = agent.step(&view_with_waiting(&waiting_jobs()));
         assert_eq!(action, Action::StartJob(JobId(9)));
         assert_eq!(agent.overhead().call_count(), 1);
         assert_eq!(agent.trace().len(), 1);
@@ -207,7 +212,7 @@ mod tests {
         let backend =
             ScriptedBackend::new(["Thought: try the big one\nAction: StartJob(job_id=9)"]);
         let mut agent = ReActAgent::new(Box::new(backend), AgentOptions::default());
-        let action = agent.step(&view_with_waiting());
+        let action = agent.step(&view_with_waiting(&waiting_jobs()));
         agent.absorb(&ActionOutcome {
             time: SimTime::ZERO,
             action,
@@ -231,7 +236,7 @@ mod tests {
         let backend =
             ScriptedBackend::new(["Thought: go\nAction: StartJob(job_id=9)"]).with_latency(7.0);
         let mut agent = ReActAgent::new(Box::new(backend), AgentOptions::default());
-        let action = agent.step(&view_with_waiting());
+        let action = agent.step(&view_with_waiting(&waiting_jobs()));
         agent.absorb(&ActionOutcome {
             time: SimTime::ZERO,
             action,
@@ -244,7 +249,7 @@ mod tests {
     fn unparseable_completion_degrades_to_delay() {
         let backend = ScriptedBackend::new(["I refuse to answer in the format"]);
         let mut agent = ReActAgent::new(Box::new(backend), AgentOptions::default());
-        let action = agent.step(&view_with_waiting());
+        let action = agent.step(&view_with_waiting(&waiting_jobs()));
         assert_eq!(action, Action::Delay);
         assert_eq!(agent.malformed_completions, 1);
         assert!(agent
@@ -257,7 +262,7 @@ mod tests {
     fn llm_error_degrades_to_delay() {
         let backend = ScriptedBackend::new(Vec::<String>::new()); // exhausted
         let mut agent = ReActAgent::new(Box::new(backend), AgentOptions::default());
-        let action = agent.step(&view_with_waiting());
+        let action = agent.step(&view_with_waiting(&waiting_jobs()));
         assert_eq!(action, Action::Delay);
         assert!(agent.scratchpad().render().contains("LLM call failed"));
     }
@@ -267,8 +272,8 @@ mod tests {
         let backend =
             ScriptedBackend::new(["Thought: one\nAction: Delay", "Thought: two\nAction: Delay"]);
         let mut agent = ReActAgent::new(Box::new(backend), AgentOptions::default());
-        agent.step(&view_with_waiting());
-        agent.step(&view_with_waiting());
+        agent.step(&view_with_waiting(&waiting_jobs()));
+        agent.step(&view_with_waiting(&waiting_jobs()));
         // The second prompt must contain the first step's history.
         // (ScriptedBackend records prompts; we can't reach it through the
         // box, so check the scratchpad instead.)
@@ -281,7 +286,7 @@ mod tests {
     fn reset_clears_everything() {
         let backend = ScriptedBackend::new(["Thought: x\nAction: Delay"]);
         let mut agent = ReActAgent::new(Box::new(backend), AgentOptions::default());
-        agent.step(&view_with_waiting());
+        agent.step(&view_with_waiting(&waiting_jobs()));
         agent.reset();
         assert!(agent.scratchpad().is_empty());
         assert_eq!(agent.overhead().call_count(), 0);

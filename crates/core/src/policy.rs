@@ -60,7 +60,7 @@ impl SchedulingPolicy for LlmSchedulingPolicy {
         self.agent.name()
     }
 
-    fn decide(&mut self, view: &SystemView) -> Action {
+    fn decide(&mut self, view: &SystemView<'_>) -> Action {
         self.agent.step(view)
     }
 

@@ -18,8 +18,9 @@ use crate::scratchpad::Scratchpad;
 pub struct PromptBuilder;
 
 impl PromptBuilder {
-    /// Render the full prompt for one decision epoch.
-    pub fn render(view: &SystemView, scratchpad: &Scratchpad) -> String {
+    /// Render the full prompt for one decision epoch. Reads entirely
+    /// through the view's borrows — nothing is cloned.
+    pub fn render(view: &SystemView<'_>, scratchpad: &Scratchpad) -> String {
         let mut p = String::with_capacity(4096);
         let _ = writeln!(
             p,
@@ -41,7 +42,7 @@ impl PromptBuilder {
         if view.running.is_empty() {
             let _ = writeln!(p, "None");
         } else {
-            for r in &view.running {
+            for r in view.running {
                 let _ = writeln!(
                     p,
                     "- Job {}: user_{}, {} nodes, {} GB, started t={}, expected end t={}",
@@ -54,19 +55,18 @@ impl PromptBuilder {
                 );
             }
         }
+        // The O(1) aggregate — rendering never walks the completed slice.
         let _ = writeln!(
             p,
             "\nCompleted Jobs: {} of {} total jobs; {} not yet submitted\n",
-            view.completed.len(),
-            view.total_jobs,
-            view.pending_arrivals
+            view.completed_stats.count, view.total_jobs, view.pending_arrivals
         );
 
         let _ = writeln!(p, "Waiting Jobs (eligible to schedule):");
         if view.waiting.is_empty() {
             let _ = writeln!(p, "None");
         } else {
-            for j in &view.waiting {
+            for j in view.waiting {
                 let _ = writeln!(
                     p,
                     "- Job {}: user_{}, {} nodes, {} GB, walltime {} s, submitted t={}, waiting {} s",
@@ -120,17 +120,20 @@ impl PromptBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rsched_cluster::{ClusterConfig, JobId, JobRecord, JobSpec, UserId};
+    use rsched_cluster::{ClusterConfig, CompletedStats, JobId, JobRecord, JobSpec, UserId};
     use rsched_llm::prompt_parse::parse_prompt;
     use rsched_sim::RunningSummary;
     use rsched_simkit::{SimDuration, SimTime};
 
-    fn view() -> SystemView {
-        SystemView {
-            now: SimTime::from_secs(1554),
-            config: ClusterConfig::paper_default(),
-            free_nodes: 238,
-            free_memory_gb: 576,
+    /// Owns the collections the borrowed view points into.
+    struct Fixture {
+        waiting: Vec<JobSpec>,
+        running: Vec<RunningSummary>,
+        completed: Vec<JobRecord>,
+    }
+
+    fn fixture() -> Fixture {
+        Fixture {
             waiting: vec![
                 JobSpec::new(32, 6, SimTime::ZERO, SimDuration::from_secs(147), 200, 8),
                 JobSpec::new(
@@ -155,14 +158,30 @@ mod tests {
                 JobSpec::new(7, 0, SimTime::ZERO, SimDuration::from_secs(10), 1, 1),
                 SimTime::ZERO,
             )],
-            pending_arrivals: 3,
-            total_jobs: 80,
+        }
+    }
+
+    impl Fixture {
+        fn view(&self) -> SystemView<'_> {
+            SystemView {
+                now: SimTime::from_secs(1554),
+                config: ClusterConfig::paper_default(),
+                free_nodes: 238,
+                free_memory_gb: 576,
+                waiting: &self.waiting,
+                running: &self.running,
+                completed: &self.completed,
+                completed_stats: CompletedStats::from_records(&self.completed),
+                pending_arrivals: 3,
+                total_jobs: 80,
+            }
         }
     }
 
     #[test]
     fn prompt_contains_paper_sections() {
-        let text = PromptBuilder::render(&view(), &Scratchpad::default());
+        let f = fixture();
+        let text = PromptBuilder::render(&f.view(), &Scratchpad::default());
         for section in [
             "You are an expert HPC resource manager",
             "System capacity: 256 nodes, 2048 GB memory",
@@ -190,7 +209,8 @@ mod tests {
         pad.push_thought(0, "start the short job");
         pad.push_action(0, "StartJob(job_id=46)");
         pad.push_feedback(1554, "job 32 cannot be started — requires 256 Nodes");
-        let text = PromptBuilder::render(&view(), &pad);
+        let f = fixture();
+        let text = PromptBuilder::render(&f.view(), &pad);
         let parsed = parse_prompt(&text).expect("llm parser accepts builder output");
         assert_eq!(parsed.now_secs, 1554);
         assert_eq!(parsed.capacity_nodes, 256);
@@ -216,12 +236,10 @@ mod tests {
 
     #[test]
     fn empty_sections_render_none() {
-        let v = SystemView {
-            waiting: vec![],
-            running: vec![],
-            ..view()
-        };
-        let text = PromptBuilder::render(&v, &Scratchpad::default());
+        let mut f = fixture();
+        f.waiting.clear();
+        f.running.clear();
+        let text = PromptBuilder::render(&f.view(), &Scratchpad::default());
         let parsed = parse_prompt(&text).expect("parses");
         assert!(parsed.running.is_empty());
         assert!(parsed.waiting.is_empty());

@@ -253,7 +253,7 @@ mod tests {
                 // be labeled by the name the cell was addressed with.
                 "NarrowestFirst v2"
             }
-            fn decide(&mut self, view: &SystemView) -> Action {
+            fn decide(&mut self, view: &SystemView<'_>) -> Action {
                 if view.all_jobs_started() {
                     return Action::Stop;
                 }

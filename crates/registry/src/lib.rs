@@ -362,7 +362,7 @@ mod tests {
             fn name(&self) -> &str {
                 "widest-first"
             }
-            fn decide(&mut self, view: &SystemView) -> Action {
+            fn decide(&mut self, view: &SystemView<'_>) -> Action {
                 if view.all_jobs_started() {
                     return Action::Stop;
                 }

@@ -31,7 +31,7 @@ impl SchedulingPolicy for EasyBackfill {
         "EASY"
     }
 
-    fn decide(&mut self, view: &SystemView) -> Action {
+    fn decide(&mut self, view: &SystemView<'_>) -> Action {
         if self.last_time != Some(view.now) {
             self.last_time = Some(view.now);
             self.rejected_this_epoch.clear();

@@ -14,7 +14,7 @@ impl SchedulingPolicy for Fcfs {
         "FCFS"
     }
 
-    fn decide(&mut self, view: &SystemView) -> Action {
+    fn decide(&mut self, view: &SystemView<'_>) -> Action {
         if view.all_jobs_started() {
             return Action::Stop;
         }

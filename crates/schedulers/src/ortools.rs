@@ -44,7 +44,7 @@ impl OrToolsPolicy {
         }
     }
 
-    fn ensure_plan(&mut self, view: &SystemView) {
+    fn ensure_plan(&mut self, view: &SystemView<'_>) {
         if self.plan.is_some() {
             return;
         }
@@ -78,7 +78,7 @@ impl SchedulingPolicy for OrToolsPolicy {
         "OR-Tools"
     }
 
-    fn decide(&mut self, view: &SystemView) -> Action {
+    fn decide(&mut self, view: &SystemView<'_>) -> Action {
         if view.all_jobs_started() {
             return Action::Stop;
         }

@@ -26,7 +26,7 @@ impl SchedulingPolicy for RandomPolicy {
         "Random"
     }
 
-    fn decide(&mut self, view: &SystemView) -> Action {
+    fn decide(&mut self, view: &SystemView<'_>) -> Action {
         if view.all_jobs_started() {
             return Action::Stop;
         }

@@ -13,7 +13,7 @@ impl SchedulingPolicy for Sjf {
         "SJF"
     }
 
-    fn decide(&mut self, view: &SystemView) -> Action {
+    fn decide(&mut self, view: &SystemView<'_>) -> Action {
         if view.all_jobs_started() {
             return Action::Stop;
         }

@@ -9,7 +9,7 @@
 //! struct Greedy;
 //! impl SchedulingPolicy for Greedy {
 //!     fn name(&self) -> &str { "greedy" }
-//!     fn decide(&mut self, view: &SystemView) -> Action {
+//!     fn decide(&mut self, view: &SystemView<'_>) -> Action {
 //!         if view.all_jobs_started() { return Action::Stop; }
 //!         match view.eligible_now().next() {
 //!             Some(j) => Action::StartJob(j.id),
@@ -105,7 +105,7 @@ mod tests {
         fn name(&self) -> &str {
             "greedy"
         }
-        fn decide(&mut self, view: &SystemView) -> Action {
+        fn decide(&mut self, view: &SystemView<'_>) -> Action {
             if view.all_jobs_started() {
                 return Action::Stop;
             }

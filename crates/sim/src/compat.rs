@@ -1,0 +1,169 @@
+//! Pre-zero-copy compatibility shims, quarantined like
+//! `ScenarioKind`/`SchedulerKind` before them.
+//!
+//! PR 2 opened the policy API around an **owned** `SystemView` whose
+//! `waiting`/`running`/`completed` were `Vec`s cloned on every policy
+//! query. The zero-copy kernel replaced it with the lifetime-parameterized
+//! [`SystemView<'a>`](crate::SystemView) that borrows the simulator's
+//! incrementally-maintained state. External policies written against the
+//! old shape keep compiling against [`OwnedSystemView`]: call
+//! [`SystemView::to_owned`](crate::SystemView::to_owned) (or
+//! [`OwnedSystemView::from_view`]) to materialize the old deep copy, and
+//! [`OwnedSystemView::as_view`] to hand the owned data back to any helper
+//! that takes the borrowed form.
+//!
+//! Everything here is `#[deprecated]`: the owned snapshot reintroduces the
+//! exact per-query O(n) clone the kernel refactor deleted, so it exists
+//! for migration only.
+
+#![allow(deprecated)]
+
+use rsched_cluster::{ClusterConfig, CompletedStats, JobRecord, JobSpec};
+use rsched_simkit::SimTime;
+
+use crate::view::{RunningSummary, SystemView};
+
+/// The PR-2 era owned snapshot: the same fields as
+/// [`SystemView`], with `Vec`s in place of borrows.
+///
+/// Deprecated — constructing one costs the O(n) deep copy the zero-copy
+/// kernel exists to avoid. Use it only to keep pre-refactor policies
+/// compiling while they migrate to `&SystemView<'_>`.
+#[deprecated(
+    note = "use the borrowed SystemView<'_>; OwnedSystemView re-introduces \
+            the per-query deep copy the zero-copy kernel deleted"
+)]
+#[derive(Debug, Clone)]
+pub struct OwnedSystemView {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Machine capacity.
+    pub config: ClusterConfig,
+    /// Free nodes at `now`.
+    pub free_nodes: u32,
+    /// Free memory (GB) at `now`.
+    pub free_memory_gb: u64,
+    /// Arrived, not-yet-started jobs, ordered by `(submit, id)`.
+    pub waiting: Vec<JobSpec>,
+    /// Currently executing jobs, ordered by id.
+    pub running: Vec<RunningSummary>,
+    /// Completed job records so far.
+    pub completed: Vec<JobRecord>,
+    /// Jobs known to the workload but not yet arrived.
+    pub pending_arrivals: usize,
+    /// Total jobs in the workload instance.
+    pub total_jobs: usize,
+}
+
+impl OwnedSystemView {
+    /// Deep-copy a borrowed view (same as
+    /// [`SystemView::to_owned`](crate::SystemView::to_owned)).
+    pub fn from_view(view: &SystemView<'_>) -> Self {
+        view.to_owned()
+    }
+
+    /// Borrow this owned snapshot back as a [`SystemView`], recomputing the
+    /// O(1) aggregate from the owned records (the one place a rescan is
+    /// acceptable: the compat path already paid O(n) to materialize).
+    pub fn as_view(&self) -> SystemView<'_> {
+        SystemView {
+            now: self.now,
+            config: self.config,
+            free_nodes: self.free_nodes,
+            free_memory_gb: self.free_memory_gb,
+            waiting: &self.waiting,
+            running: &self.running,
+            completed: &self.completed,
+            completed_stats: CompletedStats::from_records(&self.completed),
+            pending_arrivals: self.pending_arrivals,
+            total_jobs: self.total_jobs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_cluster::{ClusterConfig, JobId, UserId};
+    use rsched_simkit::SimDuration;
+
+    fn spec(id: u32, submit_s: u64, nodes: u32, mem: u64) -> JobSpec {
+        JobSpec::new(
+            id,
+            id % 3,
+            SimTime::from_secs(submit_s),
+            SimDuration::from_secs(60),
+            nodes,
+            mem,
+        )
+    }
+
+    /// `view.to_owned().as_view()` is observably identical to the original
+    /// borrowed view: every field and every helper agrees.
+    #[test]
+    fn owned_round_trip_is_equivalent() {
+        let waiting = vec![spec(1, 0, 4, 16), spec(2, 5, 8, 32), spec(3, 5, 2, 8)];
+        let running = vec![RunningSummary {
+            id: JobId(7),
+            user: UserId(1),
+            nodes: 16,
+            memory_gb: 64,
+            start: SimTime::from_secs(2),
+            submit: SimTime::ZERO,
+            expected_end: SimTime::from_secs(500),
+        }];
+        let completed = vec![
+            JobRecord::new(spec(5, 0, 1, 1), SimTime::from_secs(3)),
+            JobRecord::new(spec(6, 1, 2, 2), SimTime::from_secs(9)),
+        ];
+        let borrowed = SystemView {
+            now: SimTime::from_secs(40),
+            config: ClusterConfig::new(32, 256),
+            free_nodes: 12,
+            free_memory_gb: 100,
+            waiting: &waiting,
+            running: &running,
+            completed: &completed,
+            completed_stats: CompletedStats::from_records(&completed),
+            pending_arrivals: 1,
+            total_jobs: 7,
+        };
+
+        let owned = borrowed.to_owned();
+        assert_eq!(owned.waiting, waiting);
+        assert_eq!(owned.running, running);
+        assert_eq!(owned.completed, completed);
+
+        let round = owned.as_view();
+        assert_eq!(round.now, borrowed.now);
+        assert_eq!(round.config, borrowed.config);
+        assert_eq!(round.free_nodes, borrowed.free_nodes);
+        assert_eq!(round.free_memory_gb, borrowed.free_memory_gb);
+        assert_eq!(round.waiting, borrowed.waiting);
+        assert_eq!(round.running, borrowed.running);
+        assert_eq!(round.completed, borrowed.completed);
+        assert_eq!(round.completed_stats, borrowed.completed_stats);
+        assert_eq!(round.pending_arrivals, borrowed.pending_arrivals);
+        assert_eq!(round.total_jobs, borrowed.total_jobs);
+
+        // Helper methods agree between the borrowed and round-tripped view.
+        assert_eq!(
+            round.head_of_queue().map(|j| j.id),
+            borrowed.head_of_queue().map(|j| j.id)
+        );
+        assert_eq!(
+            round.eligible_now().count(),
+            borrowed.eligible_now().count()
+        );
+        assert_eq!(round.users_served(), borrowed.users_served());
+        assert_eq!(round.all_jobs_started(), borrowed.all_jobs_started());
+        assert_eq!(
+            round.next_expected_completion(),
+            borrowed.next_expected_completion()
+        );
+        // `from_view` is the same deep copy.
+        let again = OwnedSystemView::from_view(&round);
+        assert_eq!(again.waiting, owned.waiting);
+        assert_eq!(again.completed, owned.completed);
+    }
+}

@@ -20,22 +20,33 @@
 //! The public entry point is the [`Simulation`] builder, which attaches any
 //! number of streaming [`SimObserver`]s to the run; [`run_simulation`] is a
 //! thin compatibility wrapper over it.
+//!
+//! The kernel is zero-copy: policies receive a lifetime-parameterized
+//! [`SystemView`] that *borrows* the simulator's incrementally-maintained
+//! queue/running/completed state (plus the O(1) [`CompletedStats`]
+//! aggregate), so a policy query costs nothing in allocation no matter how
+//! deep the queue is. The pre-refactor owned snapshot survives as the
+//! deprecated [`compat::OwnedSystemView`].
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod builder;
+pub mod compat;
 pub mod events;
 pub mod observer;
 pub mod outcome;
 pub mod policy;
+mod queue;
 pub mod simulator;
 pub mod view;
 
 pub use builder::Simulation;
+#[allow(deprecated)]
+pub use compat::OwnedSystemView;
 pub use events::SimEvent;
 pub use observer::{CountingObserver, ProgressObserver, SimObserver};
 pub use outcome::{DecisionRecord, SimOutcome, SimStats};
 pub use policy::{Action, ActionOutcome, OverheadReport, RejectReason, SchedulingPolicy};
 pub use simulator::{run_simulation, SimError, SimOptions};
-pub use view::{RunningSummary, SystemView};
+pub use view::{CompletedStats, RunningSummary, SystemView};

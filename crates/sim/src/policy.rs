@@ -154,7 +154,7 @@ pub trait SchedulingPolicy {
     fn name(&self) -> &str;
 
     /// Choose an action given the current system snapshot.
-    fn decide(&mut self, view: &SystemView) -> Action;
+    fn decide(&mut self, view: &SystemView<'_>) -> Action;
 
     /// Learn the verdict on the previously returned action. Policies with
     /// memory (the ReAct agent's scratchpad) append feedback here.

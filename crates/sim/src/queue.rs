@@ -1,0 +1,308 @@
+//! Incrementally-maintained simulator state: the sorted waiting queue with
+//! its min-demand watermark, and the running-summary cache.
+//!
+//! These are the data structures behind the zero-copy kernel. The old
+//! kernel re-sorted the waiting queue on every event-loop iteration and
+//! rebuilt the running-summary vector (plus a full clone of the completed
+//! records) on every policy query — O(n) per query, O(n²) per run. Here:
+//!
+//! * [`WaitQueue`] keeps jobs sorted by `(submit, id)` via binary-search
+//!   insertion (arrivals come in submit order, so inserts are effectively
+//!   appends), pops the head in O(1) amortized via a head offset, and
+//!   short-circuits "does anything fit?" with conservative min-demand
+//!   watermarks;
+//! * [`RunningSet`] mirrors the cluster's running jobs as
+//!   [`RunningSummary`]s sorted by id, updated on start/complete instead of
+//!   rebuilt per query.
+//!
+//! Both expose their contents as slices, which is what lets
+//! [`SystemView`](crate::SystemView) borrow instead of clone.
+
+use rsched_cluster::{ClusterState, JobId, JobSpec};
+
+use crate::view::RunningSummary;
+
+/// The waiting queue: jobs sorted ascending by `(submit, id)`.
+#[derive(Debug, Default)]
+pub(crate) struct WaitQueue {
+    /// Backing storage; the live queue is `buf[head..]`.
+    buf: Vec<JobSpec>,
+    /// Index of the logical front. Head removals (the FCFS common case)
+    /// just advance this; the buffer is compacted when the dead prefix
+    /// outgrows the live queue.
+    head: usize,
+    /// Conservative lower bound on the minimum node demand over the queue:
+    /// never above the true minimum (insertions tighten it, removals may
+    /// leave it stale-low), so `free < watermark` soundly proves nothing
+    /// fits. Reset when the queue drains.
+    min_nodes: u32,
+    /// Same, for memory.
+    min_memory_gb: u64,
+}
+
+impl WaitQueue {
+    pub(crate) fn new() -> Self {
+        WaitQueue {
+            buf: Vec::new(),
+            head: 0,
+            min_nodes: u32::MAX,
+            min_memory_gb: u64::MAX,
+        }
+    }
+
+    pub(crate) fn as_slice(&self) -> &[JobSpec] {
+        &self.buf[self.head..]
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.head == self.buf.len()
+    }
+
+    /// Position of `(submit, id)` in the live queue, whether or not it is
+    /// present (`Result` as in `slice::binary_search`).
+    fn position(&self, key: (rsched_simkit::SimTime, JobId)) -> Result<usize, usize> {
+        self.as_slice()
+            .binary_search_by_key(&key, |j| (j.submit, j.id))
+    }
+
+    /// Insert preserving `(submit, id)` order. Arrivals are popped in time
+    /// order, so in the simulator this is an O(log n) search that lands at
+    /// the back and an O(1) append.
+    pub(crate) fn insert(&mut self, job: JobSpec) {
+        self.min_nodes = self.min_nodes.min(job.nodes);
+        self.min_memory_gb = self.min_memory_gb.min(job.memory_gb);
+        let at = match self.position((job.submit, job.id)) {
+            Ok(_) => unreachable!("duplicate job ids are rejected before the run"),
+            Err(at) => at,
+        };
+        self.buf.insert(self.head + at, job);
+    }
+
+    /// Remove the job with this exact `(submit, id)` key, if present.
+    /// O(1) amortized at the head, O(queue) elsewhere.
+    pub(crate) fn remove(&mut self, key: (rsched_simkit::SimTime, JobId)) -> Option<JobSpec> {
+        let at = self.position(key).ok()?;
+        let job = if at == 0 {
+            let job = self.buf[self.head].clone();
+            self.head += 1;
+            // Compact once the dead prefix dominates, keeping amortized
+            // O(1) head pops without unbounded memory retention.
+            if self.head > 32 && self.head * 2 > self.buf.len() {
+                self.buf.drain(..self.head);
+                self.head = 0;
+            }
+            job
+        } else {
+            self.buf.remove(self.head + at)
+        };
+        if self.is_empty() {
+            self.buf.clear();
+            self.head = 0;
+            self.min_nodes = u32::MAX;
+            self.min_memory_gb = u64::MAX;
+        }
+        Some(job)
+    }
+
+    /// `true` if at least one waiting job fits the cluster's free resources
+    /// right now. The watermarks prove the common saturated case in O(1);
+    /// otherwise the scan early-exits at the first fit.
+    ///
+    /// A scan that walks the *whole* queue without finding a fit has seen
+    /// every job, so it re-tightens the (possibly stale-low) watermarks to
+    /// the exact minima as a side effect, for free — removals can therefore
+    /// only degrade the short-circuit until the next saturated scan, never
+    /// permanently.
+    pub(crate) fn any_fits(&mut self, cluster: &ClusterState) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        if cluster.free_nodes() < self.min_nodes || cluster.free_memory_gb() < self.min_memory_gb {
+            return false;
+        }
+        let mut min_nodes = u32::MAX;
+        let mut min_memory_gb = u64::MAX;
+        for job in self.as_slice() {
+            if cluster.can_fit(job) {
+                // Early exit: a partial scan's minima would not be a sound
+                // watermark, so only complete scans update it.
+                return true;
+            }
+            min_nodes = min_nodes.min(job.nodes);
+            min_memory_gb = min_memory_gb.min(job.memory_gb);
+        }
+        self.min_nodes = min_nodes;
+        self.min_memory_gb = min_memory_gb;
+        false
+    }
+}
+
+/// The running-job mirror: [`RunningSummary`]s sorted ascending by id,
+/// maintained on start/complete. Bounded by the node count (every running
+/// job holds ≥ 1 node), so the O(len) `Vec` shifts are trivially cheap.
+#[derive(Debug, Default)]
+pub(crate) struct RunningSet {
+    jobs: Vec<RunningSummary>,
+}
+
+impl RunningSet {
+    pub(crate) fn new() -> Self {
+        RunningSet { jobs: Vec::new() }
+    }
+
+    pub(crate) fn as_slice(&self) -> &[RunningSummary] {
+        &self.jobs
+    }
+
+    pub(crate) fn insert(&mut self, summary: RunningSummary) {
+        match self.jobs.binary_search_by_key(&summary.id, |r| r.id) {
+            Ok(_) => unreachable!("a job starts at most once"),
+            Err(at) => self.jobs.insert(at, summary),
+        }
+    }
+
+    pub(crate) fn remove(&mut self, id: JobId) {
+        if let Ok(at) = self.jobs.binary_search_by_key(&id, |r| r.id) {
+            self.jobs.remove(at);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_cluster::{ClusterConfig, UserId};
+    use rsched_simkit::{SimDuration, SimTime};
+
+    fn spec(id: u32, submit_s: u64, nodes: u32, mem: u64) -> JobSpec {
+        JobSpec::new(
+            id,
+            0,
+            SimTime::from_secs(submit_s),
+            SimDuration::from_secs(60),
+            nodes,
+            mem,
+        )
+    }
+
+    fn key(j: &JobSpec) -> (SimTime, JobId) {
+        (j.submit, j.id)
+    }
+
+    #[test]
+    fn insert_keeps_submit_then_id_order() {
+        let mut q = WaitQueue::new();
+        for j in [spec(5, 10, 1, 1), spec(2, 10, 1, 1), spec(9, 3, 1, 1)] {
+            q.insert(j);
+        }
+        let ids: Vec<u32> = q.as_slice().iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![9, 2, 5], "submit asc, then id asc");
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn head_removal_is_offset_based_and_compacts() {
+        let mut q = WaitQueue::new();
+        for i in 0..100u32 {
+            q.insert(spec(i, i as u64, 1, 1));
+        }
+        for i in 0..100u32 {
+            let j = q.remove((SimTime::from_secs(i as u64), JobId(i))).unwrap();
+            assert_eq!(j.id, JobId(i));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.head, 0, "drained queue was compacted");
+    }
+
+    #[test]
+    fn middle_removal_preserves_order() {
+        let mut q = WaitQueue::new();
+        for i in 0..5u32 {
+            q.insert(spec(i, 0, 1, 1));
+        }
+        q.remove((SimTime::ZERO, JobId(2))).expect("present");
+        let ids: Vec<u32> = q.as_slice().iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 3, 4]);
+        assert!(q.remove((SimTime::ZERO, JobId(2))).is_none(), "gone");
+    }
+
+    #[test]
+    fn watermark_short_circuits_saturated_states_soundly() {
+        let cluster = ClusterState::new(ClusterConfig::new(8, 64));
+        let mut busy = cluster.clone();
+        busy.start_job(&spec(99, 0, 6, 32), SimTime::ZERO).unwrap();
+
+        let mut q = WaitQueue::new();
+        assert!(!q.any_fits(&busy), "empty queue never fits");
+        q.insert(spec(1, 0, 4, 8)); // needs 4 nodes; only 2 free
+        q.insert(spec(2, 0, 8, 8));
+        assert!(!q.any_fits(&busy), "watermark (min 4 nodes) proves it");
+        assert!(q.any_fits(&cluster), "idle cluster fits job 1");
+
+        // Removal leaves the watermark stale-low — still sound (it can only
+        // fail to short-circuit, never wrongly claim saturation).
+        q.remove((SimTime::ZERO, JobId(1))).unwrap();
+        assert!(!q.any_fits(&busy), "only the 8-node job remains");
+        assert!(q.any_fits(&cluster));
+
+        // Draining resets the watermark so a tiny later job isn't masked.
+        q.remove((SimTime::ZERO, JobId(2))).unwrap();
+        q.insert(spec(3, 0, 1, 1));
+        assert!(q.any_fits(&busy), "1-node job fits the 2 free nodes");
+    }
+
+    #[test]
+    fn failed_full_scan_re_tightens_stale_watermark() {
+        let mut busy = ClusterState::new(ClusterConfig::new(8, 64));
+        busy.start_job(&spec(99, 0, 7, 32), SimTime::ZERO).unwrap();
+        // 1 node / 32 GB free.
+
+        let mut q = WaitQueue::new();
+        q.insert(spec(1, 0, 1, 8)); // the small job that pins the watermark
+        q.insert(spec(2, 0, 4, 8));
+        q.insert(spec(3, 0, 6, 8));
+        q.remove((SimTime::ZERO, JobId(1))).unwrap();
+        // Stale: watermark still (1 node, 8 GB) though the true min is 4.
+        assert_eq!(q.min_nodes, 1);
+
+        // Free nodes (1) ≥ stale watermark (1) → full scan; nothing fits,
+        // so the scan re-tightens the watermark to the exact minima.
+        assert!(!q.any_fits(&busy));
+        assert_eq!(q.min_nodes, 4);
+        assert_eq!(q.min_memory_gb, 8);
+        // From now on the same saturated state is proved in O(1).
+        assert!(!q.any_fits(&busy));
+    }
+
+    #[test]
+    fn running_set_stays_sorted_by_id() {
+        let mut r = RunningSet::new();
+        for id in [7u32, 3, 9, 1] {
+            r.insert(RunningSummary {
+                id: JobId(id),
+                user: UserId(0),
+                nodes: 1,
+                memory_gb: 1,
+                start: SimTime::ZERO,
+                submit: SimTime::ZERO,
+                expected_end: SimTime::from_secs(10),
+            });
+        }
+        let ids: Vec<u32> = r.as_slice().iter().map(|s| s.id.0).collect();
+        assert_eq!(ids, vec![1, 3, 7, 9]);
+        r.remove(JobId(7));
+        r.remove(JobId(42)); // absent: no-op
+        let ids: Vec<u32> = r.as_slice().iter().map(|s| s.id.0).collect();
+        assert_eq!(ids, vec![1, 3, 9]);
+    }
+
+    #[test]
+    fn wait_queue_key_helper_matches_fields() {
+        let j = spec(4, 9, 2, 2);
+        assert_eq!(key(&j), (SimTime::from_secs(9), JobId(4)));
+    }
+}

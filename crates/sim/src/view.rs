@@ -4,9 +4,21 @@
 //! current time, free resources, the waiting queue with job metadata, and
 //! summaries of running and completed jobs. The ReAct agent renders this
 //! snapshot into its prompt; baseline policies read it directly.
+//!
+//! Since the zero-copy kernel refactor, [`SystemView`] **borrows** the
+//! simulator's incrementally-maintained state instead of cloning it:
+//! `waiting`, `running`, and `completed` are slices, so building a view is
+//! O(1) regardless of queue depth, and a 100k-job trace no longer pays an
+//! O(n) deep copy per policy query. Policies that only need completed-job
+//! aggregates read the O(1) [`CompletedStats`] and never touch the record
+//! slice at all. Callers that genuinely need an owned snapshot (the PR-2
+//! era API) can still get one through the deprecated
+//! [`to_owned`](SystemView::to_owned) compatibility path.
 
 use rsched_cluster::{ClusterConfig, JobId, JobRecord, JobSpec, UserId};
 use rsched_simkit::SimTime;
+
+pub use rsched_cluster::CompletedStats;
 
 /// A running job as visible to a policy: its demands and *estimated* end
 /// time (start + requested walltime). True durations stay hidden, as in a
@@ -29,9 +41,23 @@ pub struct RunningSummary {
     pub expected_end: SimTime,
 }
 
-/// The full snapshot a policy decides from.
+/// The full snapshot a policy decides from — borrowed from the simulator's
+/// live state for the duration of one `decide` call.
+///
+/// # Invariants
+///
+/// Views built by the simulator guarantee:
+///
+/// * `waiting` is sorted ascending by `(submit, id)` — arrival order with
+///   id tie-break — so [`head_of_queue`](SystemView::head_of_queue) is the
+///   first element;
+/// * `running` is sorted ascending by job id;
+/// * `completed_stats` equals the fold of `completed`.
+///
+/// Hand-built views (tests, harnesses) must uphold the same ordering for
+/// the helper methods to be meaningful.
 #[derive(Debug, Clone)]
-pub struct SystemView {
+pub struct SystemView<'a> {
     /// Current simulation time.
     pub now: SimTime,
     /// Machine capacity.
@@ -42,27 +68,33 @@ pub struct SystemView {
     pub free_memory_gb: u64,
     /// Arrived, not-yet-started jobs — eligible for `StartJob`/`BackfillJob`.
     /// Ordered by arrival (submit time, then id).
-    pub waiting: Vec<JobSpec>,
-    /// Currently executing jobs.
-    pub running: Vec<RunningSummary>,
-    /// Completed job records so far.
-    pub completed: Vec<JobRecord>,
+    pub waiting: &'a [JobSpec],
+    /// Currently executing jobs, ordered by id.
+    pub running: &'a [RunningSummary],
+    /// Completed job records so far, in completion order.
+    pub completed: &'a [JobRecord],
+    /// O(1) aggregates over `completed` (count, wait/turnaround sums,
+    /// node-seconds) — maintained incrementally, never recomputed.
+    pub completed_stats: CompletedStats,
     /// Jobs known to the workload but not yet arrived.
     pub pending_arrivals: usize,
     /// Total jobs in the workload instance.
     pub total_jobs: usize,
 }
 
-impl SystemView {
+impl<'a> SystemView<'a> {
     /// The waiting job with the given id.
-    pub fn waiting_job(&self, id: JobId) -> Option<&JobSpec> {
+    pub fn waiting_job(&self, id: JobId) -> Option<&'a JobSpec> {
         self.waiting.iter().find(|j| j.id == id)
     }
 
     /// The head of the queue: the earliest-submitted waiting job
     /// (ties broken by id). `None` when the queue is empty.
-    pub fn head_of_queue(&self) -> Option<&JobSpec> {
-        self.waiting.iter().min_by_key(|j| (j.submit, j.id))
+    ///
+    /// O(1): `waiting` is sorted by `(submit, id)`, so the head is the
+    /// first element.
+    pub fn head_of_queue(&self) -> Option<&'a JobSpec> {
+        self.waiting.first()
     }
 
     /// `true` if the job fits the free resources right now.
@@ -71,7 +103,7 @@ impl SystemView {
     }
 
     /// Waiting jobs that fit right now, in queue order.
-    pub fn eligible_now(&self) -> impl Iterator<Item = &JobSpec> {
+    pub fn eligible_now(&self) -> impl Iterator<Item = &'a JobSpec> + '_ {
         self.waiting.iter().filter(|j| self.fits_now(j))
     }
 
@@ -108,6 +140,38 @@ impl SystemView {
     pub fn next_expected_completion(&self) -> Option<SimTime> {
         self.running.iter().map(|r| r.expected_end).min()
     }
+
+    /// Deep-copy this snapshot into the PR-2 era owned form.
+    ///
+    /// O(n) in queue/record counts — exactly the per-query cost the
+    /// borrowed view exists to avoid. Only for callers that must outlive
+    /// the `decide` borrow (e.g. policies that defer work to another
+    /// thread).
+    ///
+    /// Note this inherent method deliberately **shadows** the std
+    /// [`ToOwned`] blanket impl (`SystemView` derives [`Clone`]):
+    /// `view.to_owned()` resolves here and returns an
+    /// [`OwnedSystemView`](crate::compat::OwnedSystemView), while generic
+    /// code bound on `T: ToOwned` still gets a `SystemView` clone. The
+    /// shadowing is the compatibility point — PR-2 era call sites written
+    /// against the owned snapshot keep compiling — and the deprecation
+    /// warning marks every such call site for migration.
+    #[deprecated(note = "the borrowed SystemView<'_> is zero-copy; clone into an \
+                OwnedSystemView only when the snapshot must outlive `decide`")]
+    #[allow(deprecated)]
+    pub fn to_owned(&self) -> crate::compat::OwnedSystemView {
+        crate::compat::OwnedSystemView {
+            now: self.now,
+            config: self.config,
+            free_nodes: self.free_nodes,
+            free_memory_gb: self.free_memory_gb,
+            waiting: self.waiting.to_vec(),
+            running: self.running.to_vec(),
+            completed: self.completed.to_vec(),
+            pending_arrivals: self.pending_arrivals,
+            total_jobs: self.total_jobs,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -126,16 +190,22 @@ mod tests {
         )
     }
 
-    fn view() -> SystemView {
-        SystemView {
-            now: SimTime::from_secs(100),
-            config: ClusterConfig::paper_default(),
-            free_nodes: 64,
-            free_memory_gb: 512,
+    /// Owns the state a view borrows from — the test-side stand-in for the
+    /// simulator's incremental structures.
+    struct Fixture {
+        waiting: Vec<JobSpec>,
+        running: Vec<RunningSummary>,
+        completed: Vec<JobRecord>,
+        pending_arrivals: usize,
+    }
+
+    fn fixture() -> Fixture {
+        // Sorted by (submit, id), as the simulator maintains.
+        Fixture {
             waiting: vec![
-                spec(3, 1, 50, 128, 256),
                 spec(1, 0, 10, 32, 128),
                 spec(2, 1, 10, 64, 600),
+                spec(3, 1, 50, 128, 256),
             ],
             running: vec![RunningSummary {
                 id: JobId(9),
@@ -148,19 +218,37 @@ mod tests {
             }],
             completed: vec![JobRecord::new(spec(7, 3, 0, 1, 1), SimTime::ZERO)],
             pending_arrivals: 2,
-            total_jobs: 6,
+        }
+    }
+
+    impl Fixture {
+        fn view(&self) -> SystemView<'_> {
+            SystemView {
+                now: SimTime::from_secs(100),
+                config: ClusterConfig::paper_default(),
+                free_nodes: 64,
+                free_memory_gb: 512,
+                waiting: &self.waiting,
+                running: &self.running,
+                completed: &self.completed,
+                completed_stats: CompletedStats::from_records(&self.completed),
+                pending_arrivals: self.pending_arrivals,
+                total_jobs: 6,
+            }
         }
     }
 
     #[test]
     fn head_of_queue_is_earliest_submit_then_lowest_id() {
-        let v = view();
+        let f = fixture();
+        let v = f.view();
         assert_eq!(v.head_of_queue().map(|j| j.id), Some(JobId(1)));
     }
 
     #[test]
     fn fits_and_eligible() {
-        let v = view();
+        let f = fixture();
+        let v = f.view();
         assert!(v.fits_now(&spec(1, 0, 0, 32, 128)));
         assert!(!v.fits_now(&spec(3, 0, 0, 128, 256)), "too many nodes");
         assert!(!v.fits_now(&spec(2, 0, 0, 64, 600)), "too much memory");
@@ -170,7 +258,8 @@ mod tests {
 
     #[test]
     fn lookup_and_waits() {
-        let v = view();
+        let f = fixture();
+        let v = f.view();
         assert!(v.waiting_job(JobId(2)).is_some());
         assert!(v.waiting_job(JobId(99)).is_none());
         let j1 = v.waiting_job(JobId(1)).cloned().expect("present");
@@ -179,24 +268,35 @@ mod tests {
 
     #[test]
     fn stop_condition_tracking() {
-        let mut v = view();
-        assert!(!v.all_jobs_started());
-        v.waiting.clear();
-        assert!(!v.all_jobs_started(), "arrivals still pending");
-        v.pending_arrivals = 0;
-        assert!(v.all_jobs_started());
-        assert!(!v.all_jobs_completed());
+        let mut f = fixture();
+        assert!(!f.view().all_jobs_started());
+        f.waiting.clear();
+        assert!(!f.view().all_jobs_started(), "arrivals still pending");
+        f.pending_arrivals = 0;
+        assert!(f.view().all_jobs_started());
+        assert!(!f.view().all_jobs_completed());
     }
 
     #[test]
     fn users_served_deduplicates() {
-        let v = view();
-        assert_eq!(v.users_served(), vec![UserId(2), UserId(3)]);
+        let f = fixture();
+        assert_eq!(f.view().users_served(), vec![UserId(2), UserId(3)]);
     }
 
     #[test]
     fn next_expected_completion() {
-        let v = view();
-        assert_eq!(v.next_expected_completion(), Some(SimTime::from_secs(200)));
+        let f = fixture();
+        assert_eq!(
+            f.view().next_expected_completion(),
+            Some(SimTime::from_secs(200))
+        );
+    }
+
+    #[test]
+    fn completed_stats_reflect_the_borrowed_slice() {
+        let f = fixture();
+        let v = f.view();
+        assert_eq!(v.completed_stats.count, v.completed.len());
+        assert_eq!(v.completed_stats, CompletedStats::from_records(v.completed));
     }
 }

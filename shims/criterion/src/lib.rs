@@ -67,7 +67,9 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times `routine`, calling it repeatedly.
+    /// Times `routine`, calling it repeatedly. In `--test` smoke mode
+    /// (`samples == 0`) the warmup call is the only invocation and nothing
+    /// is measured.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
         let mut times = Vec::with_capacity(self.samples);
         // Warmup: one untimed call (also forces lazy init).
@@ -77,7 +79,7 @@ impl Bencher {
             black_box(routine());
             times.push(start.elapsed());
         }
-        self.measured = Some(median(&mut times));
+        self.measured = median(&mut times);
     }
 
     /// Times `routine` on inputs produced by `setup`; setup time is
@@ -95,16 +97,19 @@ impl Bencher {
             black_box(routine(input));
             times.push(start.elapsed());
         }
-        self.measured = Some(median(&mut times));
+        self.measured = median(&mut times);
     }
 }
 
-fn median(times: &mut [Duration]) -> Duration {
+fn median(times: &mut [Duration]) -> Option<Duration> {
+    if times.is_empty() {
+        return None;
+    }
     times.sort_unstable();
-    times[times.len() / 2]
+    Some(times[times.len() / 2])
 }
 
-fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) -> Option<Duration> {
     let mut bencher = Bencher {
         samples,
         measured: None,
@@ -112,13 +117,16 @@ fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
     f(&mut bencher);
     match bencher.measured {
         Some(t) => println!("bench: {label:<50} {:>12.3} µs/iter", t.as_secs_f64() * 1e6),
-        None => println!("bench: {label:<50} (no measurement)"),
+        None => println!("bench: {label:<50} (smoke: 1 iteration, not measured)"),
     }
+    bencher.measured
 }
 
 /// The top-level benchmark driver.
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
+    measurements: Vec<(String, Duration)>,
 }
 
 impl Default for Criterion {
@@ -127,6 +135,8 @@ impl Default for Criterion {
             // Far below real criterion's 100: the shim is a smoke-and-trend
             // harness, and several figure benches are whole experiments.
             sample_size: 20,
+            test_mode: false,
+            measurements: Vec::new(),
         }
     }
 }
@@ -138,15 +148,42 @@ impl Criterion {
         self
     }
 
-    /// Configure from CLI args. The shim accepts and ignores criterion's
-    /// flags (`--bench`, filters) so `cargo bench` wiring works.
-    pub fn configure_from_args(self) -> Self {
+    /// Configure from CLI args. Criterion's `--test` smoke flag is honored
+    /// (every bench runs exactly one untimed iteration — CI uses this to
+    /// prove the targets still compile and run); other flags (`--bench`,
+    /// filters) are accepted and ignored so `cargo bench` wiring works.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
         self
+    }
+
+    /// `true` when `--test` was passed: benches smoke-run one iteration
+    /// and record no measurements.
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// Runs `f` with the effective sample count (0 in `--test` smoke
+    /// mode) and records any measurement — shared by top-level and
+    /// grouped benches.
+    fn run_and_record(
+        &mut self,
+        label: String,
+        sample_size: usize,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        let samples = if self.test_mode { 0 } else { sample_size };
+        if let Some(t) = run_one(&label, samples, f) {
+            self.measurements.push((label, t));
+        }
     }
 
     /// Runs a single named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        run_one(name, self.sample_size, &mut f);
+        let sample_size = self.sample_size;
+        self.run_and_record(name.to_string(), sample_size, &mut f);
         self
     }
 
@@ -155,8 +192,16 @@ impl Criterion {
         BenchmarkGroup {
             name: name.to_string(),
             sample_size: self.sample_size,
-            _parent: self,
+            parent: self,
         }
+    }
+
+    /// Every `(label, median-per-iteration)` recorded so far, in run
+    /// order. Empty in `--test` smoke mode. A shim extension (real
+    /// criterion persists to `target/criterion/`) used to export machine-
+    /// readable trend files like `BENCH_scale.json`.
+    pub fn measurements(&self) -> &[(String, Duration)] {
+        &self.measurements
     }
 
     /// Prints the final summary (no-op in the shim).
@@ -167,7 +212,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -177,10 +222,14 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    fn run(&mut self, label: String, f: &mut dyn FnMut(&mut Bencher)) {
+        self.parent.run_and_record(label, self.sample_size, f);
+    }
+
     /// Runs a named benchmark within the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let label = format!("{}/{}", self.name, name);
-        run_one(&label, self.sample_size, &mut f);
+        self.run(label, &mut f);
         self
     }
 
@@ -190,7 +239,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id);
-        run_one(&label, self.sample_size, &mut |b| f(b, input));
+        self.run(label, &mut |b| f(b, input));
         self
     }
 

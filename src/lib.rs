@@ -89,9 +89,11 @@ pub mod prelude {
     pub use rsched_metrics::{Metric, MetricsReport};
     pub use rsched_registry::{PolicyContext, PolicyRegistry};
     pub use rsched_schedulers::{EasyBackfill, Fcfs, OrToolsPolicy, RandomPolicy, Sjf};
+    #[allow(deprecated)]
+    pub use rsched_sim::OwnedSystemView;
     pub use rsched_sim::{
-        run_simulation, Action, CountingObserver, DecisionRecord, SchedulingPolicy, SimObserver,
-        SimOptions, SimOutcome, Simulation, SystemView,
+        run_simulation, Action, CompletedStats, CountingObserver, DecisionRecord, RunningSummary,
+        SchedulingPolicy, SimObserver, SimOptions, SimOutcome, Simulation, SystemView,
     };
     pub use rsched_simkit::{SimDuration, SimTime};
     #[allow(deprecated)]

@@ -1,0 +1,450 @@
+//! The zero-copy kernel's correctness contract: a **straight-line
+//! reference simulator** — per-iteration queue re-sort, per-query rebuild
+//! of the running summaries, per-query recompute of the completed
+//! aggregate, exactly the pre-refactor data path — must produce
+//! bit-identical [`SimOutcome`]s to the incremental kernel for every
+//! builtin policy, across scenarios and seeds.
+//!
+//! Also home of the `#[ignore]`-by-default 50k-job scale smoke test:
+//!
+//! ```text
+//! cargo test --release --test kernel_equivalence -- --ignored
+//! ```
+
+use reasoned_scheduler::cluster::reservation::Demand;
+use reasoned_scheduler::cluster::{
+    backfill_is_safe, shadow_start, ClusterState, CompletedStats, StartError, StepIntegral,
+};
+use reasoned_scheduler::cpsolver::SolverConfig;
+use reasoned_scheduler::prelude::*;
+use reasoned_scheduler::registry::names;
+use reasoned_scheduler::sim::{ActionOutcome, RejectReason, RunningSummary, SimError, SimStats};
+use reasoned_scheduler::simkit::EventQueue;
+
+/// The reference's event alphabet (mirrors `rsched_sim::SimEvent`).
+#[derive(Debug, Clone, Copy)]
+enum RefEvent {
+    Arrival(usize),
+    Completion(JobId),
+}
+
+enum Applied {
+    Placement,
+    Delay,
+    Stop,
+}
+
+/// The pre-refactor kernel, reimplemented the obvious O(n²) way on the
+/// public API: clone-heavy snapshots, full re-sorts, full rescans. Slow by
+/// design — it is the semantic oracle the incremental kernel must match
+/// bit for bit.
+fn reference_simulate(
+    config: ClusterConfig,
+    jobs: &[JobSpec],
+    policy: &mut dyn SchedulingPolicy,
+    options: &SimOptions,
+) -> Result<SimOutcome, SimError> {
+    let mut cluster = ClusterState::new(config);
+    let mut events: EventQueue<RefEvent> = EventQueue::with_capacity(jobs.len() * 2);
+    for (idx, job) in jobs.iter().enumerate() {
+        events.push(job.submit, RefEvent::Arrival(idx));
+    }
+
+    let mut waiting: Vec<JobSpec> = Vec::new();
+    let mut pending_arrivals = jobs.len();
+    let mut decisions: Vec<DecisionRecord> = Vec::new();
+    let mut stats = SimStats::default();
+    let mut stopped = false;
+
+    let start_time = events.peek_time().unwrap_or(SimTime::ZERO);
+    let mut node_integral = StepIntegral::new(start_time, 0.0);
+    let mut mem_integral = StepIntegral::new(start_time, 0.0);
+    let mut now = start_time;
+
+    while cluster.completed().len() < jobs.len() {
+        let Some(t) = events.peek_time() else {
+            return Err(SimError::Stuck {
+                time: now,
+                waiting: waiting.len(),
+            });
+        };
+        now = t;
+
+        for event in events.pop_at(t) {
+            match event {
+                RefEvent::Arrival(idx) => {
+                    waiting.push(jobs[idx].clone());
+                    pending_arrivals -= 1;
+                }
+                RefEvent::Completion(id) => {
+                    cluster.complete_job(id, t);
+                }
+            }
+        }
+        // Straight-line: re-sort the whole queue at every event time.
+        waiting.sort_by_key(|j| (j.submit, j.id));
+        node_integral.update(now, cluster.busy_nodes() as f64);
+        mem_integral.update(now, cluster.busy_memory_gb() as f64);
+
+        // Straight-line placeability: scan the whole queue.
+        let placeable = waiting.iter().any(|j| cluster.can_fit(j));
+        let should_query = if options.query_only_when_placeable {
+            placeable || (waiting.is_empty() && pending_arrivals == 0)
+        } else {
+            !waiting.is_empty() || pending_arrivals == 0
+        };
+        if !stopped && should_query {
+            stats.epochs += 1;
+            let mut consecutive_invalid = 0usize;
+            loop {
+                if stats.queries >= options.max_queries {
+                    return Err(SimError::QueryBudgetExhausted {
+                        limit: options.max_queries,
+                    });
+                }
+                // Straight-line snapshot: rebuild every collection and
+                // recompute the aggregate from scratch, per query.
+                let running: Vec<RunningSummary> = cluster
+                    .running()
+                    .map(|r| RunningSummary {
+                        id: r.spec.id,
+                        user: r.spec.user,
+                        nodes: r.spec.nodes,
+                        memory_gb: r.spec.memory_gb,
+                        start: r.start,
+                        submit: r.spec.submit,
+                        expected_end: r.start + r.spec.walltime,
+                    })
+                    .collect();
+                let completed = cluster.completed().to_vec();
+                let view = SystemView {
+                    now,
+                    config: cluster.config(),
+                    free_nodes: cluster.free_nodes(),
+                    free_memory_gb: cluster.free_memory_gb(),
+                    waiting: &waiting,
+                    running: &running,
+                    completed: &completed,
+                    completed_stats: CompletedStats::from_records(&completed),
+                    pending_arrivals,
+                    total_jobs: jobs.len(),
+                };
+                let action = policy.decide(&view);
+                stats.queries += 1;
+
+                let verdict = reference_apply(
+                    &mut cluster,
+                    &mut events,
+                    &mut waiting,
+                    pending_arrivals,
+                    now,
+                    options,
+                    &mut node_integral,
+                    &mut mem_integral,
+                    action,
+                );
+                let rejected = verdict.as_ref().err().cloned();
+                policy.observe(&ActionOutcome {
+                    time: now,
+                    action,
+                    rejected: rejected.clone(),
+                });
+                decisions.push(DecisionRecord {
+                    time: now,
+                    action,
+                    rejected,
+                    queue_len: waiting.len(),
+                    free_nodes: cluster.free_nodes(),
+                    free_memory_gb: cluster.free_memory_gb(),
+                });
+
+                match verdict {
+                    Ok(Applied::Placement) => {
+                        consecutive_invalid = 0;
+                        stats.placements += 1;
+                        if matches!(action, Action::BackfillJob(_)) {
+                            stats.backfills += 1;
+                        }
+                        if waiting.is_empty() && pending_arrivals > 0 {
+                            break;
+                        }
+                        if options.query_only_when_placeable
+                            && !waiting.is_empty()
+                            && !waiting.iter().any(|j| cluster.can_fit(j))
+                        {
+                            break;
+                        }
+                    }
+                    Ok(Applied::Delay) => {
+                        stats.delays += 1;
+                        break;
+                    }
+                    Ok(Applied::Stop) => {
+                        stopped = true;
+                        break;
+                    }
+                    Err(_) => {
+                        stats.rejections += 1;
+                        consecutive_invalid += 1;
+                        if consecutive_invalid >= options.max_invalid_per_epoch {
+                            stats.delays += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        if cluster.completed().len() < jobs.len()
+            && events.is_empty()
+            && cluster.running_count() == 0
+        {
+            return Err(SimError::Stuck {
+                time: now,
+                waiting: waiting.len(),
+            });
+        }
+    }
+
+    let end_time = now;
+    Ok(SimOutcome {
+        policy_name: policy.name().to_string(),
+        records: cluster.completed().to_vec(),
+        decisions,
+        stats,
+        end_time,
+        node_seconds: node_integral.integral_through(end_time),
+        memory_gb_seconds: mem_integral.integral_through(end_time),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn reference_apply(
+    cluster: &mut ClusterState,
+    events: &mut EventQueue<RefEvent>,
+    waiting: &mut Vec<JobSpec>,
+    pending_arrivals: usize,
+    now: SimTime,
+    options: &SimOptions,
+    node_integral: &mut StepIntegral,
+    mem_integral: &mut StepIntegral,
+    action: Action,
+) -> Result<Applied, RejectReason> {
+    let lookup = |waiting: &[JobSpec], id: JobId| {
+        waiting
+            .iter()
+            .find(|j| j.id == id)
+            .cloned()
+            .ok_or(RejectReason::NotInQueue(id))
+    };
+    let insufficient =
+        |cluster: &ClusterState, spec: &JobSpec| RejectReason::InsufficientResources {
+            job: spec.id,
+            needed_nodes: spec.nodes,
+            needed_memory_gb: spec.memory_gb,
+            free_nodes: cluster.free_nodes(),
+            free_memory_gb: cluster.free_memory_gb(),
+        };
+    let mut start = |cluster: &mut ClusterState,
+                     events: &mut EventQueue<RefEvent>,
+                     waiting: &mut Vec<JobSpec>,
+                     spec: &JobSpec|
+     -> Result<(), RejectReason> {
+        match cluster.start_job(spec, now) {
+            Ok(running) => {
+                let end = running.end;
+                events.push(end, RefEvent::Completion(spec.id));
+                waiting.retain(|j| j.id != spec.id);
+                node_integral.update(now, cluster.busy_nodes() as f64);
+                mem_integral.update(now, cluster.busy_memory_gb() as f64);
+                Ok(())
+            }
+            Err(StartError::InsufficientResources { .. }) => Err(insufficient(cluster, spec)),
+            Err(StartError::ExceedsCapacity) => Err(RejectReason::ExceedsCapacity(spec.id)),
+            Err(StartError::AlreadyRunning) | Err(StartError::AlreadyCompleted) => {
+                Err(RejectReason::NotInQueue(spec.id))
+            }
+        }
+    };
+    match action {
+        Action::Delay => Ok(Applied::Delay),
+        Action::Stop => {
+            if waiting.is_empty() && pending_arrivals == 0 {
+                Ok(Applied::Stop)
+            } else {
+                Err(RejectReason::StopWithPendingJobs {
+                    waiting: waiting.len(),
+                    pending_arrivals,
+                })
+            }
+        }
+        Action::StartJob(id) => {
+            let spec = lookup(waiting, id)?;
+            start(cluster, events, waiting, &spec)?;
+            Ok(Applied::Placement)
+        }
+        Action::BackfillJob(id) => {
+            let spec = lookup(waiting, id)?;
+            let head = waiting
+                .iter()
+                .min_by_key(|j| (j.submit, j.id))
+                .cloned()
+                .expect("waiting non-empty: spec was found in it");
+            if head.id != spec.id && options.strict_backfill {
+                if !cluster.can_fit(&spec) {
+                    return Err(insufficient(cluster, &spec));
+                }
+                if !backfill_is_safe(cluster, now, &spec, &head) {
+                    let shadow = shadow_start(cluster, now, Demand::from(&head));
+                    return Err(RejectReason::WouldDelayHead {
+                        job: spec.id,
+                        head: head.id,
+                        shadow,
+                    });
+                }
+            }
+            start(cluster, events, waiting, &spec)?;
+            Ok(Applied::Placement)
+        }
+    }
+}
+
+fn quick_solver() -> SolverConfig {
+    SolverConfig {
+        sa_iterations_per_task: 40,
+        sa_iteration_cap: 800,
+        exact_max_tasks: 6,
+        ..SolverConfig::default()
+    }
+}
+
+fn assert_outcomes_identical(a: &SimOutcome, b: &SimOutcome, label: &str) {
+    assert_eq!(a.policy_name, b.policy_name, "{label}: policy name");
+    assert_eq!(a.records, b.records, "{label}: records");
+    assert_eq!(a.decisions, b.decisions, "{label}: decision log");
+    assert_eq!(a.stats, b.stats, "{label}: stats");
+    assert_eq!(a.end_time, b.end_time, "{label}: end time");
+    assert!(
+        a.node_seconds == b.node_seconds,
+        "{label}: node integral {} vs {}",
+        a.node_seconds,
+        b.node_seconds
+    );
+    assert!(
+        a.memory_gb_seconds == b.memory_gb_seconds,
+        "{label}: memory integral {} vs {}",
+        a.memory_gb_seconds,
+        b.memory_gb_seconds
+    );
+}
+
+/// All 7 builtin policies × 4 scenarios × 3 seeds: the incremental kernel
+/// and the straight-line reference produce bit-identical outcomes.
+#[test]
+fn incremental_kernel_matches_straight_line_reference() {
+    let scenarios = [
+        "heterogeneous_mix",
+        "adversarial",
+        "long_tail",
+        "resource_sparse",
+    ];
+    let cluster = ClusterConfig::paper_default();
+    let registry = PolicyRegistry::with_builtins();
+    for scenario in scenarios {
+        for seed in 1u64..=3 {
+            let jobs = scenario_builtins()
+                .generate(
+                    scenario,
+                    &ScenarioContext::new(12)
+                        .with_mode(ArrivalMode::Dynamic)
+                        .with_seed(seed),
+                )
+                .expect("builtin scenario")
+                .jobs;
+            let ctx = PolicyContext::new(&jobs, cluster)
+                .with_seed(seed)
+                .with_solver(quick_solver());
+            for name in names::ALL_BUILTIN {
+                let label = format!("{name} on {scenario}/seed {seed}");
+                let options = SimOptions {
+                    // Exercise the shadow-time backfill path too.
+                    strict_backfill: name == names::EASY,
+                    ..SimOptions::default()
+                };
+                let mut incremental = registry.build(name, &ctx).expect("builtin");
+                let mut reference = registry.build(name, &ctx).expect("builtin");
+                let a = run_simulation(cluster, &jobs, incremental.as_mut(), &options)
+                    .unwrap_or_else(|e| panic!("{label} (incremental): {e}"));
+                let b = reference_simulate(cluster, &jobs, reference.as_mut(), &options)
+                    .unwrap_or_else(|e| panic!("{label} (reference): {e}"));
+                assert_outcomes_identical(&a, &b, &label);
+            }
+        }
+    }
+}
+
+/// The reference also agrees on *failing* runs: a policy that delays
+/// forever gets the same structured `Stuck` error from both kernels.
+#[test]
+fn kernels_agree_on_stuck_runs() {
+    struct DelayForever;
+    impl SchedulingPolicy for DelayForever {
+        fn name(&self) -> &str {
+            "delay-forever"
+        }
+        fn decide(&mut self, _view: &SystemView<'_>) -> Action {
+            Action::Delay
+        }
+    }
+    let cluster = ClusterConfig::paper_default();
+    let jobs = scenario_builtins()
+        .generate(
+            "homogeneous_short",
+            &ScenarioContext::new(4)
+                .with_mode(ArrivalMode::Static)
+                .with_seed(2),
+        )
+        .expect("builtin scenario")
+        .jobs;
+    let a = run_simulation(cluster, &jobs, &mut DelayForever, &SimOptions::default());
+    let b = reference_simulate(cluster, &jobs, &mut DelayForever, &SimOptions::default());
+    match (a, b) {
+        (Err(ea), Err(eb)) => assert_eq!(ea, eb, "same structured error"),
+        other => panic!("expected both kernels to get stuck, got {other:?}"),
+    }
+}
+
+/// 50k-job scale smoke test — `#[ignore]` by default because it is only
+/// meaningful in release mode:
+///
+/// ```text
+/// cargo test --release --test kernel_equivalence -- --ignored
+/// ```
+///
+/// The bound is deliberately generous (the release-mode kernel finishes a
+/// static 50k-job heavy-tail trace in well under a second; the old cloning
+/// kernel needed ~40 s): it guards against reintroducing O(n²) per-query
+/// work, not against machine noise.
+#[test]
+#[ignore = "scale smoke test: run in release mode via -- --ignored"]
+fn fifty_thousand_jobs_complete_within_a_generous_bound() {
+    let cluster = ClusterConfig::polaris();
+    let jobs = scenario_builtins()
+        .generate(
+            "long_tail",
+            &ScenarioContext::new(50_000)
+                .with_mode(ArrivalMode::Static)
+                .with_seed(7),
+        )
+        .expect("builtin scenario")
+        .jobs;
+    let started = std::time::Instant::now();
+    let out = run_simulation(cluster, &jobs, &mut Fcfs, &SimOptions::default())
+        .expect("50k-job trace completes");
+    let wall = started.elapsed();
+    assert_eq!(out.records.len(), 50_000);
+    assert!(
+        wall.as_secs_f64() < 60.0,
+        "50k jobs took {wall:?}; the kernel has regressed to superlinear per-query work"
+    );
+}

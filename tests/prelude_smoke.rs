@@ -109,13 +109,34 @@ fn sim_types_construct_and_run() {
         config,
         free_nodes: config.nodes,
         free_memory_gb: config.memory_gb,
-        waiting: vec![],
-        running: vec![],
-        completed: vec![],
+        waiting: &[],
+        running: &[],
+        completed: &[],
+        completed_stats: CompletedStats::default(),
         pending_arrivals: 0,
         total_jobs: 0,
     };
     assert_eq!(view.free_nodes, config.nodes);
+    assert_eq!(view.completed_stats.count, 0);
+
+    // The quarantined PR-2 owned-snapshot path stays reachable.
+    #[allow(deprecated)]
+    {
+        let owned: OwnedSystemView = view.to_owned();
+        assert!(owned.waiting.is_empty());
+        assert_eq!(owned.as_view().free_nodes, config.nodes);
+    }
+
+    let summary = RunningSummary {
+        id: JobId(1),
+        user: UserId(0),
+        nodes: 1,
+        memory_gb: 1,
+        start: SimTime::from_secs(0),
+        submit: SimTime::from_secs(0),
+        expected_end: SimTime::from_secs(60),
+    };
+    assert_eq!(summary.id, JobId(1));
 
     let workload = scenario_builtins()
         .generate(

@@ -260,9 +260,10 @@ proptest! {
             config: ClusterConfig::paper_default(),
             free_nodes,
             free_memory_gb: free_mem,
-            waiting: waiting_specs.clone(),
-            running: running_summaries.clone(),
-            completed: vec![],
+            waiting: &waiting_specs,
+            running: &running_summaries,
+            completed: &[],
+            completed_stats: reasoned_scheduler::cluster::CompletedStats::default(),
             pending_arrivals: pending,
             total_jobs: waiting_specs.len() + running_summaries.len() + pending,
         };

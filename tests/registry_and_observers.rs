@@ -178,7 +178,7 @@ fn failed_runs_never_fire_on_complete() {
         fn name(&self) -> &str {
             "delay-forever"
         }
-        fn decide(&mut self, _view: &SystemView) -> Action {
+        fn decide(&mut self, _view: &SystemView<'_>) -> Action {
             Action::Delay
         }
     }
@@ -210,7 +210,7 @@ fn third_party_policy_runs_by_name_through_simulation_with_observer() {
         fn name(&self) -> &str {
             "memory-hog-first"
         }
-        fn decide(&mut self, view: &SystemView) -> Action {
+        fn decide(&mut self, view: &SystemView<'_>) -> Action {
             if view.all_jobs_started() {
                 return Action::Stop;
             }
