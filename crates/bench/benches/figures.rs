@@ -10,7 +10,7 @@ use rsched_parallel::ThreadPool;
 
 fn bench_figures(c: &mut Criterion) {
     let opts = bench_options();
-    let pool = ThreadPool::with_default_parallelism();
+    let pool = ThreadPool::available_parallelism();
 
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);

@@ -13,7 +13,9 @@
 //! is recorded there as the fixed baseline.
 
 use criterion::Criterion;
+use rsched_campaign::{Campaign, CampaignSpec};
 use rsched_cluster::{ClusterConfig, CompletedStats, JobId, JobSpec, UserId};
+use rsched_parallel::ThreadPool;
 use rsched_schedulers::{Fcfs, Sjf};
 use rsched_sim::{run_simulation, RunningSummary, SimOptions, SystemView};
 use rsched_simkit::{SimDuration, SimTime};
@@ -164,6 +166,44 @@ fn view_build(c: &mut Criterion) {
     group.finish();
 }
 
+/// The campaign engine at the paper grid's 1k-job tier: a representative
+/// three-scenario slice of `fixtures/campaigns/paper_grid.toml` — the
+/// full seven-policy set minus OR-Tools (whose offline solve is budgeted
+/// in seconds per cell and would swamp the engine signal), one seed,
+/// cache disabled via a fresh scratch directory per iteration. Measures
+/// grid expansion, hashing, pool dispatch, 18 × 1k-job simulations, and
+/// the Pareto analysis end to end.
+fn campaign_paper_grid_1k(c: &mut Criterion) {
+    let spec = CampaignSpec::parse(
+        r#"
+name = "paper-grid-1k-bench"
+policies = ["FCFS", "SJF", "OR-Tools", "Claude-3.7", "O4-Mini", "EASY", "Random"]
+scenarios = ["heterogeneous_mix", "long_job_dominant", "long_tail"]
+jobs = [1000]
+seeds = [2025]
+objectives = ["avg_wait", "avg_turnaround", "node_util", "wait_fairness"]
+exclude = ["OR-Tools/1000"]
+"#,
+    )
+    .expect("bench spec is valid");
+    let root =
+        std::env::temp_dir().join(format!("rsched_bench_campaign_1k_{}", std::process::id()));
+    let pool = ThreadPool::available_parallelism();
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(2);
+    group.bench_function("campaign_paper_grid_1k", |b| {
+        b.iter(|| {
+            // Fresh scratch directory: every iteration executes the whole
+            // grid, never the cache.
+            let _ = std::fs::remove_dir_all(&root);
+            let campaign = Campaign::new(spec.clone()).out_root(&root);
+            std::hint::black_box(campaign.run(&pool).expect("completes"))
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// Timings the pre-refactor cloning kernel produced for the same
 /// workloads on the reference container (measured immediately before the
 /// zero-copy refactor landed) — the denominator of the speedup column in
@@ -223,5 +263,6 @@ fn main() {
     simulate_sjf_swf_replay(&mut criterion);
     simulate_fcfs_heavy_tail_100k(&mut criterion);
     view_build(&mut criterion);
+    campaign_paper_grid_1k(&mut criterion);
     write_trend_file(&criterion);
 }

@@ -39,7 +39,7 @@ pub struct Solution {
 }
 
 /// Portfolio configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SolverConfig {
     /// Instances up to this many tasks go to exact branch-and-bound.
     pub exact_max_tasks: usize,

@@ -12,36 +12,12 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use rsched_metrics::Metric;
+// The byte-stability contract (escape rules + six-decimal floats) is
+// shared with the campaign summary writer via `rsched_simkit::json`.
+use rsched_simkit::json::{escape, num};
 use rsched_simkit::stats::quantile;
 
 use crate::runner::RunResult;
-
-/// JSON-escape a string (control characters, quotes, backslashes).
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Fixed-precision float for stable diffs; non-finite values (impossible
-/// for our metrics, but never emit invalid JSON) serialize as `null`.
-fn num(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.6}")
-    } else {
-        "null".to_string()
-    }
-}
 
 fn metric_key(metric: Metric) -> String {
     metric.name().replace(' ', "_").to_lowercase()

@@ -12,6 +12,6 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let pool = ThreadPool::with_default_parallelism();
+    let pool = ThreadPool::available_parallelism();
     print!("{}", ablation::run(&opts, &pool).render());
 }

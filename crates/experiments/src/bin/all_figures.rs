@@ -3,6 +3,11 @@
 //! `results/`: per-figure CSVs plus per-cell JSON documents
 //! (`results/cells/*.json`) whose raw metrics/stats/overhead are diffable
 //! across commits.
+//!
+//! `--quick` runs shrunken grids whose cells are **not** the tracked
+//! artifacts, so quick-mode cell JSONs are routed to the scratch
+//! directory `results/quick/cells/` (gitignored) instead of overwriting
+//! the tracked `results/cells/`.
 
 use std::fs;
 use std::path::Path;
@@ -33,8 +38,8 @@ fn write(path: &str, content: &str) {
     }
 }
 
-fn write_cells(figure: &str, runs: &[RunResult]) {
-    match write_cells_json(Path::new("results/cells"), figure, runs) {
+fn write_cells(cells_dir: &Path, figure: &str, runs: &[RunResult]) {
+    match write_cells_json(cells_dir, figure, runs) {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write cells for {figure}: {e}"),
     }
@@ -48,7 +53,14 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let pool = ThreadPool::with_default_parallelism();
+    // Quick-mode cells describe shrunken grids; keep them out of the
+    // git-tracked full-scale artifacts.
+    let cells_dir = if opts.quick {
+        Path::new("results/quick/cells")
+    } else {
+        Path::new("results/cells")
+    };
+    let pool = ThreadPool::available_parallelism();
 
     let f3 = fig3::run(&opts, &pool);
     print!("{}", f3.render());
@@ -64,7 +76,7 @@ fn main() {
         "results/fig3.csv",
         &normalized_rows_to_csv(&["scenario", "scheduler"], &rows),
     );
-    write_cells("fig3", &f3.runs);
+    write_cells(cells_dir, "fig3", &f3.runs);
 
     let f4 = fig4::run(&opts, &pool);
     print!("{}", f4.render());
@@ -80,7 +92,7 @@ fn main() {
         "results/fig4.csv",
         &normalized_rows_to_csv(&["jobs", "scheduler"], &rows),
     );
-    write_cells("fig4", &f4.runs);
+    write_cells(cells_dir, "fig4", &f4.runs);
 
     let f5 = fig5::run(&opts, &pool);
     print!("{}", f5.render());
@@ -98,7 +110,7 @@ fn main() {
         "results/fig5.csv",
         &overhead_rows_to_csv(&["scenario", "model"], &rows),
     );
-    write_cells("fig5", &f5.runs);
+    write_cells(cells_dir, "fig5", &f5.runs);
 
     let f6 = fig6::run(&opts, &pool);
     print!("{}", f6.render());
@@ -116,7 +128,7 @@ fn main() {
         "results/fig6.csv",
         &overhead_rows_to_csv(&["jobs", "model"], &rows),
     );
-    write_cells("fig6", &f6.runs);
+    write_cells(cells_dir, "fig6", &f6.runs);
 
     let f7 = fig7::run(&opts, &pool);
     print!("{}", f7.render());
@@ -154,7 +166,7 @@ fn main() {
             }
         }
         write("results/fig7.csv", &rsched_simkit::csv::write_rows(rows));
-        write_cells("fig7", &f7.runs);
+        write_cells(cells_dir, "fig7", &f7.runs);
     }
 
     let f8 = fig8::run(&opts, &pool);
@@ -168,7 +180,7 @@ fn main() {
         "results/fig8.csv",
         &normalized_rows_to_csv(&["scheduler"], &rows),
     );
-    write_cells("fig8", &f8.runs);
+    write_cells(cells_dir, "fig8", &f8.runs);
 
     let ab = ablation::run(&opts, &pool);
     print!("{}", ab.render());
@@ -181,5 +193,5 @@ fn main() {
         "results/ablation.csv",
         &normalized_rows_to_csv(&["persona"], &rows),
     );
-    write_cells("ablation", &ab.runs);
+    write_cells(cells_dir, "ablation", &ab.runs);
 }

@@ -12,7 +12,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let pool = ThreadPool::with_default_parallelism();
+    let pool = ThreadPool::available_parallelism();
     let output = fig6::run(&opts, &pool);
     print!("{}", output.render());
 }

@@ -16,7 +16,9 @@
 //!
 //! Plus the paper's presentation machinery: normalization against the FCFS
 //! baseline (with the 0/0 omission rule of §3.5), multi-run aggregation for
-//! the robustness boxplots (Figure 7), and plain-text table rendering.
+//! the robustness boxplots (Figure 7), plain-text table rendering, and the
+//! [`pareto`] module's multiobjective dominance analysis (Pareto fronts,
+//! non-dominated ranks, hypervolume) used by campaign sweeps.
 //!
 //! ```
 //! use rsched_cluster::{ClusterConfig, JobRecord, JobSpec};
@@ -47,6 +49,7 @@ pub mod energy;
 pub mod fairness;
 pub mod normalize;
 pub mod objectives;
+pub mod pareto;
 pub mod report;
 pub mod table;
 
@@ -54,5 +57,6 @@ pub use aggregate::MetricDistributions;
 pub use energy::{EnergyReport, PowerModel};
 pub use fairness::jain_index;
 pub use normalize::{normalize_against, NormalizedReport};
+pub use pareto::{dominates, hypervolume, pareto_front, pareto_ranks, ObjectiveSpace};
 pub use report::{Metric, MetricsReport};
 pub use table::TextTable;

@@ -60,6 +60,39 @@ impl Metric {
         )
     }
 
+    /// Stable machine-readable key (lower-case, `_`-separated) — the
+    /// spelling used in JSON artifacts, CSV headers, and campaign specs.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Metric::Makespan => "makespan",
+            Metric::AvgWait => "avg_wait",
+            Metric::AvgTurnaround => "avg_turnaround",
+            Metric::Throughput => "throughput",
+            Metric::NodeUtilization => "node_util",
+            Metric::MemoryUtilization => "mem_util",
+            Metric::WaitFairness => "wait_fairness",
+            Metric::UserFairness => "user_fairness",
+        }
+    }
+
+    /// Resolve a [`key`](Metric::key) back to its metric. Matching is
+    /// case-insensitive and accepts `-` for `_`, plus the long
+    /// `node_utilization`/`memory_utilization` spellings.
+    pub fn from_key(key: &str) -> Option<Metric> {
+        let canon = key.trim().to_ascii_lowercase().replace('-', "_");
+        match canon.as_str() {
+            "makespan" => Some(Metric::Makespan),
+            "avg_wait" => Some(Metric::AvgWait),
+            "avg_turnaround" => Some(Metric::AvgTurnaround),
+            "throughput" => Some(Metric::Throughput),
+            "node_util" | "node_utilization" => Some(Metric::NodeUtilization),
+            "mem_util" | "memory_utilization" => Some(Metric::MemoryUtilization),
+            "wait_fairness" => Some(Metric::WaitFairness),
+            "user_fairness" => Some(Metric::UserFairness),
+            _ => None,
+        }
+    }
+
     /// Display name matching the paper's figures.
     pub fn name(&self) -> &'static str {
         match self {
@@ -197,6 +230,25 @@ mod tests {
         assert!(Metric::Throughput.higher_is_better());
         assert!(Metric::NodeUtilization.higher_is_better());
         assert!(Metric::WaitFairness.higher_is_better());
+    }
+
+    #[test]
+    fn keys_round_trip_for_every_metric() {
+        for m in Metric::all() {
+            assert_eq!(Metric::from_key(m.key()), Some(m), "{m:?}");
+            // Keys match the historical artifact spelling.
+            assert_eq!(m.key(), m.name().replace(' ', "_").to_lowercase());
+            // Hyphens and case are forgiven.
+            assert_eq!(
+                Metric::from_key(&m.key().to_uppercase().replace('_', "-")),
+                Some(m)
+            );
+        }
+        assert_eq!(
+            Metric::from_key("node_utilization"),
+            Some(Metric::NodeUtilization)
+        );
+        assert_eq!(Metric::from_key("power_draw"), None);
     }
 
     #[test]

@@ -61,12 +61,23 @@ impl ThreadPool {
         ThreadPool { shared, handles }
     }
 
-    /// A pool sized to the machine (`available_parallelism`, min 1).
-    pub fn with_default_parallelism() -> Self {
+    /// A pool sized to the machine: one worker per available hardware
+    /// thread ([`std::thread::available_parallelism`]), clamped to at
+    /// least 1 when the count cannot be determined.
+    pub fn available_parallelism() -> Self {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
         ThreadPool::new(threads)
+    }
+
+    /// A pool sized to the machine (`available_parallelism`, min 1).
+    #[deprecated(
+        since = "0.1.0",
+        note = "renamed to `ThreadPool::available_parallelism`"
+    )]
+    pub fn with_default_parallelism() -> Self {
+        ThreadPool::available_parallelism()
     }
 
     /// Number of worker threads.
@@ -269,7 +280,10 @@ mod tests {
 
     #[test]
     fn default_parallelism_is_positive() {
-        let pool = ThreadPool::with_default_parallelism();
+        let pool = ThreadPool::available_parallelism();
         assert!(pool.threads() >= 1);
+        #[allow(deprecated)]
+        let legacy = ThreadPool::with_default_parallelism();
+        assert_eq!(legacy.threads(), pool.threads());
     }
 }

@@ -21,6 +21,8 @@
 //!   and experiment crates.
 //! * [`csv`] — a minimal, RFC-4180-compatible CSV reader/writer used for
 //!   trace and result files.
+//! * [`json`] — the byte-stable JSON fragment rules (string escaping,
+//!   six-decimal floats) shared by every artifact writer.
 //!
 //! Everything here is deterministic given a seed: the same root seed
 //! reproduces every experiment in the workspace bit-for-bit.
@@ -31,6 +33,7 @@
 pub mod csv;
 pub mod dist;
 pub mod event;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod time;

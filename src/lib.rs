@@ -24,6 +24,8 @@
 //! * [`agent`] — the paper's contribution: the ReAct scheduling agent.
 //! * [`registry`] — the open, string-keyed policy registry.
 //! * [`parallel`] — the work-stealing pool for experiment sweeps.
+//! * [`campaign`] — the declarative sweep-campaign engine: TOML grid
+//!   specs, content-addressed cell caching, Pareto-front analysis.
 //! * [`experiments`] — the figure-regeneration harness.
 //!
 //! ## Quickstart
@@ -68,6 +70,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub use rsched_campaign as campaign;
 pub use rsched_cluster as cluster;
 pub use rsched_core as agent;
 pub use rsched_cpsolver as cpsolver;
@@ -83,10 +86,16 @@ pub use rsched_workloads as workloads;
 
 /// The most commonly used items across the workspace.
 pub mod prelude {
+    pub use rsched_campaign::{
+        Campaign, CampaignObserver, CampaignSpec, CampaignSummary, CellResult, CellSpec,
+        CountingCampaignObserver, ProgressCampaignObserver,
+    };
     pub use rsched_cluster::{ClusterConfig, JobId, JobRecord, JobSpec, UserId};
     pub use rsched_core::{LlmSchedulingPolicy, ReActAgent};
     pub use rsched_llm::{LanguageModel, SimulatedLlm};
-    pub use rsched_metrics::{Metric, MetricsReport};
+    pub use rsched_metrics::{
+        dominates, hypervolume, pareto_front, pareto_ranks, Metric, MetricsReport, ObjectiveSpace,
+    };
     pub use rsched_registry::{PolicyContext, PolicyRegistry};
     pub use rsched_schedulers::{EasyBackfill, Fcfs, OrToolsPolicy, RandomPolicy, Sjf};
     #[allow(deprecated)]

@@ -1,0 +1,57 @@
+//! Tier-1 campaign smoke: the ship-with-repo CI fixture
+//! (`fixtures/campaigns/smoke.toml`) must load, validate against the
+//! builtin registries, run its 2-policy × 2-scenario × 60-job grid, and
+//! produce a non-empty Pareto front with hypervolume in every group —
+//! the same contract the CI smoke-campaign step checks through the
+//! `campaign` binary.
+
+use reasoned_scheduler::campaign::{Campaign, CampaignSpec, CountingCampaignObserver};
+use reasoned_scheduler::parallel::ThreadPool;
+
+#[test]
+fn smoke_fixture_produces_nonempty_fronts_with_hypervolume() {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let spec_path = manifest.join("fixtures/campaigns/smoke.toml");
+    let spec = CampaignSpec::load(spec_path.to_str().expect("utf8 path")).expect("fixture loads");
+    assert_eq!(spec.name, "smoke");
+    assert_eq!(spec.policies.len(), 2);
+    assert_eq!(spec.scenarios.len(), 2);
+    assert_eq!(spec.jobs, vec![60]);
+
+    let out = std::env::temp_dir().join(format!("rsched_campaign_smoke_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out);
+    let campaign = Campaign::new(spec).out_root(&out);
+    let pool = ThreadPool::new(2);
+    let mut observer = CountingCampaignObserver::new();
+    let outcome = campaign.run_observed(&pool, &mut observer).expect("runs");
+
+    assert_eq!(
+        outcome.results.len(),
+        8,
+        "2 policies × 2 scenarios × 2 seeds"
+    );
+    assert_eq!(observer.ran, 8);
+    assert_eq!(outcome.summary.fronts.len(), 2, "one group per scenario");
+    for group in &outcome.summary.fronts {
+        assert!(
+            !group.front().is_empty(),
+            "{}/{}: empty Pareto front",
+            group.scenario,
+            group.jobs
+        );
+        assert!(
+            group.front_hypervolume > 0.0,
+            "{}/{}: zero hypervolume",
+            group.scenario,
+            group.jobs
+        );
+        assert_eq!(group.rows.len(), 2, "every policy is ranked");
+    }
+    let summary_json =
+        std::fs::read_to_string(out.join("smoke/summary.json")).expect("summary written");
+    assert!(summary_json.contains("\"front_hypervolume\""));
+    assert!(std::fs::read_to_string(out.join("smoke/fronts.csv"))
+        .expect("csv written")
+        .starts_with("scenario,jobs,policy,rank"));
+    let _ = std::fs::remove_dir_all(&out);
+}

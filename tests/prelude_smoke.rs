@@ -189,6 +189,49 @@ fn registry_and_builder_types_construct_and_run() {
 }
 
 #[test]
+fn pareto_types_construct() {
+    // Minimization staircase: both points non-dominated.
+    let points = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+    assert_eq!(pareto_front(&points), vec![0, 1]);
+    assert_eq!(pareto_ranks(&points), vec![0, 0]);
+    assert!(!dominates(&points[0], &points[1]));
+    assert!(hypervolume(&points, &[3.0, 3.0]) > 0.0);
+    let space = ObjectiveSpace::paper_default();
+    assert_eq!(space.len(), 4);
+}
+
+#[test]
+fn campaign_types_construct_and_run() {
+    let spec: CampaignSpec = CampaignSpec::parse(
+        r#"
+name = "prelude-smoke"
+policies = ["FCFS", "SJF"]
+scenarios = ["resource_sparse"]
+jobs = [6]
+seeds = [3]
+"#,
+    )
+    .expect("valid spec");
+    let out = std::env::temp_dir().join(format!("rsched_prelude_campaign_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out);
+    let campaign = Campaign::new(spec).out_root(&out);
+    let pool = reasoned_scheduler::parallel::ThreadPool::new(1);
+    let mut observer = CountingCampaignObserver::new();
+    // `CampaignObserver` is the prelude's trait handle.
+    let dynamic: &mut dyn CampaignObserver = &mut observer;
+    let _ = dynamic;
+    let outcome = campaign.run_observed(&pool, &mut observer).expect("runs");
+    let results: &[CellResult] = &outcome.results;
+    assert_eq!(results.len(), 2);
+    let cell: &CellSpec = &results[0].cell;
+    assert_eq!(cell.policy, "FCFS");
+    let summary: &CampaignSummary = &outcome.summary;
+    assert!(!summary.fronts[0].front().is_empty());
+    let _stderr_observer = ProgressCampaignObserver::stderr();
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
 fn metric_types_construct() {
     let workload = scenario_builtins()
         .generate(
