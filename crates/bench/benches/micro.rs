@@ -97,6 +97,7 @@ fn sample_state(queue_len: usize) -> SampleState {
             start: SimTime::ZERO,
             submit: SimTime::ZERO,
             expected_end: SimTime::from_secs(9_000),
+            class: None,
         }],
     }
 }
@@ -108,6 +109,7 @@ impl SampleState {
             config: ClusterConfig::paper_default(),
             free_nodes: 200,
             free_memory_gb: 1500,
+            free_by_class: [0; rsched_cluster::MAX_CLASSES],
             waiting: &self.waiting,
             running: &self.running,
             completed: &[],

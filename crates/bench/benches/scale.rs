@@ -14,9 +14,12 @@
 
 use criterion::Criterion;
 use rsched_campaign::{Campaign, CampaignSpec};
-use rsched_cluster::{ClusterConfig, CompletedStats, JobId, JobSpec, UserId};
+use rsched_cluster::{
+    Allocation, ClassedAllocator, ClusterConfig, CompletedStats, JobId, JobSpec, PlacementRequest,
+    UserId,
+};
 use rsched_parallel::ThreadPool;
-use rsched_schedulers::{Fcfs, Sjf};
+use rsched_schedulers::{ConservativeBackfill, Fcfs, Sjf};
 use rsched_sim::{run_simulation, RunningSummary, SimOptions, SystemView};
 use rsched_simkit::{SimDuration, SimTime};
 use rsched_workloads::swf::{SwfJob, SwfTrace};
@@ -100,6 +103,75 @@ fn simulate_sjf_swf_replay(c: &mut Criterion) {
     group.finish();
 }
 
+/// The generalized placement kernel, isolated: 10k vector-demand
+/// requests (GPU-skewed mix: pinned, spanning-classless, and
+/// zero-demand jobs) scanned against the classed 256-node machine.
+/// Each request allocates if it fits, releasing oldest grants first-fit
+/// when it does not — a rolling-occupancy sweep over `plan_take`, the
+/// per-class free watermarks, and the node-mask arithmetic.
+fn placement_scan_mixed_class(c: &mut Criterion) {
+    let cluster = ClusterConfig::mixed_256();
+    let jobs = scenario_builtins()
+        .generate(
+            "gpu_skewed_hetmix",
+            &ScenarioContext::new(10_000)
+                .with_mode(ArrivalMode::Static)
+                .with_seed(7)
+                .with_cluster(cluster),
+        )
+        .expect("builtin scenario")
+        .jobs;
+    let requests: Vec<PlacementRequest> = jobs.iter().map(PlacementRequest::from).collect();
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(10);
+    group.bench_function("placement_scan_mixed_class_10k", |b| {
+        b.iter(|| {
+            let mut allocator = ClassedAllocator::new(cluster.topology);
+            let mut held: std::collections::VecDeque<Allocation> =
+                std::collections::VecDeque::new();
+            let mut placed = 0u64;
+            for req in &requests {
+                while !allocator.can_fit(req) {
+                    let oldest = held.pop_front().expect("an empty machine fits every job");
+                    allocator.release(&oldest);
+                }
+                held.push_back(
+                    allocator
+                        .try_allocate(req)
+                        .expect("can_fit implies allocate"),
+                );
+                placed += 1;
+            }
+            std::hint::black_box(placed)
+        })
+    });
+    group.finish();
+}
+
+/// The conservative reservation-list policy at 10k jobs: every decision
+/// epoch rebuilds a full reservation profile, so this is the worst-case
+/// policy cost of the backfill family on the flat Polaris machine.
+fn simulate_conservative_backfill_10k(c: &mut Criterion) {
+    let jobs = heavy_tail_jobs(10_000);
+    let cluster = ClusterConfig::polaris();
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(10);
+    group.bench_function("simulate_conservative_backfill_10k", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                run_simulation(
+                    cluster,
+                    &jobs,
+                    &mut ConservativeBackfill::new(),
+                    &SimOptions::default(),
+                )
+                .expect("completes"),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn simulate_fcfs_heavy_tail_100k(c: &mut Criterion) {
     let jobs = heavy_tail_jobs(100_000);
     let cluster = ClusterConfig::polaris();
@@ -140,6 +212,7 @@ fn view_build(c: &mut Criterion) {
             start: SimTime::ZERO,
             submit: SimTime::ZERO,
             expected_end: SimTime::from_secs(9_000),
+            class: None,
         })
         .collect();
     let make_view = || SystemView {
@@ -147,6 +220,7 @@ fn view_build(c: &mut Criterion) {
         config: ClusterConfig::polaris(),
         free_nodes: 100,
         free_memory_gb: 1_000,
+        free_by_class: [0; rsched_cluster::MAX_CLASSES],
         waiting: &waiting,
         running: &running,
         completed: &[],
@@ -168,7 +242,7 @@ fn view_build(c: &mut Criterion) {
 
 /// The campaign engine at the paper grid's 1k-job tier: a representative
 /// three-scenario slice of `fixtures/campaigns/paper_grid.toml` — the
-/// full seven-policy set minus OR-Tools (whose offline solve is budgeted
+/// paper's seven-policy set minus OR-Tools (whose offline solve is budgeted
 /// in seconds per cell and would swamp the engine signal), one seed,
 /// cache disabled via a fresh scratch directory per iteration. Measures
 /// grid expansion, hashing, pool dispatch, 18 × 1k-job simulations, and
@@ -261,6 +335,8 @@ fn main() {
     let mut criterion = Criterion::default().configure_from_args();
     simulate_fcfs_10k(&mut criterion);
     simulate_sjf_swf_replay(&mut criterion);
+    placement_scan_mixed_class(&mut criterion);
+    simulate_conservative_backfill_10k(&mut criterion);
     simulate_fcfs_heavy_tail_100k(&mut criterion);
     view_build(&mut criterion);
     campaign_paper_grid_1k(&mut criterion);

@@ -44,10 +44,16 @@ impl CellSpec {
     }
 
     /// Content hash of this cell under the given execution environment
-    /// (solver budget + cluster), salted with the workspace version and
-    /// [`CACHE_FORMAT`].
-    pub fn content_hash(&self, solver: &SolverConfig, cluster: ClusterConfig) -> u64 {
-        let canonical = format!(
+    /// (solver budget + cluster + walltime skew), salted with the
+    /// workspace version and [`CACHE_FORMAT`].
+    ///
+    /// Classed topology and a non-unit walltime skew are folded in as
+    /// *conditional* trailing segments: a flat cluster with exact
+    /// estimates hashes exactly as it did before either knob existed, so
+    /// no previously cached flat-grid cell is invalidated.
+    pub fn content_hash(&self, solver: &SolverConfig, cluster: ClusterConfig, skew: f64) -> u64 {
+        use std::fmt::Write as _;
+        let mut canonical = format!(
             "rsched-campaign|fmt{CACHE_FORMAT}|ws{}|{}|{}|{}|{}|solver:{},{},{},{},{}|cluster:{},{}",
             env!("CARGO_PKG_VERSION"),
             self.policy.to_lowercase(),
@@ -62,6 +68,20 @@ impl CellSpec {
             cluster.nodes,
             cluster.memory_gb,
         );
+        if !cluster.topology.is_flat() {
+            canonical.push_str("|topology:");
+            for (_, spec) in cluster.topology.classes() {
+                let c = spec.capacity;
+                let _ = write!(
+                    canonical,
+                    "{}x{:?}({},{},{},{});",
+                    spec.count, spec.class, c.cpus, c.gpus, c.memory_gb, c.bb_slots
+                );
+            }
+        }
+        if skew != 1.0 {
+            let _ = write!(canonical, "|skew:{}", crate::toml::fmt_float(skew));
+        }
         fnv1a64(canonical.as_bytes())
     }
 
@@ -181,28 +201,42 @@ mod tests {
     fn hash_is_stable_and_sensitive_to_every_input() {
         let solver = SolverConfig::default();
         let cluster = ClusterConfig::paper_default();
-        let base = cell().content_hash(&solver, cluster);
-        assert_eq!(base, cell().content_hash(&solver, cluster), "deterministic");
+        let base = cell().content_hash(&solver, cluster, 1.0);
+        assert_eq!(
+            base,
+            cell().content_hash(&solver, cluster, 1.0),
+            "deterministic"
+        );
 
         let mut c = cell();
         c.policy = "SJF".to_string();
-        assert_ne!(base, c.content_hash(&solver, cluster));
+        assert_ne!(base, c.content_hash(&solver, cluster, 1.0));
         let mut c = cell();
         c.scenario = "long_tail".to_string();
-        assert_ne!(base, c.content_hash(&solver, cluster));
+        assert_ne!(base, c.content_hash(&solver, cluster, 1.0));
         let mut c = cell();
         c.jobs = 61;
-        assert_ne!(base, c.content_hash(&solver, cluster));
+        assert_ne!(base, c.content_hash(&solver, cluster, 1.0));
         let mut c = cell();
         c.seed = 2026;
-        assert_ne!(base, c.content_hash(&solver, cluster));
+        assert_ne!(base, c.content_hash(&solver, cluster, 1.0));
 
         let mut other_solver = solver;
         other_solver.sa_iteration_cap += 1;
-        assert_ne!(base, cell().content_hash(&other_solver, cluster));
+        assert_ne!(base, cell().content_hash(&other_solver, cluster, 1.0));
         assert_ne!(
             base,
-            cell().content_hash(&solver, ClusterConfig::new(64, 512))
+            cell().content_hash(&solver, ClusterConfig::new(64, 512), 1.0)
+        );
+        assert_ne!(
+            base,
+            cell().content_hash(&solver, ClusterConfig::mixed_256(), 1.0),
+            "topology reaches the hash even at equal node/memory totals"
+        );
+        assert_ne!(base, cell().content_hash(&solver, cluster, 1.5));
+        assert_ne!(
+            cell().content_hash(&solver, cluster, 1.5),
+            cell().content_hash(&solver, cluster, 2.0)
         );
     }
 
@@ -213,8 +247,32 @@ mod tests {
         let mut c = cell();
         c.policy = "fcfs".to_string();
         assert_eq!(
-            cell().content_hash(&solver, cluster),
-            c.content_hash(&solver, cluster)
+            cell().content_hash(&solver, cluster, 1.0),
+            c.content_hash(&solver, cluster, 1.0)
+        );
+    }
+
+    #[test]
+    fn flat_exact_estimate_hash_is_pinned_across_the_knob_additions() {
+        // The pre-refactor canonical string, rebuilt by hand: a flat
+        // cluster with skew 1.0 must hash to the FNV of exactly this
+        // string, or every cached flat-grid cell is orphaned.
+        let solver = SolverConfig::default();
+        let cluster = ClusterConfig::paper_default();
+        let legacy = format!(
+            "rsched-campaign|fmt{CACHE_FORMAT}|ws{}|fcfs|heterogeneous_mix|60|2025|solver:{},{},{},{},{}|cluster:{},{}",
+            env!("CARGO_PKG_VERSION"),
+            solver.exact_max_tasks,
+            solver.bnb_node_budget,
+            solver.sa_iterations_per_task,
+            solver.sa_iteration_cap,
+            solver.use_genetic,
+            cluster.nodes,
+            cluster.memory_gb,
+        );
+        assert_eq!(
+            cell().content_hash(&solver, cluster, 1.0),
+            fnv1a64(legacy.as_bytes())
         );
     }
 

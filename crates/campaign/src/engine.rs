@@ -140,12 +140,13 @@ impl Campaign {
         let cells_dir = self.out_dir.join("cells");
         let solver = self.spec.solver;
         let cluster = self.spec.cluster();
+        let skew = self.spec.walltime_skew;
 
         // Probe the cache in grid order.
         let mut slots: Vec<Option<CellResult>> = Vec::with_capacity(grid.len());
         let mut misses: Vec<(usize, CellSpec, u64)> = Vec::new();
         for (index, cell) in grid.iter().enumerate() {
-            let hash = cell.content_hash(&solver, cluster);
+            let hash = cell.content_hash(&solver, cluster, skew);
             match read_cell(&cells_dir, cell, hash) {
                 Some(result) => slots.push(Some(result)),
                 None => {
@@ -172,7 +173,7 @@ impl Campaign {
             let scenarios = Arc::clone(&self.scenarios);
             pool.spawn(move || {
                 let result = catch_unwind(AssertUnwindSafe(|| {
-                    run_cell(&policies, &scenarios, &cell, solver, cluster)
+                    run_cell(&policies, &scenarios, &cell, solver, cluster, skew)
                 }));
                 // The receiver bails on the first panic; later sends then
                 // fail, which is expected and ignorable.
@@ -237,11 +238,13 @@ pub fn run_cell(
     cell: &CellSpec,
     solver: rsched_cpsolver::SolverConfig,
     cluster: rsched_cluster::ClusterConfig,
+    walltime_skew: f64,
 ) -> CellResult {
     let ctx = ScenarioContext::new(cell.jobs)
         .with_mode(ArrivalMode::Dynamic)
         .with_seed(cell.workload_seed())
-        .with_cluster(cluster);
+        .with_cluster(cluster)
+        .with_walltime_skew(walltime_skew);
     let workload = scenarios
         .generate(&cell.scenario, &ctx)
         .unwrap_or_else(|e| panic!("scenario `{}`: {e}", cell.scenario));
@@ -365,9 +368,47 @@ exclude = ["SJF/10"]
         };
         let solver = rsched_cpsolver::SolverConfig::default();
         let cluster = rsched_cluster::ClusterConfig::paper_default();
-        let a = run_cell(&policies, &scenarios, &cell, solver, cluster);
-        let b = run_cell(&policies, &scenarios, &cell, solver, cluster);
+        let a = run_cell(&policies, &scenarios, &cell, solver, cluster, 1.0);
+        let b = run_cell(&policies, &scenarios, &cell, solver, cluster, 1.0);
         assert_eq!(a, b);
         assert_eq!(a.placements, 12);
+    }
+
+    #[test]
+    fn mixed_class_skewed_campaign_runs_the_backfill_family() {
+        // The hetero_grid shape in miniature: the four backfill policies
+        // on the classed machine with over-requested walltimes, including
+        // a scenario whose wide classless jobs must span node classes.
+        let spec = CampaignSpec::parse(
+            r#"
+name = "mixed-smoke"
+policies = ["EASY", "EASY-SJBF", "Conservative", "Conservative-SJBF"]
+scenarios = ["heterogeneous_mix", "gpu_skewed_hetmix"]
+jobs = [16]
+seeds = [2025]
+walltime_skew = 1.5
+
+[cluster]
+preset = "mixed_256"
+"#,
+        )
+        .expect("parses");
+        let root = std::env::temp_dir().join(format!(
+            "rsched_campaign_engine_mixed_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let campaign = Campaign::new(spec).out_root(&root);
+        let pool = ThreadPool::new(2);
+        let outcome = campaign.run(&pool).expect("runs");
+        assert_eq!(outcome.results.len(), 8);
+        assert!(outcome
+            .results
+            .iter()
+            .all(|r| r.placements == 16 && r.metrics[0] > 0.0));
+        let rerun = campaign.run(&pool).expect("reruns");
+        assert_eq!((rerun.cached, rerun.ran), (8, 0), "classed cells cache");
+        assert_eq!(rerun.results, outcome.results);
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

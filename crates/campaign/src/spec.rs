@@ -40,6 +40,12 @@ pub struct CampaignSpec {
     pub solver: SolverConfig,
     /// The machine; `None` means [`ClusterConfig::paper_default`].
     pub cluster: Option<ClusterConfig>,
+    /// Walltime-estimate skew applied to every generated workload: declared
+    /// walltimes are stretched to `duration × skew` (`1.0` = exact
+    /// estimates, the default). Models users who over-request walltime,
+    /// which is what separates the estimate-aware backfill variants from
+    /// their baselines.
+    pub walltime_skew: f64,
 }
 
 impl CampaignSpec {
@@ -102,6 +108,17 @@ impl CampaignSpec {
         };
         let solver = solver_from(&table)?;
         let cluster = cluster_from(&table)?;
+        let walltime_skew = match table.get("walltime_skew") {
+            None => 1.0,
+            Some(v) => v
+                .as_float()
+                .filter(|s| s.is_finite() && *s >= 1.0)
+                .ok_or_else(|| {
+                    CampaignError::Validation(
+                        "`walltime_skew` must be a finite number >= 1.0".to_string(),
+                    )
+                })?,
+        };
         let spec = CampaignSpec {
             name,
             policies,
@@ -112,6 +129,7 @@ impl CampaignSpec {
             exclude,
             solver,
             cluster,
+            walltime_skew,
         };
         spec.check_internal()?;
         Ok(spec)
@@ -244,6 +262,7 @@ const KNOWN_KEYS: &[&str] = &[
     "seeds",
     "objectives",
     "exclude",
+    "walltime_skew",
     "solver.exact_max_tasks",
     "solver.bnb_node_budget",
     "solver.sa_iterations_per_task",
@@ -251,6 +270,7 @@ const KNOWN_KEYS: &[&str] = &[
     "solver.use_genetic",
     "cluster.nodes",
     "cluster.memory_gb",
+    "cluster.preset",
 ];
 
 fn dup<T: PartialEq + std::fmt::Debug>(items: &[T]) -> Option<String> {
@@ -383,6 +403,23 @@ fn solver_from(table: &TomlTable) -> Result<SolverConfig, CampaignError> {
 fn cluster_from(table: &TomlTable) -> Result<Option<ClusterConfig>, CampaignError> {
     let nodes = table.get("cluster.nodes");
     let memory = table.get("cluster.memory_gb");
+    if let Some(preset) = table.get("cluster.preset") {
+        if nodes.is_some() || memory.is_some() {
+            return Err(CampaignError::Validation(
+                "`cluster.preset` excludes `cluster.nodes`/`cluster.memory_gb`".to_string(),
+            ));
+        }
+        let name = preset.as_str().ok_or_else(|| {
+            CampaignError::Validation("`cluster.preset` must be a string".to_string())
+        })?;
+        return match name {
+            "paper_default" => Ok(Some(ClusterConfig::paper_default())),
+            "mixed_256" => Ok(Some(ClusterConfig::mixed_256())),
+            other => Err(CampaignError::Validation(format!(
+                "unknown cluster preset `{other}` (known: paper_default, mixed_256)"
+            ))),
+        };
+    }
     match (nodes, memory) {
         (None, None) => Ok(None),
         (Some(n), Some(m)) => {
@@ -428,6 +465,30 @@ seeds = [2025, 2026]
         assert_eq!(spec.solver, SolverConfig::default());
         assert_eq!(spec.cluster, None);
         assert_eq!(spec.cluster().nodes, ClusterConfig::paper_default().nodes);
+        assert_eq!(spec.walltime_skew, 1.0);
+    }
+
+    #[test]
+    fn cluster_preset_resolves_the_mixed_class_machine() {
+        let text = format!("{MINIMAL}\nwalltime_skew = 1.5\n[cluster]\npreset = \"mixed_256\"");
+        let spec = CampaignSpec::parse(&text).expect("parses");
+        let cluster = spec.cluster();
+        assert_eq!(cluster, ClusterConfig::mixed_256());
+        assert!(!cluster.topology.is_flat());
+        assert_eq!(spec.walltime_skew, 1.5);
+        // Integer skew widens like any other float-position value.
+        let int_skew = format!("{MINIMAL}\nwalltime_skew = 2");
+        assert_eq!(
+            CampaignSpec::parse(&int_skew)
+                .expect("parses")
+                .walltime_skew,
+            2.0
+        );
+        let flat = format!("{MINIMAL}\n[cluster]\npreset = \"paper_default\"");
+        assert_eq!(
+            CampaignSpec::parse(&flat).expect("parses").cluster(),
+            ClusterConfig::paper_default()
+        );
     }
 
     #[test]
@@ -478,6 +539,13 @@ memory_gb = 128
             ("exclude = [\"FCFS/many\"]", "not a job count"),
             ("[cluster]\nnodes = 4", "needs both"),
             ("[solver]\nsa_iteration_cap = -1", "out of range"),
+            ("[cluster]\npreset = \"summit\"", "unknown cluster preset"),
+            (
+                "[cluster]\npreset = \"mixed_256\"\nnodes = 4",
+                "excludes `cluster.nodes`",
+            ),
+            ("walltime_skew = 0.5", "must be a finite number >= 1.0"),
+            ("walltime_skew = \"high\"", "must be a finite number"),
         ] {
             let text = format!("{MINIMAL}\n{mutation}");
             let err = CampaignSpec::parse(&text).expect_err(mutation);

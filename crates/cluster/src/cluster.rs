@@ -9,8 +9,10 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use rsched_simkit::{SimDuration, SimTime};
 
-use crate::allocator::{Allocation, FirstFitAllocator};
+use crate::allocator::{Allocation, FirstFitAllocator, NodeAllocator, PlacementRequest};
 use crate::job::{JobId, JobRecord, JobSpec};
+use crate::resources::ResourceVec;
+use crate::topology::{NodeClass, NodeClassSpec, Topology, MAX_CLASSES};
 
 /// Static cluster configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +21,10 @@ pub struct ClusterConfig {
     pub nodes: u32,
     /// Aggregate memory capacity in GB (`M_total`).
     pub memory_gb: u64,
+    /// Node classes, if any. The flat (empty) topology is the paper's
+    /// scalar machine and reproduces the pre-refactor kernel bit for bit;
+    /// a classed topology switches placement to the multi-resource scan.
+    pub topology: Topology,
 }
 
 impl ClusterConfig {
@@ -27,6 +33,7 @@ impl ClusterConfig {
         ClusterConfig {
             nodes: 256,
             memory_gb: 2048,
+            topology: Topology::flat(),
         }
     }
 
@@ -35,12 +42,63 @@ impl ClusterConfig {
         ClusterConfig {
             nodes: 560,
             memory_gb: 560 * 512,
+            topology: Topology::flat(),
         }
     }
 
-    /// A custom configuration.
+    /// A custom flat configuration.
     pub fn new(nodes: u32, memory_gb: u64) -> Self {
-        ClusterConfig { nodes, memory_gb }
+        ClusterConfig {
+            nodes,
+            memory_gb,
+            topology: Topology::flat(),
+        }
+    }
+
+    /// A classed configuration; node and memory totals are derived from
+    /// the topology.
+    ///
+    /// # Panics
+    /// Panics if the topology is flat (use [`ClusterConfig::new`]).
+    pub fn with_topology(topology: Topology) -> Self {
+        assert!(
+            !topology.is_flat(),
+            "with_topology needs at least one node class"
+        );
+        ClusterConfig {
+            nodes: topology.total_nodes(),
+            memory_gb: topology.total_memory_gb(),
+            topology,
+        }
+    }
+
+    /// A 256-node mixed-class machine: 192 cpu nodes (64 cores, 8 GB),
+    /// 48 gpu nodes (64 cores, 4 GPUs, 64 GB, 2 burst-buffer slots), and
+    /// 16 bigmem nodes (64 cores, 128 GB, 4 burst-buffer slots).
+    pub fn mixed_256() -> Self {
+        ClusterConfig::with_topology(
+            Topology::flat()
+                .with_class(NodeClassSpec {
+                    class: NodeClass::Cpu,
+                    count: 192,
+                    capacity: ResourceVec::new(64, 0, 8, 0),
+                })
+                .with_class(NodeClassSpec {
+                    class: NodeClass::Gpu,
+                    count: 48,
+                    capacity: ResourceVec::new(64, 4, 64, 2),
+                })
+                .with_class(NodeClassSpec {
+                    class: NodeClass::BigMem,
+                    count: 16,
+                    capacity: ResourceVec::new(64, 0, 128, 4),
+                }),
+        )
+    }
+
+    /// `true` if this is a flat (classless) configuration.
+    pub fn is_flat(&self) -> bool {
+        self.topology.is_flat()
     }
 }
 
@@ -142,7 +200,7 @@ impl CompletedStats {
 #[derive(Debug, Clone)]
 pub struct ClusterState {
     config: ClusterConfig,
-    allocator: FirstFitAllocator,
+    allocator: NodeAllocator,
     running: BTreeMap<JobId, RunningJob>,
     completed: Vec<JobRecord>,
     /// Id index over `completed` — keeps the double-start check O(log n)
@@ -154,8 +212,13 @@ pub struct ClusterState {
 impl ClusterState {
     /// An idle cluster.
     pub fn new(config: ClusterConfig) -> Self {
+        let allocator = if config.topology.is_flat() {
+            NodeAllocator::Flat(FirstFitAllocator::new(config.nodes, config.memory_gb))
+        } else {
+            NodeAllocator::Classed(crate::allocator::ClassedAllocator::new(config.topology))
+        };
         ClusterState {
-            allocator: FirstFitAllocator::new(config.nodes, config.memory_gb),
+            allocator,
             config,
             running: BTreeMap::new(),
             completed: Vec::new(),
@@ -179,14 +242,19 @@ impl ClusterState {
         self.allocator.free_memory_gb()
     }
 
+    /// Free node counts per topology slot (all zeros on a flat cluster).
+    pub fn free_by_class(&self) -> [u32; MAX_CLASSES] {
+        self.allocator.free_by_class()
+    }
+
     /// `true` if the job would fit on the free resources right now.
     pub fn can_fit(&self, spec: &JobSpec) -> bool {
-        self.allocator.can_fit(spec.nodes, spec.memory_gb)
+        self.allocator.can_fit(&PlacementRequest::from(spec))
     }
 
     /// `true` if the job could ever fit on an empty machine.
     pub fn fits_capacity(&self, spec: &JobSpec) -> bool {
-        self.allocator.fits_capacity(spec.nodes, spec.memory_gb)
+        self.allocator.fits_capacity(&PlacementRequest::from(spec))
     }
 
     /// Attempt to start `spec` at `now`. On success the job holds resources
@@ -203,7 +271,7 @@ impl ClusterState {
         }
         let allocation = self
             .allocator
-            .try_allocate(spec.nodes, spec.memory_gb)
+            .try_allocate(&PlacementRequest::from(spec))
             .ok_or(StartError::InsufficientResources {
                 free_nodes: self.allocator.free_nodes(),
                 free_memory_gb: self.allocator.free_memory_gb(),
@@ -314,7 +382,18 @@ impl ClusterState {
             self.config.memory_gb
         );
         assert_eq!(node_demand, self.busy_nodes(), "node ledger drift");
-        assert_eq!(mem_demand, self.busy_memory_gb(), "memory ledger drift");
+        if self.config.is_flat() {
+            // Flat memory is demand-based: busy == exactly what jobs asked.
+            assert_eq!(mem_demand, self.busy_memory_gb(), "memory ledger drift");
+        } else {
+            // Classed memory is capacity-based (whole nodes charged), so
+            // busy memory covers demand but may exceed it.
+            assert!(
+                mem_demand <= self.busy_memory_gb(),
+                "busy memory {} does not cover demand {mem_demand}",
+                self.busy_memory_gb()
+            );
+        }
         assert_eq!(
             self.completed_stats.count,
             self.completed.len(),
@@ -478,6 +557,79 @@ mod tests {
         assert_eq!(c.busy_memory_gb(), 1000);
         assert_eq!(c.running_count(), 1);
         assert!(c.running_job(JobId(1)).is_some());
+        c.check_invariants();
+    }
+
+    #[test]
+    fn mixed_preset_derives_totals_from_topology() {
+        let config = ClusterConfig::mixed_256();
+        assert!(!config.is_flat());
+        assert_eq!(config.nodes, 256);
+        assert_eq!(config.memory_gb, 192 * 8 + 48 * 64 + 16 * 128);
+        assert!(ClusterConfig::paper_default().is_flat());
+        assert!(ClusterConfig::polaris().is_flat());
+        assert!(ClusterConfig::new(8, 64).is_flat());
+    }
+
+    #[test]
+    fn classed_lifecycle_routes_by_demand() {
+        let mut c = ClusterState::new(ClusterConfig::mixed_256());
+        // A GPU-demanding job must land in the gpu class (slot 1).
+        let gpu_job = spec(1, 100, 4, 0).with_per_node(ResourceVec::new(0, 4, 16, 0));
+        c.start_job(&gpu_job, SimTime::ZERO).expect("starts");
+        assert_eq!(c.free_by_class(), [192, 44, 16, 0]);
+        // A scalar job lands in the cpu class.
+        c.start_job(&spec(2, 100, 8, 8), SimTime::ZERO).expect("ok");
+        assert_eq!(c.free_by_class(), [184, 44, 16, 0]);
+        c.check_invariants();
+        c.complete_job(JobId(1), SimTime::from_secs(100));
+        c.complete_job(JobId(2), SimTime::from_secs(100));
+        assert_eq!(c.free_by_class(), [192, 48, 16, 0]);
+        assert_eq!(c.free_memory_gb(), c.config().memory_gb);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn classed_capacity_errors_are_structured() {
+        let mut c = ClusterState::new(ClusterConfig::mixed_256());
+        // 5 GPUs per node exceeds every class capacity → ExceedsCapacity.
+        let impossible = spec(1, 10, 1, 0).with_per_node(ResourceVec::new(0, 5, 0, 0));
+        assert_eq!(
+            c.start_job(&impossible, SimTime::ZERO).unwrap_err(),
+            StartError::ExceedsCapacity
+        );
+        // 49 bigmem-pinned nodes exceed the 16-node class.
+        let too_wide = spec(2, 10, 49, 0).with_class(NodeClass::BigMem);
+        assert_eq!(
+            c.start_job(&too_wide, SimTime::ZERO).unwrap_err(),
+            StartError::ExceedsCapacity
+        );
+        // Fill the bigmem class, then one more is Insufficient, not Exceeds.
+        c.start_job(
+            &spec(3, 10, 16, 0).with_class(NodeClass::BigMem),
+            SimTime::ZERO,
+        )
+        .expect("fills bigmem");
+        let err = c
+            .start_job(
+                &spec(4, 10, 1, 0).with_class(NodeClass::BigMem),
+                SimTime::ZERO,
+            )
+            .unwrap_err();
+        assert!(matches!(err, StartError::InsufficientResources { .. }));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn flat_cluster_ignores_extended_demand() {
+        // The paper's abstract machine has no GPU axis: a GPU-demanding job
+        // schedules on a flat cluster exactly like its scalar projection.
+        let mut c = ClusterState::new(ClusterConfig::paper_default());
+        let j = spec(1, 10, 4, 32).with_per_node(ResourceVec::new(0, 4, 0, 0));
+        c.start_job(&j, SimTime::ZERO)
+            .expect("flat ignores per_node");
+        assert_eq!(c.free_nodes(), 252);
+        assert_eq!(c.busy_memory_gb(), 32);
         c.check_invariants();
     }
 }

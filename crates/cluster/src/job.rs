@@ -8,6 +8,9 @@ use std::fmt;
 
 use rsched_simkit::{SimDuration, SimTime};
 
+use crate::resources::ResourceVec;
+use crate::topology::NodeClass;
+
 /// A job's numeric identifier (the paper's `job_id` in `StartJob(job_id=X)`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u32);
@@ -59,6 +62,13 @@ pub struct JobSpec {
     pub nodes: u32,
     /// Aggregate memory required in GB (`m_j`).
     pub memory_gb: u64,
+    /// Extended per-node resource demand (GPUs, cores, node-local memory,
+    /// burst-buffer slots). Zero for scalar jobs; ignored entirely on flat
+    /// clusters, which are the paper's abstract machine.
+    pub per_node: ResourceVec,
+    /// Required node class on a classed cluster, or `None` for any class
+    /// whose capacity covers the demand. Ignored on flat clusters.
+    pub class: Option<NodeClass>,
 }
 
 impl JobSpec {
@@ -81,12 +91,26 @@ impl JobSpec {
             walltime: duration,
             nodes,
             memory_gb,
+            per_node: ResourceVec::ZERO,
+            class: None,
         }
     }
 
     /// Set the group id (builder style).
     pub fn with_group(mut self, group: u32) -> Self {
         self.group = GroupId(group);
+        self
+    }
+
+    /// Set an extended per-node resource demand (builder style).
+    pub fn with_per_node(mut self, per_node: ResourceVec) -> Self {
+        self.per_node = per_node;
+        self
+    }
+
+    /// Require a specific node class (builder style).
+    pub fn with_class(mut self, class: NodeClass) -> Self {
+        self.class = Some(class);
         self
     }
 
@@ -170,6 +194,8 @@ mod tests {
         let s = spec();
         assert_eq!(s.walltime, s.duration);
         assert_eq!(s.group, GroupId(0));
+        assert_eq!(s.per_node, ResourceVec::ZERO, "scalar by default");
+        assert_eq!(s.class, None, "class-agnostic by default");
         let s2 = s
             .clone()
             .with_group(5)
@@ -177,6 +203,19 @@ mod tests {
         assert_eq!(s2.group, GroupId(5));
         assert_eq!(s2.walltime, SimDuration::from_secs(120));
         assert_eq!(s2.duration, SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn extended_demand_builders() {
+        let s = spec()
+            .with_per_node(ResourceVec::new(0, 4, 32, 1))
+            .with_class(NodeClass::Gpu);
+        assert_eq!(s.per_node.gpus, 4);
+        assert_eq!(s.per_node.memory_gb, 32);
+        assert_eq!(s.class, Some(NodeClass::Gpu));
+        // The scalar fields are untouched.
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.memory_gb, 16);
     }
 
     #[test]

@@ -13,13 +13,23 @@
 //! * `Σ nodes(j) ≤ N_total` over active jobs, and
 //! * `Σ memory(j) ≤ M_total` over active jobs.
 //!
+//! Beyond the paper's flat machine, the crate also models **classed**
+//! clusters: node classes (`cpu`, `gpu`, `bigmem`) with per-node
+//! [`ResourceVec`] capacities ([`topology`]), a class-aware first-fit
+//! placement scan ([`allocator::ClassedAllocator`]), and vector-valued
+//! shadow-time math ([`reservation`]). Flat configurations bypass all of
+//! it and reproduce the scalar kernel bit for bit.
+//!
 //! Modules:
 //!
 //! * [`job`] — job identifiers, specifications, lifecycle records.
 //! * [`node`] — the node bitmask used for placement.
+//! * [`resources`] — per-node resource vectors (cores, GPUs, memory,
+//!   burst-buffer slots).
+//! * [`topology`] — node classes and their contiguous index ranges.
 //! * [`allocator`] — first-fit node-level placement (paper §3.3: "a
 //!   first-fit strategy allocates each selected job to the first available
-//!   set of resources").
+//!   set of resources"), flat and classed.
 //! * [`cluster`] — the live capacity ledger with invariant checking.
 //! * [`reservation`] — shadow-time reservations used to validate EASY-style
 //!   backfilling.
@@ -50,11 +60,17 @@ pub mod cluster;
 pub mod job;
 pub mod node;
 pub mod reservation;
+pub mod resources;
+pub mod topology;
 pub mod utilization;
 
-pub use allocator::{Allocation, FirstFitAllocator};
+pub use allocator::{
+    Allocation, ClassedAllocator, FirstFitAllocator, NodeAllocator, PlacementRequest,
+};
 pub use cluster::{ClusterConfig, ClusterState, CompletedStats, RunningJob, StartError};
 pub use job::{GroupId, JobId, JobRecord, JobSpec, UserId};
 pub use node::NodeMask;
-pub use reservation::{backfill_is_safe, shadow_start};
+pub use reservation::{backfill_is_safe, free_by_class_at, shadow_start, Demand};
+pub use resources::ResourceVec;
+pub use topology::{NodeClass, NodeClassSpec, Topology, MAX_CLASSES};
 pub use utilization::StepIntegral;

@@ -1,0 +1,123 @@
+//! Per-node resource vectors.
+//!
+//! The paper's abstract machine tracks two scalars — whole nodes and an
+//! aggregate memory pool. Production HPC nodes carry more dimensions: CPU
+//! cores, GPUs, node-local memory, and burst-buffer I/O slots. A
+//! [`ResourceVec`] is one point in that four-dimensional space, used both
+//! as a node-class *capacity* and as a job's *per-node demand*.
+//!
+//! Flat (classless) clusters ignore per-node vectors entirely — they are
+//! the paper's abstract machine, bit-identical to the pre-refactor kernel.
+
+/// A vector of per-node resource quantities.
+///
+/// Used in two roles: the capacity of every node in a
+/// [`NodeClassSpec`](crate::topology::NodeClassSpec), and the per-node
+/// demand of a [`JobSpec`](crate::job::JobSpec). Comparison is by
+/// *domination*: a capacity can host a demand iff it is at least as large
+/// in every dimension ([`ResourceVec::dominates`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ResourceVec {
+    /// CPU cores.
+    pub cpus: u32,
+    /// GPU devices.
+    pub gpus: u32,
+    /// Node-local memory in GB.
+    pub memory_gb: u64,
+    /// Burst-buffer I/O slots.
+    pub bb_slots: u32,
+}
+
+impl ResourceVec {
+    /// The zero vector — demands nothing, provides nothing.
+    pub const ZERO: ResourceVec = ResourceVec {
+        cpus: 0,
+        gpus: 0,
+        memory_gb: 0,
+        bb_slots: 0,
+    };
+
+    /// A vector with every dimension given explicitly.
+    pub const fn new(cpus: u32, gpus: u32, memory_gb: u64, bb_slots: u32) -> Self {
+        ResourceVec {
+            cpus,
+            gpus,
+            memory_gb,
+            bb_slots,
+        }
+    }
+
+    /// `true` if every dimension of `self` is at least the matching
+    /// dimension of `other` — i.e. a capacity of `self` can host a demand
+    /// of `other`.
+    pub fn dominates(&self, other: &ResourceVec) -> bool {
+        self.cpus >= other.cpus
+            && self.gpus >= other.gpus
+            && self.memory_gb >= other.memory_gb
+            && self.bb_slots >= other.bb_slots
+    }
+
+    /// `true` if every dimension is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == ResourceVec::ZERO
+    }
+
+    /// Element-wise saturating sum.
+    pub fn saturating_add(&self, other: &ResourceVec) -> ResourceVec {
+        ResourceVec {
+            cpus: self.cpus.saturating_add(other.cpus),
+            gpus: self.gpus.saturating_add(other.gpus),
+            memory_gb: self.memory_gb.saturating_add(other.memory_gb),
+            bb_slots: self.bb_slots.saturating_add(other.bb_slots),
+        }
+    }
+
+    /// Element-wise maximum.
+    pub fn max(&self, other: &ResourceVec) -> ResourceVec {
+        ResourceVec {
+            cpus: self.cpus.max(other.cpus),
+            gpus: self.gpus.max(other.gpus),
+            memory_gb: self.memory_gb.max(other.memory_gb),
+            bb_slots: self.bb_slots.max(other.bb_slots),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domination_is_per_dimension() {
+        let cap = ResourceVec::new(64, 4, 128, 2);
+        assert!(cap.dominates(&ResourceVec::new(64, 4, 128, 2)), "equal");
+        assert!(cap.dominates(&ResourceVec::ZERO));
+        assert!(cap.dominates(&ResourceVec::new(1, 0, 64, 0)));
+        // One dimension over capacity breaks domination, regardless of the
+        // others being far under.
+        assert!(!cap.dominates(&ResourceVec::new(65, 0, 0, 0)));
+        assert!(!cap.dominates(&ResourceVec::new(0, 5, 0, 0)));
+        assert!(!cap.dominates(&ResourceVec::new(0, 0, 129, 0)));
+        assert!(!cap.dominates(&ResourceVec::new(0, 0, 0, 3)));
+    }
+
+    #[test]
+    fn zero_properties() {
+        assert!(ResourceVec::ZERO.is_zero());
+        assert!(ResourceVec::default().is_zero());
+        assert!(!ResourceVec::new(0, 0, 1, 0).is_zero());
+        // Anything dominates zero; zero dominates only zero.
+        assert!(ResourceVec::ZERO.dominates(&ResourceVec::ZERO));
+        assert!(!ResourceVec::ZERO.dominates(&ResourceVec::new(1, 0, 0, 0)));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = ResourceVec::new(2, 1, 10, 0);
+        let b = ResourceVec::new(1, 3, 5, 2);
+        assert_eq!(a.saturating_add(&b), ResourceVec::new(3, 4, 15, 2));
+        assert_eq!(a.max(&b), ResourceVec::new(2, 3, 10, 2));
+        let big = ResourceVec::new(u32::MAX, 0, u64::MAX, 0);
+        assert_eq!(big.saturating_add(&big).cpus, u32::MAX);
+    }
+}

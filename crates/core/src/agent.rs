@@ -182,6 +182,7 @@ mod tests {
             config: ClusterConfig::paper_default(),
             free_nodes: 256,
             free_memory_gb: 2048,
+            free_by_class: [0; rsched_cluster::MAX_CLASSES],
             waiting,
             running: &[],
             completed: &[],

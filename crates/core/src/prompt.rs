@@ -153,6 +153,7 @@ mod tests {
                 start: SimTime::ZERO,
                 submit: SimTime::ZERO,
                 expected_end: SimTime::from_secs(10_000),
+                class: None,
             }],
             completed: vec![JobRecord::new(
                 JobSpec::new(7, 0, SimTime::ZERO, SimDuration::from_secs(10), 1, 1),
@@ -168,6 +169,7 @@ mod tests {
                 config: ClusterConfig::paper_default(),
                 free_nodes: 238,
                 free_memory_gb: 576,
+                free_by_class: [0; rsched_cluster::MAX_CLASSES],
                 waiting: &self.waiting,
                 running: &self.running,
                 completed: &self.completed,

@@ -40,7 +40,9 @@ use std::sync::OnceLock;
 use rsched_cluster::{ClusterConfig, JobSpec};
 use rsched_core::LlmSchedulingPolicy;
 use rsched_cpsolver::SolverConfig;
-use rsched_schedulers::{EasyBackfill, Fcfs, OrToolsPolicy, RandomPolicy, Sjf};
+use rsched_schedulers::{
+    ConservativeBackfill, EasyBackfill, Fcfs, OrToolsPolicy, RandomPolicy, Sjf,
+};
 use rsched_sim::SchedulingPolicy;
 
 /// Canonical registry names of the builtin policies, as they appear in the
@@ -60,13 +62,32 @@ pub mod names {
     pub const EASY: &str = "EASY";
     /// Random eligible pick (ablation floor).
     pub const RANDOM: &str = "Random";
+    /// EASY with shortest-walltime-first backfill candidate ordering.
+    pub const EASY_SJBF: &str = "EASY-SJBF";
+    /// FCFS + conservative backfilling (a reservation per waiting job).
+    pub const CONSERVATIVE: &str = "Conservative";
+    /// Conservative backfilling, shortest startable candidate first.
+    pub const CONSERVATIVE_SJBF: &str = "Conservative-SJBF";
 
     /// The paper's five compared schedulers, in figure order.
     pub const PAPER_SET: [&str; 5] = [FCFS, SJF, OR_TOOLS, CLAUDE37, O4_MINI];
     /// The two LLM agents (overhead figures).
     pub const LLM_PAIR: [&str; 2] = [CLAUDE37, O4_MINI];
+    /// The backfilling policy family swept by the heterogeneous campaigns.
+    pub const BACKFILL_FAMILY: [&str; 4] = [EASY, EASY_SJBF, CONSERVATIVE, CONSERVATIVE_SJBF];
     /// Every builtin policy, paper set first.
-    pub const ALL_BUILTIN: [&str; 7] = [FCFS, SJF, OR_TOOLS, CLAUDE37, O4_MINI, EASY, RANDOM];
+    pub const ALL_BUILTIN: [&str; 10] = [
+        FCFS,
+        SJF,
+        OR_TOOLS,
+        CLAUDE37,
+        O4_MINI,
+        EASY,
+        RANDOM,
+        EASY_SJBF,
+        CONSERVATIVE,
+        CONSERVATIVE_SJBF,
+    ];
 }
 
 /// Everything a policy factory may need to instantiate a policy for one
@@ -152,7 +173,7 @@ struct Entry {
 
 /// A string-keyed, case-insensitive map from policy names to factories.
 ///
-/// [`PolicyRegistry::with_builtins`] ships the seven policies the
+/// [`PolicyRegistry::with_builtins`] ships the ten builtin policies the
 /// experiments compare; third parties extend the set with
 /// [`PolicyRegistry::register`] — no workspace code changes needed.
 #[derive(Default)]
@@ -166,7 +187,7 @@ impl PolicyRegistry {
         PolicyRegistry::default()
     }
 
-    /// A registry pre-populated with the seven builtin policies (see
+    /// A registry pre-populated with the ten builtin policies (see
     /// [`names`]).
     pub fn with_builtins() -> Self {
         let mut registry = PolicyRegistry::new();
@@ -179,6 +200,13 @@ impl PolicyRegistry {
             self.register(names::FCFS, |_| Box::new(Fcfs)),
             self.register(names::SJF, |_| Box::new(Sjf)),
             self.register(names::EASY, |_| Box::new(EasyBackfill::new())),
+            self.register(names::EASY_SJBF, |_| Box::new(EasyBackfill::sjbf())),
+            self.register(names::CONSERVATIVE, |_| {
+                Box::new(ConservativeBackfill::new())
+            }),
+            self.register(names::CONSERVATIVE_SJBF, |_| {
+                Box::new(ConservativeBackfill::sjbf())
+            }),
             self.register(names::RANDOM, |ctx| Box::new(RandomPolicy::new(ctx.seed))),
             self.register(names::OR_TOOLS, |ctx| {
                 let config = SolverConfig {
@@ -287,7 +315,7 @@ mod tests {
     }
 
     #[test]
-    fn builtins_cover_all_seven_names() {
+    fn builtins_cover_all_builtin_names() {
         let registry = PolicyRegistry::with_builtins();
         assert_eq!(registry.len(), names::ALL_BUILTIN.len());
         for name in names::ALL_BUILTIN {
@@ -319,7 +347,7 @@ mod tests {
         match &err {
             RegistryError::Unknown { name, known } => {
                 assert_eq!(name, "slurm");
-                assert_eq!(known.len(), 7);
+                assert_eq!(known.len(), 10);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -335,7 +363,7 @@ mod tests {
         registry
             .register("my-policy", |_| Box::new(Fcfs))
             .expect("fresh name");
-        assert_eq!(registry.len(), 8);
+        assert_eq!(registry.len(), 11);
     }
 
     #[test]
@@ -391,6 +419,6 @@ mod tests {
         let a: *const PolicyRegistry = builtins();
         let b: *const PolicyRegistry = builtins();
         assert_eq!(a, b);
-        assert_eq!(builtins().len(), 7);
+        assert_eq!(builtins().len(), 10);
     }
 }

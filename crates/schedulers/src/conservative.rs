@@ -1,0 +1,329 @@
+//! Conservative backfilling: a reservation for *every* waiting job.
+//!
+//! EASY protects only the queue head; a backfill may still delay the
+//! second, third, … job in line. Conservative backfilling closes that gap:
+//! each decision epoch rebuilds a reservation list over the waiting queue
+//! (in arrival order, up to [`RESERVATION_DEPTH`]), and a job may start now
+//! only if doing so is consistent with every earlier reservation. The
+//! policy therefore never relies on the simulator's shadow-time veto — its
+//! own reservation list is the safety argument, and walltime estimates
+//! (`walltime`, not the hidden `duration`) are what the reservations are
+//! built from, which is exactly what the badly-estimated-walltime
+//! scenarios stress.
+
+use rsched_cluster::{JobId, JobSpec};
+use rsched_sim::{Action, SchedulingPolicy, SystemView};
+use rsched_simkit::SimTime;
+
+/// Reservation-list depth cap: queue positions beyond this neither get a
+/// reservation nor are considered for backfill in that epoch. Bounds the
+/// per-epoch cost to O(depth × profile) on pathological queues.
+pub const RESERVATION_DEPTH: usize = 64;
+
+/// A step function of free capacity over time: `(time, free_nodes,
+/// free_memory_gb)`, sorted by time; each entry holds until the next, the
+/// last holds forever.
+type Profile = Vec<(SimTime, u32, u64)>;
+
+/// FCFS with conservative backfilling (full reservation list).
+///
+/// The [`sjbf`](ConservativeBackfill::sjbf) variant picks the shortest
+/// requested walltime among the startable candidates instead of the
+/// earliest-arrived — the walltime-estimate-aware refinement.
+#[derive(Debug, Clone, Default)]
+pub struct ConservativeBackfill {
+    /// Jobs rejected at the current timestep (reset when time moves).
+    rejected_this_epoch: Vec<JobId>,
+    last_time: Option<SimTime>,
+    /// Pick the shortest startable candidate instead of the first.
+    shortest_first: bool,
+}
+
+impl ConservativeBackfill {
+    /// A fresh policy with arrival-order candidate selection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shortest-job-backfilled-first variant (`Conservative-SJBF`).
+    pub fn sjbf() -> Self {
+        ConservativeBackfill {
+            shortest_first: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// The free-capacity profile implied by the running set's *estimated* end
+/// times: capacity comes back at each `expected_end`.
+fn free_profile(view: &SystemView<'_>) -> Profile {
+    let mut ends: Vec<(SimTime, u32, u64)> = view
+        .running
+        .iter()
+        .map(|r| (r.expected_end, r.nodes, r.memory_gb))
+        .collect();
+    ends.sort_unstable();
+    let mut points: Profile = vec![(view.now, view.free_nodes, view.free_memory_gb)];
+    for (t, nodes, mem) in ends {
+        let &(last_t, last_n, last_m) = points.last().expect("non-empty");
+        let (free_n, free_m) = (last_n + nodes, last_m + mem);
+        if t <= last_t {
+            // expected_end ≤ now: the job overran its estimate (walltime
+            // underestimated duration) and still holds its nodes. Credit
+            // the release at `now` — optimistic by that job's remainder.
+            let last = points.last_mut().expect("non-empty");
+            last.1 = free_n;
+            last.2 = free_m;
+        } else {
+            points.push((t, free_n, free_m));
+        }
+    }
+    points
+}
+
+/// Earliest profile point at which `(nodes, mem)` stays available for the
+/// whole `[start, start + walltime)` window. Always exists: past the last
+/// point the machine is fully free.
+fn earliest_start(points: &Profile, job: &JobSpec) -> SimTime {
+    'candidate: for i in 0..points.len() {
+        let start = points[i].0;
+        let end = start + job.walltime;
+        for &(t, free_n, free_m) in &points[i..] {
+            if t >= end {
+                break;
+            }
+            if free_n < job.nodes || free_m < job.memory_gb {
+                continue 'candidate;
+            }
+        }
+        return start;
+    }
+    unreachable!("the final profile point is the fully-free machine")
+}
+
+/// Insert a boundary point at `t` (carrying the preceding value) if absent.
+fn insert_boundary(points: &mut Profile, t: SimTime) {
+    match points.binary_search_by_key(&t, |p| p.0) {
+        Ok(_) => {}
+        Err(0) => {} // before `now`: the [start, end) clamp covers it
+        Err(i) => {
+            let (_, n, m) = points[i - 1];
+            points.insert(i, (t, n, m));
+        }
+    }
+}
+
+/// Subtract a reservation of `(nodes, mem)` over `[start, end)`.
+fn reserve(points: &mut Profile, start: SimTime, end: SimTime, nodes: u32, mem: u64) {
+    insert_boundary(points, start);
+    insert_boundary(points, end);
+    for p in points.iter_mut() {
+        if p.0 >= start && p.0 < end {
+            p.1 = p.1.saturating_sub(nodes);
+            p.2 = p.2.saturating_sub(mem);
+        }
+    }
+}
+
+impl SchedulingPolicy for ConservativeBackfill {
+    fn name(&self) -> &str {
+        if self.shortest_first {
+            "Conservative-SJBF"
+        } else {
+            "Conservative"
+        }
+    }
+
+    fn decide(&mut self, view: &SystemView<'_>) -> Action {
+        if self.last_time != Some(view.now) {
+            self.last_time = Some(view.now);
+            self.rejected_this_epoch.clear();
+        }
+        if view.all_jobs_started() {
+            return Action::Stop;
+        }
+        if view.waiting.is_empty() {
+            return Action::Delay;
+        }
+        // Rebuild the reservation list in arrival order; collect the jobs
+        // whose reservation lands at `now` (they can start without delaying
+        // anyone reserved before them).
+        let mut points = free_profile(view);
+        let mut startable: Vec<&JobSpec> = Vec::new();
+        for job in view.waiting.iter().take(RESERVATION_DEPTH) {
+            let start = earliest_start(&points, job);
+            if start <= view.now
+                && view.fits_now(job)
+                && !self.rejected_this_epoch.contains(&job.id)
+            {
+                startable.push(job);
+            }
+            reserve(
+                &mut points,
+                start,
+                start + job.walltime,
+                job.nodes,
+                job.memory_gb,
+            );
+        }
+        let head_id = view.head_of_queue().map(|h| h.id);
+        let pick = if self.shortest_first {
+            startable
+                .into_iter()
+                .min_by_key(|j| (j.walltime, j.submit, j.id))
+        } else {
+            startable.into_iter().next()
+        };
+        match pick {
+            Some(j) if Some(j.id) == head_id => Action::StartJob(j.id),
+            Some(j) => Action::BackfillJob(j.id),
+            None => Action::Delay,
+        }
+    }
+
+    fn observe(&mut self, outcome: &rsched_sim::ActionOutcome) {
+        if !outcome.accepted() {
+            if let Some(id) = outcome.action.job_id() {
+                self.rejected_this_epoch.push(id);
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.rejected_this_epoch.clear();
+        self.last_time = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsched_cluster::{ClusterConfig, JobId, JobSpec};
+    use rsched_sim::{run_simulation, SimOptions, SimOutcome};
+    use rsched_simkit::{SimDuration, SimTime};
+
+    fn spec(id: u32, submit_s: u64, dur_s: u64, nodes: u32) -> JobSpec {
+        JobSpec::new(
+            id,
+            id % 3,
+            SimTime::from_secs(submit_s),
+            SimDuration::from_secs(dur_s),
+            nodes,
+            1,
+        )
+    }
+
+    /// Note: `strict_backfill` stays OFF — the reservation list itself must
+    /// keep every pick safe.
+    fn run_with(jobs: &[JobSpec], mut policy: ConservativeBackfill) -> SimOutcome {
+        run_simulation(
+            ClusterConfig::new(8, 64),
+            jobs,
+            &mut policy,
+            &SimOptions::default(),
+        )
+        .expect("completes")
+    }
+
+    fn start(out: &SimOutcome, id: u32) -> SimTime {
+        out.records
+            .iter()
+            .find(|r| r.spec.id == JobId(id))
+            .unwrap()
+            .start
+    }
+
+    #[test]
+    fn reservations_keep_unsafe_backfills_out_without_simulator_help() {
+        let jobs = vec![
+            spec(0, 0, 100, 6),  // running, 2 nodes free
+            spec(1, 5, 50, 8),   // head, reserved at t=100
+            spec(2, 6, 1000, 2), // would delay the head — never proposed early
+            spec(3, 7, 10, 1),   // fits before the head's reservation
+        ];
+        let out = run_with(&jobs, ConservativeBackfill::new());
+        assert_eq!(start(&out, 1), SimTime::from_secs(100), "head undelayed");
+        assert!(
+            start(&out, 2) >= SimTime::from_secs(150),
+            "long job honours the head's reservation: {:?}",
+            start(&out, 2)
+        );
+        assert_eq!(start(&out, 3), SimTime::from_secs(7), "short job backfills");
+        assert_eq!(out.stats.rejections, 0, "no simulator veto was needed");
+    }
+
+    #[test]
+    fn protects_reservations_beyond_the_head() {
+        // EASY protects only job 1; conservative also protects job 2.
+        let jobs = vec![
+            spec(0, 0, 100, 6), // running, 2 nodes free
+            spec(1, 5, 50, 8),  // head: reserved [100, 150)
+            spec(2, 6, 50, 6),  // second in line: reserved [150, 200)
+            spec(3, 7, 60, 2),  // fits now, ends t≈67 < 100: harmless
+        ];
+        let out = run_with(&jobs, ConservativeBackfill::new());
+        assert_eq!(start(&out, 1), SimTime::from_secs(100));
+        assert_eq!(start(&out, 2), SimTime::from_secs(150));
+        assert_eq!(start(&out, 3), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn sjbf_variant_picks_the_shortest_startable_candidate() {
+        let jobs = vec![
+            spec(0, 0, 100, 6), // running, 2 nodes free
+            spec(1, 5, 50, 8),  // head blocked until t=100
+            spec(2, 6, 80, 1),  // arrival-order pick
+            spec(3, 6, 10, 1),  // same arrival, shortest
+        ];
+        let arrival = run_with(&jobs, ConservativeBackfill::new());
+        let sjbf = run_with(&jobs, ConservativeBackfill::sjbf());
+        let first_backfill = |o: &SimOutcome| {
+            o.decisions
+                .iter()
+                .find_map(|d| match d.action {
+                    Action::BackfillJob(id) => Some(id),
+                    _ => None,
+                })
+                .expect("backfilled")
+        };
+        assert_eq!(first_backfill(&arrival), JobId(2));
+        assert_eq!(first_backfill(&sjbf), JobId(3));
+        assert_eq!(start(&arrival, 1), SimTime::from_secs(100));
+        assert_eq!(start(&sjbf, 1), SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn behaves_like_fcfs_when_no_backfill_possible() {
+        let jobs = vec![spec(0, 0, 50, 8), spec(1, 1, 20, 8), spec(2, 2, 20, 8)];
+        let cons = run_with(&jobs, ConservativeBackfill::new());
+        let fcfs = run_simulation(
+            ClusterConfig::new(8, 64),
+            &jobs,
+            &mut crate::fcfs::Fcfs,
+            &SimOptions::default(),
+        )
+        .expect("completes");
+        let starts = |o: &SimOutcome| {
+            let mut v: Vec<(JobId, u64)> = o
+                .records
+                .iter()
+                .map(|r| (r.spec.id, r.start.as_secs()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(starts(&cons), starts(&fcfs));
+    }
+
+    #[test]
+    fn deep_queue_is_bounded_by_the_reservation_depth() {
+        // 200 one-node jobs behind a machine-wide head: the policy must
+        // stay deterministic and complete despite the depth cap.
+        let mut jobs = vec![spec(0, 0, 50, 8)];
+        for i in 1..=200u32 {
+            jobs.push(spec(i, 1, 10, 1));
+        }
+        let out = run_with(&jobs, ConservativeBackfill::new());
+        assert_eq!(out.records.len(), jobs.len());
+    }
+}

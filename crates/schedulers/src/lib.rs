@@ -12,22 +12,31 @@
 //!   substitute) replayed against the live cluster. Utilization-focused
 //!   and fairness-blind, as the paper observes.
 //!
-//! Plus two extensions used by the ablation studies:
+//! Plus the extensions used by the ablation studies:
 //!
 //! * [`EasyBackfill`] — FCFS with EASY backfilling; isolates how much of
-//!   the LLM agent's win is "just backfilling".
+//!   the LLM agent's win is "just backfilling". Its
+//!   [`sjbf`](EasyBackfill::sjbf) variant backfills shortest-walltime
+//!   first.
+//! * [`ConservativeBackfill`] — FCFS with conservative backfilling (a
+//!   reservation for every waiting job, not just the head), also with an
+//!   [`sjbf`](ConservativeBackfill::sjbf) variant. Together with EASY
+//!   these form the backfilling policy family swept by the heterogeneous
+//!   campaigns.
 //! * [`RandomPolicy`] — a seeded random eligible-job picker, the sanity
 //!   floor.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod conservative;
 pub mod easy;
 pub mod fcfs;
 pub mod ortools;
 pub mod random;
 pub mod sjf;
 
+pub use conservative::ConservativeBackfill;
 pub use easy::EasyBackfill;
 pub use fcfs::Fcfs;
 pub use ortools::OrToolsPolicy;

@@ -18,7 +18,7 @@
 
 #![allow(deprecated)]
 
-use rsched_cluster::{ClusterConfig, CompletedStats, JobRecord, JobSpec};
+use rsched_cluster::{ClusterConfig, CompletedStats, JobRecord, JobSpec, MAX_CLASSES};
 use rsched_simkit::SimTime;
 
 use crate::view::{RunningSummary, SystemView};
@@ -43,6 +43,8 @@ pub struct OwnedSystemView {
     pub free_nodes: u32,
     /// Free memory (GB) at `now`.
     pub free_memory_gb: u64,
+    /// Free nodes per topology class slot (all zeros on flat clusters).
+    pub free_by_class: [u32; MAX_CLASSES],
     /// Arrived, not-yet-started jobs, ordered by `(submit, id)`.
     pub waiting: Vec<JobSpec>,
     /// Currently executing jobs, ordered by id.
@@ -71,6 +73,7 @@ impl OwnedSystemView {
             config: self.config,
             free_nodes: self.free_nodes,
             free_memory_gb: self.free_memory_gb,
+            free_by_class: self.free_by_class,
             waiting: &self.waiting,
             running: &self.running,
             completed: &self.completed,
@@ -111,6 +114,7 @@ mod tests {
             start: SimTime::from_secs(2),
             submit: SimTime::ZERO,
             expected_end: SimTime::from_secs(500),
+            class: None,
         }];
         let completed = vec![
             JobRecord::new(spec(5, 0, 1, 1), SimTime::from_secs(3)),
@@ -121,6 +125,7 @@ mod tests {
             config: ClusterConfig::new(32, 256),
             free_nodes: 12,
             free_memory_gb: 100,
+            free_by_class: [0; MAX_CLASSES],
             waiting: &waiting,
             running: &running,
             completed: &completed,
@@ -139,6 +144,7 @@ mod tests {
         assert_eq!(round.config, borrowed.config);
         assert_eq!(round.free_nodes, borrowed.free_nodes);
         assert_eq!(round.free_memory_gb, borrowed.free_memory_gb);
+        assert_eq!(round.free_by_class, borrowed.free_by_class);
         assert_eq!(round.waiting, borrowed.waiting);
         assert_eq!(round.running, borrowed.running);
         assert_eq!(round.completed, borrowed.completed);

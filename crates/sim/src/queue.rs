@@ -117,6 +117,11 @@ impl WaitQueue {
     /// the exact minima as a side effect, for free — removals can therefore
     /// only degrade the short-circuit until the next saturated scan, never
     /// permanently.
+    ///
+    /// The watermarks stay sound on classed clusters: a class's free count
+    /// never exceeds the machine-wide free total, and classed memory is
+    /// charged per whole node, so `free_nodes < min_nodes` or
+    /// `free_memory_gb < min_memory_gb` still proves nothing can place.
     pub(crate) fn any_fits(&mut self, cluster: &ClusterState) -> bool {
         if self.is_empty() {
             return false;
@@ -290,6 +295,7 @@ mod tests {
                 start: SimTime::ZERO,
                 submit: SimTime::ZERO,
                 expected_end: SimTime::from_secs(10),
+                class: None,
             });
         }
         let ids: Vec<u32> = r.as_slice().iter().map(|s| s.id.0).collect();

@@ -19,7 +19,7 @@ use std::collections::BTreeSet;
 use rsched_cluster::reservation::Demand;
 use rsched_cluster::{
     backfill_is_safe, shadow_start, ClusterConfig, ClusterState, JobId, JobSpec, StartError,
-    StepIntegral,
+    StepIntegral, MAX_CLASSES,
 };
 use rsched_simkit::{EventQueue, SimTime};
 
@@ -266,11 +266,22 @@ pub(crate) fn simulate(
 
 fn validate_workload(config: ClusterConfig, jobs: &[JobSpec]) -> Result<(), SimError> {
     let mut seen: BTreeSet<JobId> = BTreeSet::new();
+    // On a classed machine a job is infeasible exactly when no class could
+    // host it even on an empty cluster.
+    let mut empty_free = [0u32; MAX_CLASSES];
+    for (slot, class) in config.topology.classes() {
+        empty_free[slot] = class.count;
+    }
     for job in jobs {
         if !seen.insert(job.id) {
             return Err(SimError::DuplicateJobId(job.id));
         }
-        if job.nodes > config.nodes || job.memory_gb > config.memory_gb {
+        let infeasible = if config.topology.is_flat() {
+            job.nodes > config.nodes || job.memory_gb > config.memory_gb
+        } else {
+            !Demand::from(job).fits_classes(&config.topology, &empty_free)
+        };
+        if infeasible {
             return Err(SimError::InfeasibleJob {
                 id: job.id,
                 nodes: job.nodes,
@@ -315,6 +326,7 @@ fn run_decision_epoch(mut ctx: DecisionEpoch<'_>) -> Result<(), SimError> {
             config: ctx.cluster.config(),
             free_nodes: ctx.cluster.free_nodes(),
             free_memory_gb: ctx.cluster.free_memory_gb(),
+            free_by_class: ctx.cluster.free_by_class(),
             waiting: ctx.queue.as_slice(),
             running: ctx.running.as_slice(),
             completed: ctx.cluster.completed(),
@@ -463,6 +475,11 @@ fn start_waiting_job(ctx: &mut DecisionEpoch<'_>, spec: &JobSpec) -> Result<(), 
     match ctx.cluster.start_job(spec, ctx.now) {
         Ok(started) => {
             let end = started.end;
+            // The memory the cluster actually debited: equals the request
+            // on flat clusters, but classed clusters charge the hosting
+            // classes' capacity — and the summary must mirror the debit so
+            // policies' release math conserves machine capacity.
+            let held_memory_gb = started.allocation.memory_gb;
             ctx.events.push(end, SimEvent::Completion(spec.id));
             ctx.queue
                 .remove((spec.submit, spec.id))
@@ -472,10 +489,11 @@ fn start_waiting_job(ctx: &mut DecisionEpoch<'_>, spec: &JobSpec) -> Result<(), 
                 id: spec.id,
                 user: spec.user,
                 nodes: spec.nodes,
-                memory_gb: spec.memory_gb,
+                memory_gb: held_memory_gb,
                 start: ctx.now,
                 submit: spec.submit,
                 expected_end: ctx.now + spec.walltime,
+                class: spec.class,
             });
             ctx.node_integral
                 .update(ctx.now, ctx.cluster.busy_nodes() as f64);

@@ -15,7 +15,9 @@
 //! era API) can still get one through the deprecated
 //! [`to_owned`](SystemView::to_owned) compatibility path.
 
-use rsched_cluster::{ClusterConfig, JobId, JobRecord, JobSpec, UserId};
+use rsched_cluster::{
+    ClusterConfig, Demand, JobId, JobRecord, JobSpec, NodeClass, UserId, MAX_CLASSES,
+};
 use rsched_simkit::SimTime;
 
 pub use rsched_cluster::CompletedStats;
@@ -31,7 +33,11 @@ pub struct RunningSummary {
     pub user: UserId,
     /// Nodes held.
     pub nodes: u32,
-    /// Memory held (GB).
+    /// Memory held (GB) — what the cluster debited, which equals the
+    /// request on flat clusters but the hosting classes' capacity on
+    /// classed ones. Summing this over `running` always restores
+    /// [`free_memory_gb`](SystemView::free_memory_gb) to the machine
+    /// total, so policies can do release arithmetic with it.
     pub memory_gb: u64,
     /// When the job started.
     pub start: SimTime,
@@ -39,6 +45,9 @@ pub struct RunningSummary {
     pub submit: SimTime,
     /// `start + walltime`: when the scheduler expects it to finish.
     pub expected_end: SimTime,
+    /// The node class the job asked for, `None` when class-agnostic (always
+    /// `None` on flat clusters).
+    pub class: Option<NodeClass>,
 }
 
 /// The full snapshot a policy decides from — borrowed from the simulator's
@@ -66,6 +75,9 @@ pub struct SystemView<'a> {
     pub free_nodes: u32,
     /// Free memory (GB) at `now`.
     pub free_memory_gb: u64,
+    /// Free nodes per topology class slot at `now`. All zeros on flat
+    /// clusters, where [`free_nodes`](Self::free_nodes) is the whole story.
+    pub free_by_class: [u32; MAX_CLASSES],
     /// Arrived, not-yet-started jobs — eligible for `StartJob`/`BackfillJob`.
     /// Ordered by arrival (submit time, then id).
     pub waiting: &'a [JobSpec],
@@ -98,8 +110,16 @@ impl<'a> SystemView<'a> {
     }
 
     /// `true` if the job fits the free resources right now.
+    ///
+    /// Flat clusters keep the paper's two scalar checks; classed clusters
+    /// ask whether some class-compatible slot has enough free nodes whose
+    /// per-node capacity covers the job's vector demand.
     pub fn fits_now(&self, spec: &JobSpec) -> bool {
-        spec.nodes <= self.free_nodes && spec.memory_gb <= self.free_memory_gb
+        if self.config.topology.is_flat() {
+            spec.nodes <= self.free_nodes && spec.memory_gb <= self.free_memory_gb
+        } else {
+            Demand::from(spec).fits_classes(&self.config.topology, &self.free_by_class)
+        }
     }
 
     /// Waiting jobs that fit right now, in queue order.
@@ -165,6 +185,7 @@ impl<'a> SystemView<'a> {
             config: self.config,
             free_nodes: self.free_nodes,
             free_memory_gb: self.free_memory_gb,
+            free_by_class: self.free_by_class,
             waiting: self.waiting.to_vec(),
             running: self.running.to_vec(),
             completed: self.completed.to_vec(),
@@ -215,6 +236,7 @@ mod tests {
                 start: SimTime::from_secs(90),
                 submit: SimTime::ZERO,
                 expected_end: SimTime::from_secs(200),
+                class: None,
             }],
             completed: vec![JobRecord::new(spec(7, 3, 0, 1, 1), SimTime::ZERO)],
             pending_arrivals: 2,
@@ -228,6 +250,7 @@ mod tests {
                 config: ClusterConfig::paper_default(),
                 free_nodes: 64,
                 free_memory_gb: 512,
+                free_by_class: [0; MAX_CLASSES],
                 waiting: &self.waiting,
                 running: &self.running,
                 completed: &self.completed,
@@ -254,6 +277,31 @@ mod tests {
         assert!(!v.fits_now(&spec(2, 0, 0, 64, 600)), "too much memory");
         let eligible: Vec<JobId> = v.eligible_now().map(|j| j.id).collect();
         assert_eq!(eligible, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn classed_fits_now_consults_class_watermarks() {
+        use rsched_cluster::{NodeClass, ResourceVec};
+        let f = fixture();
+        let mut v = f.view();
+        v.config = ClusterConfig::mixed_256();
+        // Only one gpu node is free anywhere on the machine.
+        v.free_nodes = 1;
+        v.free_by_class = [0, 1, 0, 0];
+        let small = spec(1, 0, 0, 1, 4);
+        assert!(v.fits_now(&small), "one free gpu node hosts a 1-node job");
+        assert!(
+            !v.fits_now(&spec(2, 0, 0, 2, 4)),
+            "no class has 2 free nodes"
+        );
+        assert!(
+            !v.fits_now(&small.clone().with_class(NodeClass::BigMem)),
+            "class pin overrides the free gpu node"
+        );
+        assert!(
+            v.fits_now(&small.with_per_node(ResourceVec::new(0, 4, 32, 1))),
+            "gpu demand lands on the gpu class"
+        );
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! Workloads are addressed by name through [`ScenarioRegistry`]: the
 //! paper's seven synthetic scenarios (*Homogeneous Short*, *Heterogeneous
 //! Mix*, *Long-Job Dominant*, *High Parallelism*, *Resource Sparse*,
-//! *Bursty + Idle*, *Adversarial*), four extended ones (*Diurnal Wave*,
-//! *Wide-Job Convoy*, *GPU-Skewed Hetmix*, *Long-Tail Runtime*), the
+//! *Bursty + Idle*, *Adversarial*), five extended ones (*Diurnal Wave*,
+//! *Wide-Job Convoy*, *GPU-Skewed Hetmix*, *Long-Tail Runtime*, *BigMem
+//! Burst*), the
 //! Polaris trace substrate of paper §5, and — via the `swf:<path>` name
 //! form — any [Standard Workload Format](swf) archive trace on disk.
 //! Registering a new scenario is one [`ScenarioRegistry::register`] call;

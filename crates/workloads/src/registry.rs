@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
 use rsched_cluster::ClusterConfig;
-use rsched_simkit::SimTime;
+use rsched_simkit::{SimDuration, SimTime};
 
 use crate::arrivals::ArrivalMode;
 use crate::error::WorkloadError;
@@ -43,10 +43,12 @@ pub mod names {
     pub const DIURNAL_WAVE: &str = "diurnal_wave";
     /// Waves of 96–192-node jobs ahead of narrow ones — backfill stress.
     pub const WIDE_JOB_CONVOY: &str = "wide_job_convoy";
-    /// 35 % accelerator-style jobs: few nodes, 32–64 GB/node.
+    /// 35 % accelerator jobs: 4 GPUs + 32–64 GB per node, gpu-class pinned.
     pub const GPU_SKEWED_HETMIX: &str = "gpu_skewed_hetmix";
     /// Small jobs with log-normal runtimes spanning orders of magnitude.
     pub const LONG_TAIL: &str = "long_tail";
+    /// Bursts of 96–128 GB/node analytics jobs pinned to the bigmem class.
+    pub const BIGMEM_BURST: &str = "bigmem_burst";
     /// The calibrated Polaris trace substrate (paper §5).
     pub const POLARIS: &str = "polaris";
 
@@ -76,12 +78,17 @@ pub mod names {
         ADVERSARIAL,
     ];
 
-    /// The four extended scenarios beyond the paper's set.
-    pub const EXTENDED_FOUR: [&str; 4] =
-        [DIURNAL_WAVE, WIDE_JOB_CONVOY, GPU_SKEWED_HETMIX, LONG_TAIL];
+    /// The five extended scenarios beyond the paper's set.
+    pub const EXTENDED_FIVE: [&str; 5] = [
+        DIURNAL_WAVE,
+        WIDE_JOB_CONVOY,
+        GPU_SKEWED_HETMIX,
+        LONG_TAIL,
+        BIGMEM_BURST,
+    ];
 
     /// Every builtin scenario name, paper set first.
-    pub const ALL_BUILTIN: [&str; 12] = [
+    pub const ALL_BUILTIN: [&str; 13] = [
         HOMOGENEOUS_SHORT,
         HETEROGENEOUS_MIX,
         LONG_JOB_DOMINANT,
@@ -93,6 +100,7 @@ pub mod names {
         WIDE_JOB_CONVOY,
         GPU_SKEWED_HETMIX,
         LONG_TAIL,
+        BIGMEM_BURST,
         POLARIS,
     ];
 }
@@ -115,6 +123,14 @@ pub struct ScenarioContext {
     /// scenarios are calibrated to [`ClusterConfig::paper_default`] and
     /// ignore it; custom generators may scale demands from it.
     pub cluster: ClusterConfig,
+    /// Walltime-estimate skew: declared walltimes are stretched to
+    /// `duration × skew`, modelling users who pad their estimates badly.
+    /// `1.0` (the default) leaves the generator's estimates untouched;
+    /// values ≤ 1.0 are treated as exact estimates (walltimes may never
+    /// undershoot the true runtime). Applied centrally by
+    /// [`ScenarioRegistry::generate`], so every scenario — builtin,
+    /// third-party, or `swf:<path>` — honors the knob.
+    pub walltime_skew: f64,
 }
 
 impl ScenarioContext {
@@ -125,6 +141,7 @@ impl ScenarioContext {
             mode: ArrivalMode::Dynamic,
             seed: 0,
             cluster: ClusterConfig::paper_default(),
+            walltime_skew: 1.0,
         }
     }
 
@@ -143,6 +160,13 @@ impl ScenarioContext {
     /// Set the target machine configuration.
     pub fn with_cluster(mut self, cluster: ClusterConfig) -> Self {
         self.cluster = cluster;
+        self
+    }
+
+    /// Set the walltime-estimate skew (see
+    /// [`walltime_skew`](ScenarioContext::walltime_skew)).
+    pub fn with_walltime_skew(mut self, skew: f64) -> Self {
+        self.walltime_skew = skew;
         self
     }
 }
@@ -172,7 +196,7 @@ pub struct ScenarioInfo {
 /// A string-keyed, case- and separator-insensitive map from scenario names
 /// to workload generators.
 ///
-/// [`ScenarioRegistry::with_builtins`] ships the twelve builtin scenarios;
+/// [`ScenarioRegistry::with_builtins`] ships the thirteen builtin scenarios;
 /// third parties extend the set with [`ScenarioRegistry::register`] — no
 /// workspace code changes needed. `swf:<path>` names bypass the map and
 /// load a Standard Workload Format trace from disk.
@@ -192,7 +216,7 @@ impl ScenarioRegistry {
         ScenarioRegistry::default()
     }
 
-    /// A registry pre-populated with the twelve builtin scenarios (see
+    /// A registry pre-populated with the thirteen builtin scenarios (see
     /// [`names`]).
     pub fn with_builtins() -> Self {
         let mut registry = ScenarioRegistry::new();
@@ -318,6 +342,16 @@ impl ScenarioRegistry {
                 j.submit = SimTime::ZERO;
             }
         }
+        // Walltime-estimate skew is a registry-level post-pass for the same
+        // reason: every scenario honors the knob without knowing about it.
+        // Only stretches (> 1.0) apply — a declared walltime must never
+        // undershoot the true runtime.
+        if ctx.walltime_skew > 1.0 {
+            for j in &mut workload.jobs {
+                let skewed = (j.duration.as_millis() as f64 * ctx.walltime_skew).round() as u64;
+                j.walltime = j.walltime.max(SimDuration::from_millis(skewed));
+            }
+        }
         workload.mode = ctx.mode;
         Ok(workload)
     }
@@ -413,7 +447,7 @@ mod tests {
     }
 
     #[test]
-    fn builtins_cover_all_twelve_names() {
+    fn builtins_cover_all_thirteen_names() {
         let registry = ScenarioRegistry::with_builtins();
         assert_eq!(registry.len(), names::ALL_BUILTIN.len());
         for name in names::ALL_BUILTIN {
@@ -453,7 +487,7 @@ mod tests {
         match &err {
             WorkloadError::UnknownScenario { name, known } => {
                 assert_eq!(name, "lustre-meltdown");
-                assert_eq!(known.len(), 12);
+                assert_eq!(known.len(), 13);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -541,7 +575,7 @@ mod tests {
             .generate("EMPTY_QUEUE", &ctx(0, 0))
             .expect("registered");
         assert!(w.is_empty());
-        assert_eq!(registry.len(), 13);
+        assert_eq!(registry.len(), 14);
         assert!(registry
             .catalog()
             .iter()
@@ -615,6 +649,65 @@ mod tests {
         let a: *const ScenarioRegistry = builtins();
         let b: *const ScenarioRegistry = builtins();
         assert_eq!(a, b);
-        assert_eq!(builtins().len(), 12);
+        assert_eq!(builtins().len(), 13);
+    }
+
+    #[test]
+    fn walltime_skew_stretches_estimates_centrally() {
+        let registry = ScenarioRegistry::with_builtins();
+        let base = registry
+            .generate(names::HETEROGENEOUS_MIX, &ctx(20, 7))
+            .expect("builtin");
+        let skewed = registry
+            .generate(
+                names::HETEROGENEOUS_MIX,
+                &ctx(20, 7).with_walltime_skew(3.0),
+            )
+            .expect("builtin");
+        for (a, b) in base.jobs.iter().zip(&skewed.jobs) {
+            // Everything but the estimate is untouched.
+            assert_eq!(a.duration, b.duration);
+            assert_eq!(a.submit, b.submit);
+            assert_eq!(
+                b.walltime,
+                SimDuration::from_millis(a.duration.as_millis() * 3)
+            );
+            assert!(b.walltime >= b.duration);
+        }
+        // Skews at or below 1.0 are no-ops: estimates stay exact.
+        let exact = registry
+            .generate(
+                names::HETEROGENEOUS_MIX,
+                &ctx(20, 7).with_walltime_skew(0.5),
+            )
+            .expect("builtin");
+        assert_eq!(exact.jobs, base.jobs);
+    }
+
+    #[test]
+    fn walltime_skew_reaches_third_party_generators() {
+        use rsched_cluster::JobSpec;
+
+        let mut registry = ScenarioRegistry::new();
+        registry
+            .register("fixed-pair", |ctx| Workload {
+                scenario: "fixed-pair".into(),
+                jobs: vec![JobSpec::new(
+                    0,
+                    0,
+                    SimTime::ZERO,
+                    SimDuration::from_secs(100),
+                    1,
+                    1,
+                )],
+                mode: ctx.mode,
+                seed: ctx.seed,
+            })
+            .expect("fresh name");
+        let w = registry
+            .generate("fixed-pair", &ctx(1, 0).with_walltime_skew(2.5))
+            .expect("registered");
+        assert_eq!(w.jobs[0].walltime, SimDuration::from_secs(250));
+        assert_eq!(w.jobs[0].duration, SimDuration::from_secs(100));
     }
 }

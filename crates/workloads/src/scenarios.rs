@@ -1,7 +1,7 @@
 //! Synthetic scenario generation: the seven benchmark scenarios of paper
 //! §3.1 (with the paper's exact distribution parameters where given and
 //! documented calibrations where the paper specifies only the qualitative
-//! pattern) plus four extended scenarios probing patterns the paper's set
+//! pattern) plus five extended scenarios probing patterns the paper's set
 //! leaves uncovered.
 //!
 //! Scenarios are addressed **by name** through the
@@ -9,7 +9,7 @@
 //! builtin definitions and the deterministic generation core. The legacy
 //! enum-addressed path lives in [`crate::compat`].
 
-use rsched_cluster::{ClusterConfig, JobSpec};
+use rsched_cluster::{ClusterConfig, JobSpec, NodeClass, ResourceVec};
 use rsched_simkit::dist::{Categorical, Clamped, Gamma, LogNormal, Sample, Uniform};
 use rsched_simkit::rng::{Rng, SeedTree};
 use rsched_simkit::{SimDuration, SimTime};
@@ -82,6 +82,25 @@ pub(crate) struct JobShape {
     pub(crate) duration_secs: f64,
     pub(crate) nodes: u32,
     pub(crate) memory_gb: u64,
+    /// Extended per-node demand (GPUs, per-node memory, burst-buffer
+    /// slots). [`ResourceVec::ZERO`] for scalar jobs; ignored entirely on
+    /// flat machines, so scalar scenarios are unaffected.
+    pub(crate) per_node: ResourceVec,
+    /// Node-class pin, if the job only runs on one class.
+    pub(crate) class: Option<NodeClass>,
+}
+
+impl JobShape {
+    /// A scalar (flat-machine) shape: no extended demand, no class pin.
+    pub(crate) fn scalar(duration_secs: f64, nodes: u32, memory_gb: u64) -> Self {
+        JobShape {
+            duration_secs,
+            nodes,
+            memory_gb,
+            per_node: ResourceVec::ZERO,
+            class: None,
+        }
+    }
 }
 
 /// A builtin synthetic scenario: name, presentation metadata, and the two
@@ -101,9 +120,11 @@ pub(crate) struct BuiltinScenario {
 }
 
 /// The builtin synthetic scenarios: the paper's seven (in presentation
-/// order) followed by the four extended ones. All are calibrated to the
-/// paper's 256-node / 2048 GB machine.
-pub(crate) static BUILTIN_SCENARIOS: [BuiltinScenario; 11] = [
+/// order) followed by the five extended ones. All are calibrated to the
+/// paper's 256-node / 2048 GB machine; the two class-aware ones
+/// (`gpu_skewed_hetmix`, `bigmem_burst`) additionally fit the `mixed_256`
+/// topology.
+pub(crate) static BUILTIN_SCENARIOS: [BuiltinScenario; 12] = [
     BuiltinScenario {
         slug: "homogeneous_short",
         title: "Homogeneous Short",
@@ -111,11 +132,7 @@ pub(crate) static BUILTIN_SCENARIOS: [BuiltinScenario; 11] = [
         arrival: || ArrivalProcess::Poisson {
             mean_interarrival_secs: 5.0,
         },
-        shape: |_, _, rng| JobShape {
-            duration_secs: Uniform::new(30.0, 120.0).sample(rng),
-            nodes: 2,
-            memory_gb: 4,
-        },
+        shape: |_, _, rng| JobShape::scalar(Uniform::new(30.0, 120.0).sample(rng), 2, 4),
     },
     BuiltinScenario {
         slug: "heterogeneous_mix",
@@ -137,17 +154,9 @@ pub(crate) static BUILTIN_SCENARIOS: [BuiltinScenario; 11] = [
         // instance size keeps the paper's ratio.
         shape: |index, _, _| {
             if index.is_multiple_of(5) {
-                JobShape {
-                    duration_secs: 50_000.0,
-                    nodes: 128,
-                    memory_gb: 256,
-                }
+                JobShape::scalar(50_000.0, 128, 256)
             } else {
-                JobShape {
-                    duration_secs: 500.0,
-                    nodes: 2,
-                    memory_gb: 4,
-                }
+                JobShape::scalar(500.0, 2, 4)
             }
         },
     },
@@ -162,12 +171,12 @@ pub(crate) static BUILTIN_SCENARIOS: [BuiltinScenario; 11] = [
             let nodes = *[64u32, 96, 128, 192, 256]
                 .get(Categorical::new(&[0.3, 0.25, 0.25, 0.12, 0.08]).sample_index(rng))
                 .expect("index in range");
-            JobShape {
-                duration_secs: Clamped::new(Gamma::new(2.0, 500.0), 60.0, 7200.0).sample(rng),
+            // 2 GB per node keeps even a 256-node job within 2048 GB.
+            JobShape::scalar(
+                Clamped::new(Gamma::new(2.0, 500.0), 60.0, 7200.0).sample(rng),
                 nodes,
-                // 2 GB per node keeps even a 256-node job within 2048 GB.
-                memory_gb: nodes as u64 * 2,
-            }
+                nodes as u64 * 2,
+            )
         },
     },
     BuiltinScenario {
@@ -177,10 +186,12 @@ pub(crate) static BUILTIN_SCENARIOS: [BuiltinScenario; 11] = [
         arrival: || ArrivalProcess::Poisson {
             mean_interarrival_secs: 10.0,
         },
-        shape: |_, _, rng| JobShape {
-            duration_secs: Uniform::new(30.0, 300.0).sample(rng),
-            nodes: 1,
-            memory_gb: rng.gen_range_inclusive(1, 7),
+        shape: |_, _, rng| {
+            JobShape::scalar(
+                Uniform::new(30.0, 300.0).sample(rng),
+                1,
+                rng.gen_range_inclusive(1, 7),
+            )
         },
     },
     BuiltinScenario {
@@ -197,17 +208,9 @@ pub(crate) static BUILTIN_SCENARIOS: [BuiltinScenario; 11] = [
         // the machine saturates and responsiveness differences appear.
         shape: |index, _, rng| {
             if index.is_multiple_of(2) {
-                JobShape {
-                    duration_secs: Uniform::new(60.0, 180.0).sample(rng),
-                    nodes: 2,
-                    memory_gb: 4,
-                }
+                JobShape::scalar(Uniform::new(60.0, 180.0).sample(rng), 2, 4)
             } else {
-                JobShape {
-                    duration_secs: Uniform::new(3600.0, 7200.0).sample(rng),
-                    nodes: 24,
-                    memory_gb: 48,
-                }
+                JobShape::scalar(Uniform::new(3600.0, 7200.0).sample(rng), 24, 48)
             }
         },
     },
@@ -220,17 +223,9 @@ pub(crate) static BUILTIN_SCENARIOS: [BuiltinScenario; 11] = [
         },
         shape: |index, _, _| {
             if index == 0 {
-                JobShape {
-                    duration_secs: 100_000.0,
-                    nodes: 128,
-                    memory_gb: 512,
-                }
+                JobShape::scalar(100_000.0, 128, 512)
             } else {
-                JobShape {
-                    duration_secs: 60.0,
-                    nodes: 1,
-                    memory_gb: 2,
-                }
+                JobShape::scalar(60.0, 1, 2)
             }
         },
     },
@@ -260,31 +255,35 @@ pub(crate) static BUILTIN_SCENARIOS: [BuiltinScenario; 11] = [
         shape: |index, _, rng| {
             if index % 16 < 4 {
                 let nodes = rng.gen_range_inclusive(96, 192) as u32;
-                JobShape {
-                    duration_secs: Uniform::new(3600.0, 10_800.0).sample(rng),
+                JobShape::scalar(
+                    Uniform::new(3600.0, 10_800.0).sample(rng),
                     nodes,
-                    memory_gb: nodes as u64 * 4,
-                }
+                    nodes as u64 * 4,
+                )
             } else {
                 let nodes = rng.gen_range_inclusive(1, 4) as u32;
-                JobShape {
-                    duration_secs: Uniform::new(120.0, 1200.0).sample(rng),
+                JobShape::scalar(
+                    Uniform::new(120.0, 1200.0).sample(rng),
                     nodes,
-                    memory_gb: nodes as u64 * 2,
-                }
+                    nodes as u64 * 2,
+                )
             }
         },
     },
     BuiltinScenario {
         slug: "gpu_skewed_hetmix",
         title: "GPU-Skewed Hetmix",
-        description: "35% accelerator-style jobs: few nodes, 32-64 GB/node - memory contention.",
+        description: "35% accelerator jobs: 4 GPUs + 32-64 GB per node, gpu-class pinned.",
         arrival: || ArrivalProcess::Poisson {
             mean_interarrival_secs: 45.0,
         },
         shape: |_, _, rng| {
             if rng.gen_bool(0.35) {
-                // Accelerator-style: narrow but memory-hungry and long.
+                // Accelerator-style: narrow, memory-hungry, long, and
+                // genuinely GPU-demanding — 4 GPUs per node, pinned to the
+                // gpu class on classed machines. The extended demand is
+                // derived from values already drawn, so the scalar
+                // projection (and every flat-cluster pin) is unchanged.
                 let nodes = rng.gen_range_inclusive(1, 8) as u32;
                 let per_node_gb = rng.gen_range_inclusive(32, 64);
                 JobShape {
@@ -292,15 +291,17 @@ pub(crate) static BUILTIN_SCENARIOS: [BuiltinScenario; 11] = [
                         .sample(rng),
                     nodes,
                     memory_gb: (nodes as u64 * per_node_gb).min(1024),
+                    per_node: ResourceVec::new(0, 4, per_node_gb, 0),
+                    class: Some(NodeClass::Gpu),
                 }
             } else {
                 let nodes = rng.gen_range_inclusive(2, 32) as u32;
                 let per_node_gb = rng.gen_range_inclusive(1, 4);
-                JobShape {
-                    duration_secs: Clamped::new(Gamma::new(1.5, 300.0), 10.0, 20_000.0).sample(rng),
+                JobShape::scalar(
+                    Clamped::new(Gamma::new(1.5, 300.0), 10.0, 20_000.0).sample(rng),
                     nodes,
-                    memory_gb: nodes as u64 * per_node_gb,
-                }
+                    nodes as u64 * per_node_gb,
+                )
             }
         },
     },
@@ -313,11 +314,46 @@ pub(crate) static BUILTIN_SCENARIOS: [BuiltinScenario; 11] = [
         },
         shape: |_, _, rng| {
             let nodes = rng.gen_range_inclusive(1, 8) as u32;
-            JobShape {
-                duration_secs: Clamped::new(LogNormal::from_median(300.0, 2.0), 10.0, 150_000.0)
-                    .sample(rng),
+            JobShape::scalar(
+                Clamped::new(LogNormal::from_median(300.0, 2.0), 10.0, 150_000.0).sample(rng),
                 nodes,
-                memory_gb: nodes as u64 * 2,
+                nodes as u64 * 2,
+            )
+        },
+    },
+    BuiltinScenario {
+        slug: "bigmem_burst",
+        title: "BigMem Burst",
+        description: "Bursts of 96-128 GB/node analytics jobs with burst-buffer staging.",
+        arrival: || ArrivalProcess::Bursty {
+            burst_size: 12,
+            within_burst_mean_secs: 8.0,
+            idle_gap_mean_secs: 900.0,
+        },
+        // Every third job is a large-memory analytics step that stages
+        // through the burst buffer and pins to the bigmem class; the rest
+        // are scalar filler. Aggregate memory tops out at 4 × 128 = 512 GB,
+        // well inside the paper's 2048 GB flat machine, and the per-node
+        // demand exactly saturates a mixed_256 bigmem node.
+        shape: |index, _, rng| {
+            if index.is_multiple_of(3) {
+                let nodes = rng.gen_range_inclusive(1, 4) as u32;
+                let per_node_gb = rng.gen_range_inclusive(96, 128);
+                JobShape {
+                    duration_secs: Clamped::new(Gamma::new(2.0, 1200.0), 300.0, 28_800.0)
+                        .sample(rng),
+                    nodes,
+                    memory_gb: nodes as u64 * per_node_gb,
+                    per_node: ResourceVec::new(0, 0, per_node_gb, 2),
+                    class: Some(NodeClass::BigMem),
+                }
+            } else {
+                let nodes = rng.gen_range_inclusive(1, 8) as u32;
+                JobShape::scalar(
+                    Uniform::new(120.0, 900.0).sample(rng),
+                    nodes,
+                    nodes as u64 * 2,
+                )
             }
         },
     },
@@ -352,7 +388,7 @@ pub(crate) fn generate_builtin(spec: &BuiltinScenario, ctx: &ScenarioContext) ->
         .map(|i| {
             let shape = (spec.shape)(i, n, &mut shape_rng);
             let (user, group) = users.sample(&mut user_rng);
-            JobSpec::new(
+            let mut job = JobSpec::new(
                 i as u32,
                 user,
                 arrivals[i],
@@ -361,6 +397,11 @@ pub(crate) fn generate_builtin(spec: &BuiltinScenario, ctx: &ScenarioContext) ->
                 shape.memory_gb,
             )
             .with_group(group)
+            .with_per_node(shape.per_node);
+            if let Some(class) = shape.class {
+                job = job.with_class(class);
+            }
+            job
         })
         .collect();
 
@@ -391,11 +432,7 @@ fn heterogeneous_mix_shape(rng: &mut dyn Rng) -> JobShape {
     let per_node_gb = *[1u64, 2, 4, 8]
         .get(Categorical::new(&[0.3, 0.35, 0.25, 0.1]).sample_index(rng))
         .expect("index in range");
-    JobShape {
-        duration_secs: duration,
-        nodes,
-        memory_gb: (nodes as u64 * per_node_gb).min(2048),
-    }
+    JobShape::scalar(duration, nodes, (nodes as u64 * per_node_gb).min(2048))
 }
 
 #[cfg(test)]
@@ -605,6 +642,52 @@ mod tests {
             .count();
         let frac = hungry as f64 / w.len() as f64;
         assert!((0.2..=0.5).contains(&frac), "memory-hungry fraction {frac}");
+    }
+
+    #[test]
+    fn gpu_skewed_hetmix_accelerator_jobs_are_gpu_demanding() {
+        let w = gen("gpu_skewed_hetmix", 200);
+        let mut accel = 0usize;
+        for j in &w.jobs {
+            if j.class == Some(NodeClass::Gpu) {
+                accel += 1;
+                assert_eq!(j.per_node.gpus, 4, "job {}", j.id.0);
+                assert!(
+                    (32..=64).contains(&j.per_node.memory_gb),
+                    "job {}: {} GB/node",
+                    j.id.0,
+                    j.per_node.memory_gb
+                );
+                assert!(j.nodes <= 8);
+                // Fits a mixed_256 gpu node (64 cores, 4 GPUs, 64 GB, 2 bb).
+                assert!(ResourceVec::new(64, 4, 64, 2).dominates(&j.per_node));
+            } else {
+                assert_eq!(j.class, None);
+                assert!(j.per_node.is_zero(), "scalar jobs carry no demand");
+            }
+        }
+        let frac = accel as f64 / w.len() as f64;
+        assert!((0.2..=0.5).contains(&frac), "accelerator fraction {frac}");
+    }
+
+    #[test]
+    fn bigmem_burst_pins_analytics_jobs_to_the_bigmem_class() {
+        let w = gen("bigmem_burst", 90);
+        for (i, j) in w.jobs.iter().enumerate() {
+            if i % 3 == 0 {
+                assert_eq!(j.class, Some(NodeClass::BigMem), "job {i}");
+                assert!((96..=128).contains(&j.per_node.memory_gb), "job {i}");
+                assert_eq!(j.per_node.bb_slots, 2);
+                assert!(j.nodes <= 4, "fits the 16-node bigmem class");
+                assert_eq!(j.memory_gb, j.nodes as u64 * j.per_node.memory_gb);
+                // Fits a mixed_256 bigmem node (64 cores, 128 GB, 4 bb).
+                assert!(ResourceVec::new(64, 0, 128, 4).dominates(&j.per_node));
+            } else {
+                assert_eq!(j.class, None, "job {i}");
+                assert!(j.per_node.is_zero());
+                assert!(j.nodes <= 8);
+            }
+        }
     }
 
     #[test]

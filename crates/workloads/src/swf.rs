@@ -17,7 +17,7 @@
 use std::fmt;
 use std::fs;
 
-use rsched_cluster::{ClusterConfig, JobSpec};
+use rsched_cluster::{ClusterConfig, JobSpec, ResourceVec};
 use rsched_simkit::{SimDuration, SimTime};
 
 use crate::arrivals::ArrivalMode;
@@ -93,6 +93,32 @@ impl SwfJob {
             .into_iter()
             .find(|&r| r > 0)
             .map(|r| r as u64)
+    }
+
+    /// The per-node demand recorded by the trace. Requested memory (field
+    /// 10, KB per processor) — falling back to used memory — becomes the
+    /// per-node memory demand, and surplus *requested* processors beyond
+    /// the scheduled node count become a per-node CPU-core demand
+    /// (multi-core nodes packing several ranks per node). Dimensions the
+    /// trace does not record (`-1`) stay zero, so flat machines and traces
+    /// without the optional fields behave exactly as before.
+    pub fn per_node_demand(&self) -> ResourceVec {
+        let mut demand = ResourceVec::ZERO;
+        if let Some(kb) = [self.requested_memory_kb, self.used_memory_kb]
+            .into_iter()
+            .find(|&m| m > 0)
+        {
+            demand.memory_gb = (kb as u64).div_ceil(1024 * 1024).max(1);
+        }
+        if let Some(nodes) = self.procs() {
+            if self.requested_procs > 0 {
+                let requested = self.requested_procs as u32;
+                if requested > nodes {
+                    demand.cpus = requested.div_ceil(nodes);
+                }
+            }
+        }
+        demand
     }
 
     /// `true` for jobs the conversion keeps: not failed (status 0), not
@@ -185,8 +211,11 @@ impl SwfTrace {
     /// job, re-identify sequentially, and factorize users/groups in
     /// first-appearance order.
     ///
-    /// Memory per job is `used_memory_kb × procs` rounded up to whole GB,
-    /// or `procs ×` [`DEFAULT_GB_PER_PROC`] when the trace records none.
+    /// Aggregate memory per job is `used_memory_kb × procs` — falling back
+    /// to `requested_memory_kb × procs` — rounded up to whole GB, or
+    /// `procs ×` [`DEFAULT_GB_PER_PROC`] when the trace records neither.
+    /// The recorded per-node demand (requested memory, surplus requested
+    /// processors) rides along as [`SwfJob::per_node_demand`].
     pub fn to_jobs(&self, limit: usize) -> Vec<JobSpec> {
         let mut usable: Vec<&SwfJob> = self.jobs.iter().filter(|j| j.is_usable()).collect();
         usable.sort_by_key(|j| (j.submit_secs, j.job_id));
@@ -204,8 +233,14 @@ impl SwfTrace {
             .map(|(i, j)| {
                 let procs = j.procs().expect("usable");
                 let runtime = j.runtime_secs().expect("usable").max(1);
-                let memory_gb = if j.used_memory_kb > 0 {
-                    ((j.used_memory_kb as u64 * procs as u64).div_ceil(1024 * 1024)).max(1)
+                // Aggregate memory prefers *used* (what actually happened);
+                // the per-node demand prefers *requested* (what the user
+                // asked the scheduler for).
+                let memory_gb = if let Some(kb) = [j.used_memory_kb, j.requested_memory_kb]
+                    .into_iter()
+                    .find(|&m| m > 0)
+                {
+                    ((kb as u64 * procs as u64).div_ceil(1024 * 1024)).max(1)
                 } else {
                     procs as u64 * DEFAULT_GB_PER_PROC
                 };
@@ -224,6 +259,7 @@ impl SwfTrace {
                 )
                 .with_group(groups.id(&j.group))
                 .with_walltime(SimDuration::from_secs(walltime))
+                .with_per_node(j.per_node_demand())
             })
             .collect()
     }
@@ -388,6 +424,8 @@ mod tests {
 3 40 0 60 1 -1 -1 1 60 -1 0 3 1 -1 1 1 -1 -1
 4 220 5 -1 8 -1 -1 8 900 -1 5 7 2 -1 1 1 -1 -1
 5 90 2 450 16 -1 2097152 16 600 -1 1 5 1 -1 1 1 -1 -1
+6 300 1 500 4 -1 -1 8 800 2097152 1 3 1 -1 1 1 -1 -1
+7 360 0 200 2 -1 1048576 2 400 -1 1 5 1 -1 1 1 -1 -1
 ";
 
     #[test]
@@ -397,7 +435,7 @@ mod tests {
         assert_eq!(trace.directive("Computer"), Some("Example Machine"));
         assert_eq!(trace.directive("UNIXSTARTTIME"), Some("1100000000"));
         assert_eq!(trace.max_nodes(), Some(64));
-        assert_eq!(trace.jobs.len(), 5);
+        assert_eq!(trace.jobs.len(), 7);
     }
 
     #[test]
@@ -419,9 +457,9 @@ mod tests {
     #[test]
     fn conversion_drops_failed_sorts_and_normalizes() {
         let trace = parse_trace(SAMPLE).expect("parses");
-        // Job 3 failed (status 0), job 4 cancelled (status 5) → 3 remain.
+        // Job 3 failed (status 0), job 4 cancelled (status 5) → 5 remain.
         let jobs = trace.to_jobs(0);
-        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs.len(), 5);
         // Sorted by submit: job 5 (t=90) first, normalized to zero.
         assert_eq!(jobs[0].submit, SimTime::ZERO);
         assert_eq!(jobs[0].nodes, 16);
@@ -438,6 +476,28 @@ mod tests {
         assert_eq!(jobs[2].memory_gb, 2 * DEFAULT_GB_PER_PROC);
         // Walltime comes from the requested time.
         assert_eq!(jobs[0].walltime, SimDuration::from_secs(600));
+    }
+
+    #[test]
+    fn per_node_demand_maps_requested_fields_with_sentinel_fallbacks() {
+        let trace = parse_trace(SAMPLE).expect("parses");
+        let jobs = trace.to_jobs(0);
+        // Job 6: 8 requested processors packed onto 4 allocated nodes → 2
+        // cores per node; requested memory (2 GB per processor) becomes
+        // both the per-node demand and — with no used-memory record — the
+        // aggregate.
+        let j6 = &jobs[3];
+        assert_eq!(j6.nodes, 4);
+        assert_eq!(j6.per_node, ResourceVec::new(2, 0, 2, 0));
+        assert_eq!(j6.memory_gb, 8);
+        // Job 7: requested memory is a -1 sentinel → per-node demand falls
+        // back to used memory; requested == allocated → no core demand.
+        let j7 = &jobs[4];
+        assert_eq!(j7.per_node, ResourceVec::new(0, 0, 1, 0));
+        assert_eq!(j7.memory_gb, 2);
+        // Job 2 records neither memory field → no per-node demand at all.
+        assert!(jobs[2].per_node.is_zero());
+        assert_eq!(jobs[2].memory_gb, 2 * DEFAULT_GB_PER_PROC);
     }
 
     #[test]

@@ -4,12 +4,15 @@
 //! and reload it later ("all workload data … publicly available for
 //! reproducibility", paper §3.3).
 
-use rsched_cluster::JobSpec;
+use rsched_cluster::{JobSpec, NodeClass, ResourceVec};
 use rsched_simkit::csv::{self, Table};
 use rsched_simkit::{SimDuration, SimTime};
 
-/// Columns of the canonical workload CSV.
-const HEADER: [&str; 8] = [
+/// Columns of the canonical workload CSV. The first eight are the scalar
+/// schema; the per-node demand and class columns were added with the
+/// multi-resource cluster model and are optional on import (older dumps
+/// load with zero extended demand).
+const HEADER: [&str; 13] = [
     "job_id",
     "user",
     "group",
@@ -18,7 +21,15 @@ const HEADER: [&str; 8] = [
     "walltime_s",
     "nodes",
     "memory_gb",
+    "cpus_per_node",
+    "gpus_per_node",
+    "mem_gb_per_node",
+    "bb_slots_per_node",
+    "class",
 ];
+
+/// Columns every workload CSV must carry (the pre-multi-resource schema).
+const REQUIRED_COLUMNS: usize = 8;
 
 /// Serialize jobs to CSV text (with header).
 pub fn jobs_to_csv(jobs: &[JobSpec]) -> String {
@@ -34,6 +45,11 @@ pub fn jobs_to_csv(jobs: &[JobSpec]) -> String {
             format!("{:.3}", j.walltime.as_secs_f64()),
             j.nodes.to_string(),
             j.memory_gb.to_string(),
+            j.per_node.cpus.to_string(),
+            j.per_node.gpus.to_string(),
+            j.per_node.memory_gb.to_string(),
+            j.per_node.bb_slots.to_string(),
+            j.class.map(|c| c.to_string()).unwrap_or_default(),
         ]);
     }
     csv::write_rows(rows)
@@ -74,7 +90,7 @@ pub fn jobs_from_csv(text: &str) -> Result<Vec<JobSpec>, WorkloadError> {
         location: "csv".to_string(),
         message: e.to_string(),
     })?;
-    for col in HEADER {
+    for col in &HEADER[..REQUIRED_COLUMNS] {
         if table.column(col).is_none() {
             return Err(WorkloadError::Parse {
                 location: "header".to_string(),
@@ -97,7 +113,30 @@ pub fn jobs_from_csv(text: &str) -> Result<Vec<JobSpec>, WorkloadError> {
                 message: e.to_string(),
             })
         };
-        let spec = JobSpec::new(
+        // The extended columns are optional: CSVs written before the
+        // multi-resource model load as scalar jobs.
+        let opt_u64 = |name: &str| -> Result<u64, WorkloadError> {
+            match table.get(row, name) {
+                Some(v) => v.parse::<u64>().map_err(|e| WorkloadError::Parse {
+                    location: format!("row {row}, column {name}"),
+                    message: e.to_string(),
+                }),
+                None => Ok(0),
+            }
+        };
+        let class = match table.get(row, "class").unwrap_or("") {
+            "" => None,
+            "cpu" => Some(NodeClass::Cpu),
+            "gpu" => Some(NodeClass::Gpu),
+            "bigmem" => Some(NodeClass::BigMem),
+            other => {
+                return Err(WorkloadError::Parse {
+                    location: format!("row {row}, column class"),
+                    message: format!("unknown node class `{other}`"),
+                })
+            }
+        };
+        let mut spec = JobSpec::new(
             parse_u64("job_id")? as u32,
             parse_u64("user")? as u32,
             SimTime::from_secs_f64(parse_f64("submit_s")?),
@@ -106,7 +145,16 @@ pub fn jobs_from_csv(text: &str) -> Result<Vec<JobSpec>, WorkloadError> {
             parse_u64("memory_gb")?,
         )
         .with_group(parse_u64("group")? as u32)
-        .with_walltime(SimDuration::from_secs_f64(parse_f64("walltime_s")?));
+        .with_walltime(SimDuration::from_secs_f64(parse_f64("walltime_s")?))
+        .with_per_node(ResourceVec::new(
+            opt_u64("cpus_per_node")? as u32,
+            opt_u64("gpus_per_node")? as u32,
+            opt_u64("mem_gb_per_node")?,
+            opt_u64("bb_slots_per_node")? as u32,
+        ));
+        if let Some(class) = class {
+            spec = spec.with_class(class);
+        }
         jobs.push(spec);
     }
     Ok(jobs)
@@ -125,6 +173,40 @@ mod tests {
         let text = jobs_to_csv(&w.jobs);
         let back = jobs_from_csv(&text).expect("parse");
         assert_eq!(back, w.jobs);
+    }
+
+    #[test]
+    fn roundtrip_preserves_per_node_demand_and_class() {
+        for scenario in ["gpu_skewed_hetmix", "bigmem_burst"] {
+            let w = builtins()
+                .generate(scenario, &ScenarioContext::new(30).with_seed(5))
+                .expect("builtin");
+            assert!(
+                w.jobs.iter().any(|j| j.class.is_some()),
+                "{scenario} carries class pins"
+            );
+            let back = jobs_from_csv(&jobs_to_csv(&w.jobs)).expect("parse");
+            assert_eq!(back, w.jobs, "{scenario}");
+        }
+    }
+
+    #[test]
+    fn legacy_csv_without_extended_columns_loads_as_scalar_jobs() {
+        let text = "job_id,user,group,submit_s,duration_s,walltime_s,nodes,memory_gb\n\
+                    0,1,2,0.000,10.000,10.000,4,16\n";
+        let jobs = jobs_from_csv(text).expect("legacy schema parses");
+        assert_eq!(jobs.len(), 1);
+        assert!(jobs[0].per_node.is_zero());
+        assert_eq!(jobs[0].class, None);
+        assert_eq!(jobs[0].nodes, 4);
+    }
+
+    #[test]
+    fn unknown_class_is_reported() {
+        let bad = "job_id,user,group,submit_s,duration_s,walltime_s,nodes,memory_gb,class\n\
+                   0,0,0,0.0,10.0,10.0,1,1,quantum\n";
+        let err = jobs_from_csv(bad).unwrap_err();
+        assert!(err.to_string().contains("quantum"), "{err}");
     }
 
     #[test]

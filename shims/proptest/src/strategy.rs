@@ -16,6 +16,30 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps every generated value through `func` — the shim's version of
+    /// proptest's combinator of the same name (no shrinking, like
+    /// everything else here).
+    fn prop_map<T: Debug, F: Fn(Self::Value) -> T>(self, func: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, func }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    func: F,
+}
+
+impl<S: Strategy, T: Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.func)(self.source.generate(rng))
+    }
 }
 
 macro_rules! int_range_strategy {
@@ -95,6 +119,8 @@ tuple_strategy! {
     (A, B, C, D)
     (A, B, C, D, E)
     (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
 }
 
 /// Strategy for vectors with lengths drawn from a size range.

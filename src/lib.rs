@@ -13,7 +13,7 @@
 //! * [`simkit`] — discrete-event kernel, RNG, distributions, statistics.
 //! * [`cluster`] — the HPC machine model (nodes, memory, first-fit).
 //! * [`workloads`] — the open scenario registry: the seven paper
-//!   scenarios, four extended ones, the Polaris substrate, and SWF trace
+//!   scenarios, five extended ones, the Polaris substrate, and SWF trace
 //!   ingestion (`swf:<path>`).
 //! * [`sim`] — the event-driven scheduling simulator and policy interface.
 //! * [`metrics`] — the eight evaluation objectives and normalization.
@@ -97,7 +97,9 @@ pub mod prelude {
         dominates, hypervolume, pareto_front, pareto_ranks, Metric, MetricsReport, ObjectiveSpace,
     };
     pub use rsched_registry::{PolicyContext, PolicyRegistry};
-    pub use rsched_schedulers::{EasyBackfill, Fcfs, OrToolsPolicy, RandomPolicy, Sjf};
+    pub use rsched_schedulers::{
+        ConservativeBackfill, EasyBackfill, Fcfs, OrToolsPolicy, RandomPolicy, Sjf,
+    };
     #[allow(deprecated)]
     pub use rsched_sim::OwnedSystemView;
     pub use rsched_sim::{

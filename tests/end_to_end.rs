@@ -74,13 +74,13 @@ fn assert_schedule_feasible(outcome: &SimOutcome, cluster: ClusterConfig) {
 
 #[test]
 fn every_scheduler_completes_every_scenario() {
-    // Every synthetic scenario — the paper's seven plus the four extended
+    // Every synthetic scenario — the paper's seven plus the five extended
     // ones (all calibrated to the paper machine; the Polaris substrate runs
     // on its own cluster in `polaris_pipeline_end_to_end`).
     let cluster = ClusterConfig::paper_default();
     for scenario in scenario_names::LEGACY_SEVEN
         .into_iter()
-        .chain(scenario_names::EXTENDED_FOUR)
+        .chain(scenario_names::EXTENDED_FIVE)
     {
         let workload = named_workload(scenario, 12, 42);
         for name in [

@@ -114,6 +114,7 @@ fn reference_simulate(
                         start: r.start,
                         submit: r.spec.submit,
                         expected_end: r.start + r.spec.walltime,
+                        class: r.spec.class,
                     })
                     .collect();
                 let completed = cluster.completed().to_vec();
@@ -122,6 +123,7 @@ fn reference_simulate(
                     config: cluster.config(),
                     free_nodes: cluster.free_nodes(),
                     free_memory_gb: cluster.free_memory_gb(),
+                    free_by_class: cluster.free_by_class(),
                     waiting: &waiting,
                     running: &running,
                     completed: &completed,
@@ -338,7 +340,7 @@ fn assert_outcomes_identical(a: &SimOutcome, b: &SimOutcome, label: &str) {
     );
 }
 
-/// All 7 builtin policies × 4 scenarios × 3 seeds: the incremental kernel
+/// All builtin policies × 4 scenarios × 3 seeds: the incremental kernel
 /// and the straight-line reference produce bit-identical outcomes.
 #[test]
 fn incremental_kernel_matches_straight_line_reference() {
@@ -367,8 +369,10 @@ fn incremental_kernel_matches_straight_line_reference() {
             for name in names::ALL_BUILTIN {
                 let label = format!("{name} on {scenario}/seed {seed}");
                 let options = SimOptions {
-                    // Exercise the shadow-time backfill path too.
-                    strict_backfill: name == names::EASY,
+                    // Exercise the shadow-time backfill path too. The
+                    // conservative family runs without it: its own
+                    // reservation list is the safety argument.
+                    strict_backfill: name == names::EASY || name == names::EASY_SJBF,
                     ..SimOptions::default()
                 };
                 let mut incremental = registry.build(name, &ctx).expect("builtin");
@@ -381,6 +385,128 @@ fn incremental_kernel_matches_straight_line_reference() {
             }
         }
     }
+}
+
+/// The policies pinned against pre-refactor outcomes: exactly the seven
+/// builtins that existed before the multi-resource cluster model landed.
+/// Policies added later have no pre-refactor baseline and are covered by
+/// the reference-equivalence grid above instead.
+const PINNED_POLICIES: [&str; 7] = [
+    names::FCFS,
+    names::SJF,
+    names::OR_TOOLS,
+    names::CLAUDE37,
+    names::O4_MINI,
+    names::EASY,
+    names::RANDOM,
+];
+
+const PINS_PATH: &str = "fixtures/pins/kernel_pins.txt";
+
+/// FNV-1a 64 over `bytes` — the same stable hash the campaign cache uses.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A 64-bit fingerprint of everything schedule-bearing in an outcome: every
+/// completed record (spec fields, start, end) plus the end time. Decision
+/// logs are deliberately excluded — policy-internal bookkeeping (rejection
+/// counts, probe order) may evolve without changing the schedule.
+fn outcome_fingerprint(out: &SimOutcome) -> u64 {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for r in &out.records {
+        let sp = &r.spec;
+        write!(
+            s,
+            "{}|{}|{}|{}|{}|{}|{}|{}|{}|{};",
+            sp.id.0,
+            sp.user.0,
+            sp.group.0,
+            sp.submit.as_millis(),
+            sp.duration.as_millis(),
+            sp.walltime.as_millis(),
+            sp.nodes,
+            sp.memory_gb,
+            r.start.as_millis(),
+            r.end.as_millis(),
+        )
+        .expect("write to String");
+    }
+    write!(s, "end={}", out.end_time.as_millis()).expect("write to String");
+    fnv1a64(s.as_bytes())
+}
+
+/// Flat single-class cluster configs must reproduce the **pre-refactor**
+/// kernel bit-identically: every pinned policy × scenario × seed cell's
+/// schedule fingerprint matches `fixtures/pins/kernel_pins.txt`, which was
+/// captured by running this test with `PIN_REGEN=1` against the tree
+/// *before* the multi-resource refactor.
+///
+/// ```text
+/// PIN_REGEN=1 cargo test --test kernel_equivalence flat_cluster
+/// ```
+#[test]
+fn flat_cluster_reproduces_pre_refactor_pins() {
+    let scenarios = [
+        "heterogeneous_mix",
+        "adversarial",
+        "long_tail",
+        "resource_sparse",
+    ];
+    let cluster = ClusterConfig::paper_default();
+    let registry = PolicyRegistry::with_builtins();
+    let mut lines = Vec::new();
+    for scenario in scenarios {
+        for seed in 1u64..=3 {
+            let jobs = scenario_builtins()
+                .generate(
+                    scenario,
+                    &ScenarioContext::new(12)
+                        .with_mode(ArrivalMode::Dynamic)
+                        .with_seed(seed),
+                )
+                .expect("builtin scenario")
+                .jobs;
+            let ctx = PolicyContext::new(&jobs, cluster)
+                .with_seed(seed)
+                .with_solver(quick_solver());
+            for name in PINNED_POLICIES {
+                let options = SimOptions {
+                    strict_backfill: name == names::EASY,
+                    ..SimOptions::default()
+                };
+                let mut policy = registry.build(name, &ctx).expect("builtin");
+                let out = run_simulation(cluster, &jobs, policy.as_mut(), &options)
+                    .unwrap_or_else(|e| panic!("{name} on {scenario}/seed {seed}: {e}"));
+                lines.push(format!(
+                    "{name}|{scenario}|{seed}|{:016x}",
+                    outcome_fingerprint(&out)
+                ));
+            }
+        }
+    }
+    let actual = lines.join("\n") + "\n";
+    if std::env::var("PIN_REGEN").as_deref() == Ok("1") {
+        std::fs::create_dir_all("fixtures/pins").expect("create fixtures/pins");
+        std::fs::write(PINS_PATH, &actual).expect("write pins");
+        return;
+    }
+    let expected = std::fs::read_to_string(PINS_PATH)
+        .expect("pins fixture missing; capture with PIN_REGEN=1 on a pre-refactor tree");
+    for (got, want) in actual.lines().zip(expected.lines()) {
+        assert_eq!(got, want, "schedule drifted from its pre-refactor pin");
+    }
+    assert_eq!(
+        actual.lines().count(),
+        expected.lines().count(),
+        "pin grid size changed"
+    );
 }
 
 /// The reference also agrees on *failing* runs: a policy that delays

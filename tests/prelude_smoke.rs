@@ -109,6 +109,7 @@ fn sim_types_construct_and_run() {
         config,
         free_nodes: config.nodes,
         free_memory_gb: config.memory_gb,
+        free_by_class: [0; reasoned_scheduler::cluster::MAX_CLASSES],
         waiting: &[],
         running: &[],
         completed: &[],
@@ -135,6 +136,7 @@ fn sim_types_construct_and_run() {
         start: SimTime::from_secs(0),
         submit: SimTime::from_secs(0),
         expected_end: SimTime::from_secs(60),
+        class: None,
     };
     assert_eq!(summary.id, JobId(1));
 

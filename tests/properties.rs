@@ -6,7 +6,10 @@ use proptest::prelude::*;
 
 use reasoned_scheduler::agent::action::{parse_action, parse_completion};
 use reasoned_scheduler::agent::{PromptBuilder, Scratchpad};
-use reasoned_scheduler::cluster::{ClusterConfig, FirstFitAllocator, JobId, JobRecord, JobSpec};
+use reasoned_scheduler::cluster::{
+    Allocation, ClassedAllocator, ClusterConfig, FirstFitAllocator, JobId, JobRecord, JobSpec,
+    NodeClass, PlacementRequest, ResourceVec,
+};
 use reasoned_scheduler::cpsolver::{Instance, Task};
 use reasoned_scheduler::llm::prompt_parse::parse_prompt;
 use reasoned_scheduler::metrics::{jain_index, MetricsReport};
@@ -63,6 +66,125 @@ proptest! {
                     prop_assert!(!grant.nodes.intersects(&earlier.nodes));
                 }
                 live.push(grant);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- classed allocator
+
+/// An arbitrary placement request against the mixed-class machine: class
+/// pins, vector per-node demands, wide classless spans, and zero-demand
+/// scalar jobs all appear.
+fn classed_request() -> impl Strategy<Value = PlacementRequest> {
+    (
+        1u32..80,
+        0u64..512,
+        0u32..96,
+        0u32..6,
+        0u64..160,
+        0u32..6,
+        0usize..4,
+    )
+        .prop_map(
+            |(nodes, mem, cpus, gpus, pn_mem, bb, class)| PlacementRequest {
+                nodes,
+                memory_gb: mem,
+                per_node: ResourceVec::new(cpus, gpus, pn_mem, bb),
+                class: match class {
+                    0 => Some(NodeClass::Cpu),
+                    1 => Some(NodeClass::Gpu),
+                    2 => Some(NodeClass::BigMem),
+                    _ => None,
+                },
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Interleaved classed allocate/release sequences conserve every
+    /// dimension — node totals, per-class free watermarks, and the
+    /// capacity-charged memory ledger — and restore the pristine machine
+    /// after releasing everything.
+    #[test]
+    fn classed_allocator_conserves_every_dimension(
+        requests in prop::collection::vec(classed_request(), 1..40)
+    ) {
+        let topology = ClusterConfig::mixed_256().topology;
+        let mut alloc = ClassedAllocator::new(topology);
+        let (total_nodes, total_mem) = (alloc.total_nodes(), alloc.total_memory_gb());
+        let full_free = alloc.free_by_class();
+        let mut live: Vec<Allocation> = Vec::new();
+        for (i, req) in requests.into_iter().enumerate() {
+            if let Some(grant) = alloc.try_allocate(&req) {
+                prop_assert_eq!(grant.node_count(), req.nodes);
+                live.push(grant);
+            }
+            if i % 3 == 2 && !live.is_empty() {
+                let grant = live.remove(0);
+                alloc.release(&grant);
+            }
+            alloc.check_invariants();
+            let live_nodes: u32 = live.iter().map(|g| g.node_count()).sum();
+            let live_mem: u64 = live.iter().map(|g| g.memory_gb).sum();
+            prop_assert_eq!(alloc.free_nodes(), total_nodes - live_nodes);
+            prop_assert_eq!(alloc.free_memory_gb(), total_mem - live_mem);
+            // The per-class watermarks always sum to the free total.
+            let by_class: u32 = alloc.free_by_class().iter().sum();
+            prop_assert_eq!(by_class, alloc.free_nodes());
+        }
+        for grant in live.drain(..) {
+            alloc.release(&grant);
+        }
+        prop_assert_eq!(alloc.free_nodes(), total_nodes);
+        prop_assert_eq!(alloc.free_memory_gb(), total_mem);
+        prop_assert_eq!(alloc.free_by_class(), full_free);
+    }
+
+    /// `can_fit` is exactly the precondition of `try_allocate`: whenever
+    /// it says yes the allocation succeeds (and vice versa), under any
+    /// occupancy — including spanning grants.
+    #[test]
+    fn classed_can_fit_is_try_allocate_precondition(
+        requests in prop::collection::vec(classed_request(), 1..30)
+    ) {
+        let topology = ClusterConfig::mixed_256().topology;
+        let mut alloc = ClassedAllocator::new(topology);
+        for req in requests {
+            let fits = alloc.can_fit(&req);
+            let grant = alloc.try_allocate(&req);
+            prop_assert_eq!(fits, grant.is_some());
+            if let Some(g) = &grant {
+                prop_assert_eq!(g.node_count(), req.nodes);
+            }
+        }
+    }
+
+    /// Live classed allocations never share a node, and released masks
+    /// never overlap nodes still held — even when wide classless grants
+    /// span multiple classes.
+    #[test]
+    fn classed_allocations_are_disjoint(
+        requests in prop::collection::vec(classed_request(), 1..30)
+    ) {
+        let topology = ClusterConfig::mixed_256().topology;
+        let mut alloc = ClassedAllocator::new(topology);
+        let mut live: Vec<Allocation> = Vec::new();
+        for (i, req) in requests.into_iter().enumerate() {
+            if let Some(grant) = alloc.try_allocate(&req) {
+                for earlier in &live {
+                    prop_assert!(!grant.nodes.intersects(&earlier.nodes));
+                }
+                live.push(grant);
+            }
+            if i % 4 == 3 && !live.is_empty() {
+                let released = live.swap_remove(i % live.len());
+                alloc.release(&released);
+                for held in &live {
+                    prop_assert!(!released.nodes.intersects(&held.nodes));
+                }
             }
         }
     }
@@ -253,6 +375,7 @@ proptest! {
                 start: SimTime::from_secs(start.min(now)),
                 submit: SimTime::from_secs(start.min(now)),
                 expected_end: SimTime::from_secs(now + 100),
+                class: None,
             })
             .collect();
         let view = SystemView {
@@ -260,6 +383,7 @@ proptest! {
             config: ClusterConfig::paper_default(),
             free_nodes,
             free_memory_gb: free_mem,
+            free_by_class: [0; reasoned_scheduler::cluster::MAX_CLASSES],
             waiting: &waiting_specs,
             running: &running_summaries,
             completed: &[],

@@ -1,7 +1,7 @@
 //! The tentpole API's contracts, tested from outside the workspace:
 //!
 //! * registry-constructed policies are **bit-identical** to directly
-//!   constructed ones (property test over all seven builtin names and many
+//!   constructed ones (property test over all builtin names and many
 //!   seeds);
 //! * observers stream in order: decisions arrive in nondecreasing
 //!   `SimTime`, and `on_complete` fires exactly once with the same outcome
@@ -32,6 +32,9 @@ fn direct_policy(name: &str, jobs: &[JobSpec], seed: u64) -> Box<dyn SchedulingP
         "FCFS" => Box::new(Fcfs),
         "SJF" => Box::new(Sjf),
         "EASY" => Box::new(EasyBackfill::new()),
+        "EASY-SJBF" => Box::new(EasyBackfill::sjbf()),
+        "Conservative" => Box::new(ConservativeBackfill::new()),
+        "Conservative-SJBF" => Box::new(ConservativeBackfill::sjbf()),
         "Random" => Box::new(RandomPolicy::new(seed)),
         "OR-Tools" => Box::new(OrToolsPolicy::with_config(
             jobs,

@@ -88,10 +88,17 @@ fn registry_names_cover_legacy_and_extended_scenarios() {
 #[test]
 fn swf_trace_runs_end_to_end_through_run_named() {
     let scenario = format!("swf:{}", fixture_path());
-    // The fixture has 24 lines; one failed + one cancelled are dropped.
+    // The fixture has 26 lines; one failed + one cancelled are dropped.
     let jobs = scenario_jobs_named(&scenario, 0, 0).expect("fixture parses");
-    assert_eq!(jobs.len(), 22);
+    assert_eq!(jobs.len(), 24);
     assert!(jobs.iter().all(|j| j.nodes <= 128));
+    // The per-node demand fields ride along: job 25 requests 8 processors
+    // on 4 allocated nodes with 2 GB per processor.
+    let packed = jobs
+        .iter()
+        .find(|j| j.per_node.cpus == 2 && j.per_node.memory_gb == 2)
+        .expect("per-node demand mapped from the trace");
+    assert_eq!(packed.nodes, 4);
 
     let result = run_named(
         "fcfs",
@@ -185,7 +192,7 @@ fn third_party_scenario_flows_through_the_harness() {
 #[test]
 fn extended_scenarios_produce_valid_schedulable_workloads() {
     let cluster = ClusterConfig::paper_default();
-    for name in scenario_names::EXTENDED_FOUR {
+    for name in scenario_names::EXTENDED_FIVE {
         let workload = scenario_builtins()
             .generate(name, &ScenarioContext::new(20).with_seed(11))
             .expect("builtin scenario");
