@@ -232,11 +232,6 @@ fn view_build(c: &mut Criterion) {
     group.bench_function("view_build_borrowed_10k", |b| {
         b.iter(|| std::hint::black_box(make_view()))
     });
-    #[allow(deprecated)]
-    group.bench_function("view_snapshot_owned_10k", |b| {
-        let view = make_view();
-        b.iter(|| std::hint::black_box(view.to_owned()))
-    });
     group.finish();
 }
 

@@ -1,0 +1,210 @@
+//! The `service` bench group: the scheduler daemon's two headline numbers
+//! — sustained submission throughput through the ingest/admission front
+//! door, and decision-tick latency with a 10,000-job-deep waiting queue.
+//!
+//! ```text
+//! cargo bench -p rsched-bench --bench service           # measure
+//! cargo bench -p rsched-bench --bench service -- --test # CI smoke (1 iter)
+//! ```
+//!
+//! A full measurement run also rewrites `BENCH_service.json` at the
+//! workspace root, recording the throughput/latency trend plus the PR's
+//! acceptance thresholds (≥ 50k submissions/sec sustained, p99 decision
+//! tick < 5 ms at 10k queue depth).
+
+use criterion::{BatchSize, Criterion};
+use rsched_cluster::{ClusterConfig, JobSpec};
+use rsched_schedulers::Fcfs;
+use rsched_service::{
+    LatencyRecorder, LatencySummary, ManualClock, ServiceConfig, ServiceCore, ServiceDaemon,
+    TenantId,
+};
+use rsched_simkit::{SimDuration, SimTime};
+
+/// A 1-node burst job; `dur_s` controls when its completion event fires.
+fn burst_job(id: u32, dur_s: u64) -> JobSpec {
+    JobSpec::new(
+        id,
+        id % 3,
+        SimTime::ZERO,
+        SimDuration::from_secs(dur_s),
+        1,
+        1,
+    )
+}
+
+fn live_config() -> ServiceConfig {
+    let mut config = ServiceConfig::new(ClusterConfig::paper_default());
+    config.max_batch = usize::MAX;
+    config
+}
+
+/// A service core in decision steady state: 256 staggered long-runners
+/// occupy every node and `depth` more jobs wait in queue, so each
+/// subsequent tick retires exactly one completion and places exactly one
+/// waiting job off a `depth`-deep queue.
+fn deep_queue_core(depth: u32) -> ServiceCore {
+    let (mut core, handle) = ServiceCore::new(live_config(), Box::new(Fcfs), SimTime::ZERO);
+    for i in 0..256u32 {
+        // Completions spaced 1 s apart, starting one hour in.
+        handle
+            .submit(TenantId(i % 3), burst_job(i + 1, 3_600 + u64::from(i)))
+            .expect("core holds receiver");
+    }
+    for i in 0..depth {
+        handle
+            .submit(TenantId(i % 3), burst_job(257 + i, 7_200))
+            .expect("core holds receiver");
+    }
+    core.tick(SimTime::ZERO, &mut []).expect("setup tick");
+    assert_eq!(core.kernel().running_count(), 256, "machine saturated");
+    assert_eq!(core.kernel().waiting_len(), depth as usize, "queue primed");
+    core
+}
+
+/// Ingest + admission throughput: one iteration pushes 50k submissions
+/// through the MPSC channel and a single unbounded-batch tick admits them
+/// all into the ranked waiting queue (plus the first decision epoch).
+fn ingest_admit_50k(c: &mut Criterion) {
+    const N: u32 = 50_000;
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    group.bench_function("ingest_admit_50k", |b| {
+        b.iter_batched(
+            || ServiceCore::new(live_config(), Box::new(Fcfs), SimTime::ZERO),
+            |(mut core, handle)| {
+                for i in 0..N {
+                    handle
+                        .submit(TenantId(i % 3), burst_job(i + 1, 600))
+                        .expect("core holds receiver");
+                }
+                let stats = core.tick(SimTime::ZERO, &mut []).expect("tick");
+                assert_eq!(stats.admitted, N as usize);
+                core
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// Steady-state decision tick with a 10k-deep waiting queue: each
+/// iteration retires one completion and runs one epoch (one placement +
+/// one delay) against the full queue.
+fn decision_tick_10k_deep(c: &mut Criterion) {
+    let mut core = deep_queue_core(10_000);
+    let mut group = c.benchmark_group("service");
+    group.sample_size(200);
+    group.bench_function("decision_tick_10k_deep_queue", |b| {
+        b.iter(|| {
+            let t = core
+                .kernel()
+                .next_event_time()
+                .expect("steady state has a next completion");
+            core.tick(t, &mut []).expect("steady-state tick")
+        })
+    });
+    group.finish();
+}
+
+/// Full daemon lifecycle: spawn the service thread on a manual clock,
+/// absorb a 5k-job burst from three tenants, drain, join.
+fn daemon_burst_drain_5k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    group.bench_function("daemon_burst_drain_5k", |b| {
+        b.iter(|| {
+            let daemon = ServiceDaemon::spawn(live_config(), ManualClock::new(), || Box::new(Fcfs));
+            let handle = daemon.handle();
+            for i in 0..5_000u32 {
+                handle
+                    .submit(TenantId(i % 3), burst_job(i + 1, 60))
+                    .expect("daemon running");
+            }
+            let report = daemon.drain().expect("drains");
+            assert_eq!(report.completed, 5_000);
+            report
+        })
+    });
+    group.finish();
+}
+
+/// The p50/p99 decision-tick latency profile at 10k queue depth, sampled
+/// over many steady-state ticks with the service's own wall-clock
+/// telemetry (`TickStats::wall_nanos`).
+fn tick_latency_profile(test_mode: bool) -> LatencySummary {
+    let samples = if test_mode { 100 } else { 5_000 };
+    let mut core = deep_queue_core(10_000);
+    let mut recorder = LatencyRecorder::new();
+    for _ in 0..samples {
+        let t = core
+            .kernel()
+            .next_event_time()
+            .expect("steady state has a next completion");
+        let stats = core.tick(t, &mut []).expect("steady-state tick");
+        recorder.record(stats.wall_nanos);
+    }
+    let summary = recorder.summary();
+    println!("service/tick_latency_10k_deep_queue: {summary}");
+    summary
+}
+
+/// Rewrites `BENCH_service.json` at the workspace root after a full
+/// measurement run (skipped in `--test` smoke mode), recording the
+/// measured medians, the derived throughput, the tick-latency quantiles,
+/// and the acceptance thresholds.
+fn write_trend_file(criterion: &Criterion, latency: &LatencySummary) {
+    if criterion.is_test_mode() || criterion.measurements().is_empty() {
+        return; // --test smoke mode: nothing measured, keep the file as-is.
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    let measurements = criterion.measurements();
+    let mut body = String::from(
+        "{\n  \"_comment\": \"service-bench trend file; regenerate with `cargo bench -p rsched-bench --bench service`.\",\n  \"benches_us_per_iter\": {\n",
+    );
+    for (i, (label, t)) in measurements.iter().enumerate() {
+        let sep = if i + 1 == measurements.len() { "" } else { "," };
+        body.push_str(&format!(
+            "    \"{label}\": {:.3}{sep}\n",
+            t.as_secs_f64() * 1e6
+        ));
+    }
+    body.push_str("  },\n");
+
+    let subs_per_sec = measurements
+        .iter()
+        .find(|(label, _)| label == "service/ingest_admit_50k")
+        .map(|(_, t)| 50_000.0 / t.as_secs_f64());
+    if let Some(rate) = subs_per_sec {
+        body.push_str(&format!(
+            "  \"sustained_submissions_per_sec\": {rate:.0},\n"
+        ));
+    }
+    body.push_str(&format!(
+        "  \"tick_latency_10k_deep_queue\": {{\n    \"samples\": {},\n    \"mean_us\": {:.3},\n    \"p50_us\": {:.3},\n    \"p99_us\": {:.3},\n    \"max_us\": {:.3}\n  }},\n",
+        latency.count,
+        latency.mean_nanos as f64 / 1e3,
+        latency.p50_nanos as f64 / 1e3,
+        latency.p99_nanos as f64 / 1e3,
+        latency.max_nanos as f64 / 1e3,
+    ));
+
+    let throughput_ok = subs_per_sec.map(|r| r >= 50_000.0).unwrap_or(false);
+    let latency_ok = (latency.p99_nanos as f64) < 5e6;
+    body.push_str(&format!(
+        "  \"acceptance\": {{\n    \"sustained_submissions_per_sec_min\": 50000,\n    \"p99_tick_latency_ms_max\": 5.0,\n    \"throughput_pass\": {throughput_ok},\n    \"latency_pass\": {latency_ok}\n  }}\n}}\n"
+    ));
+    match std::fs::write(path, &body) {
+        Ok(()) => println!("wrote BENCH_service.json"),
+        Err(e) => eprintln!("could not write BENCH_service.json: {e}"),
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    ingest_admit_50k(&mut criterion);
+    decision_tick_10k_deep(&mut criterion);
+    daemon_burst_drain_5k(&mut criterion);
+    let latency = tick_latency_profile(criterion.is_test_mode());
+    write_trend_file(&criterion, &latency);
+}

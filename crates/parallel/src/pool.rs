@@ -128,15 +128,33 @@ impl ThreadPool {
             .map(|(i, r)| r.unwrap_or_else(|| panic!("task {i} never delivered a result")))
             .collect()
     }
-}
 
-impl Drop for ThreadPool {
-    fn drop(&mut self) {
+    /// Gracefully shut the pool down: signal the workers and join every
+    /// thread. Queued tasks that a worker has already picked up (or can
+    /// pick up before observing the signal) still run; parked workers wake
+    /// and exit.
+    ///
+    /// Idempotent — a second call (or the implicit one in `Drop`) is a
+    /// no-op. Long-lived owners like the service daemon call this
+    /// explicitly so shutdown happens at a chosen point with any join
+    /// panics surfaced here rather than during unwinding.
+    pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.wakeup.notify_all();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
+    }
+
+    /// `true` once [`shutdown`](Self::shutdown) has joined the workers.
+    pub fn is_shut_down(&self) -> bool {
+        self.handles.is_empty()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -276,6 +294,24 @@ mod tests {
         let pool = ThreadPool::new(3);
         pool.par_map(vec![1, 2, 3], |x| x);
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn explicit_shutdown_joins_and_is_idempotent() {
+        let mut pool = ThreadPool::new(3);
+        assert!(!pool.is_shut_down());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.par_map((0..64).collect::<Vec<u32>>(), move |_| {
+            c.fetch_add(1, Ordering::SeqCst)
+        });
+        pool.shutdown();
+        assert!(pool.is_shut_down());
+        assert_eq!(counter.load(Ordering::SeqCst), 64, "batch ran fully");
+        // Second call (and the implicit Drop) must be no-ops, not hangs.
+        pool.shutdown();
+        assert!(pool.is_shut_down());
+        drop(pool);
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Service clocks: how the daemon's tick loop experiences time.
+//!
+//! The decision kernel is clock-agnostic — it is handed a [`SimTime`] per
+//! tick and never asks where it came from. A [`ServiceClock`] supplies
+//! those instants: [`WallClock`] maps them onto real time (sleeping between
+//! ticks), while [`ManualClock`] is advanced explicitly by tests and the
+//! deterministic replay driver, so the same submission stream always
+//! produces the same tick sequence.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rsched_simkit::{SimDuration, SimTime};
+
+/// A source of tick instants for the service run loop.
+///
+/// `advance` is called between ticks with the configured tick interval and
+/// a hint of the next scheduled kernel event (the time the service could
+/// sleep until if no submission arrives). Implementations decide whether
+/// that means really sleeping ([`WallClock`]) or jumping a counter
+/// ([`ManualClock`]).
+pub trait ServiceClock: Send {
+    /// The current service time.
+    fn now(&self) -> SimTime;
+
+    /// Move time forward by (at least a bounded fraction of) `tick`.
+    /// `idle_until` is the next kernel event time, if any — a deterministic
+    /// clock with nothing to ingest may jump straight to it.
+    fn advance(&mut self, tick: SimDuration, idle_until: Option<SimTime>);
+}
+
+/// Real time: service instants are milliseconds since the clock was
+/// created, and advancing sleeps the daemon thread for the tick interval
+/// (bounded decision latency — a submission never waits longer than one
+/// tick plus the epoch itself).
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock anchored at "now" (service t = 0).
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl ServiceClock for WallClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_millis(self.epoch.elapsed().as_millis() as u64)
+    }
+
+    fn advance(&mut self, tick: SimDuration, _idle_until: Option<SimTime>) {
+        // Live traffic can arrive at any instant, so the idle hint is
+        // ignored: sleep one tick and look again.
+        std::thread::sleep(std::time::Duration::from_millis(tick.as_millis()));
+    }
+}
+
+/// A deterministic, manually-advanced clock backed by a shared atomic
+/// millisecond counter.
+///
+/// Cloning yields another handle on the *same* clock, so a test can hold
+/// one handle while the daemon thread ticks another. `advance` jumps by
+/// the tick interval — or straight to `idle_until` when that is further
+/// away, which is what lets a drain of long jobs finish in microseconds of
+/// real time.
+#[derive(Debug, Clone)]
+pub struct ManualClock {
+    millis: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A manual clock starting at t = 0.
+    pub fn new() -> Self {
+        ManualClock::starting_at(SimTime::ZERO)
+    }
+
+    /// A manual clock starting at `start`.
+    pub fn starting_at(start: SimTime) -> Self {
+        ManualClock {
+            millis: Arc::new(AtomicU64::new(start.as_millis())),
+        }
+    }
+
+    /// Set the clock to an absolute time. Never moves backwards: an
+    /// earlier `to` leaves the clock unchanged.
+    pub fn set(&self, to: SimTime) {
+        self.millis.fetch_max(to.as_millis(), Ordering::SeqCst);
+    }
+
+    /// Advance the clock by `by`.
+    pub fn advance_by(&self, by: SimDuration) {
+        self.millis.fetch_add(by.as_millis(), Ordering::SeqCst);
+    }
+}
+
+impl Default for ManualClock {
+    fn default() -> Self {
+        ManualClock::new()
+    }
+}
+
+impl ServiceClock for ManualClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_millis(self.millis.load(Ordering::SeqCst))
+    }
+
+    fn advance(&mut self, tick: SimDuration, idle_until: Option<SimTime>) {
+        let stepped = self.now() + tick;
+        let target = match idle_until {
+            // Nothing can happen before the next kernel event: jump there.
+            Some(event) if event > stepped => event,
+            _ => stepped,
+        };
+        self.set(target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_shared_and_monotonic() {
+        let clock = ManualClock::new();
+        let other = clock.clone();
+        clock.advance_by(SimDuration::from_millis(250));
+        assert_eq!(other.now(), SimTime::from_millis(250));
+        other.set(SimTime::from_millis(100)); // backwards: ignored
+        assert_eq!(clock.now(), SimTime::from_millis(250));
+    }
+
+    #[test]
+    fn manual_advance_jumps_to_idle_hint() {
+        let mut clock = ManualClock::new();
+        clock.advance(
+            SimDuration::from_millis(10),
+            Some(SimTime::from_secs(60)), // next completion far away
+        );
+        assert_eq!(clock.now(), SimTime::from_secs(60));
+        // A nearer hint than one tick does not short-step the clock.
+        clock.advance(SimDuration::from_millis(10), Some(SimTime::from_secs(60)));
+        assert_eq!(clock.now(), SimTime::from_millis(60_010));
+    }
+
+    #[test]
+    fn wall_clock_moves_forward() {
+        let mut clock = WallClock::new();
+        let before = clock.now();
+        clock.advance(SimDuration::from_millis(5), None);
+        assert!(clock.now() >= before + SimDuration::from_millis(4));
+    }
+}

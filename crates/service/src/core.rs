@@ -1,0 +1,470 @@
+//! The service core: the decision kernel wrapped in an ingest-admit-tick
+//! loop.
+//!
+//! [`ServiceCore`] is the single-threaded heart of the daemon. Each
+//! [`tick`](ServiceCore::tick) at service time `now`:
+//!
+//! 1. **ingests** up to [`max_batch`](ServiceConfig::max_batch) requests
+//!    from the MPSC channel, pushing each admitted job into the kernel's
+//!    waiting queue at its fair-share rank and bouncing the rest with
+//!    typed [`AdmissionError`]s;
+//! 2. **retires** every completion event scheduled at or before `now`, at
+//!    its exact event time (the cluster ledger audits this);
+//! 3. runs **one decision epoch** — the same
+//!    [`KernelState::run_epoch`] the virtual-time simulator uses — and
+//!    streams the new decisions to the [`ServiceObserver`]s.
+//!
+//! Drive it with [`run`](ServiceCore::run) and a [`ServiceClock`] for a
+//! long-running daemon, or call `tick` directly at chosen instants for
+//! deterministic replays (`crate::replay`).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+use crossbeam::channel::{Receiver, TryRecvError};
+use rsched_cluster::{ClusterConfig, JobId};
+use rsched_sim::kernel::KernelState;
+use rsched_sim::{
+    job_is_feasible, Action, SchedulingPolicy, SimError, SimEvent, SimOptions, SimOutcome, SimStats,
+};
+use rsched_simkit::{SimDuration, SimTime};
+
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionError};
+use crate::clock::ServiceClock;
+use crate::ingest::{ingest_channel, ServiceRequest, Submission, SubmitHandle};
+use crate::observer::{ServiceObserver, TickStats};
+use crate::telemetry::{LatencyRecorder, LatencySummary};
+use crate::tenant::TenantId;
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// The machine being scheduled.
+    pub cluster: ClusterConfig,
+    /// Tick interval: the bound on how long an ingested submission waits
+    /// for its first decision epoch.
+    pub tick: SimDuration,
+    /// Maximum channel requests ingested per tick. A saturated tick is
+    /// followed by an immediate re-tick instead of a sleep, so a backlog
+    /// drains at full speed while each epoch stays bounded.
+    pub max_batch: usize,
+    /// Kernel options. The default raises
+    /// [`max_queries`](SimOptions::max_queries) to effectively unlimited —
+    /// a daemon serves queries forever.
+    pub sim: SimOptions,
+    /// Admission control and fair-share settings.
+    pub admission: AdmissionConfig,
+    /// Overwrite each admitted job's `submit` with its admission time.
+    /// Live daemons keep this `true` so client-supplied timestamps cannot
+    /// reorder the queue or corrupt wait metrics; deterministic replays
+    /// set it `false` to preserve the trace's own submit times.
+    pub restamp_submit: bool,
+    /// Keep the full decision log inside the kernel (for
+    /// [`ServiceCore::into_outcome`]). Live daemons leave this `false` so
+    /// the log is drained every tick and memory stays bounded.
+    pub retain_history: bool,
+    /// Replay mode: the exact number of jobs that will be submitted. With
+    /// `Some(n)`, the policy sees the same `pending_arrivals`/`total_jobs`
+    /// the simulator would show, enabling its final `Stop`; with `None`
+    /// (live mode), arrivals are open-ended and `Stop` is only offered
+    /// once the service is draining.
+    pub expected_jobs: Option<usize>,
+}
+
+impl ServiceConfig {
+    /// Defaults for a live daemon on the given machine: 100 ms ticks,
+    /// 4096-request batches, permissive admission, unbounded queries.
+    pub fn new(cluster: ClusterConfig) -> Self {
+        ServiceConfig {
+            cluster,
+            tick: SimDuration::from_millis(100),
+            max_batch: 4096,
+            sim: SimOptions {
+                max_queries: usize::MAX,
+                ..SimOptions::default()
+            },
+            admission: AdmissionConfig::default(),
+            restamp_submit: true,
+            retain_history: false,
+            expected_jobs: None,
+        }
+    }
+}
+
+/// Final accounting for a service run, delivered on drain.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Submissions ingested from the channel (admitted + rejected).
+    pub submitted: usize,
+    /// Submissions admitted to the waiting queue.
+    pub admitted: usize,
+    /// Submissions rejected with a typed [`AdmissionError`].
+    pub rejected: usize,
+    /// Jobs that ran to completion.
+    pub completed: usize,
+    /// Requests left unread in the channel at shutdown (0 for a clean
+    /// drain).
+    pub dropped_requests: usize,
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Service time at shutdown.
+    pub end_time: SimTime,
+    /// Kernel counters (queries, placements, backfills, …).
+    pub stats: SimStats,
+    /// Wall-clock decision-tick latency aggregates.
+    pub tick_latency: LatencySummary,
+}
+
+/// The single-threaded scheduler service around one [`KernelState`].
+pub struct ServiceCore {
+    config: ServiceConfig,
+    kernel: KernelState,
+    admission: AdmissionController,
+    policy: Box<dyn SchedulingPolicy>,
+    rx: Receiver<ServiceRequest>,
+    /// Every id ever admitted (global duplicate detection, mirroring the
+    /// simulator's workload validation).
+    seen: BTreeSet<JobId>,
+    /// Admitting tenant of each job currently waiting or running.
+    tenant_of: BTreeMap<JobId, TenantId>,
+    draining: bool,
+    /// Whether the last ingest pass emptied the channel (vs. stopping at
+    /// the batch cap).
+    channel_drained: bool,
+    /// Completed records already streamed to observers.
+    completed_streamed: usize,
+    submitted: usize,
+    admitted: usize,
+    rejected: usize,
+    ticks: u64,
+    latency: LatencyRecorder,
+    last_now: SimTime,
+}
+
+impl ServiceCore {
+    /// A core plus the [`SubmitHandle`] clients use to reach it.
+    pub fn new(
+        config: ServiceConfig,
+        policy: Box<dyn SchedulingPolicy>,
+        start: SimTime,
+    ) -> (Self, SubmitHandle) {
+        let (handle, rx) = ingest_channel();
+        (Self::with_receiver(config, policy, rx, start), handle)
+    }
+
+    /// A core over an existing ingest receiver (the daemon constructs the
+    /// channel on the caller side and the core on its own thread).
+    pub fn with_receiver(
+        config: ServiceConfig,
+        policy: Box<dyn SchedulingPolicy>,
+        rx: Receiver<ServiceRequest>,
+        start: SimTime,
+    ) -> Self {
+        ServiceCore {
+            kernel: KernelState::new(config.cluster, start),
+            admission: AdmissionController::new(config.admission),
+            policy,
+            rx,
+            seen: BTreeSet::new(),
+            tenant_of: BTreeMap::new(),
+            draining: false,
+            channel_drained: true,
+            completed_streamed: 0,
+            submitted: 0,
+            admitted: 0,
+            rejected: 0,
+            ticks: 0,
+            latency: LatencyRecorder::new(),
+            last_now: start,
+            config,
+        }
+    }
+
+    /// The kernel (read-only), for inspection and tests.
+    pub fn kernel(&self) -> &KernelState {
+        &self.kernel
+    }
+
+    /// The admission controller, e.g. to install tenant profiles before
+    /// (or between) ticks.
+    pub fn admission_mut(&mut self) -> &mut AdmissionController {
+        &mut self.admission
+    }
+
+    /// `true` once a drain request has been seen (or every producer hung
+    /// up).
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    /// `true` when the service has drained completely: no ingestable
+    /// requests, nothing waiting, nothing running.
+    pub fn finished(&self) -> bool {
+        self.draining
+            && self.channel_drained
+            && self.rx.is_empty()
+            && self.kernel.waiting_len() == 0
+            && self.kernel.running_count() == 0
+            && self.kernel.events_is_empty()
+    }
+
+    fn pending_hint(&self) -> usize {
+        match self.config.expected_jobs {
+            // Replay mode: exactly the simulator's pending-arrival count.
+            Some(total) => total.saturating_sub(self.admitted),
+            // Live mode: arrivals are open-ended until the drain finishes
+            // emptying the channel; the nonzero sentinel keeps policies
+            // from issuing their final `Stop` prematurely.
+            None => {
+                if self.draining && self.channel_drained && self.rx.is_empty() {
+                    0
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    fn total_jobs_hint(&self) -> usize {
+        self.config.expected_jobs.unwrap_or(self.admitted)
+    }
+
+    fn handle_submission(
+        &mut self,
+        sub: Submission,
+        now: SimTime,
+        observers: &mut [&mut dyn ServiceObserver],
+    ) -> bool {
+        let Submission { tenant, mut job } = sub;
+        let verdict = if self.draining {
+            Err(AdmissionError::Draining)
+        } else if self.seen.contains(&job.id) {
+            Err(AdmissionError::DuplicateId(job.id))
+        } else if !job_is_feasible(self.config.cluster, &job) {
+            Err(AdmissionError::Infeasible {
+                id: job.id,
+                nodes: job.nodes,
+                memory_gb: job.memory_gb,
+            })
+        } else {
+            self.admission.admit(tenant, &job, now)
+        };
+        match verdict {
+            Ok(rank) => {
+                if self.config.restamp_submit {
+                    job.submit = now;
+                }
+                self.seen.insert(job.id);
+                self.tenant_of.insert(job.id, tenant);
+                for observer in observers.iter_mut() {
+                    observer.on_admit(tenant, &job, now);
+                }
+                self.kernel.arrive_ranked(job, rank);
+                self.admitted += 1;
+                true
+            }
+            Err(reason) => {
+                for observer in observers.iter_mut() {
+                    observer.on_reject(tenant, &job, &reason, now);
+                }
+                self.rejected += 1;
+                false
+            }
+        }
+    }
+
+    /// One service tick at time `now` (which must not move backwards).
+    /// Returns the tick's aggregates; errors are kernel-level
+    /// ([`SimError::QueryBudgetExhausted`] under a bounded query budget).
+    pub fn tick(
+        &mut self,
+        now: SimTime,
+        observers: &mut [&mut dyn ServiceObserver],
+    ) -> Result<TickStats, SimError> {
+        let wall_start = Instant::now();
+        let now = now.max(self.last_now);
+        self.ticks += 1;
+
+        // 1. Ingest a bounded batch from the channel.
+        let mut ingested = 0usize;
+        let mut tick_admitted = 0usize;
+        let mut tick_rejected = 0usize;
+        let mut exhausted = false;
+        while ingested < self.config.max_batch {
+            match self.rx.try_recv() {
+                Ok(ServiceRequest::Submit(sub)) => {
+                    ingested += 1;
+                    if self.handle_submission(sub, now, observers) {
+                        tick_admitted += 1;
+                    } else {
+                        tick_rejected += 1;
+                    }
+                }
+                Ok(ServiceRequest::Drain) => {
+                    self.draining = true;
+                }
+                Err(TryRecvError::Empty) => {
+                    exhausted = true;
+                    break;
+                }
+                Err(TryRecvError::Disconnected) => {
+                    // Every producer hung up: nothing can ever arrive, so
+                    // finish what we have and shut down.
+                    self.draining = true;
+                    exhausted = true;
+                    break;
+                }
+            }
+        }
+        self.channel_drained = exhausted;
+        self.submitted += ingested;
+
+        // 2. Retire completions at their exact event times (the cluster
+        // ledger audits end-time exactness).
+        let mut completions = 0usize;
+        while let Some(t) = self.kernel.next_event_time() {
+            if t > now {
+                break;
+            }
+            for event in self.kernel.pop_events_at(t) {
+                match event {
+                    SimEvent::Completion(id) => {
+                        self.kernel.complete(id, t);
+                        self.tenant_of.remove(&id);
+                        completions += 1;
+                    }
+                    // The service kernel schedules no Arrival events;
+                    // arrivals come from the channel.
+                    SimEvent::Arrival(_) => unreachable!("service kernels have no arrival events"),
+                }
+            }
+            self.kernel.observe_time(t);
+        }
+        for record in &self.kernel.completed()[self.completed_streamed..] {
+            for observer in observers.iter_mut() {
+                observer.on_completion(record);
+            }
+        }
+        self.completed_streamed = self.kernel.completed_len();
+        self.kernel.observe_time(now);
+
+        // 3. One decision epoch, if the kernel wants one.
+        let pending = self.pending_hint();
+        let mut decisions = 0usize;
+        let mut verdict = Ok(());
+        if self.kernel.should_query(pending, &self.config.sim) {
+            let first_new = self.kernel.decisions_len();
+            verdict = self.kernel.run_epoch(
+                now,
+                pending,
+                self.total_jobs_hint(),
+                &mut *self.policy,
+                &self.config.sim,
+            );
+            // Stream decisions (even on error) and release the queue-cap
+            // slots of every accepted placement.
+            for record in &self.kernel.decisions()[first_new..] {
+                if record.accepted() {
+                    if let Action::StartJob(id) | Action::BackfillJob(id) = record.action {
+                        if let Some(tenant) = self.tenant_of.get(&id) {
+                            self.admission.job_started(*tenant);
+                        }
+                    }
+                }
+                for observer in observers.iter_mut() {
+                    observer.on_decision(record);
+                }
+            }
+            decisions = self.kernel.decisions_len() - first_new;
+            if !self.config.retain_history {
+                let _ = self.kernel.drain_decisions();
+            }
+        }
+
+        let wall_nanos = wall_start.elapsed().as_nanos() as u64;
+        self.latency.record(wall_nanos);
+        let stats = TickStats {
+            now,
+            submitted: ingested,
+            admitted: tick_admitted,
+            rejected: tick_rejected,
+            completions,
+            decisions,
+            queue_depth: self.kernel.waiting_len(),
+            running: self.kernel.running_count(),
+            wall_nanos,
+        };
+        for observer in observers.iter_mut() {
+            observer.on_tick(&stats);
+        }
+        self.last_now = now;
+        verdict?;
+        Ok(stats)
+    }
+
+    /// Run the service to completion on `clock`: tick, advance, repeat,
+    /// until a drain finishes (or the kernel errors). Saturated ticks
+    /// (full ingest batch) re-tick immediately instead of sleeping.
+    pub fn run<C: ServiceClock>(
+        mut self,
+        clock: &mut C,
+        observers: &mut [&mut dyn ServiceObserver],
+    ) -> Result<ServiceReport, SimError> {
+        loop {
+            let now = clock.now().max(self.last_now);
+            let stats = self.tick(now, observers)?;
+            if self.finished() {
+                break;
+            }
+            // Draining with jobs waiting, nothing running, and no future
+            // events: no epoch will ever place them (the policy had its
+            // chance this tick) — the same Stuck verdict the simulator
+            // gives a policy that delays forever.
+            if self.draining
+                && self.channel_drained
+                && self.rx.is_empty()
+                && self.kernel.events_is_empty()
+                && self.kernel.running_count() == 0
+                && self.kernel.waiting_len() > 0
+            {
+                return Err(SimError::Stuck {
+                    time: now,
+                    waiting: self.kernel.waiting_len(),
+                });
+            }
+            if stats.submitted >= self.config.max_batch {
+                continue;
+            }
+            clock.advance(self.config.tick, self.kernel.next_event_time());
+        }
+        let report = self.finish();
+        for observer in observers.iter_mut() {
+            observer.on_drain(&report);
+        }
+        Ok(report)
+    }
+
+    fn finish(self) -> ServiceReport {
+        ServiceReport {
+            submitted: self.submitted,
+            admitted: self.admitted,
+            rejected: self.rejected,
+            completed: self.kernel.completed_len(),
+            dropped_requests: self.rx.len(),
+            ticks: self.ticks,
+            end_time: self.last_now,
+            stats: *self.kernel.stats(),
+            tick_latency: self.latency.summary(),
+        }
+    }
+
+    /// Close the run and produce a simulator-shaped [`SimOutcome`]
+    /// (requires [`retain_history`](ServiceConfig::retain_history) for a
+    /// populated decision log). This is how the replay driver proves
+    /// bit-equivalence with the virtual-time simulator.
+    pub fn into_outcome(self) -> SimOutcome {
+        let end = self.last_now;
+        let name = self.policy.name().to_string();
+        self.kernel.into_outcome(name, end)
+    }
+}

@@ -1,0 +1,140 @@
+//! The scheduler daemon: a [`ServiceCore`] on its own thread.
+//!
+//! [`ServiceDaemon::spawn`] starts the service loop on a dedicated
+//! `rsched-service` thread and hands back a cloneable [`SubmitHandle`] for
+//! producers. Policies are built *on* the daemon thread from a `Send`
+//! factory (a `Box<dyn SchedulingPolicy>` itself need not be `Send` — the
+//! registry's LLM-backed policies hold `Rc` state), so any registry policy
+//! can serve.
+//!
+//! Shutdown is graceful by construction: [`drain`](ServiceDaemon::drain)
+//! enqueues a drain request, the core finishes ingesting, places or
+//! finishes every admitted job, and the thread returns its
+//! [`ServiceReport`]. Dropping the daemon without calling `drain` performs
+//! the same sequence best-effort.
+
+use std::thread::JoinHandle;
+
+use rsched_sim::{SchedulingPolicy, SimError};
+
+use crate::clock::ServiceClock;
+use crate::core::{ServiceConfig, ServiceCore, ServiceReport};
+use crate::ingest::{ingest_channel, SubmitHandle};
+
+/// A running scheduler service thread.
+pub struct ServiceDaemon {
+    handle: SubmitHandle,
+    thread: Option<JoinHandle<Result<ServiceReport, SimError>>>,
+}
+
+impl ServiceDaemon {
+    /// Spawn the service loop on a new thread. The clock provides the
+    /// service's time base (a [`crate::WallClock`] for production, a
+    /// cloned [`crate::ManualClock`] for deterministic tests); `make`
+    /// builds the policy on the daemon thread.
+    pub fn spawn<C, F>(config: ServiceConfig, mut clock: C, make: F) -> Self
+    where
+        C: ServiceClock + 'static,
+        F: FnOnce() -> Box<dyn SchedulingPolicy> + Send + 'static,
+    {
+        let (handle, rx) = ingest_channel();
+        let thread = std::thread::Builder::new()
+            .name("rsched-service".to_string())
+            .spawn(move || {
+                let start = clock.now();
+                let core = ServiceCore::with_receiver(config, make(), rx, start);
+                core.run(&mut clock, &mut [])
+            })
+            .expect("spawn rsched-service thread");
+        ServiceDaemon {
+            handle,
+            thread: Some(thread),
+        }
+    }
+
+    /// A handle for submitting jobs and requesting a drain. Clone freely;
+    /// every clone feeds the same daemon.
+    pub fn handle(&self) -> SubmitHandle {
+        self.handle.clone()
+    }
+
+    /// Request a graceful drain and wait for the daemon to finish every
+    /// admitted job, returning its final report.
+    pub fn drain(mut self) -> Result<ServiceReport, SimError> {
+        let _ = self.handle.drain();
+        let thread = self.thread.take().expect("daemon thread still attached");
+        match thread.join() {
+            Ok(result) => result,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+
+    /// `true` until the daemon thread has been joined.
+    pub fn is_running(&self) -> bool {
+        self.thread.is_some()
+    }
+}
+
+impl Drop for ServiceDaemon {
+    /// Best-effort graceful shutdown: request a drain and join, discarding
+    /// the report. Panics from the daemon thread are swallowed here (a
+    /// `Drop` must not panic during unwinding); call
+    /// [`drain`](ServiceDaemon::drain) to observe them.
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            let _ = self.handle.drain();
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::tenant::TenantId;
+    use rsched_cluster::{ClusterConfig, JobSpec};
+    use rsched_schedulers::Fcfs;
+    use rsched_simkit::{SimDuration, SimTime};
+
+    fn job(id: u32, dur_s: u64, nodes: u32) -> JobSpec {
+        JobSpec::new(
+            id,
+            0,
+            SimTime::ZERO,
+            SimDuration::from_secs(dur_s),
+            nodes,
+            1,
+        )
+    }
+
+    #[test]
+    fn daemon_drains_a_burst_on_a_manual_clock() {
+        let config = ServiceConfig::new(ClusterConfig::new(4, 64));
+        let clock = ManualClock::new();
+        let external = clock.clone();
+        let daemon = ServiceDaemon::spawn(config, clock, || Box::new(Fcfs));
+        let handle = daemon.handle();
+        for id in 1..=20 {
+            handle.submit(TenantId(0), job(id, 10, 1)).unwrap();
+        }
+        // The manual clock jumps to the next event whenever the daemon
+        // goes idle, so no external advancing is strictly required — but
+        // nudge it anyway to exercise the shared-clock path.
+        external.advance_by(SimDuration::from_millis(1));
+        let report = daemon.drain().expect("drains cleanly");
+        assert_eq!(report.submitted, 20);
+        assert_eq!(report.admitted, 20);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.completed, 20);
+        assert_eq!(report.dropped_requests, 0);
+    }
+
+    #[test]
+    fn drop_joins_the_daemon_thread() {
+        let config = ServiceConfig::new(ClusterConfig::new(4, 64));
+        let daemon = ServiceDaemon::spawn(config, ManualClock::new(), || Box::new(Fcfs));
+        daemon.handle().submit(TenantId(1), job(1, 5, 2)).unwrap();
+        drop(daemon);
+    }
+}

@@ -1,0 +1,46 @@
+//! # rsched-service
+//!
+//! The decision kernel as a long-running, multi-tenant scheduler service.
+//!
+//! Everything below the policy boundary is shared with the virtual-time
+//! simulator: both drivers advance the *same* [`rsched_sim::KernelState`]
+//! (waiting queue, running set, cluster ledger, utilization integrals,
+//! decision log) through the same `deliver events → observe time → decide`
+//! contract. The simulator drives it from a pre-known workload's event
+//! queue; this crate drives it from a live MPSC submission channel on a
+//! pluggable [`ServiceClock`]:
+//!
+//! * [`SubmitHandle`] — cloneable, lock-free front door for producers;
+//! * [`AdmissionController`] — per-tenant token-bucket rate limits,
+//!   queue-depth caps, and typed [`AdmissionError`] rejections;
+//! * [`tenant::FairShare`] — usage-decayed tenant priority,
+//!   folded into the kernel's ranked waiting queue;
+//! * [`ServiceCore`] — the ingest → retire → decide tick loop;
+//! * [`ServiceDaemon`] — the core on its own thread, with graceful drain;
+//! * [`replay()`] — a trace pushed through the service driver at exact event
+//!   times, bit-equivalent to `rsched_sim::run_simulation`;
+//! * [`ServiceObserver`] / [`LatencySummary`] — streaming per-tick
+//!   telemetry and decision-latency quantiles.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod admission;
+pub mod clock;
+pub mod core;
+pub mod daemon;
+pub mod ingest;
+pub mod observer;
+pub mod replay;
+pub mod telemetry;
+pub mod tenant;
+
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionError};
+pub use clock::{ManualClock, ServiceClock, WallClock};
+pub use core::{ServiceConfig, ServiceCore, ServiceReport};
+pub use daemon::ServiceDaemon;
+pub use ingest::{ServiceRequest, ServiceStopped, Submission, SubmitHandle};
+pub use observer::{CountingServiceObserver, ServiceObserver, TickStats};
+pub use replay::replay;
+pub use telemetry::{LatencyRecorder, LatencySummary};
+pub use tenant::{FairShare, FairShareConfig, RateLimit, TenantConfig, TenantId};

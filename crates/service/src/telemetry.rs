@@ -1,0 +1,147 @@
+//! Decision-tick latency telemetry.
+//!
+//! The service's headline numbers — sustained submissions/sec and p50/p99
+//! decision-tick latency — come from a bounded-memory [`LatencyRecorder`]
+//! the core feeds once per tick with the tick's wall-clock cost.
+
+/// How many samples the recorder retains. Older samples are overwritten
+/// ring-buffer style, so a long-running daemon reports quantiles over its
+/// recent window while `count`/`sum` keep lifetime totals.
+const WINDOW: usize = 65_536;
+
+/// A bounded ring of nanosecond latency samples with on-demand quantiles.
+#[derive(Debug, Clone)]
+pub struct LatencyRecorder {
+    samples: Vec<u64>,
+    next: usize,
+    count: u64,
+    sum_nanos: u64,
+    max_nanos: u64,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder {
+            samples: Vec::new(),
+            next: 0,
+            count: 0,
+            sum_nanos: 0,
+            max_nanos: 0,
+        }
+    }
+
+    /// Record one latency sample, in nanoseconds.
+    pub fn record(&mut self, nanos: u64) {
+        if self.samples.len() < WINDOW {
+            self.samples.push(nanos);
+        } else {
+            self.samples[self.next] = nanos;
+            self.next = (self.next + 1) % WINDOW;
+        }
+        self.count += 1;
+        self.sum_nanos = self.sum_nanos.saturating_add(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Lifetime number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (0.0–1.0) over the retained window, in
+    /// nanoseconds; `None` when nothing has been recorded.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(sorted[idx])
+    }
+
+    /// Aggregate the recorder into a [`LatencySummary`].
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean_nanos: self.sum_nanos.checked_div(self.count).unwrap_or(0),
+            p50_nanos: self.quantile(0.50).unwrap_or(0),
+            p99_nanos: self.quantile(0.99).unwrap_or(0),
+            max_nanos: self.max_nanos,
+        }
+    }
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        LatencyRecorder::new()
+    }
+}
+
+/// Point-in-time latency aggregates, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Lifetime sample count.
+    pub count: u64,
+    /// Mean over the lifetime.
+    pub mean_nanos: u64,
+    /// Median over the retained window.
+    pub p50_nanos: u64,
+    /// 99th percentile over the retained window.
+    pub p99_nanos: u64,
+    /// Lifetime maximum.
+    pub max_nanos: u64,
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3}ms p50={:.3}ms p99={:.3}ms max={:.3}ms",
+            self.count,
+            self.mean_nanos as f64 / 1e6,
+            self.p50_nanos as f64 / 1e6,
+            self.p99_nanos as f64 / 1e6,
+            self.max_nanos as f64 / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_over_known_distribution() {
+        let mut r = LatencyRecorder::new();
+        for v in 1..=100u64 {
+            r.record(v * 1000);
+        }
+        assert_eq!(r.count(), 100);
+        let s = r.summary();
+        // Nearest-rank on 100 samples: index round(99 * 0.5) = 50.
+        assert_eq!(s.p50_nanos, 51_000);
+        assert_eq!(s.p99_nanos, 99_000);
+        assert_eq!(s.max_nanos, 100_000);
+        assert_eq!(s.mean_nanos, 50_500);
+    }
+
+    #[test]
+    fn empty_recorder_summarizes_to_zeroes() {
+        let s = LatencyRecorder::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99_nanos, 0);
+    }
+
+    #[test]
+    fn window_overwrites_but_lifetime_counts_keep_growing() {
+        let mut r = LatencyRecorder::new();
+        for _ in 0..(WINDOW + 500) {
+            r.record(7);
+        }
+        assert_eq!(r.count(), (WINDOW + 500) as u64);
+        assert_eq!(r.samples.len(), WINDOW);
+        assert_eq!(r.quantile(0.5), Some(7));
+    }
+}

@@ -34,6 +34,7 @@
 pub mod builder;
 pub mod compat;
 pub mod events;
+pub mod kernel;
 pub mod observer;
 pub mod outcome;
 pub mod policy;
@@ -45,8 +46,9 @@ pub use builder::Simulation;
 #[allow(deprecated)]
 pub use compat::OwnedSystemView;
 pub use events::SimEvent;
+pub use kernel::KernelState;
 pub use observer::{CountingObserver, ProgressObserver, SimObserver};
 pub use outcome::{DecisionRecord, SimOutcome, SimStats};
 pub use policy::{Action, ActionOutcome, OverheadReport, RejectReason, SchedulingPolicy};
-pub use simulator::{run_simulation, SimError, SimOptions};
+pub use simulator::{job_is_feasible, run_simulation, validate_workload, SimError, SimOptions};
 pub use view::{CompletedStats, RunningSummary, SystemView};

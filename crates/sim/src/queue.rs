@@ -1,16 +1,22 @@
 //! Incrementally-maintained simulator state: the sorted waiting queue with
 //! its min-demand watermark, and the running-summary cache.
 //!
-//! These are the data structures behind the zero-copy kernel. The old
-//! kernel re-sorted the waiting queue on every event-loop iteration and
+//! These are the data structures behind the zero-copy kernel, shared by
+//! **both drivers** since the service split: the virtual-time simulator and
+//! the wall-clock scheduler daemon drive the same [`WaitQueue`] and
+//! [`RunningSet`] through [`KernelState`](crate::kernel::KernelState). The
+//! old kernel re-sorted the waiting queue on every event-loop iteration and
 //! rebuilt the running-summary vector (plus a full clone of the completed
 //! records) on every policy query — O(n) per query, O(n²) per run. Here:
 //!
-//! * [`WaitQueue`] keeps jobs sorted by `(submit, id)` via binary-search
-//!   insertion (arrivals come in submit order, so inserts are effectively
-//!   appends), pops the head in O(1) amortized via a head offset, and
-//!   short-circuits "does anything fit?" with conservative min-demand
-//!   watermarks;
+//! * [`WaitQueue`] keeps jobs sorted by `(rank, submit, id)` via
+//!   binary-search insertion, pops the head in O(1) amortized via a head
+//!   offset, and short-circuits "does anything fit?" with conservative
+//!   min-demand watermarks. The **rank** is a fair-share priority tag:
+//!   the virtual-time simulator always inserts at rank 0, which makes the
+//!   order exactly the paper's `(submit, id)` arrival order; the
+//!   multi-tenant service daemon inserts with usage-decayed tenant ranks so
+//!   low-usage tenants sort ahead without any per-query re-sort;
 //! * [`RunningSet`] mirrors the cluster's running jobs as
 //!   [`RunningSummary`]s sorted by id, updated on start/complete instead of
 //!   rebuilt per query.
@@ -19,14 +25,20 @@
 //! [`SystemView`](crate::SystemView) borrow instead of clone.
 
 use rsched_cluster::{ClusterState, JobId, JobSpec};
+use rsched_simkit::SimTime;
 
 use crate::view::RunningSummary;
 
-/// The waiting queue: jobs sorted ascending by `(submit, id)`.
+/// The waiting queue: jobs sorted ascending by `(rank, submit, id)`.
+///
+/// With every rank 0 (the simulator's only mode) this is exactly the
+/// `(submit, id)` arrival order the paper's policies assume.
 #[derive(Debug, Default)]
 pub(crate) struct WaitQueue {
     /// Backing storage; the live queue is `buf[head..]`.
     buf: Vec<JobSpec>,
+    /// Fair-share rank per job, aligned with `buf` (same head offset).
+    ranks: Vec<u64>,
     /// Index of the logical front. Head removals (the FCFS common case)
     /// just advance this; the buffer is compacted when the dead prefix
     /// outgrows the live queue.
@@ -44,6 +56,7 @@ impl WaitQueue {
     pub(crate) fn new() -> Self {
         WaitQueue {
             buf: Vec::new(),
+            ranks: Vec::new(),
             head: 0,
             min_nodes: u32::MAX,
             min_memory_gb: u64::MAX,
@@ -62,50 +75,76 @@ impl WaitQueue {
         self.head == self.buf.len()
     }
 
-    /// Position of `(submit, id)` in the live queue, whether or not it is
-    /// present (`Result` as in `slice::binary_search`).
-    fn position(&self, key: (rsched_simkit::SimTime, JobId)) -> Result<usize, usize> {
-        self.as_slice()
-            .binary_search_by_key(&key, |j| (j.submit, j.id))
+    /// Position of `(rank, submit, id)` in the live queue, whether or not
+    /// it is present (`Result` as in `slice::binary_search`).
+    fn position(&self, key: (u64, SimTime, JobId)) -> Result<usize, usize> {
+        let live = &self.buf[self.head..];
+        let ranks = &self.ranks[self.head..];
+        let mut lo = 0usize;
+        let mut hi = live.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let mid_key = (ranks[mid], live[mid].submit, live[mid].id);
+            match mid_key.cmp(&key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
     }
 
-    /// Insert preserving `(submit, id)` order. Arrivals are popped in time
-    /// order, so in the simulator this is an O(log n) search that lands at
-    /// the back and an O(1) append.
+    /// Insert at rank 0, preserving `(submit, id)` order — the virtual-time
+    /// simulator's path. Arrivals are popped in time order, so this is an
+    /// O(log n) search that lands at the back and an O(1) append.
     pub(crate) fn insert(&mut self, job: JobSpec) {
+        self.insert_ranked(job, 0);
+    }
+
+    /// Insert preserving `(rank, submit, id)` order — the service daemon's
+    /// path, with `rank` a usage-decayed fair-share tag (lower sorts
+    /// earlier).
+    pub(crate) fn insert_ranked(&mut self, job: JobSpec, rank: u64) {
         self.min_nodes = self.min_nodes.min(job.nodes);
         self.min_memory_gb = self.min_memory_gb.min(job.memory_gb);
-        let at = match self.position((job.submit, job.id)) {
-            Ok(_) => unreachable!("duplicate job ids are rejected before the run"),
+        let at = match self.position((rank, job.submit, job.id)) {
+            Ok(_) => unreachable!("duplicate job ids are rejected before insertion"),
             Err(at) => at,
         };
         self.buf.insert(self.head + at, job);
+        self.ranks.insert(self.head + at, rank);
     }
 
-    /// Remove the job with this exact `(submit, id)` key, if present.
-    /// O(1) amortized at the head, O(queue) elsewhere.
-    pub(crate) fn remove(&mut self, key: (rsched_simkit::SimTime, JobId)) -> Option<JobSpec> {
-        let at = self.position(key).ok()?;
-        let job = if at == 0 {
+    /// Remove the job at `index` of [`as_slice`](Self::as_slice), returning
+    /// it. O(1) amortized at the head, O(queue) elsewhere.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds.
+    pub(crate) fn remove_at(&mut self, index: usize) -> JobSpec {
+        assert!(index < self.len(), "WaitQueue::remove_at out of bounds");
+        let job = if index == 0 {
             let job = self.buf[self.head].clone();
             self.head += 1;
             // Compact once the dead prefix dominates, keeping amortized
             // O(1) head pops without unbounded memory retention.
             if self.head > 32 && self.head * 2 > self.buf.len() {
                 self.buf.drain(..self.head);
+                self.ranks.drain(..self.head);
                 self.head = 0;
             }
             job
         } else {
-            self.buf.remove(self.head + at)
+            self.ranks.remove(self.head + index);
+            self.buf.remove(self.head + index)
         };
         if self.is_empty() {
             self.buf.clear();
+            self.ranks.clear();
             self.head = 0;
             self.min_nodes = u32::MAX;
             self.min_memory_gb = u64::MAX;
         }
-        Some(job)
+        job
     }
 
     /// `true` if at least one waiting job fits the cluster's free resources
@@ -194,8 +233,13 @@ mod tests {
         )
     }
 
-    fn key(j: &JobSpec) -> (SimTime, JobId) {
-        (j.submit, j.id)
+    /// Live-queue index of the job with this id (tests only).
+    fn index_of(q: &WaitQueue, id: u32) -> Option<usize> {
+        q.as_slice().iter().position(|j| j.id == JobId(id))
+    }
+
+    fn remove_id(q: &mut WaitQueue, id: u32) -> Option<JobSpec> {
+        index_of(q, id).map(|at| q.remove_at(at))
     }
 
     #[test]
@@ -210,17 +254,31 @@ mod tests {
     }
 
     #[test]
+    fn ranked_insert_sorts_by_rank_before_submit() {
+        let mut q = WaitQueue::new();
+        // Tenant with heavy usage (rank 500) submitted earliest; light
+        // tenants (rank 0) later — light tenants still sort first.
+        q.insert_ranked(spec(1, 0, 1, 1), 500);
+        q.insert_ranked(spec(2, 10, 1, 1), 0);
+        q.insert_ranked(spec(3, 5, 1, 1), 0);
+        q.insert_ranked(spec(4, 1, 1, 1), 500);
+        let ids: Vec<u32> = q.as_slice().iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![3, 2, 1, 4], "rank asc, then submit, then id");
+    }
+
+    #[test]
     fn head_removal_is_offset_based_and_compacts() {
         let mut q = WaitQueue::new();
         for i in 0..100u32 {
             q.insert(spec(i, i as u64, 1, 1));
         }
         for i in 0..100u32 {
-            let j = q.remove((SimTime::from_secs(i as u64), JobId(i))).unwrap();
+            let j = q.remove_at(0);
             assert_eq!(j.id, JobId(i));
         }
         assert!(q.is_empty());
         assert_eq!(q.head, 0, "drained queue was compacted");
+        assert!(q.ranks.is_empty(), "rank column drained with the jobs");
     }
 
     #[test]
@@ -229,10 +287,10 @@ mod tests {
         for i in 0..5u32 {
             q.insert(spec(i, 0, 1, 1));
         }
-        q.remove((SimTime::ZERO, JobId(2))).expect("present");
+        remove_id(&mut q, 2).expect("present");
         let ids: Vec<u32> = q.as_slice().iter().map(|j| j.id.0).collect();
         assert_eq!(ids, vec![0, 1, 3, 4]);
-        assert!(q.remove((SimTime::ZERO, JobId(2))).is_none(), "gone");
+        assert!(remove_id(&mut q, 2).is_none(), "gone");
     }
 
     #[test]
@@ -250,12 +308,12 @@ mod tests {
 
         // Removal leaves the watermark stale-low — still sound (it can only
         // fail to short-circuit, never wrongly claim saturation).
-        q.remove((SimTime::ZERO, JobId(1))).unwrap();
+        remove_id(&mut q, 1).unwrap();
         assert!(!q.any_fits(&busy), "only the 8-node job remains");
         assert!(q.any_fits(&cluster));
 
         // Draining resets the watermark so a tiny later job isn't masked.
-        q.remove((SimTime::ZERO, JobId(2))).unwrap();
+        remove_id(&mut q, 2).unwrap();
         q.insert(spec(3, 0, 1, 1));
         assert!(q.any_fits(&busy), "1-node job fits the 2 free nodes");
     }
@@ -270,7 +328,7 @@ mod tests {
         q.insert(spec(1, 0, 1, 8)); // the small job that pins the watermark
         q.insert(spec(2, 0, 4, 8));
         q.insert(spec(3, 0, 6, 8));
-        q.remove((SimTime::ZERO, JobId(1))).unwrap();
+        remove_id(&mut q, 1).unwrap();
         // Stale: watermark still (1 node, 8 GB) though the true min is 4.
         assert_eq!(q.min_nodes, 1);
 
@@ -307,8 +365,22 @@ mod tests {
     }
 
     #[test]
-    fn wait_queue_key_helper_matches_fields() {
-        let j = spec(4, 9, 2, 2);
-        assert_eq!(key(&j), (SimTime::from_secs(9), JobId(4)));
+    fn rank_zero_path_matches_pure_submit_id_order() {
+        // The virtual-time driver's invariant: with all ranks 0, the queue
+        // order is exactly the PR-4 era (submit, id) order.
+        let mut q = WaitQueue::new();
+        let mut expect: Vec<(u64, u32)> = Vec::new();
+        for i in 0..40u32 {
+            let submit = (i as u64 * 37) % 17;
+            q.insert(spec(i, submit, 1, 1));
+            expect.push((submit, i));
+        }
+        expect.sort();
+        let got: Vec<(u64, u32)> = q
+            .as_slice()
+            .iter()
+            .map(|j| (j.submit.as_secs(), j.id.0))
+            .collect();
+        assert_eq!(got, expect);
     }
 }

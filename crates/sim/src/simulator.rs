@@ -1,33 +1,36 @@
-//! The discrete-event scheduling simulator (paper §3.1, Algorithm 1's
-//! environment side).
+//! The virtual-time driver of the decision kernel (paper §3.1,
+//! Algorithm 1's environment side).
 //!
 //! [`run_simulation`] drives a [`SchedulingPolicy`] over a workload until
 //! every job completes, validating each proposed action (paper §2.4) and
 //! advancing time only at arrivals and completions.
 //!
+//! Since the service split, the event loop here is a thin driver over
+//! [`crate::kernel::KernelState`]: it pre-loads the workload's
+//! arrivals as events, jumps the clock to the next event time, and lets the
+//! kernel run the shared `run_epoch` loop. The wall-clock service daemon
+//! (`rsched-service`) drives the *same* kernel from a live submission
+//! channel; both produce bit-identical decisions for identical streams.
+//!
 //! The kernel is **zero-copy and incremental**: the waiting queue stays
-//! sorted by `(submit, id)` via binary-search insertion at arrival (no
-//! per-iteration re-sort), the running-summary mirror is updated on
-//! start/complete instead of rebuilt per query, completed-job aggregates
-//! are folded in O(1) by the cluster ledger, and every policy query
-//! receives a [`SystemView`] that *borrows* this state. Per-event work is
-//! O(log n); the old kernel's per-query O(n) deep copies are gone, which
-//! is what makes 100k-job SWF-archive replays run in seconds.
+//! sorted by `(rank, submit, id)` via binary-search insertion at arrival
+//! (rank is always 0 here, so the order is the paper's `(submit, id)`), the
+//! running-summary mirror is updated on start/complete instead of rebuilt
+//! per query, completed-job aggregates are folded in O(1) by the cluster
+//! ledger, and every policy query receives a [`SystemView`](crate::SystemView)
+//! that *borrows* this state. Per-event work is O(log n), which is what
+//! makes 100k-job SWF-archive replays run in seconds.
 
 use std::collections::BTreeSet;
 
 use rsched_cluster::reservation::Demand;
-use rsched_cluster::{
-    backfill_is_safe, shadow_start, ClusterConfig, ClusterState, JobId, JobSpec, StartError,
-    StepIntegral, MAX_CLASSES,
-};
-use rsched_simkit::{EventQueue, SimTime};
+use rsched_cluster::{ClusterConfig, JobId, JobSpec, MAX_CLASSES};
+use rsched_simkit::SimTime;
 
 use crate::events::SimEvent;
-use crate::outcome::{DecisionRecord, SimOutcome, SimStats};
-use crate::policy::{Action, ActionOutcome, RejectReason, SchedulingPolicy};
-use crate::queue::{RunningSet, WaitQueue};
-use crate::view::{RunningSummary, SystemView};
+use crate::kernel::KernelState;
+use crate::outcome::SimOutcome;
+use crate::policy::SchedulingPolicy;
 
 /// Simulator knobs.
 #[derive(Debug, Clone, Copy)]
@@ -137,8 +140,9 @@ pub fn run_simulation(
         .run(policy)
 }
 
-/// The decision loop shared by [`run_simulation`] and the
-/// [`Simulation`](crate::Simulation) builder.
+/// The virtual-time event loop shared by [`run_simulation`] and the
+/// [`Simulation`](crate::Simulation) builder: a thin driver over
+/// [`KernelState`] that jumps the clock straight to the next event.
 pub(crate) fn simulate(
     config: ClusterConfig,
     jobs: &[JobSpec],
@@ -148,51 +152,38 @@ pub(crate) fn simulate(
 ) -> Result<SimOutcome, SimError> {
     validate_workload(config, jobs)?;
 
-    let mut cluster = ClusterState::new(config);
-    let mut events: EventQueue<SimEvent> = EventQueue::with_capacity(jobs.len() * 2);
+    let start_time = jobs.iter().map(|j| j.submit).min().unwrap_or(SimTime::ZERO);
+    let mut kernel = KernelState::with_event_capacity(config, start_time, jobs.len() * 2);
     for (idx, job) in jobs.iter().enumerate() {
-        events.push(job.submit, SimEvent::Arrival(idx));
+        kernel.schedule_event(job.submit, SimEvent::Arrival(idx));
     }
 
-    let mut queue = WaitQueue::new();
-    let mut running = RunningSet::new();
     let mut pending_arrivals = jobs.len();
-    let mut decisions: Vec<DecisionRecord> = Vec::new();
-    let mut stats = SimStats::default();
-    let mut stopped = false;
-
-    let start_time = events.peek_time().unwrap_or(SimTime::ZERO);
-    let mut node_integral = StepIntegral::new(start_time, 0.0);
-    let mut mem_integral = StepIntegral::new(start_time, 0.0);
     let mut now = start_time;
 
-    while cluster.completed().len() < jobs.len() {
-        let Some(t) = events.peek_time() else {
+    while kernel.completed_len() < jobs.len() {
+        let Some(t) = kernel.next_event_time() else {
             return Err(SimError::Stuck {
                 time: now,
-                waiting: queue.len(),
+                waiting: kernel.waiting_len(),
             });
         };
         now = t;
 
-        for event in events.pop_at(t) {
+        for event in kernel.pop_events_at(t) {
             for observer in observers.iter_mut() {
                 observer.on_event(&event, t);
             }
             match event {
                 // Sorted insert at arrival — the queue is never re-sorted.
                 SimEvent::Arrival(idx) => {
-                    queue.insert(jobs[idx].clone());
+                    kernel.arrive(jobs[idx].clone());
                     pending_arrivals -= 1;
                 }
-                SimEvent::Completion(id) => {
-                    cluster.complete_job(id, t);
-                    running.remove(id);
-                }
+                SimEvent::Completion(id) => kernel.complete(id, t),
             }
         }
-        node_integral.update(now, cluster.busy_nodes() as f64);
-        mem_integral.update(now, cluster.busy_memory_gb() as f64);
+        kernel.observe_time(now);
 
         // Decision epoch: consult the policy while jobs are waiting, or —
         // once everything has arrived — to give it the chance to `Stop`
@@ -200,34 +191,12 @@ pub(crate) fn simulate(
         // Under `query_only_when_placeable`, saturated states (jobs waiting
         // but nothing fits) skip the query and advance time directly; the
         // queue's min-demand watermark proves most of them in O(1).
-        let placeable = queue.any_fits(&cluster);
-        let should_query = if options.query_only_when_placeable {
-            placeable || (queue.is_empty() && pending_arrivals == 0)
-        } else {
-            !queue.is_empty() || pending_arrivals == 0
-        };
-        if !stopped && should_query {
-            stats.epochs += 1;
-            let first_new = decisions.len();
-            let verdict = run_decision_epoch(DecisionEpoch {
-                cluster: &mut cluster,
-                events: &mut events,
-                queue: &mut queue,
-                running: &mut running,
-                pending_arrivals,
-                total_jobs: jobs.len(),
-                now,
-                policy,
-                options,
-                decisions: &mut decisions,
-                stats: &mut stats,
-                stopped: &mut stopped,
-                node_integral: &mut node_integral,
-                mem_integral: &mut mem_integral,
-            });
+        if kernel.should_query(pending_arrivals, options) {
+            let first_new = kernel.decisions_len();
+            let verdict = kernel.run_epoch(now, pending_arrivals, jobs.len(), policy, options);
             // Stream the epoch's decisions (even when the epoch errored,
             // so observers see everything that happened before failure).
-            for record in &decisions[first_new..] {
+            for record in &kernel.decisions()[first_new..] {
                 for observer in observers.iter_mut() {
                     observer.on_decision(record);
                 }
@@ -237,51 +206,51 @@ pub(crate) fn simulate(
 
         // A Delay with nothing running and nothing to arrive can never make
         // progress.
-        if cluster.completed().len() < jobs.len()
-            && events.is_empty()
-            && cluster.running_count() == 0
+        if kernel.completed_len() < jobs.len()
+            && kernel.events_is_empty()
+            && kernel.running_count() == 0
         {
             return Err(SimError::Stuck {
                 time: now,
-                waiting: queue.len(),
+                waiting: kernel.waiting_len(),
             });
         }
     }
 
-    let end_time = now;
-    let outcome = SimOutcome {
-        policy_name: policy.name().to_string(),
-        records: cluster.completed().to_vec(),
-        decisions,
-        stats,
-        end_time,
-        node_seconds: node_integral.integral_through(end_time),
-        memory_gb_seconds: mem_integral.integral_through(end_time),
-    };
+    let outcome = kernel.into_outcome(policy.name().to_string(), now);
     for observer in observers.iter_mut() {
         observer.on_complete(&outcome);
     }
     Ok(outcome)
 }
 
-fn validate_workload(config: ClusterConfig, jobs: &[JobSpec]) -> Result<(), SimError> {
-    let mut seen: BTreeSet<JobId> = BTreeSet::new();
-    // On a classed machine a job is infeasible exactly when no class could
-    // host it even on an empty cluster.
-    let mut empty_free = [0u32; MAX_CLASSES];
-    for (slot, class) in config.topology.classes() {
-        empty_free[slot] = class.count;
+/// Could `job` ever run on an *empty* machine of this configuration?
+///
+/// On a classed machine a job is feasible exactly when some class
+/// combination could host it with every node free. The simulator checks
+/// this for whole workloads upfront ([`validate_workload`]); the service
+/// daemon checks it per submission at the front door.
+pub fn job_is_feasible(config: ClusterConfig, job: &JobSpec) -> bool {
+    if config.topology.is_flat() {
+        job.nodes <= config.nodes && job.memory_gb <= config.memory_gb
+    } else {
+        let mut empty_free = [0u32; MAX_CLASSES];
+        for (slot, class) in config.topology.classes() {
+            empty_free[slot] = class.count;
+        }
+        Demand::from(job).fits_classes(&config.topology, &empty_free)
     }
+}
+
+/// Reject workloads the run could never finish: duplicate ids and jobs
+/// larger than the machine.
+pub fn validate_workload(config: ClusterConfig, jobs: &[JobSpec]) -> Result<(), SimError> {
+    let mut seen: BTreeSet<JobId> = BTreeSet::new();
     for job in jobs {
         if !seen.insert(job.id) {
             return Err(SimError::DuplicateJobId(job.id));
         }
-        let infeasible = if config.topology.is_flat() {
-            job.nodes > config.nodes || job.memory_gb > config.memory_gb
-        } else {
-            !Demand::from(job).fits_classes(&config.topology, &empty_free)
-        };
-        if infeasible {
+        if !job_is_feasible(config, job) {
             return Err(SimError::InfeasibleJob {
                 id: job.id,
                 nodes: job.nodes,
@@ -292,228 +261,11 @@ fn validate_workload(config: ClusterConfig, jobs: &[JobSpec]) -> Result<(), SimE
     Ok(())
 }
 
-struct DecisionEpoch<'a> {
-    cluster: &'a mut ClusterState,
-    events: &'a mut EventQueue<SimEvent>,
-    queue: &'a mut WaitQueue,
-    running: &'a mut RunningSet,
-    pending_arrivals: usize,
-    total_jobs: usize,
-    now: SimTime,
-    policy: &'a mut dyn SchedulingPolicy,
-    options: &'a SimOptions,
-    decisions: &'a mut Vec<DecisionRecord>,
-    stats: &'a mut SimStats,
-    stopped: &'a mut bool,
-    node_integral: &'a mut StepIntegral,
-    mem_integral: &'a mut StepIntegral,
-}
-
-fn run_decision_epoch(mut ctx: DecisionEpoch<'_>) -> Result<(), SimError> {
-    let mut consecutive_invalid = 0usize;
-    loop {
-        if ctx.stats.queries >= ctx.options.max_queries {
-            return Err(SimError::QueryBudgetExhausted {
-                limit: ctx.options.max_queries,
-            });
-        }
-        // Zero-copy snapshot: every collection is borrowed from the
-        // incrementally-maintained state, the aggregate is a Copy. Built
-        // inline (not through a `&DecisionEpoch` helper) so the borrow
-        // checker can see it is disjoint from the `policy` field.
-        let view = SystemView {
-            now: ctx.now,
-            config: ctx.cluster.config(),
-            free_nodes: ctx.cluster.free_nodes(),
-            free_memory_gb: ctx.cluster.free_memory_gb(),
-            free_by_class: ctx.cluster.free_by_class(),
-            waiting: ctx.queue.as_slice(),
-            running: ctx.running.as_slice(),
-            completed: ctx.cluster.completed(),
-            completed_stats: ctx.cluster.completed_stats(),
-            pending_arrivals: ctx.pending_arrivals,
-            total_jobs: ctx.total_jobs,
-        };
-        let action = ctx.policy.decide(&view);
-        ctx.stats.queries += 1;
-
-        let verdict = validate_and_apply(&mut ctx, action);
-        // One clone of the rejection reason, shared by the outcome (moved
-        // into the record below) — not the old record-then-outcome double
-        // clone.
-        let outcome = ActionOutcome {
-            time: ctx.now,
-            action,
-            rejected: verdict.as_ref().err().cloned(),
-        };
-        ctx.policy.observe(&outcome);
-        ctx.decisions.push(DecisionRecord {
-            time: ctx.now,
-            action,
-            rejected: outcome.rejected,
-            queue_len: ctx.queue.len(),
-            free_nodes: ctx.cluster.free_nodes(),
-            free_memory_gb: ctx.cluster.free_memory_gb(),
-        });
-
-        match verdict {
-            Ok(Applied::Placement) => {
-                consecutive_invalid = 0;
-                ctx.stats.placements += 1;
-                if matches!(action, Action::BackfillJob(_)) {
-                    ctx.stats.backfills += 1;
-                }
-                // Same-timestep continuation: more jobs may fit now.
-                if ctx.queue.is_empty() && ctx.pending_arrivals > 0 {
-                    return Ok(());
-                }
-                if ctx.options.query_only_when_placeable
-                    && !ctx.queue.is_empty()
-                    && !ctx.queue.any_fits(ctx.cluster)
-                {
-                    // Saturated again: skip the redundant Delay round-trip.
-                    return Ok(());
-                }
-                // Otherwise loop on — including the empty-queue case, which
-                // offers the policy its Stop query.
-            }
-            Ok(Applied::Delay) => {
-                ctx.stats.delays += 1;
-                return Ok(());
-            }
-            Ok(Applied::Stop) => {
-                *ctx.stopped = true;
-                return Ok(());
-            }
-            Err(_) => {
-                ctx.stats.rejections += 1;
-                consecutive_invalid += 1;
-                if consecutive_invalid >= ctx.options.max_invalid_per_epoch {
-                    // Force a delay: the policy is confused; move time on.
-                    ctx.stats.delays += 1;
-                    return Ok(());
-                }
-            }
-        }
-    }
-}
-
-enum Applied {
-    Placement,
-    Delay,
-    Stop,
-}
-
-fn validate_and_apply(
-    ctx: &mut DecisionEpoch<'_>,
-    action: Action,
-) -> Result<Applied, RejectReason> {
-    match action {
-        Action::Delay => Ok(Applied::Delay),
-        Action::Stop => {
-            if ctx.queue.is_empty() && ctx.pending_arrivals == 0 {
-                Ok(Applied::Stop)
-            } else {
-                Err(RejectReason::StopWithPendingJobs {
-                    waiting: ctx.queue.len(),
-                    pending_arrivals: ctx.pending_arrivals,
-                })
-            }
-        }
-        Action::StartJob(id) => {
-            let spec = lookup_waiting(ctx.queue.as_slice(), id)?;
-            start_waiting_job(ctx, &spec)?;
-            Ok(Applied::Placement)
-        }
-        Action::BackfillJob(id) => {
-            let spec = lookup_waiting(ctx.queue.as_slice(), id)?;
-            // The queue is sorted by (submit, id), so the head is O(1).
-            let head = ctx
-                .queue
-                .as_slice()
-                .first()
-                .cloned()
-                .expect("waiting non-empty: spec was found in it");
-            if head.id != spec.id && ctx.options.strict_backfill {
-                if !ctx.cluster.can_fit(&spec) {
-                    return Err(insufficient(ctx.cluster, &spec));
-                }
-                if !backfill_is_safe(ctx.cluster, ctx.now, &spec, &head) {
-                    let shadow = shadow_start(ctx.cluster, ctx.now, Demand::from(&head));
-                    return Err(RejectReason::WouldDelayHead {
-                        job: spec.id,
-                        head: head.id,
-                        shadow,
-                    });
-                }
-            }
-            start_waiting_job(ctx, &spec)?;
-            Ok(Applied::Placement)
-        }
-    }
-}
-
-fn lookup_waiting(waiting: &[JobSpec], id: JobId) -> Result<JobSpec, RejectReason> {
-    waiting
-        .iter()
-        .find(|j| j.id == id)
-        .cloned()
-        .ok_or(RejectReason::NotInQueue(id))
-}
-
-fn insufficient(cluster: &ClusterState, spec: &JobSpec) -> RejectReason {
-    RejectReason::InsufficientResources {
-        job: spec.id,
-        needed_nodes: spec.nodes,
-        needed_memory_gb: spec.memory_gb,
-        free_nodes: cluster.free_nodes(),
-        free_memory_gb: cluster.free_memory_gb(),
-    }
-}
-
-fn start_waiting_job(ctx: &mut DecisionEpoch<'_>, spec: &JobSpec) -> Result<(), RejectReason> {
-    match ctx.cluster.start_job(spec, ctx.now) {
-        Ok(started) => {
-            let end = started.end;
-            // The memory the cluster actually debited: equals the request
-            // on flat clusters, but classed clusters charge the hosting
-            // classes' capacity — and the summary must mirror the debit so
-            // policies' release math conserves machine capacity.
-            let held_memory_gb = started.allocation.memory_gb;
-            ctx.events.push(end, SimEvent::Completion(spec.id));
-            ctx.queue
-                .remove((spec.submit, spec.id))
-                .expect("spec was looked up in the queue");
-            // Maintain the running mirror incrementally — never rebuilt.
-            ctx.running.insert(RunningSummary {
-                id: spec.id,
-                user: spec.user,
-                nodes: spec.nodes,
-                memory_gb: held_memory_gb,
-                start: ctx.now,
-                submit: spec.submit,
-                expected_end: ctx.now + spec.walltime,
-                class: spec.class,
-            });
-            ctx.node_integral
-                .update(ctx.now, ctx.cluster.busy_nodes() as f64);
-            ctx.mem_integral
-                .update(ctx.now, ctx.cluster.busy_memory_gb() as f64);
-            ctx.cluster.check_invariants();
-            Ok(())
-        }
-        Err(StartError::InsufficientResources { .. }) => Err(insufficient(ctx.cluster, spec)),
-        Err(StartError::ExceedsCapacity) => Err(RejectReason::ExceedsCapacity(spec.id)),
-        Err(StartError::AlreadyRunning) | Err(StartError::AlreadyCompleted) => {
-            // Unreachable: the job was found in the waiting queue.
-            Err(RejectReason::NotInQueue(spec.id))
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::{Action, RejectReason};
+    use crate::view::SystemView;
     use rsched_simkit::SimDuration;
 
     /// Starts the first waiting job that fits; delays otherwise; stops when

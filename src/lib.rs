@@ -24,6 +24,10 @@
 //! * [`agent`] — the paper's contribution: the ReAct scheduling agent.
 //! * [`registry`] — the open, string-keyed policy registry.
 //! * [`parallel`] — the work-stealing pool for experiment sweeps.
+//! * [`service`] — the decision kernel as a long-running multi-tenant
+//!   scheduler daemon: MPSC ingest, per-tenant admission control,
+//!   fair-share ranking, graceful drain, and a replay driver that is
+//!   bit-equivalent to the virtual-time simulator.
 //! * [`campaign`] — the declarative sweep-campaign engine: TOML grid
 //!   specs, content-addressed cell caching, Pareto-front analysis.
 //! * [`experiments`] — the figure-regeneration harness.
@@ -80,6 +84,7 @@ pub use rsched_metrics as metrics;
 pub use rsched_parallel as parallel;
 pub use rsched_registry as registry;
 pub use rsched_schedulers as schedulers;
+pub use rsched_service as service;
 pub use rsched_sim as sim;
 pub use rsched_simkit as simkit;
 pub use rsched_workloads as workloads;
@@ -99,6 +104,11 @@ pub mod prelude {
     pub use rsched_registry::{PolicyContext, PolicyRegistry};
     pub use rsched_schedulers::{
         ConservativeBackfill, EasyBackfill, Fcfs, OrToolsPolicy, RandomPolicy, Sjf,
+    };
+    pub use rsched_service::{
+        AdmissionConfig, AdmissionController, AdmissionError, ManualClock, ServiceClock,
+        ServiceConfig, ServiceCore, ServiceDaemon, ServiceObserver, ServiceReport, SubmitHandle,
+        TenantConfig, TenantId, WallClock,
     };
     #[allow(deprecated)]
     pub use rsched_sim::OwnedSystemView;

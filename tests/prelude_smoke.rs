@@ -120,14 +120,6 @@ fn sim_types_construct_and_run() {
     assert_eq!(view.free_nodes, config.nodes);
     assert_eq!(view.completed_stats.count, 0);
 
-    // The quarantined PR-2 owned-snapshot path stays reachable.
-    #[allow(deprecated)]
-    {
-        let owned: OwnedSystemView = view.to_owned();
-        assert!(owned.waiting.is_empty());
-        assert_eq!(owned.as_view().free_nodes, config.nodes);
-    }
-
     let summary = RunningSummary {
         id: JobId(1),
         user: UserId(0),
