@@ -1,6 +1,6 @@
 //! The `scale` bench group: proof that the zero-copy incremental kernel
-//! holds up at archive scale (10k–100k jobs), far beyond the paper's
-//! 75-job ceiling (§3.7).
+//! holds up at archive scale (10k jobs through the 1M streaming tier),
+//! far beyond the paper's 75-job ceiling (§3.7).
 //!
 //! ```text
 //! cargo bench -p rsched-bench --bench scale          # measure
@@ -22,7 +22,8 @@ use rsched_parallel::ThreadPool;
 use rsched_schedulers::{ConservativeBackfill, Fcfs, Sjf};
 use rsched_sim::{run_simulation, RunningSummary, SimOptions, SystemView};
 use rsched_simkit::{SimDuration, SimTime};
-use rsched_workloads::swf::{SwfJob, SwfTrace};
+use rsched_workloads::swf::{SwfJob, SwfReader, SwfTrace};
+use rsched_workloads::synth::{polaris_synth_text, polaris_synth_workload};
 use rsched_workloads::{scenario_builtins, ArrivalMode, ScenarioContext};
 
 fn heavy_tail_jobs(n: usize) -> Vec<JobSpec> {
@@ -273,6 +274,53 @@ exclude = ["OR-Tools/1000"]
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// The streaming half of the 1M tier: `SwfReader` over a Polaris-scale
+/// synthetic archive rendered to SWF text once up front (~90 MB), parsed
+/// and converted line-at-a-time into `JobSpec`s — the exact pipeline
+/// `examples/streaming_replay.rs` and the `polaris_synth:<n>` scenario
+/// name drive.
+fn swf_stream_ingest_1m(c: &mut Criterion) {
+    let text = polaris_synth_text(1_000_000, 2025);
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(2);
+    group.bench_function("swf_stream_ingest_1m", |b| {
+        b.iter(|| {
+            let jobs = SwfReader::from_text(&text)
+                .into_jobs(0)
+                .expect("synthetic archive streams");
+            assert_eq!(jobs.len(), 1_000_000);
+            std::hint::black_box(jobs)
+        })
+    });
+    group.finish();
+}
+
+/// The simulation half of the 1M tier: a full FCFS replay of the 1M-job
+/// synthetic Polaris stream through the incremental kernel — SoA wait
+/// queue, watermark short-circuit, and the flat-column placement scan.
+/// The `#[ignore]`d smoke in `tests/scale_equivalence.rs` bounds the same
+/// run at 30 s wall clock.
+fn simulate_fcfs_polaris_synth_1m(c: &mut Criterion) {
+    let jobs = polaris_synth_workload(1_000_000, 2025);
+    let cluster = ClusterConfig::polaris();
+    // One placement query per job plus epilogue queries outgrows the
+    // default budget; the budget guards livelock, not scale.
+    let options = SimOptions {
+        max_queries: 16_000_000,
+        ..SimOptions::default()
+    };
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(2);
+    group.bench_function("simulate_fcfs_polaris_synth_1m", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                run_simulation(cluster, &jobs, &mut Fcfs, &options).expect("completes"),
+            )
+        })
+    });
+    group.finish();
+}
+
 /// Timings the pre-refactor cloning kernel produced for the same
 /// workloads on the reference container (measured immediately before the
 /// zero-copy refactor landed) — the denominator of the speedup column in
@@ -335,5 +383,7 @@ fn main() {
     simulate_fcfs_heavy_tail_100k(&mut criterion);
     view_build(&mut criterion);
     campaign_paper_grid_1k(&mut criterion);
+    swf_stream_ingest_1m(&mut criterion);
+    simulate_fcfs_polaris_synth_1m(&mut criterion);
     write_trend_file(&criterion);
 }

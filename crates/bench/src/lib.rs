@@ -14,6 +14,12 @@
 //! * `solver_ablation` — the design-choice ablation DESIGN.md calls out:
 //!   priority rules vs simulated annealing vs the genetic stage vs exact
 //!   branch-and-bound on identical instances.
+//! * `scale` — archive-scale replays, from 10k-job simulations through
+//!   the 1M tier (streaming SWF ingest + a 1M-job FCFS replay of the
+//!   synthetic Polaris stream); rewrites `BENCH_scale.json` at the
+//!   workspace root on a full measurement run.
+//! * `service` — the daemon front door: admission throughput and
+//!   decision-tick latency; rewrites `BENCH_service.json`.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]

@@ -2,9 +2,10 @@
 //!
 //! The **declarative sweep-campaign engine**: a small TOML-subset spec
 //! names a grid of policies × scenarios × queue sizes × seeds (both axes
-//! resolved through the open registries, so `swf:<path>` traces and
-//! third-party registrations work for free), and the engine turns it
-//! into a sharded, resumable, analyzed experiment run:
+//! resolved through the open registries, so `swf:<path>` traces,
+//! `polaris_synth` streams, and third-party registrations work for
+//! free), and the engine turns it into a sharded, resumable, analyzed
+//! experiment run:
 //!
 //! * **Spec** ([`CampaignSpec`]) — parsed and validated against the
 //!   registries *before any cell runs*; unknown names fail fast.

@@ -415,8 +415,9 @@ fn cluster_from(table: &TomlTable) -> Result<Option<ClusterConfig>, CampaignErro
         return match name {
             "paper_default" => Ok(Some(ClusterConfig::paper_default())),
             "mixed_256" => Ok(Some(ClusterConfig::mixed_256())),
+            "polaris" => Ok(Some(ClusterConfig::polaris())),
             other => Err(CampaignError::Validation(format!(
-                "unknown cluster preset `{other}` (known: paper_default, mixed_256)"
+                "unknown cluster preset `{other}` (known: paper_default, mixed_256, polaris)"
             ))),
         };
     }

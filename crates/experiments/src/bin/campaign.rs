@@ -12,7 +12,10 @@
 //! tables print to stdout at the end.
 //!
 //! Flags: `--out-root <dir>` redirects output (default
-//! `results/campaigns/`); `--quiet` silences per-cell progress.
+//! `results/campaigns/`); `--workers <n>` sizes the pool explicitly
+//! (default: machine parallelism) — results are byte-identical for every
+//! worker count, cells merge in grid order; `--quiet` silences per-cell
+//! progress.
 
 use rsched_campaign::{
     Campaign, CampaignOutcome, CampaignSpec, NullObserver, ProgressCampaignObserver,
@@ -21,13 +24,14 @@ use rsched_metrics::TextTable;
 use rsched_parallel::ThreadPool;
 
 fn usage() -> ! {
-    eprintln!("usage: campaign [--out-root <dir>] [--quiet] <spec.toml>");
+    eprintln!("usage: campaign [--out-root <dir>] [--workers <n>] [--quiet] <spec.toml>");
     std::process::exit(2);
 }
 
 fn main() {
     let mut spec_path: Option<String> = None;
     let mut out_root: Option<String> = None;
+    let mut workers: Option<usize> = None;
     let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -36,6 +40,10 @@ fn main() {
             "--out-root" => match args.next() {
                 Some(dir) => out_root = Some(dir),
                 None => usage(),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => workers = Some(n),
+                _ => usage(),
             },
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
@@ -60,7 +68,10 @@ fn main() {
         campaign = campaign.out_root(root);
     }
 
-    let pool = ThreadPool::available_parallelism();
+    let pool = match workers {
+        Some(n) => ThreadPool::new(n),
+        None => ThreadPool::available_parallelism(),
+    };
     let outcome = if quiet {
         campaign.run_observed(&pool, &mut NullObserver)
     } else {

@@ -13,6 +13,10 @@
 //!   submissions,
 //! * random-order stealing between workers,
 //! * condvar parking when the system runs dry.
+//!
+//! [`ThreadPool::par_map`] returns results in **input order** no matter
+//! which worker finished first — the foundation of the sharded campaign
+//! contract: `summary.json` is byte-identical for every worker count.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]

@@ -315,6 +315,35 @@ mod tests {
     }
 
     #[test]
+    fn merge_order_is_input_order_for_every_worker_count() {
+        // The sharded-campaign contract: results come back in input
+        // (grid) order no matter how many workers race, because par_map
+        // slots each result by index on the channel's receive side. Tasks
+        // sleep in a scrambled pattern so completion order actively
+        // disagrees with submission order.
+        let reference: Vec<String> = (0..48u64).map(|i| format!("cell-{i}")).collect();
+        let mut outputs = Vec::new();
+        let machine = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        for workers in [1usize, 2, machine] {
+            let pool = ThreadPool::new(workers);
+            let out = pool.par_map((0..48u64).collect::<Vec<_>>(), |i| {
+                // Later tasks finish earlier (up to pool width), inverting
+                // arrival order within every stretch of concurrent tasks.
+                std::thread::sleep(Duration::from_millis(7 - (i % 8).min(7)));
+                format!("cell-{i}")
+            });
+            assert_eq!(out, reference, "workers {workers}");
+            outputs.push(out);
+        }
+        assert!(
+            outputs.windows(2).all(|w| w[0] == w[1]),
+            "identical merge across 1, 2, and {machine} workers"
+        );
+    }
+
+    #[test]
     fn default_parallelism_is_positive() {
         let pool = ThreadPool::available_parallelism();
         assert!(pool.threads() >= 1);

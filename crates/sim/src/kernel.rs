@@ -12,7 +12,11 @@
 //! * the **virtual-time simulator**
 //!   ([`simulate`](crate::simulator), via [`Simulation`](crate::Simulation))
 //!   pre-loads arrivals as events and jumps the clock to the next event —
-//!   time is free, so a 100k-job year replays in a fraction of a second;
+//!   time is free, so a 100k-job year replays in a fraction of a second
+//!   and a 1M-job synthetic Polaris stream in seconds (the wait queue is
+//!   struct-of-arrays with dense demand columns, and deep flat-topology
+//!   placement scans shard across cores bit-identically — see
+//!   [`crate::store::JobStore`] and [`crate::scan`]);
 //! * the **service driver** (`rsched-service`) feeds arrivals from a live
 //!   submission channel and ticks on a real (or manually advanced) clock,
 //!   optionally tagging each arrival with a fair-share *rank* that the

@@ -39,7 +39,9 @@ pub mod observer;
 pub mod outcome;
 pub mod policy;
 mod queue;
+pub mod scan;
 pub mod simulator;
+pub mod store;
 pub mod view;
 
 pub use builder::Simulation;
@@ -50,5 +52,7 @@ pub use kernel::KernelState;
 pub use observer::{CountingObserver, ProgressObserver, SimObserver};
 pub use outcome::{DecisionRecord, SimOutcome, SimStats};
 pub use policy::{Action, ActionOutcome, OverheadReport, RejectReason, SchedulingPolicy};
+pub use scan::{ScanOutcome, PARALLEL_SCAN_MIN};
 pub use simulator::{job_is_feasible, run_simulation, validate_workload, SimError, SimOptions};
+pub use store::JobStore;
 pub use view::{CompletedStats, RunningSummary, SystemView};

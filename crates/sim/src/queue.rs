@@ -27,6 +27,8 @@
 use rsched_cluster::{ClusterState, JobId, JobSpec};
 use rsched_simkit::SimTime;
 
+use crate::scan;
+use crate::store::JobStore;
 use crate::view::RunningSummary;
 
 /// The waiting queue: jobs sorted ascending by `(rank, submit, id)`.
@@ -35,9 +37,10 @@ use crate::view::RunningSummary;
 /// `(submit, id)` arrival order the paper's policies assume.
 #[derive(Debug, Default)]
 pub(crate) struct WaitQueue {
-    /// Backing storage; the live queue is `buf[head..]`.
-    buf: Vec<JobSpec>,
-    /// Fair-share rank per job, aligned with `buf` (same head offset).
+    /// SoA-packed backing storage; the live queue is `jobs[head..]`.
+    /// The store's dense demand columns feed the flat-cluster fit scan.
+    jobs: JobStore,
+    /// Fair-share rank per job, aligned with the store (same head offset).
     ranks: Vec<u64>,
     /// Index of the logical front. Head removals (the FCFS common case)
     /// just advance this; the buffer is compacted when the dead prefix
@@ -55,7 +58,7 @@ pub(crate) struct WaitQueue {
 impl WaitQueue {
     pub(crate) fn new() -> Self {
         WaitQueue {
-            buf: Vec::new(),
+            jobs: JobStore::new(),
             ranks: Vec::new(),
             head: 0,
             min_nodes: u32::MAX,
@@ -64,21 +67,21 @@ impl WaitQueue {
     }
 
     pub(crate) fn as_slice(&self) -> &[JobSpec] {
-        &self.buf[self.head..]
+        &self.jobs.specs()[self.head..]
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.buf.len() - self.head
+        self.jobs.len() - self.head
     }
 
     pub(crate) fn is_empty(&self) -> bool {
-        self.head == self.buf.len()
+        self.head == self.jobs.len()
     }
 
     /// Position of `(rank, submit, id)` in the live queue, whether or not
     /// it is present (`Result` as in `slice::binary_search`).
     fn position(&self, key: (u64, SimTime, JobId)) -> Result<usize, usize> {
-        let live = &self.buf[self.head..];
+        let live = self.as_slice();
         let ranks = &self.ranks[self.head..];
         let mut lo = 0usize;
         let mut hi = live.len();
@@ -111,7 +114,7 @@ impl WaitQueue {
             Ok(_) => unreachable!("duplicate job ids are rejected before insertion"),
             Err(at) => at,
         };
-        self.buf.insert(self.head + at, job);
+        self.jobs.insert(self.head + at, job);
         self.ranks.insert(self.head + at, rank);
     }
 
@@ -123,22 +126,22 @@ impl WaitQueue {
     pub(crate) fn remove_at(&mut self, index: usize) -> JobSpec {
         assert!(index < self.len(), "WaitQueue::remove_at out of bounds");
         let job = if index == 0 {
-            let job = self.buf[self.head].clone();
+            let job = self.jobs.specs()[self.head].clone();
             self.head += 1;
             // Compact once the dead prefix dominates, keeping amortized
             // O(1) head pops without unbounded memory retention.
-            if self.head > 32 && self.head * 2 > self.buf.len() {
-                self.buf.drain(..self.head);
+            if self.head > 32 && self.head * 2 > self.jobs.len() {
+                self.jobs.drain_front(self.head);
                 self.ranks.drain(..self.head);
                 self.head = 0;
             }
             job
         } else {
             self.ranks.remove(self.head + index);
-            self.buf.remove(self.head + index)
+            self.jobs.remove(self.head + index)
         };
         if self.is_empty() {
-            self.buf.clear();
+            self.jobs.clear();
             self.ranks.clear();
             self.head = 0;
             self.min_nodes = u32::MAX;
@@ -165,15 +168,37 @@ impl WaitQueue {
         if self.is_empty() {
             return false;
         }
-        if cluster.free_nodes() < self.min_nodes || cluster.free_memory_gb() < self.min_memory_gb {
+        let free_nodes = cluster.free_nodes();
+        let free_memory_gb = cluster.free_memory_gb();
+        if free_nodes < self.min_nodes || free_memory_gb < self.min_memory_gb {
+            return false;
+        }
+        // Flat clusters admit the dense-column scan: `can_fit` is exactly
+        // the two column comparisons, so the store's SoA mirror (and, past
+        // the depth threshold, the sharded parallel scan) is bit-identical
+        // to probing the full specs.
+        if cluster.config().is_flat() {
+            let out = scan::first_fit_flat(
+                &self.jobs.nodes()[self.head..],
+                &self.jobs.memory_gb()[self.head..],
+                free_nodes,
+                free_memory_gb,
+                scan::scan_workers(),
+            );
+            if out.first_fit.is_some() {
+                // Early exit: a partial scan's minima would not be a sound
+                // watermark, so only complete (no-fit) scans update it.
+                return true;
+            }
+            self.min_nodes = out.min_nodes;
+            self.min_memory_gb = out.min_memory_gb;
             return false;
         }
         let mut min_nodes = u32::MAX;
         let mut min_memory_gb = u64::MAX;
         for job in self.as_slice() {
             if cluster.can_fit(job) {
-                // Early exit: a partial scan's minima would not be a sound
-                // watermark, so only complete scans update it.
+                // Early exit, as above.
                 return true;
             }
             min_nodes = min_nodes.min(job.nodes);

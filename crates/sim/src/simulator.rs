@@ -280,7 +280,7 @@ mod tests {
             if view.all_jobs_started() {
                 return Action::Stop;
             }
-            match view.eligible_now().next() {
+            match view.first_eligible() {
                 Some(j) => Action::StartJob(j.id),
                 None => Action::Delay,
             }
@@ -439,7 +439,7 @@ mod tests {
                 if view.all_jobs_started() {
                     return Action::Stop;
                 }
-                match view.eligible_now().next() {
+                match view.first_eligible() {
                     Some(j) => Action::StartJob(j.id),
                     None => Action::Delay,
                 }
@@ -480,7 +480,7 @@ mod tests {
                     self.tried_early_stop = true;
                     return Action::Stop;
                 }
-                match view.eligible_now().next() {
+                match view.first_eligible() {
                     Some(j) => Action::StartJob(j.id),
                     None => Action::Delay,
                 }
@@ -516,7 +516,7 @@ mod tests {
                 if view.all_jobs_started() {
                     return Action::Stop;
                 }
-                match view.eligible_now().next() {
+                match view.first_eligible() {
                     Some(j) => Action::BackfillJob(j.id),
                     None => Action::Delay,
                 }
@@ -558,7 +558,7 @@ mod tests {
                         if view.all_jobs_started() {
                             return Action::Stop;
                         }
-                        match view.eligible_now().next() {
+                        match view.first_eligible() {
                             Some(j) => Action::StartJob(j.id),
                             None => Action::Delay,
                         }

@@ -127,6 +127,26 @@ impl<'a> SystemView<'a> {
         self.waiting.iter().filter(|j| self.fits_now(j))
     }
 
+    /// The first waiting job (in queue order) that fits right now —
+    /// `eligible_now().next()`, but on a flat cluster with a deep queue
+    /// the scan is sharded across threads and reduced by lowest queue
+    /// position, so the result is bit-identical to the serial scan (see
+    /// [`scan`](crate::scan)). Greedy first-fit policies should prefer
+    /// this over `eligible_now().next()` for million-job replays.
+    pub fn first_eligible(&self) -> Option<&'a JobSpec> {
+        if self.config.topology.is_flat() {
+            crate::scan::first_fit_specs(
+                self.waiting,
+                self.free_nodes,
+                self.free_memory_gb,
+                crate::scan::scan_workers(),
+            )
+            .map(|at| &self.waiting[at])
+        } else {
+            self.eligible_now().next()
+        }
+    }
+
     /// `true` once every job has arrived and been started (the paper's
     /// condition for a valid `Stop`).
     pub fn all_jobs_started(&self) -> bool {

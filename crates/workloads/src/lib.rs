@@ -46,6 +46,7 @@ pub mod polaris;
 pub mod registry;
 pub mod scenarios;
 pub mod swf;
+pub mod synth;
 pub mod trace;
 pub mod users;
 

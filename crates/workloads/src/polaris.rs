@@ -15,6 +15,10 @@
 //!    counts as-is and derive memory as 512 GB × nodes.
 //! 3. CSV round-trip ([`raw_to_csv`] / [`raw_from_csv`]) so a real exported
 //!    log with the same columns can be dropped in unchanged.
+//!
+//! For archive-scale (1M-row) streams in SWF form — calibrated to the
+//! same machine but carrying archive noise for the streaming parser —
+//! see [`crate::synth`] and the `polaris_synth:<n>` scenario name.
 
 use rsched_cluster::{ClusterConfig, JobSpec};
 use rsched_simkit::csv::{self, Table};

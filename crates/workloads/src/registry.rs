@@ -20,6 +20,7 @@ use crate::error::WorkloadError;
 use crate::polaris::polaris_workload;
 use crate::scenarios::{generate_builtin, Workload, BUILTIN_SCENARIOS};
 use crate::swf;
+use crate::synth;
 
 /// Canonical registry names of the builtin scenarios. Lookup is
 /// case-insensitive and treats `-` and `_` as equivalent, so
@@ -51,10 +52,18 @@ pub mod names {
     pub const BIGMEM_BURST: &str = "bigmem_burst";
     /// The calibrated Polaris trace substrate (paper §5).
     pub const POLARIS: &str = "polaris";
+    /// Seeded synthetic Polaris-scale SWF stream (560-node machine) — the
+    /// scale substrate for million-job replays without a fixture.
+    pub const POLARIS_SYNTH: &str = "polaris_synth";
 
     /// Prefix that resolves a Standard Workload Format trace by file path
     /// (e.g. `swf:fixtures/sample.swf`) instead of a registered generator.
     pub const SWF_PREFIX: &str = "swf:";
+
+    /// Prefix form of [`POLARIS_SYNTH`] with an inline job count (e.g.
+    /// `polaris_synth:1000000`), overriding the context's `n` — so sweep
+    /// specs can name a scale tier without a separate jobs axis.
+    pub const POLARIS_SYNTH_PREFIX: &str = "polaris_synth:";
 
     /// The paper's seven scenarios, in presentation order.
     pub const LEGACY_SEVEN: [&str; 7] = [
@@ -88,7 +97,7 @@ pub mod names {
     ];
 
     /// Every builtin scenario name, paper set first.
-    pub const ALL_BUILTIN: [&str; 13] = [
+    pub const ALL_BUILTIN: [&str; 14] = [
         HOMOGENEOUS_SHORT,
         HETEROGENEOUS_MIX,
         LONG_JOB_DOMINANT,
@@ -102,6 +111,7 @@ pub mod names {
         LONG_TAIL,
         BIGMEM_BURST,
         POLARIS,
+        POLARIS_SYNTH,
     ];
 }
 
@@ -196,7 +206,7 @@ pub struct ScenarioInfo {
 /// A string-keyed, case- and separator-insensitive map from scenario names
 /// to workload generators.
 ///
-/// [`ScenarioRegistry::with_builtins`] ships the thirteen builtin scenarios;
+/// [`ScenarioRegistry::with_builtins`] ships the fourteen builtin scenarios;
 /// third parties extend the set with [`ScenarioRegistry::register`] — no
 /// workspace code changes needed. `swf:<path>` names bypass the map and
 /// load a Standard Workload Format trace from disk.
@@ -216,7 +226,7 @@ impl ScenarioRegistry {
         ScenarioRegistry::default()
     }
 
-    /// A registry pre-populated with the thirteen builtin scenarios (see
+    /// A registry pre-populated with the fourteen builtin scenarios (see
     /// [`names`]).
     pub fn with_builtins() -> Self {
         let mut registry = ScenarioRegistry::new();
@@ -244,6 +254,19 @@ impl ScenarioRegistry {
             },
         )
         .expect("polaris name is free");
+        self.register_described(
+            names::POLARIS_SYNTH,
+            "Polaris Synthetic Stream",
+            "Seeded Polaris-scale SWF stream (560-node machine) for million-job \
+             replays; `polaris_synth:<n>` inlines the job count.",
+            |ctx| Workload {
+                scenario: names::POLARIS_SYNTH.to_string(),
+                jobs: synth::polaris_synth_workload(ctx.n, ctx.seed),
+                mode: ctx.mode,
+                seed: ctx.seed,
+            },
+        )
+        .expect("polaris_synth name is free");
     }
 
     /// Register `generator` under `name`. Names are matched
@@ -295,7 +318,7 @@ impl ScenarioRegistry {
         // surrounding whitespace would otherwise be unreachable.
         let display = display.trim().to_string();
         let key = key_of(&display);
-        if key.starts_with(names::SWF_PREFIX) {
+        if key.starts_with(names::SWF_PREFIX) || key.starts_with(names::POLARIS_SYNTH_PREFIX) {
             return Err(WorkloadError::ReservedScenario(display));
         }
         if self.entries.contains_key(&key) {
@@ -323,6 +346,14 @@ impl ScenarioRegistry {
         let trimmed = name.trim();
         let mut workload = if let Some(path) = strip_swf_prefix(trimmed) {
             swf::load_workload(path, ctx)?
+        } else if let Some(count) = strip_polaris_synth_count(trimmed) {
+            // The inline count overrides `ctx.n` — the name *is* the tier.
+            Workload {
+                scenario: format!("{}{count}", names::POLARIS_SYNTH_PREFIX),
+                jobs: synth::polaris_synth_workload(count, ctx.seed),
+                mode: ctx.mode,
+                seed: ctx.seed,
+            }
         } else {
             match self.entries.get(&key_of(trimmed)) {
                 Some(entry) => (entry.generator)(ctx),
@@ -361,7 +392,9 @@ impl ScenarioRegistry {
     /// [`generate`](ScenarioRegistry::generate)).
     pub fn contains(&self, name: &str) -> bool {
         let trimmed = name.trim();
-        strip_swf_prefix(trimmed).is_some() || self.entries.contains_key(&key_of(trimmed))
+        strip_swf_prefix(trimmed).is_some()
+            || strip_polaris_synth_count(trimmed).is_some()
+            || self.entries.contains_key(&key_of(trimmed))
     }
 
     /// The canonical display name `name` resolves to (the case it was
@@ -430,6 +463,19 @@ fn strip_swf_prefix(name: &str) -> Option<&str> {
     }
 }
 
+/// If `name` is a `polaris_synth:<n>` reference with a well-formed count,
+/// return the count. Matching is case- and separator-insensitive like every
+/// registry lookup; a malformed count (empty, non-numeric, overflowing) is
+/// simply not a reference, so it falls through to `UnknownScenario`.
+fn strip_polaris_synth_count(name: &str) -> Option<usize> {
+    let prefix_len = names::POLARIS_SYNTH_PREFIX.len();
+    let head = name.get(..prefix_len)?;
+    if key_of(head) != names::POLARIS_SYNTH_PREFIX {
+        return None;
+    }
+    name[prefix_len..].trim().parse::<usize>().ok()
+}
+
 /// The shared builtin registry — built once, reused by every harness call
 /// (generators are `Send + Sync`, so this is safe to consult from the
 /// experiment thread pool).
@@ -447,7 +493,7 @@ mod tests {
     }
 
     #[test]
-    fn builtins_cover_all_thirteen_names() {
+    fn builtins_cover_all_fourteen_names() {
         let registry = ScenarioRegistry::with_builtins();
         assert_eq!(registry.len(), names::ALL_BUILTIN.len());
         for name in names::ALL_BUILTIN {
@@ -487,7 +533,7 @@ mod tests {
         match &err {
             WorkloadError::UnknownScenario { name, known } => {
                 assert_eq!(name, "lustre-meltdown");
-                assert_eq!(known.len(), 13);
+                assert_eq!(known.len(), 14);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -575,7 +621,7 @@ mod tests {
             .generate("EMPTY_QUEUE", &ctx(0, 0))
             .expect("registered");
         assert!(w.is_empty());
-        assert_eq!(registry.len(), 14);
+        assert_eq!(registry.len(), 15);
         assert!(registry
             .catalog()
             .iter()
@@ -631,6 +677,44 @@ mod tests {
     }
 
     #[test]
+    fn polaris_synth_resolves_by_name_and_by_inline_count() {
+        let registry = ScenarioRegistry::with_builtins();
+        // Bare builtin name: `ctx.n` sizes the workload.
+        let w = registry
+            .generate(names::POLARIS_SYNTH, &ctx(40, 9))
+            .expect("builtin");
+        assert_eq!(w.jobs, synth::polaris_synth_workload(40, 9));
+        assert_eq!(w.scenario, "polaris_synth");
+        // Inline count overrides ctx.n, case/separator-insensitively.
+        let sized = registry
+            .generate("Polaris-Synth: 25", &ctx(40, 9))
+            .expect("prefix form");
+        assert_eq!(sized.jobs, synth::polaris_synth_workload(25, 9));
+        assert_eq!(sized.scenario, "polaris_synth:25");
+        assert!(registry.contains("polaris_synth:1000000"));
+        // Malformed counts are unknown scenarios, not panics.
+        assert!(!registry.contains("polaris_synth:abc"));
+        assert!(matches!(
+            registry.generate("polaris_synth:-5", &ctx(4, 1)),
+            Err(WorkloadError::UnknownScenario { .. })
+        ));
+        // The prefix namespace cannot be shadowed.
+        let mut open = ScenarioRegistry::new();
+        let err = open
+            .register("polaris_synth:64", |ctx| Workload {
+                scenario: "x".into(),
+                jobs: vec![],
+                mode: ctx.mode,
+                seed: ctx.seed,
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            WorkloadError::ReservedScenario("polaris_synth:64".into())
+        );
+    }
+
+    #[test]
     fn swf_names_resolve_without_registration() {
         let registry = ScenarioRegistry::with_builtins();
         assert!(registry.contains("swf:/some/trace.swf"));
@@ -649,7 +733,7 @@ mod tests {
         let a: *const ScenarioRegistry = builtins();
         let b: *const ScenarioRegistry = builtins();
         assert_eq!(a, b);
-        assert_eq!(builtins().len(), 13);
+        assert_eq!(builtins().len(), 14);
     }
 
     #[test]

@@ -581,3 +581,122 @@ proptest! {
         prop_assert_eq!(jobs_to_csv(&back), csv);
     }
 }
+
+// ---------------------------------------------------- swf streaming parser
+
+use reasoned_scheduler::workloads::swf::SwfReader;
+
+/// One generated SWF input line: blanks, comments, directives, valid job
+/// rows (with `-1` sentinels and float-formatted fields), and malformed
+/// tails (truncated mid-field or mid-row) — everything a real archive can
+/// throw at the parser. A `kind` selector stands in for `prop_oneof!`,
+/// which the shim does not provide.
+fn swf_line() -> impl Strategy<Value = String> {
+    (
+        0u64..12,
+        prop::collection::vec(-1i64..100_000, 18..19),
+        0usize..80,
+        0usize..18,
+        "[ -~]*",
+    )
+        .prop_map(|(kind, fields, cut, float_at, payload)| {
+            let cells: Vec<String> = fields.iter().map(|v| v.to_string()).collect();
+            match kind {
+                0 => String::new(),
+                1 => "   ".to_string(),
+                2 | 3 => format!("; {payload}"),
+                4 => format!("; MaxNodes: {payload}"),
+                // Valid-shaped 18-field rows, `-1` sentinels included.
+                5..=8 => cells.join(" "),
+                // One field carries a float tail ("3600.5").
+                9 => {
+                    let mut cells = cells;
+                    cells[float_at] = format!("{}.5", fields[float_at].unsigned_abs());
+                    cells.join(" ")
+                }
+                // EOF-style truncation: cut at an arbitrary byte, which can
+                // land mid-field ("3600." / "-") or drop whole fields. All
+                // cells are ASCII, so every byte is a char boundary.
+                10 => {
+                    let line = cells.join(" ");
+                    line[..cut.min(line.len())].to_string()
+                }
+                // Arbitrary printable garbage.
+                _ => payload,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary interleavings of directives, comments, sentinels, valid
+    /// rows, and truncated lines never panic either parser, and the
+    /// streaming parser agrees with the eager one line for line: same
+    /// rows, same directives, and — on malformed input — the same error
+    /// at the same location.
+    #[test]
+    fn streaming_parser_agrees_with_eager_on_arbitrary_input(
+        lines in prop::collection::vec(swf_line(), 0..40)
+    ) {
+        let text = lines.join("\n");
+        let eager = SwfTrace::parse(&text);
+
+        let mut reader = SwfReader::from_text(&text);
+        let mut rows = Vec::new();
+        let mut first_err = None;
+        for item in &mut reader {
+            match item {
+                Ok(row) => rows.push(row),
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        // Fused after the first error.
+        if first_err.is_some() {
+            prop_assert!(reader.next().is_none(), "reader must fuse after an error");
+        }
+        match (eager, first_err) {
+            (Ok(trace), None) => {
+                prop_assert_eq!(rows, trace.jobs);
+                prop_assert_eq!(reader.into_directives(), trace.directives);
+            }
+            (Err(e), Some(se)) => {
+                // Same error, reported at the same location.
+                prop_assert_eq!(e.to_string(), se.to_string());
+            }
+            (Ok(_), Some(se)) => prop_assert!(false, "streaming-only error: {se}"),
+            (Err(e), None) => prop_assert!(false, "eager-only error: {e}"),
+        }
+    }
+
+    /// `jobs_to_csv ∘ SwfReader` is stable: streaming conversion equals
+    /// eager conversion, and its CSV export re-imports losslessly and
+    /// re-exports byte-identically.
+    #[test]
+    fn streaming_conversion_csv_roundtrip_is_stable(
+        rows in prop::collection::vec(
+            (0i64..100_000, 1i64..50_000, 1i64..128, -1i64..4_000_000, 0i64..8, 0i64..60_000),
+            1..30,
+        )
+    ) {
+        let trace = SwfTrace {
+            directives: vec![("MaxNodes".to_string(), "128".to_string())],
+            jobs: rows
+                .iter()
+                .enumerate()
+                .map(|(i, row)| swf_job(i as i64 + 1, *row))
+                .collect(),
+        };
+        let text = trace.to_string();
+        let streamed = SwfReader::from_text(&text).into_jobs(0).expect("streams");
+        prop_assert_eq!(&streamed, &trace.to_jobs(0));
+
+        let csv = jobs_to_csv(&streamed);
+        let back = jobs_from_csv(&csv).expect("csv reimport");
+        prop_assert_eq!(&back, &streamed);
+        prop_assert_eq!(jobs_to_csv(&back), csv);
+    }
+}
