@@ -116,6 +116,7 @@ impl SampleState {
             completed_stats: rsched_cluster::CompletedStats::default(),
             pending_arrivals: 3,
             total_jobs: self.waiting.len() + 4,
+            calendar: None,
         }
     }
 }

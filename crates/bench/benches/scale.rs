@@ -19,8 +19,8 @@ use rsched_cluster::{
     UserId,
 };
 use rsched_parallel::ThreadPool;
-use rsched_schedulers::{ConservativeBackfill, Fcfs, Sjf};
-use rsched_sim::{run_simulation, RunningSummary, SimOptions, SystemView};
+use rsched_schedulers::{ConservativeBackfill, EasyBackfill, Fcfs, Sjf};
+use rsched_sim::{run_simulation, CapacityCalendar, RunningSummary, SimOptions, SystemView};
 use rsched_simkit::{SimDuration, SimTime};
 use rsched_workloads::swf::{SwfJob, SwfReader, SwfTrace};
 use rsched_workloads::synth::{polaris_synth_text, polaris_synth_workload};
@@ -149,9 +149,12 @@ fn placement_scan_mixed_class(c: &mut Criterion) {
     group.finish();
 }
 
-/// The conservative reservation-list policy at 10k jobs: every decision
-/// epoch rebuilds a full reservation profile, so this is the worst-case
-/// policy cost of the backfill family on the flat Polaris machine.
+/// The conservative reservation-list policy at 10k jobs — the worst-case
+/// policy cost of the backfill family on the flat Polaris machine. Since
+/// the capacity-calendar refactor each epoch clones the kernel's cached
+/// skyline instead of rebuilding it from the running set; the
+/// rebuild-per-decide figure is pinned as a baseline in
+/// `BENCH_scale.json`.
 fn simulate_conservative_backfill_10k(c: &mut Criterion) {
     let jobs = heavy_tail_jobs(10_000);
     let cluster = ClusterConfig::polaris();
@@ -168,6 +171,100 @@ fn simulate_conservative_backfill_10k(c: &mut Criterion) {
                 )
                 .expect("completes"),
             )
+        })
+    });
+    group.finish();
+}
+
+/// EASY with the strict shadow-time veto at 10k jobs: policy-side
+/// candidate filtering (sharded once the queue is deep enough) plus the
+/// kernel-side `strict_backfill` validation served from the actual-end
+/// capacity calendar.
+fn simulate_easy_backfill_10k(c: &mut Criterion) {
+    let jobs = heavy_tail_jobs(10_000);
+    let cluster = ClusterConfig::polaris();
+    let options = SimOptions {
+        strict_backfill: true,
+        ..SimOptions::default()
+    };
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(10);
+    group.bench_function("simulate_easy_backfill_10k", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                run_simulation(cluster, &jobs, &mut EasyBackfill::new(), &options)
+                    .expect("completes"),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// The new conservative-backfill scale tier: 100k heavy-tail jobs. Only
+/// feasible at all because the per-epoch profile is a clone of the
+/// kernel's incrementally-maintained calendar.
+fn simulate_conservative_backfill_100k(c: &mut Criterion) {
+    let jobs = heavy_tail_jobs(100_000);
+    let cluster = ClusterConfig::polaris();
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(2);
+    group.bench_function("simulate_conservative_backfill_100k", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                run_simulation(
+                    cluster,
+                    &jobs,
+                    &mut ConservativeBackfill::new(),
+                    &SimOptions::default(),
+                )
+                .expect("completes"),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// The calendar data structure, isolated: one deep reservation pass —
+/// 10k `earliest_window` placements each followed by its binary-searched
+/// `reserve` subtraction — over a skyline seeded with 512 running-job
+/// releases. This is the O(log P + touched segments) claim, measured
+/// without the simulator around it.
+fn calendar_reserve_10k(c: &mut Criterion) {
+    let base = CapacityCalendar::build(
+        SimTime::ZERO,
+        560,
+        286_720,
+        [0; rsched_cluster::MAX_CLASSES],
+        (0..512u64).map(|i| {
+            (
+                SimTime::from_secs(60 + i * 37 % 50_000),
+                1 + (i as u32 * 13) % 8,
+                4 + i * 29 % 64,
+                [0; rsched_cluster::MAX_CLASSES],
+            )
+        }),
+    );
+    let demands: Vec<(u32, u64, SimDuration)> = (0..10_000u64)
+        .map(|i| {
+            (
+                1 + (i as u32 * 31) % 64,
+                1 + i * 97 % 256,
+                SimDuration::from_secs(60 + i * 104_729 % 20_000),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(10);
+    group.bench_function("calendar_reserve_10k", |b| {
+        b.iter(|| {
+            let mut cal = base.clone();
+            let mut acc = 0u64;
+            for &(nodes, mem, wall) in &demands {
+                let start = cal.earliest_window(nodes, mem, wall);
+                cal.reserve(start, start + wall, nodes, mem);
+                acc = acc.wrapping_add(start.as_millis());
+            }
+            std::hint::black_box(acc)
         })
     });
     group.finish();
@@ -228,6 +325,7 @@ fn view_build(c: &mut Criterion) {
         completed_stats: CompletedStats::default(),
         pending_arrivals: 5,
         total_jobs: waiting.len() + running.len() + 5,
+        calendar: None,
     };
     let mut group = c.benchmark_group("scale");
     group.bench_function("view_build_borrowed_10k", |b| {
@@ -330,6 +428,12 @@ const BASELINE_CLONING_KERNEL_US: &[(&str, f64)] = &[
     ("scale/simulate_fcfs_heavy_tail_100k", 161_913_000.0),
 ];
 
+/// Timing the rebuild-per-decide conservative backfill produced for the
+/// same workload immediately before the capacity-calendar refactor — the
+/// denominator of the backfill speedup column.
+const BASELINE_REBUILD_BACKFILL_US: &[(&str, f64)] =
+    &[("scale/simulate_conservative_backfill_10k", 379_276.797)];
+
 fn write_trend_file(criterion: &Criterion) {
     if criterion.is_test_mode() || criterion.measurements().is_empty() {
         return; // --test smoke mode: nothing measured, keep the file as-is.
@@ -353,16 +457,34 @@ fn write_trend_file(criterion: &Criterion) {
         };
         body.push_str(&format!("    \"{label}\": {us:.1}{sep}\n"));
     }
+    let speedups_against = |baselines: &[(&str, f64)]| -> Vec<(String, f64)> {
+        baselines
+            .iter()
+            .filter_map(|(label, base)| {
+                measurements
+                    .iter()
+                    .find(|(l, _)| l == label)
+                    .map(|(_, t)| (label.to_string(), base / (t.as_secs_f64() * 1e6)))
+            })
+            .collect()
+    };
+    body.push_str("  },\n  \"baseline_rebuild_backfill_us_per_iter\": {\n");
+    for (i, (label, us)) in BASELINE_REBUILD_BACKFILL_US.iter().enumerate() {
+        let sep = if i + 1 == BASELINE_REBUILD_BACKFILL_US.len() {
+            ""
+        } else {
+            ","
+        };
+        body.push_str(&format!("    \"{label}\": {us:.1}{sep}\n"));
+    }
     body.push_str("  },\n  \"speedup_vs_cloning_kernel\": {\n");
-    let speedups: Vec<(String, f64)> = BASELINE_CLONING_KERNEL_US
-        .iter()
-        .filter_map(|(label, base)| {
-            measurements
-                .iter()
-                .find(|(l, _)| l == label)
-                .map(|(_, t)| (label.to_string(), base / (t.as_secs_f64() * 1e6)))
-        })
-        .collect();
+    let speedups = speedups_against(BASELINE_CLONING_KERNEL_US);
+    for (i, (label, x)) in speedups.iter().enumerate() {
+        let sep = if i + 1 == speedups.len() { "" } else { "," };
+        body.push_str(&format!("    \"{label}\": {x:.1}{sep}\n"));
+    }
+    body.push_str("  },\n  \"speedup_vs_rebuild_backfill\": {\n");
+    let speedups = speedups_against(BASELINE_REBUILD_BACKFILL_US);
     for (i, (label, x)) in speedups.iter().enumerate() {
         let sep = if i + 1 == speedups.len() { "" } else { "," };
         body.push_str(&format!("    \"{label}\": {x:.1}{sep}\n"));
@@ -380,6 +502,9 @@ fn main() {
     simulate_sjf_swf_replay(&mut criterion);
     placement_scan_mixed_class(&mut criterion);
     simulate_conservative_backfill_10k(&mut criterion);
+    simulate_easy_backfill_10k(&mut criterion);
+    simulate_conservative_backfill_100k(&mut criterion);
+    calendar_reserve_10k(&mut criterion);
     simulate_fcfs_heavy_tail_100k(&mut criterion);
     view_build(&mut criterion);
     campaign_paper_grid_1k(&mut criterion);

@@ -112,14 +112,10 @@ impl FirstFitAllocator {
         if !self.can_fit(nodes, memory_gb) {
             return None;
         }
-        let chosen = self
+        let mask = self
             .busy
-            .lowest_clear(nodes)
+            .lowest_clear_mask(nodes)
             .expect("can_fit guaranteed enough free nodes");
-        let mut mask = NodeMask::new(self.total_nodes);
-        for idx in chosen {
-            mask.insert(idx);
-        }
         self.busy.union_with(&mask);
         self.free_memory_gb -= memory_gb;
         Some(Allocation {

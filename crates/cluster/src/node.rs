@@ -100,6 +100,42 @@ impl NodeMask {
         })
     }
 
+    /// The mask of the lowest `n` clear (free) nodes, or `None` if fewer
+    /// than `n` are clear. Chooses exactly the nodes
+    /// [`lowest_clear`](Self::lowest_clear) would, but word-wise: whole
+    /// free words are claimed with one popcount, and only the final
+    /// partially-taken word walks its bits.
+    pub fn lowest_clear_mask(&self, n: u32) -> Option<NodeMask> {
+        let mut out = NodeMask::new(self.capacity);
+        let mut remaining = n;
+        for (wi, &w) in self.words.iter().enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            let mut free = !w;
+            // Clamp the final partial word to the real capacity.
+            let upper = self.capacity as usize - wi * 64;
+            if upper < 64 {
+                free &= (1u64 << upper) - 1;
+            }
+            let avail = free.count_ones();
+            if avail <= remaining {
+                out.words[wi] = free;
+                remaining -= avail;
+            } else {
+                let mut chosen = 0u64;
+                for _ in 0..remaining {
+                    let bit = free & free.wrapping_neg();
+                    chosen |= bit;
+                    free ^= bit;
+                }
+                out.words[wi] = chosen;
+                remaining = 0;
+            }
+        }
+        (remaining == 0).then_some(out)
+    }
+
     /// The lowest `n` clear (free) node indices, or `None` if fewer than `n`
     /// are clear — the heart of first-fit placement.
     pub fn lowest_clear(&self, n: u32) -> Option<Vec<u32>> {
@@ -217,6 +253,24 @@ mod tests {
         assert_eq!(m.lowest_clear(6), Some(vec![1, 3, 4, 5, 6, 7]));
         assert_eq!(m.lowest_clear(7), None);
         assert_eq!(m.lowest_clear(0), Some(vec![]));
+    }
+
+    #[test]
+    fn lowest_clear_mask_matches_index_variant() {
+        let mut m = NodeMask::new(100);
+        for idx in [0, 2, 3, 64, 65, 99] {
+            m.insert(idx);
+        }
+        for n in [0u32, 1, 5, 60, 94] {
+            let via_mask = m.lowest_clear_mask(n).expect("fits");
+            let mut expect = NodeMask::new(100);
+            for idx in m.lowest_clear(n).expect("fits") {
+                expect.insert(idx);
+            }
+            assert_eq!(via_mask, expect, "n = {n}");
+        }
+        assert!(m.lowest_clear_mask(95).is_none());
+        assert!(m.lowest_clear(95).is_none());
     }
 
     #[test]

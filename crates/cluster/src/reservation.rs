@@ -103,8 +103,9 @@ pub fn shadow_start(cluster: &ClusterState, now: SimTime, demand: Demand) -> Sim
 
 /// The per-slot node counts of one allocation's mask. Allocations may
 /// span classes (wide classless jobs), so completions must return each
-/// node to the class that actually hosted it.
-fn nodes_per_slot(topology: &Topology, nodes: &crate::node::NodeMask) -> [u32; MAX_CLASSES] {
+/// node to the class that actually hosted it. Public so the simulator's
+/// capacity ledger can record per-class release columns at job start.
+pub fn nodes_per_slot(topology: &Topology, nodes: &crate::node::NodeMask) -> [u32; MAX_CLASSES] {
     let mut out = [0u32; MAX_CLASSES];
     for idx in nodes.iter() {
         let slot = topology
@@ -188,18 +189,38 @@ fn classed_overlap_is_safe(
     head: &JobSpec,
 ) -> bool {
     let topology = cluster.config().topology;
-    let cand = Demand::from(candidate);
-    let free_now = cluster.free_by_class();
-    let Some(take) = crate::allocator::plan_take(&topology, &free_now, &cand.request()) else {
-        // can_fit held before this check, so the plan cannot actually
-        // fail; treat a vanished fit as "occupies nothing".
+    classed_overlap_fits(
+        &topology,
+        &cluster.free_by_class(),
+        free_by_class_at(cluster, shadow),
+        &Demand::from(candidate),
+        &Demand::from(head),
+    )
+}
+
+/// The core of the classed overlap check, over bare per-class free counts
+/// so callers with their own availability structures (the simulator's
+/// capacity calendar) share the exact arithmetic: plan the candidate's
+/// per-class node take against `free_now` — exactly the grant
+/// [`try_allocate`] would make — subtract it from `free_at_shadow`, and
+/// ask whether the head still fits. A candidate whose plan cannot be made
+/// (its fit vanished between checks) occupies nothing and is safe.
+///
+/// [`try_allocate`]: crate::allocator::ClassedAllocator::try_allocate
+pub fn classed_overlap_fits(
+    topology: &Topology,
+    free_now: &[u32; MAX_CLASSES],
+    mut free_at_shadow: [u32; MAX_CLASSES],
+    candidate: &Demand,
+    head: &Demand,
+) -> bool {
+    let Some(take) = crate::allocator::plan_take(topology, free_now, &candidate.request()) else {
         return true;
     };
-    let mut free = free_by_class_at(cluster, shadow);
     for (slot, n) in take.into_iter().enumerate() {
-        free[slot] = free[slot].saturating_sub(n);
+        free_at_shadow[slot] = free_at_shadow[slot].saturating_sub(n);
     }
-    Demand::from(head).fits_classes(&topology, &free)
+    head.fits_classes(topology, &free_at_shadow)
 }
 
 /// Free resources at future time `t`, assuming only currently running jobs

@@ -189,6 +189,7 @@ mod tests {
             completed_stats: rsched_cluster::CompletedStats::default(),
             pending_arrivals: 0,
             total_jobs: 1,
+            calendar: None,
         }
     }
 

@@ -176,6 +176,7 @@ mod tests {
                 completed_stats: CompletedStats::from_records(&self.completed),
                 pending_arrivals: 3,
                 total_jobs: 80,
+                calendar: None,
             }
         }
     }

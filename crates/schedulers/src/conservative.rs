@@ -2,7 +2,7 @@
 //!
 //! EASY protects only the queue head; a backfill may still delay the
 //! second, third, … job in line. Conservative backfilling closes that gap:
-//! each decision epoch rebuilds a reservation list over the waiting queue
+//! each decision epoch derives a reservation list over the waiting queue
 //! (in arrival order, up to [`RESERVATION_DEPTH`]), and a job may start now
 //! only if doing so is consistent with every earlier reservation. The
 //! policy therefore never relies on the simulator's shadow-time veto — its
@@ -10,20 +10,42 @@
 //! (`walltime`, not the hidden `duration`) are what the reservations are
 //! built from, which is exactly what the badly-estimated-walltime
 //! scenarios stress.
+//!
+//! Since the capacity-calendar refactor the policy no longer rebuilds the
+//! free-capacity profile from the whole running set on every `decide`: it
+//! reads the kernel's cached per-epoch
+//! [`CapacityCalendar`](rsched_sim::CapacityCalendar) (estimated-end
+//! skyline, shared by every consumer in the epoch) and lays a reusable
+//! [`ReservationProfile`] over it — a reserved-amount step overlay whose
+//! fused `place` both finds and books each reservation against the
+//! immutable base without cloning it. Three exact shortcuts keep the
+//! saturated case cheap:
+//!
+//! * **flat fast path** (arrival order only): the base skyline is
+//!   monotone, so a head that fits now *is* the first startable job — the
+//!   unsaturated common case costs no profile work at all;
+//! * **candidate pre-scan**: a job can only start now if it fits the
+//!   current free capacity and was not rejected this epoch — both cheap
+//!   scalar tests. If no job in the depth window qualifies, the pass must
+//!   end in `Delay` and is skipped entirely; otherwise it stops at the
+//!   last qualifying job, because reservations placed after it are never
+//!   read by any remaining startability test;
+//! * **head-shadow veto**: when the head cannot start, its reservation
+//!   sits at the bare earliest fit `f0` on the base. A candidate whose
+//!   window reaches `f0` must fit beside the mass reserved there or it is
+//!   provably unstartable — checked against the head alone before the
+//!   pass (vetoing many epochs outright) and re-checked incrementally
+//!   during the pass as placed reservations stack up at `f0`, shrinking
+//!   how far the reservation walk must go.
 
 use rsched_cluster::{JobId, JobSpec};
-use rsched_sim::{Action, SchedulingPolicy, SystemView};
+use rsched_sim::{Action, ReservationProfile, SchedulingPolicy, SystemView};
 use rsched_simkit::SimTime;
 
 /// Reservation-list depth cap: queue positions beyond this neither get a
 /// reservation nor are considered for backfill in that epoch. Bounds the
 /// per-epoch cost to O(depth × profile) on pathological queues.
 pub const RESERVATION_DEPTH: usize = 64;
-
-/// A step function of free capacity over time: `(time, free_nodes,
-/// free_memory_gb)`, sorted by time; each entry holds until the next, the
-/// last holds forever.
-type Profile = Vec<(SimTime, u32, u64)>;
 
 /// FCFS with conservative backfilling (full reservation list).
 ///
@@ -32,11 +54,15 @@ type Profile = Vec<(SimTime, u32, u64)>;
 /// earliest-arrived — the walltime-estimate-aware refinement.
 #[derive(Debug, Clone, Default)]
 pub struct ConservativeBackfill {
-    /// Jobs rejected at the current timestep (reset when time moves).
+    /// Jobs rejected at the current timestep (reset when time moves),
+    /// sorted by id for O(log n) membership checks.
     rejected_this_epoch: Vec<JobId>,
     last_time: Option<SimTime>,
     /// Pick the shortest startable candidate instead of the first.
     shortest_first: bool,
+    /// Reusable reservation overlay — reloaded from the epoch's base
+    /// calendar each pass, so steady state allocates nothing.
+    profile: ReservationProfile,
 }
 
 impl ConservativeBackfill {
@@ -52,76 +78,9 @@ impl ConservativeBackfill {
             ..Self::default()
         }
     }
-}
 
-/// The free-capacity profile implied by the running set's *estimated* end
-/// times: capacity comes back at each `expected_end`.
-fn free_profile(view: &SystemView<'_>) -> Profile {
-    let mut ends: Vec<(SimTime, u32, u64)> = view
-        .running
-        .iter()
-        .map(|r| (r.expected_end, r.nodes, r.memory_gb))
-        .collect();
-    ends.sort_unstable();
-    let mut points: Profile = vec![(view.now, view.free_nodes, view.free_memory_gb)];
-    for (t, nodes, mem) in ends {
-        let &(last_t, last_n, last_m) = points.last().expect("non-empty");
-        let (free_n, free_m) = (last_n + nodes, last_m + mem);
-        if t <= last_t {
-            // expected_end ≤ now: the job overran its estimate (walltime
-            // underestimated duration) and still holds its nodes. Credit
-            // the release at `now` — optimistic by that job's remainder.
-            let last = points.last_mut().expect("non-empty");
-            last.1 = free_n;
-            last.2 = free_m;
-        } else {
-            points.push((t, free_n, free_m));
-        }
-    }
-    points
-}
-
-/// Earliest profile point at which `(nodes, mem)` stays available for the
-/// whole `[start, start + walltime)` window. Always exists: past the last
-/// point the machine is fully free.
-fn earliest_start(points: &Profile, job: &JobSpec) -> SimTime {
-    'candidate: for i in 0..points.len() {
-        let start = points[i].0;
-        let end = start + job.walltime;
-        for &(t, free_n, free_m) in &points[i..] {
-            if t >= end {
-                break;
-            }
-            if free_n < job.nodes || free_m < job.memory_gb {
-                continue 'candidate;
-            }
-        }
-        return start;
-    }
-    unreachable!("the final profile point is the fully-free machine")
-}
-
-/// Insert a boundary point at `t` (carrying the preceding value) if absent.
-fn insert_boundary(points: &mut Profile, t: SimTime) {
-    match points.binary_search_by_key(&t, |p| p.0) {
-        Ok(_) => {}
-        Err(0) => {} // before `now`: the [start, end) clamp covers it
-        Err(i) => {
-            let (_, n, m) = points[i - 1];
-            points.insert(i, (t, n, m));
-        }
-    }
-}
-
-/// Subtract a reservation of `(nodes, mem)` over `[start, end)`.
-fn reserve(points: &mut Profile, start: SimTime, end: SimTime, nodes: u32, mem: u64) {
-    insert_boundary(points, start);
-    insert_boundary(points, end);
-    for p in points.iter_mut() {
-        if p.0 >= start && p.0 < end {
-            p.1 = p.1.saturating_sub(nodes);
-            p.2 = p.2.saturating_sub(mem);
-        }
+    fn rejected(&self, id: JobId) -> bool {
+        self.rejected_this_epoch.binary_search(&id).is_ok()
     }
 }
 
@@ -142,40 +101,148 @@ impl SchedulingPolicy for ConservativeBackfill {
         if view.all_jobs_started() {
             return Action::Stop;
         }
-        if view.waiting.is_empty() {
+        let Some(head) = view.head_of_queue() else {
+            return Action::Delay;
+        };
+        // Flat-cluster fast path (arrival order only): the base skyline is
+        // monotone per column, so a head that fits now gets earliest start
+        // `now` and — being first in arrival order — is the pick. Classed
+        // clusters can't take it (class-aware `fits_now` and the scalar
+        // profile columns may disagree), and SJBF still needs the full
+        // startable set to take its minimum over.
+        if !self.shortest_first
+            && view.config.topology.is_flat()
+            && view.fits_now(head)
+            && !self.rejected(head.id)
+        {
+            return Action::StartJob(head.id);
+        }
+        // Candidate pre-scan: startable requires `fits_now` and no
+        // same-epoch rejection, both cheap scalar tests. No qualifying job
+        // in the depth window means the reservation pass below could only
+        // return `Delay` — skip it. Otherwise the pass stops at the last
+        // qualifying job: reservations placed after it are only ever read
+        // by the startability tests of even later jobs, none of which
+        // qualify.
+        let mut candidates = 0u64;
+        for (i, job) in view.waiting.iter().take(RESERVATION_DEPTH).enumerate() {
+            if view.fits_now(job) && !self.rejected(job.id) {
+                candidates |= 1 << i;
+            }
+        }
+        if candidates == 0 {
             return Action::Delay;
         }
-        // Rebuild the reservation list in arrival order; collect the jobs
-        // whose reservation lands at `now` (they can start without delaying
-        // anyone reserved before them).
-        let mut points = free_profile(view);
+        let base = view.capacity_calendar();
+        // Head-shadow veto. The pass places the head first, against an
+        // empty overlay, so its reservation always sits at the bare
+        // earliest fit `f0` (a monotone base never fails a window). A
+        // candidate whose own window reaches `f0` and cannot fit beside
+        // the head demand at the `f0` level fails at that merged point in
+        // the full pass too (the overlay only reserves more) — it is
+        // provably unstartable without placing a single reservation. The
+        // pass therefore only has to walk to the last *unvetoed*
+        // candidate (reservations past it are read only by the
+        // startability tests of provably-blocked jobs); when the veto
+        // blocks every candidate — a scalar-blocked head (`f0 > now`)
+        // blocks candidate bit 0 outright — the epoch is a `Delay` with
+        // no pass at all.
+        let head_start = base.earliest_fit_flat(head.nodes, head.memory_gb);
+        // Survivors split by why the veto is inconclusive: `surv_early`
+        // windows end at or before `f0` (the head reservation never
+        // touches them); `surv_beside` demands fit beside the head at the
+        // `f0` shadow level. The beside set shrinks further during the
+        // pass as reservations stack up at `f0`.
+        let mut surv_early = candidates;
+        let mut surv_beside = 0u64;
+        let (mut shadow_nodes, mut shadow_mem) = (0u32, 0u64);
+        if head_start > view.now {
+            let shadow = base.at(head_start);
+            shadow_nodes = shadow.free_nodes;
+            shadow_mem = shadow.free_memory_gb;
+            let beside_nodes = shadow_nodes.saturating_sub(head.nodes);
+            let beside_mem = shadow_mem.saturating_sub(head.memory_gb);
+            let mut rest = candidates & !1;
+            surv_early = 0;
+            while rest != 0 {
+                let i = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let job = &view.waiting[i];
+                if view.now + job.walltime <= head_start {
+                    surv_early |= 1 << i;
+                } else if job.nodes <= beside_nodes && job.memory_gb <= beside_mem {
+                    surv_beside |= 1 << i;
+                }
+            }
+        }
+        if surv_early | surv_beside == 0 {
+            return Action::Delay;
+        }
+        // Reservation pass in arrival order over the epoch's shared base
+        // calendar: clear the reusable reserved-amount overlay, reserve
+        // every considered job at its earliest feasible window, and
+        // collect the jobs whose window lands at `now` (they can start
+        // without delaying anyone reserved before them).
+        //
+        // The pass walks only as far as the last surviving candidate —
+        // reservations past it are read solely by the startability tests
+        // of provably-blocked jobs. As placed reservations accumulate at
+        // `f0`, the exact overlay amounts in force there (`f0_nodes`,
+        // `f0_mem`, O(1) per placement) re-run the beside test: a
+        // beside-survivor that no longer fits next to that mass fails at
+        // the `f0` point of its own window in the full pass too (the
+        // overlay only ever grows within a pass), so it is pruned and the
+        // walk bound tightens as the hole at `f0` fills.
+        self.profile.clear();
         let mut startable: Vec<&JobSpec> = Vec::new();
-        for job in view.waiting.iter().take(RESERVATION_DEPTH) {
-            let start = earliest_start(&points, job);
-            if start <= view.now
-                && view.fits_now(job)
-                && !self.rejected_this_epoch.contains(&job.id)
-            {
+        let (mut f0_nodes, mut f0_mem) = (0u32, 0u64);
+        let mut i = 0;
+        loop {
+            let job = &view.waiting[i];
+            // `place` reserves unconditionally; that is harmless on the
+            // startable early return, because the overlay is cleared at
+            // the top of every pass.
+            let start = self
+                .profile
+                .place(&base, job.nodes, job.memory_gb, job.walltime);
+            if start <= view.now && candidates & (1 << i) != 0 {
+                if !self.shortest_first {
+                    // Arrival order: the first startable job is the pick —
+                    // later reservations cannot change it.
+                    return if job.id == head.id {
+                        Action::StartJob(job.id)
+                    } else {
+                        Action::BackfillJob(job.id)
+                    };
+                }
                 startable.push(job);
             }
-            reserve(
-                &mut points,
-                start,
-                start + job.walltime,
-                job.nodes,
-                job.memory_gb,
-            );
+            if head_start > view.now && start <= head_start && head_start < start + job.walltime {
+                f0_nodes += job.nodes;
+                f0_mem += job.memory_gb;
+                let avail_nodes = shadow_nodes.saturating_sub(f0_nodes);
+                let avail_mem = shadow_mem.saturating_sub(f0_mem);
+                let mut rest = surv_beside;
+                while rest != 0 {
+                    let j = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    let c = &view.waiting[j];
+                    if c.nodes > avail_nodes || c.memory_gb > avail_mem {
+                        surv_beside &= !(1 << j);
+                    }
+                }
+            }
+            i += 1;
+            let surviving = surv_early | surv_beside;
+            if i >= 64 || surviving >> i == 0 {
+                break;
+            }
         }
-        let head_id = view.head_of_queue().map(|h| h.id);
-        let pick = if self.shortest_first {
-            startable
-                .into_iter()
-                .min_by_key(|j| (j.walltime, j.submit, j.id))
-        } else {
-            startable.into_iter().next()
-        };
+        let pick = startable
+            .into_iter()
+            .min_by_key(|j| (j.walltime, j.submit, j.id));
         match pick {
-            Some(j) if Some(j.id) == head_id => Action::StartJob(j.id),
+            Some(j) if j.id == head.id => Action::StartJob(j.id),
             Some(j) => Action::BackfillJob(j.id),
             None => Action::Delay,
         }
@@ -184,7 +251,9 @@ impl SchedulingPolicy for ConservativeBackfill {
     fn observe(&mut self, outcome: &rsched_sim::ActionOutcome) {
         if !outcome.accepted() {
             if let Some(id) = outcome.action.job_id() {
-                self.rejected_this_epoch.push(id);
+                if let Err(at) = self.rejected_this_epoch.binary_search(&id) {
+                    self.rejected_this_epoch.insert(at, id);
+                }
             }
         }
     }
@@ -324,6 +393,25 @@ mod tests {
             jobs.push(spec(i, 1, 10, 1));
         }
         let out = run_with(&jobs, ConservativeBackfill::new());
+        assert_eq!(out.records.len(), jobs.len());
+    }
+
+    #[test]
+    fn classed_cluster_skips_the_flat_fast_path_and_still_schedules() {
+        // On mixed_256 the head fast path must not fire (class-aware
+        // fits_now vs scalar profile columns): the full reservation pass
+        // must still start everything.
+        let mut jobs = Vec::new();
+        for i in 0..8u32 {
+            jobs.push(spec(i, i as u64, 30, 16));
+        }
+        let out = run_simulation(
+            ClusterConfig::mixed_256(),
+            &jobs,
+            &mut ConservativeBackfill::new(),
+            &SimOptions::default(),
+        )
+        .expect("completes");
         assert_eq!(out.records.len(), jobs.len());
     }
 }

@@ -5,28 +5,109 @@
 //! heads, and this policy isolates exactly that mechanism without any
 //! multiobjective reasoning.
 
-use rsched_cluster::{JobId, JobSpec};
+use rsched_cluster::{JobId, JobSpec, NodeClass, ResourceVec};
+use rsched_sim::scan::{first_match_specs, min_match_specs, scan_workers};
 use rsched_sim::{Action, SchedulingPolicy, SystemView};
+use rsched_simkit::{SimDuration, SimTime};
+
+/// A rejected candidate's demand, snapshotted when the rejection was
+/// observed — the epoch's **rejection demand frontier**. Dominance checks
+/// compare against these stored fields directly instead of re-finding the
+/// job in the waiting queue per candidate (the old `waiting_job` lookup
+/// made the filter O(rejected × queue) per candidate).
+#[derive(Debug, Clone)]
+struct RejectedDemand {
+    id: JobId,
+    /// The demand at proposal time; `None` if the rejection arrived for an
+    /// action this policy has no snapshot for (defensive only — every
+    /// proposal stashes one), in which case the dominance check falls back
+    /// to the queue lookup.
+    demand: Option<DemandSnapshot>,
+}
+
+/// The dominance-relevant fields of a [`JobSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DemandSnapshot {
+    nodes: u32,
+    memory_gb: u64,
+    walltime: SimDuration,
+    per_node: ResourceVec,
+    class: Option<NodeClass>,
+}
+
+impl DemandSnapshot {
+    fn of(spec: &JobSpec) -> Self {
+        DemandSnapshot {
+            nodes: spec.nodes,
+            memory_gb: spec.memory_gb,
+            walltime: spec.walltime,
+            per_node: spec.per_node,
+            class: spec.class,
+        }
+    }
+}
+
+/// `true` if `candidate`'s demand dominates `r` in every dimension (same
+/// class pin, ≥ nodes/memory/walltime, per-node vector dominance) — so a
+/// shadow-time veto against `r` applies to `candidate` a fortiori.
+fn dominates(candidate: &JobSpec, r: &DemandSnapshot) -> bool {
+    candidate.class == r.class
+        && candidate.nodes >= r.nodes
+        && candidate.memory_gb >= r.memory_gb
+        && candidate.walltime >= r.walltime
+        && candidate.per_node.dominates(&r.per_node)
+}
+
+/// `true` if proposing `candidate` is pointless given this timestep's
+/// rejection frontier: it was itself rejected, or it dominates a rejected
+/// demand. A free function over plain slices so the sharded candidate
+/// scan can evaluate it from worker threads.
+fn dominated_by_rejection(
+    rejected: &[RejectedDemand],
+    waiting: &[JobSpec],
+    candidate: &JobSpec,
+) -> bool {
+    rejected.iter().any(|r| {
+        if r.id == candidate.id {
+            return true;
+        }
+        match &r.demand {
+            Some(d) => dominates(candidate, d),
+            None => waiting
+                .iter()
+                .find(|j| j.id == r.id)
+                .is_some_and(|j| dominates(candidate, &DemandSnapshot::of(j))),
+        }
+    })
+}
 
 /// FCFS head-first; when the head is blocked, backfill the first (arrival
 /// order) waiting job that fits now — relying on the simulator's
-/// shadow-time validation to reject unsafe picks, after which the policy
-/// tries the next candidate.
+/// shadow-time validation (served from the kernel's capacity calendar) to
+/// reject unsafe picks, after which the policy tries the next candidate.
 ///
-/// Rejections are remembered for the rest of the timestep, and the skip is
-/// **demand-aware**: a candidate whose demand dominates an already-rejected
-/// candidate's in every dimension (nodes, memory, walltime, per-node
-/// vector, same class pin) would draw the same veto, so it is skipped
-/// without wasting a policy query on it.
+/// Rejections are remembered for the rest of the timestep as a demand
+/// frontier, and the skip is **demand-aware**: a candidate whose demand
+/// dominates an already-rejected candidate's in every dimension (nodes,
+/// memory, walltime, per-node vector, same class pin) would draw the same
+/// veto, so it is skipped without wasting a policy query on it.
+///
+/// On flat clusters with queues at least
+/// [`PARALLEL_SCAN_MIN`](rsched_sim::PARALLEL_SCAN_MIN) deep, the
+/// candidate filter shards across the scoped-thread scan path
+/// ([`rsched_sim::scan`]) and reduces bit-identically to the serial scan.
 ///
 /// The [`sjbf`](EasyBackfill::sjbf) variant orders backfill candidates by
 /// shortest requested walltime first (SJBF) instead of arrival order — the
 /// classic walltime-estimate-aware refinement.
 #[derive(Debug, Clone, Default)]
 pub struct EasyBackfill {
-    /// Jobs rejected at the current timestep (reset when time moves).
-    rejected_this_epoch: Vec<JobId>,
-    last_time: Option<rsched_simkit::SimTime>,
+    /// Demands rejected at the current timestep (reset when time moves).
+    rejected_this_epoch: Vec<RejectedDemand>,
+    /// The job proposed by the most recent `decide`, snapshotted so a
+    /// veto in `observe` can be recorded with its demand attached.
+    last_proposed: Option<(JobId, DemandSnapshot)>,
+    last_time: Option<SimTime>,
     /// Order backfill candidates by shortest walltime instead of arrival.
     shortest_first: bool,
 }
@@ -45,24 +126,9 @@ impl EasyBackfill {
         }
     }
 
-    /// `true` if proposing `candidate` is pointless given this timestep's
-    /// rejections: it was itself rejected, or its demand dominates a
-    /// rejected candidate's demand in every dimension (so the same
-    /// shadow-time veto applies a fortiori).
-    fn dominated_by_rejection(&self, candidate: &JobSpec, view: &SystemView<'_>) -> bool {
-        self.rejected_this_epoch.iter().any(|&rid| {
-            if rid == candidate.id {
-                return true;
-            }
-            let Some(r) = view.waiting_job(rid) else {
-                return false;
-            };
-            candidate.class == r.class
-                && candidate.nodes >= r.nodes
-                && candidate.memory_gb >= r.memory_gb
-                && candidate.walltime >= r.walltime
-                && candidate.per_node.dominates(&r.per_node)
-        })
+    fn propose(&mut self, spec: &JobSpec, action: Action) -> Action {
+        self.last_proposed = Some((spec.id, DemandSnapshot::of(spec)));
+        action
     }
 }
 
@@ -87,23 +153,45 @@ impl SchedulingPolicy for EasyBackfill {
             return Action::Delay;
         };
         if view.fits_now(head) {
-            return Action::StartJob(head.id);
+            return self.propose(head, Action::StartJob(head.id));
         }
         // Head blocked: backfill candidates in arrival order (or shortest
         // walltime first under SJBF).
-        let mut eligible = view
-            .waiting
-            .iter()
-            .filter(|j| j.id != head.id)
-            .filter(|j| view.fits_now(j))
-            .filter(|j| !self.dominated_by_rejection(j, view));
-        let candidate: Option<&JobSpec> = if self.shortest_first {
-            eligible.min_by_key(|j| (j.walltime, j.submit, j.id))
+        let candidate: Option<&JobSpec> = if view.config.topology.is_flat() {
+            // Flat `fits_now` is the two scalar comparisons, so the filter
+            // closes over plain `Sync` data and can shard across threads
+            // once the queue is deep enough.
+            let (free_nodes, free_memory_gb) = (view.free_nodes, view.free_memory_gb);
+            let (head_id, waiting) = (head.id, view.waiting);
+            let rejected = self.rejected_this_epoch.as_slice();
+            let pred = |j: &JobSpec| {
+                j.id != head_id
+                    && j.nodes <= free_nodes
+                    && j.memory_gb <= free_memory_gb
+                    && !dominated_by_rejection(rejected, waiting, j)
+            };
+            let workers = scan_workers();
+            if self.shortest_first {
+                min_match_specs(waiting, pred, |j| (j.walltime, j.submit, j.id), workers)
+            } else {
+                first_match_specs(waiting, pred, workers)
+            }
+            .map(|at| &waiting[at])
         } else {
-            eligible.next()
+            let mut eligible = view
+                .waiting
+                .iter()
+                .filter(|j| j.id != head.id)
+                .filter(|j| view.fits_now(j))
+                .filter(|j| !dominated_by_rejection(&self.rejected_this_epoch, view.waiting, j));
+            if self.shortest_first {
+                eligible.min_by_key(|j| (j.walltime, j.submit, j.id))
+            } else {
+                eligible.next()
+            }
         };
         match candidate {
-            Some(j) => Action::BackfillJob(j.id),
+            Some(j) => self.propose(j, Action::BackfillJob(j.id)),
             None => Action::Delay,
         }
     }
@@ -111,13 +199,18 @@ impl SchedulingPolicy for EasyBackfill {
     fn observe(&mut self, outcome: &rsched_sim::ActionOutcome) {
         if !outcome.accepted() {
             if let Some(id) = outcome.action.job_id() {
-                self.rejected_this_epoch.push(id);
+                let demand = match &self.last_proposed {
+                    Some((pid, snap)) if *pid == id => Some(*snap),
+                    _ => None,
+                };
+                self.rejected_this_epoch.push(RejectedDemand { id, demand });
             }
         }
     }
 
     fn reset(&mut self) {
         self.rejected_this_epoch.clear();
+        self.last_proposed = None;
         self.last_time = None;
     }
 }
@@ -277,5 +370,34 @@ mod tests {
             v
         };
         assert_eq!(starts(&easy), starts(&fcfs));
+    }
+
+    #[test]
+    fn frontier_snapshot_matches_the_queue_lookup_semantics() {
+        // The frontier stores the demand at proposal time; the job stays
+        // in the waiting queue for the rest of the epoch, so the stored
+        // snapshot and a fresh lookup must agree.
+        let job = spec(7, 3, 500, 4);
+        let snap = DemandSnapshot::of(&job);
+        assert!(dominates(&spec(8, 4, 600, 5), &snap), "wider job dominated");
+        assert!(!dominates(&spec(9, 4, 10, 5), &snap), "shorter walltime");
+        let frontier = [RejectedDemand {
+            id: JobId(7),
+            demand: Some(snap),
+        }];
+        let waiting = [job.clone(), spec(8, 4, 600, 5)];
+        assert!(dominated_by_rejection(&frontier, &waiting, &job), "self");
+        assert!(dominated_by_rejection(&frontier, &waiting, &waiting[1]));
+        // A `None` demand falls back to the queue lookup — same answer.
+        let lazy = [RejectedDemand {
+            id: JobId(7),
+            demand: None,
+        }];
+        assert!(dominated_by_rejection(&lazy, &waiting, &waiting[1]));
+        let gone: [JobSpec; 0] = [];
+        assert!(
+            !dominated_by_rejection(&lazy, &gone, &spec(8, 4, 600, 5)),
+            "lookup miss means no dominance, as before"
+        );
     }
 }

@@ -80,6 +80,7 @@ impl OwnedSystemView {
             completed_stats: CompletedStats::from_records(&self.completed),
             pending_arrivals: self.pending_arrivals,
             total_jobs: self.total_jobs,
+            calendar: None,
         }
     }
 }
@@ -132,6 +133,7 @@ mod tests {
             completed_stats: CompletedStats::from_records(&completed),
             pending_arrivals: 1,
             total_jobs: 7,
+            calendar: None,
         };
 
         let owned = borrowed.to_owned();

@@ -28,14 +28,15 @@
 
 use rsched_cluster::reservation::Demand;
 use rsched_cluster::{
-    backfill_is_safe, shadow_start, ClusterConfig, ClusterState, JobId, JobRecord, JobSpec,
-    StartError, StepIntegral,
+    backfill_is_safe, classed_overlap_fits, nodes_per_slot, shadow_start, ClusterConfig,
+    ClusterState, JobId, JobRecord, JobSpec, StartError, StepIntegral, MAX_CLASSES,
 };
 use rsched_simkit::{EventQueue, SimTime};
 
 use crate::events::SimEvent;
 use crate::outcome::{DecisionRecord, SimOutcome, SimStats};
 use crate::policy::{Action, ActionOutcome, RejectReason, SchedulingPolicy};
+use crate::profile::CapacityLedger;
 use crate::queue::{RunningSet, WaitQueue};
 use crate::simulator::{SimError, SimOptions};
 use crate::view::{RunningSummary, SystemView};
@@ -65,6 +66,7 @@ pub struct KernelState {
     events: EventQueue<SimEvent>,
     queue: WaitQueue,
     running: RunningSet,
+    ledger: CapacityLedger,
     node_integral: StepIntegral,
     mem_integral: StepIntegral,
     decisions: Vec<DecisionRecord>,
@@ -81,6 +83,7 @@ impl KernelState {
             events: EventQueue::new(),
             queue: WaitQueue::new(),
             running: RunningSet::new(),
+            ledger: CapacityLedger::new(),
             node_integral: StepIntegral::new(start, 0.0),
             mem_integral: StepIntegral::new(start, 0.0),
             decisions: Vec::new(),
@@ -126,6 +129,7 @@ impl KernelState {
     /// `(submit, id)` order, the simulator's (and the paper's) behaviour.
     pub fn arrive(&mut self, job: JobSpec) {
         self.queue.insert(job);
+        self.ledger.queue_changed();
     }
 
     /// A job joins the waiting queue with a fair-share `rank` (lower sorts
@@ -133,6 +137,7 @@ impl KernelState {
     /// multi-tenant path; rank 0 reduces to [`arrive`](Self::arrive).
     pub fn arrive_ranked(&mut self, job: JobSpec, rank: u64) {
         self.queue.insert_ranked(job, rank);
+        self.ledger.queue_changed();
     }
 
     /// A running job finishes at `now`, releasing its resources.
@@ -143,6 +148,12 @@ impl KernelState {
     /// from [`pop_events_at`](Self::pop_events_at) at the event's own time.
     pub fn complete(&mut self, id: JobId, now: SimTime) {
         self.cluster.complete_job(id, now);
+        if let Some(expected_end) = self.running.get(id).map(|s| s.expected_end) {
+            // Completions release at their exact end time, so the actual
+            // release key is `now`; the estimated key is what was recorded
+            // at start.
+            self.ledger.job_completed(id, expected_end, now);
+        }
         self.running.remove(id);
     }
 
@@ -217,6 +228,7 @@ impl KernelState {
                 completed_stats: self.cluster.completed_stats(),
                 pending_arrivals,
                 total_jobs,
+                calendar: Some(&self.ledger),
             };
             let action = policy.decide(&view);
             self.stats.queries += 1;
@@ -318,8 +330,51 @@ impl KernelState {
                     if !self.cluster.can_fit(&spec) {
                         return Err(insufficient(&self.cluster, &spec));
                     }
-                    if !backfill_is_safe(&self.cluster, now, &spec, &head) {
-                        let shadow = shadow_start(&self.cluster, now, Demand::from(&head));
+                    // Validate against the ledger's cached *actual-end*
+                    // calendar instead of re-sweeping `cluster.running()`
+                    // per proposal: the shadow is the head's earliest fit
+                    // on that skyline, and the overlap check reads the
+                    // skyline level at the shadow. Debug builds pin both
+                    // against the original cluster sweep.
+                    let topology = self.cluster.config().topology;
+                    let calendar = self.ledger.actual(
+                        now,
+                        self.cluster.free_nodes(),
+                        self.cluster.free_memory_gb(),
+                        self.cluster.free_by_class(),
+                    );
+                    let head_demand = Demand::from(&head);
+                    let shadow = if topology.is_flat() {
+                        calendar.earliest_fit_flat(head_demand.nodes, head_demand.memory_gb)
+                    } else {
+                        calendar.earliest_fit_classed(&topology, &head_demand)
+                    };
+                    debug_assert_eq!(
+                        shadow,
+                        shadow_start(&self.cluster, now, head_demand),
+                        "calendar shadow diverged from the cluster sweep"
+                    );
+                    let safe = shadow == SimTime::MAX
+                        || now + spec.walltime <= shadow
+                        || if topology.is_flat() {
+                            let at = calendar.at(shadow);
+                            at.free_nodes >= spec.nodes + head.nodes
+                                && at.free_memory_gb >= spec.memory_gb + head.memory_gb
+                        } else {
+                            classed_overlap_fits(
+                                &topology,
+                                &self.cluster.free_by_class(),
+                                calendar.at(shadow).free_by_class,
+                                &Demand::from(&spec),
+                                &head_demand,
+                            )
+                        };
+                    debug_assert_eq!(
+                        safe,
+                        backfill_is_safe(&self.cluster, now, &spec, &head),
+                        "calendar backfill validation diverged from the cluster math"
+                    );
+                    if !safe {
                         return Err(RejectReason::WouldDelayHead {
                             job: spec.id,
                             head: head.id,
@@ -339,6 +394,7 @@ impl KernelState {
         queue_index: usize,
         spec: &JobSpec,
     ) -> Result<(), RejectReason> {
+        let topology = self.cluster.config().topology;
         match self.cluster.start_job(spec, now) {
             Ok(started) => {
                 let end = started.end;
@@ -347,6 +403,13 @@ impl KernelState {
                 // hosting classes' capacity — and the summary must mirror
                 // the debit so policies' release math conserves capacity.
                 let held_memory_gb = started.allocation.memory_gb;
+                // Per-class release columns for the calendar: which class
+                // slots this placement's nodes return to at completion.
+                let released_by_class = if topology.is_flat() {
+                    [0; MAX_CLASSES]
+                } else {
+                    nodes_per_slot(&topology, &started.allocation.nodes)
+                };
                 self.events.push(end, SimEvent::Completion(spec.id));
                 self.queue.remove_at(queue_index);
                 // Maintain the running mirror incrementally — never rebuilt.
@@ -360,11 +423,24 @@ impl KernelState {
                     expected_end: now + spec.walltime,
                     class: spec.class,
                 });
+                self.ledger.job_started(
+                    spec.id,
+                    now + spec.walltime,
+                    end,
+                    spec.nodes,
+                    held_memory_gb,
+                    released_by_class,
+                );
                 self.node_integral
                     .update(now, self.cluster.busy_nodes() as f64);
                 self.mem_integral
                     .update(now, self.cluster.busy_memory_gb() as f64);
-                self.cluster.check_invariants();
+                // The full ledger audit walks every running job; at 10k+
+                // placements per run that O(R) sweep dominates the apply
+                // path, so release builds trust the incremental counters.
+                if cfg!(debug_assertions) {
+                    self.cluster.check_invariants();
+                }
                 Ok(())
             }
             Err(StartError::InsufficientResources { .. }) => Err(insufficient(&self.cluster, spec)),
@@ -445,6 +521,7 @@ impl KernelState {
             completed_stats: self.cluster.completed_stats(),
             pending_arrivals,
             total_jobs,
+            calendar: Some(&self.ledger),
         }
     }
 

@@ -38,6 +38,7 @@ pub mod kernel;
 pub mod observer;
 pub mod outcome;
 pub mod policy;
+pub mod profile;
 mod queue;
 pub mod scan;
 pub mod simulator;
@@ -52,6 +53,10 @@ pub use kernel::KernelState;
 pub use observer::{CountingObserver, ProgressObserver, SimObserver};
 pub use outcome::{DecisionRecord, SimOutcome, SimStats};
 pub use policy::{Action, ActionOutcome, OverheadReport, RejectReason, SchedulingPolicy};
+pub use profile::{
+    CalendarPoint, CalendarRef, CalendarStamp, CapacityCalendar, CapacityLedger,
+    ReservationProfile, ReservedStep,
+};
 pub use scan::{ScanOutcome, PARALLEL_SCAN_MIN};
 pub use simulator::{job_is_feasible, run_simulation, validate_workload, SimError, SimOptions};
 pub use store::JobStore;

@@ -119,27 +119,31 @@ impl WaitQueue {
     }
 
     /// Remove the job at `index` of [`as_slice`](Self::as_slice), returning
-    /// it. O(1) amortized at the head, O(queue) elsewhere.
+    /// it. O(1) amortized at the head, O(index) elsewhere — interior
+    /// removals are backfills, which sit within the schedulers'
+    /// reservation depth of the head, so the prefix left of the removed
+    /// job is short while the tail right of it can span the whole queue.
+    /// Rotating the prefix right and advancing the head offset removes
+    /// the job without ever touching that tail.
     ///
     /// # Panics
     /// Panics if `index` is out of bounds.
     pub(crate) fn remove_at(&mut self, index: usize) -> JobSpec {
         assert!(index < self.len(), "WaitQueue::remove_at out of bounds");
-        let job = if index == 0 {
-            let job = self.jobs.specs()[self.head].clone();
-            self.head += 1;
-            // Compact once the dead prefix dominates, keeping amortized
-            // O(1) head pops without unbounded memory retention.
-            if self.head > 32 && self.head * 2 > self.jobs.len() {
-                self.jobs.drain_front(self.head);
-                self.ranks.drain(..self.head);
-                self.head = 0;
-            }
-            job
-        } else {
-            self.ranks.remove(self.head + index);
-            self.jobs.remove(self.head + index)
-        };
+        if index > 0 {
+            let at = self.head + index;
+            self.ranks[self.head..=at].rotate_right(1);
+            self.jobs.rotate_right_prefix(self.head, at);
+        }
+        let job = self.jobs.specs()[self.head].clone();
+        self.head += 1;
+        // Compact once the dead prefix dominates, keeping amortized
+        // O(1) head pops without unbounded memory retention.
+        if self.head > 32 && self.head * 2 > self.jobs.len() {
+            self.jobs.drain_front(self.head);
+            self.ranks.drain(..self.head);
+            self.head = 0;
+        }
         if self.is_empty() {
             self.jobs.clear();
             self.ranks.clear();
@@ -238,6 +242,16 @@ impl RunningSet {
         if let Ok(at) = self.jobs.binary_search_by_key(&id, |r| r.id) {
             self.jobs.remove(at);
         }
+    }
+
+    /// The summary for a running job, if present. O(log n) — used by the
+    /// kernel to recover a completing job's `expected_end` for the
+    /// capacity-ledger release bookkeeping.
+    pub(crate) fn get(&self, id: JobId) -> Option<&RunningSummary> {
+        self.jobs
+            .binary_search_by_key(&id, |r| r.id)
+            .ok()
+            .map(|at| &self.jobs[at])
     }
 }
 

@@ -200,6 +200,84 @@ pub fn first_fit_specs(
     })
 }
 
+/// First index in `specs` satisfying `pred` — the position
+/// `specs.iter().position(pred)` finds — choosing the serial or sharded
+/// path by depth and worker count. The generalized form of
+/// [`first_fit_specs`] for callers whose eligibility test is more than
+/// the two flat column comparisons (EASY's backfill candidate filter:
+/// fits now ∧ not the head ∧ not dominated by an epoch rejection).
+///
+/// The predicate must be pure (same answer for the same job throughout
+/// the call) — chunks evaluate it concurrently and in no fixed order.
+pub fn first_match_specs<P>(specs: &[JobSpec], pred: P, workers: usize) -> Option<usize>
+where
+    P: Fn(&JobSpec) -> bool + Sync,
+{
+    if workers <= 1 || specs.len() < PARALLEL_SCAN_MIN {
+        return specs.iter().position(&pred);
+    }
+    let chunks = workers.min(specs.len());
+    let chunk_len = specs.len().div_ceil(chunks);
+    std::thread::scope(|scope| {
+        let pred = &pred;
+        let handles: Vec<_> = specs
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(idx, chunk)| {
+                scope.spawn(move || chunk.iter().position(pred).map(|at| idx * chunk_len + at))
+            })
+            .collect();
+        // Chunks are contiguous and joined in order: the first hit is the
+        // globally lowest index — the job the serial scan stops at.
+        handles
+            .into_iter()
+            .find_map(|h| h.join().expect("scan worker panicked"))
+    })
+}
+
+/// Index of the minimum-`key` job among those satisfying `pred` — exactly
+/// what `specs.iter().filter(pred).min_by_key(key)` selects — sharded by
+/// depth and worker count. EASY-SJBF's shortest-candidate pick with key
+/// `(walltime, submit, id)`.
+///
+/// Both paths resolve key ties to the **lowest index**: the serial
+/// `min_by` keeps the first minimum it sees, and the parallel reduce folds
+/// per-chunk first-minima in chunk order, which is the same element. (With
+/// a unique component in the key — the job id — ties cannot occur at all.)
+pub fn min_match_specs<P, K, F>(specs: &[JobSpec], pred: P, key: F, workers: usize) -> Option<usize>
+where
+    P: Fn(&JobSpec) -> bool + Sync,
+    K: Ord + Send,
+    F: Fn(&JobSpec) -> K + Sync,
+{
+    let chunk_min = |chunk: &[JobSpec], base: usize| -> Option<(K, usize)> {
+        chunk
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| pred(j))
+            .map(|(i, j)| (key(j), base + i))
+            .min_by(|a, b| a.0.cmp(&b.0))
+    };
+    if workers <= 1 || specs.len() < PARALLEL_SCAN_MIN {
+        return chunk_min(specs, 0).map(|(_, at)| at);
+    }
+    let chunks = workers.min(specs.len());
+    let chunk_len = specs.len().div_ceil(chunks);
+    std::thread::scope(|scope| {
+        let chunk_min = &chunk_min;
+        let handles: Vec<_> = specs
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(idx, chunk)| scope.spawn(move || chunk_min(chunk, idx * chunk_len)))
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("scan worker panicked"))
+            .min_by(|a, b| a.0.cmp(&b.0))
+            .map(|(_, at)| at)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +366,72 @@ mod tests {
             );
         }
         assert_eq!(first_fit_specs(&specs, 0, 0, 4), None, "nothing fits");
+    }
+
+    #[test]
+    fn predicate_scan_matches_iterator_position_across_worker_counts() {
+        let spec =
+            |n: u32, m: u64| JobSpec::new(0, 0, SimTime::ZERO, SimDuration::from_secs(60), n, m);
+        let mut specs: Vec<JobSpec> = (0..PARALLEL_SCAN_MIN + 64)
+            .map(|_| spec(64, 4096))
+            .collect();
+        let target = PARALLEL_SCAN_MIN / 3 + 11;
+        specs[target] = spec(2, 8);
+        specs[target + 9] = spec(2, 8);
+        // An arbitrary predicate beyond the flat fit: fits AND even nodes.
+        let pred = |j: &JobSpec| j.nodes <= 2 && j.memory_gb <= 8;
+        let expect = specs.iter().position(pred);
+        assert_eq!(expect, Some(target));
+        for workers in [1usize, 2, 3, 8] {
+            assert_eq!(
+                first_match_specs(&specs, pred, workers),
+                Some(target),
+                "workers {workers}"
+            );
+        }
+        assert_eq!(first_match_specs(&specs, |_| false, 4), None);
+    }
+
+    #[test]
+    fn min_match_matches_filter_min_by_key_across_worker_counts() {
+        // Deterministic pseudo-random walltimes; key includes the id so it
+        // is unique, exactly as the SJBF pick uses it.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let specs: Vec<JobSpec> = (0..PARALLEL_SCAN_MIN + 500)
+            .map(|i| {
+                JobSpec::new(
+                    i as u32,
+                    0,
+                    SimTime::ZERO,
+                    SimDuration::from_secs(next() % 1000 + 1),
+                    (next() % 16) as u32 + 1,
+                    (next() % 64) + 1,
+                )
+            })
+            .collect();
+        let pred = |j: &JobSpec| j.nodes <= 8 && j.memory_gb <= 32;
+        let key = |j: &JobSpec| (j.walltime, j.submit, j.id);
+        let expect = specs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| pred(j))
+            .min_by_key(|(_, j)| key(j))
+            .map(|(i, _)| i);
+        assert!(expect.is_some());
+        for workers in [1usize, 2, 3, 8, 33] {
+            assert_eq!(
+                min_match_specs(&specs, pred, key, workers),
+                expect,
+                "workers {workers}"
+            );
+        }
+        assert_eq!(min_match_specs(&specs, |_| false, key, 4), None);
     }
 
     #[test]

@@ -98,6 +98,19 @@ impl JobStore {
         self.specs.remove(at)
     }
 
+    /// Rotate `[from..=at]` right one slot in every column, parking the
+    /// job previously at `at` into the `from` slot. O(at - from) — the
+    /// wait queue uses this to remove an interior job near its head
+    /// offset without shifting the (much longer) tail left.
+    ///
+    /// # Panics
+    /// Panics if `from > at` or `at >= len()`.
+    pub fn rotate_right_prefix(&mut self, from: usize, at: usize) {
+        self.specs[from..=at].rotate_right(1);
+        self.nodes[from..=at].rotate_right(1);
+        self.memory_gb[from..=at].rotate_right(1);
+    }
+
     /// Drop the first `n` jobs (a dead head prefix) from every column.
     ///
     /// # Panics

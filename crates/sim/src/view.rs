@@ -92,6 +92,13 @@ pub struct SystemView<'a> {
     pub pending_arrivals: usize,
     /// Total jobs in the workload instance.
     pub total_jobs: usize,
+    /// The kernel's capacity ledger, when this view was built by a kernel —
+    /// gives policies the cached per-epoch
+    /// [`CapacityCalendar`](crate::profile::CapacityCalendar) through
+    /// [`capacity_calendar`](Self::capacity_calendar). Hand-built views
+    /// (tests, harnesses) leave it `None` and the accessor falls back to an
+    /// equivalent calendar built from `running`.
+    pub calendar: Option<&'a crate::profile::CapacityLedger>,
 }
 
 impl<'a> SystemView<'a> {
@@ -179,6 +186,33 @@ impl<'a> SystemView<'a> {
     /// The earliest expected completion among running jobs.
     pub fn next_expected_completion(&self) -> Option<SimTime> {
         self.running.iter().map(|r| r.expected_end).min()
+    }
+
+    /// The **estimated** free-capacity skyline for this epoch: releases at
+    /// each running job's `expected_end`, starting from the current free
+    /// level — what reservation-list backfill policies plan over.
+    ///
+    /// Kernel-built views answer from the ledger's per-epoch cache
+    /// (rebuilt only when `(now, queue-version, running-version)` moves);
+    /// hand-built views pay an O(R log R) construction from `running`,
+    /// yielding bit-identical scalar columns.
+    pub fn capacity_calendar(&self) -> crate::profile::CalendarRef<'a> {
+        match self.calendar {
+            Some(ledger) => crate::profile::CalendarRef::cached(ledger.estimated(
+                self.now,
+                self.free_nodes,
+                self.free_memory_gb,
+                self.free_by_class,
+            )),
+            None => {
+                crate::profile::CalendarRef::owned(crate::profile::CapacityCalendar::from_running(
+                    self.now,
+                    self.free_nodes,
+                    self.free_memory_gb,
+                    self.running,
+                ))
+            }
+        }
     }
 
     /// Deep-copy this snapshot into the PR-2 era owned form.
@@ -277,6 +311,7 @@ mod tests {
                 completed_stats: CompletedStats::from_records(&self.completed),
                 pending_arrivals: self.pending_arrivals,
                 total_jobs: 6,
+                calendar: None,
             }
         }
     }

@@ -130,6 +130,7 @@ fn reference_simulate(
                     completed_stats: CompletedStats::from_records(&completed),
                     pending_arrivals,
                     total_jobs: jobs.len(),
+                    calendar: None,
                 };
                 let action = policy.decide(&view);
                 stats.queries += 1;

@@ -116,6 +116,7 @@ fn sim_types_construct_and_run() {
         completed_stats: CompletedStats::default(),
         pending_arrivals: 0,
         total_jobs: 0,
+        calendar: None,
     };
     assert_eq!(view.free_nodes, config.nodes);
     assert_eq!(view.completed_stats.count, 0);

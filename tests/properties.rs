@@ -390,6 +390,7 @@ proptest! {
             completed_stats: reasoned_scheduler::cluster::CompletedStats::default(),
             pending_arrivals: pending,
             total_jobs: waiting_specs.len() + running_summaries.len() + pending,
+            calendar: None,
         };
         let text = PromptBuilder::render(&view, &Scratchpad::default());
         let parsed = parse_prompt(&text).expect("builder output parses");
