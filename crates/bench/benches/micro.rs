@@ -117,6 +117,7 @@ impl SampleState {
             pending_arrivals: 3,
             total_jobs: self.waiting.len() + 4,
             calendar: None,
+            telemetry: None,
         }
     }
 }
@@ -161,7 +162,7 @@ fn full_simulation_fcfs(c: &mut Criterion) {
         .expect("builtin scenario");
     c.bench_function("simulate_fcfs_hetmix_60", |b| {
         b.iter_batched(
-            || rsched_schedulers::Fcfs,
+            rsched_schedulers::Fcfs::default,
             |mut policy| {
                 std::hint::black_box(
                     run_simulation(
@@ -186,7 +187,7 @@ fn full_simulation_with_observer(c: &mut Criterion) {
         .expect("builtin scenario");
     c.bench_function("simulate_fcfs_hetmix_60_with_observer", |b| {
         b.iter_batched(
-            || (rsched_schedulers::Fcfs, CountingObserver::new()),
+            || (rsched_schedulers::Fcfs::default(), CountingObserver::new()),
             |(mut policy, mut counter)| {
                 let outcome = Simulation::new(ClusterConfig::paper_default())
                     .jobs(&workload.jobs)

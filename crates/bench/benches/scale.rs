@@ -80,7 +80,7 @@ fn simulate_fcfs_10k(c: &mut Criterion) {
     group.bench_function("simulate_fcfs_10k", |b| {
         b.iter(|| {
             std::hint::black_box(
-                run_simulation(cluster, &jobs, &mut Fcfs, &SimOptions::default())
+                run_simulation(cluster, &jobs, &mut Fcfs::default(), &SimOptions::default())
                     .expect("completes"),
             )
         })
@@ -96,7 +96,7 @@ fn simulate_sjf_swf_replay(c: &mut Criterion) {
     group.bench_function("simulate_sjf_swf_replay_10k", |b| {
         b.iter(|| {
             std::hint::black_box(
-                run_simulation(cluster, &jobs, &mut Sjf, &SimOptions::default())
+                run_simulation(cluster, &jobs, &mut Sjf::default(), &SimOptions::default())
                     .expect("completes"),
             )
         })
@@ -278,7 +278,7 @@ fn simulate_fcfs_heavy_tail_100k(c: &mut Criterion) {
     group.bench_function("simulate_fcfs_heavy_tail_100k", |b| {
         b.iter(|| {
             std::hint::black_box(
-                run_simulation(cluster, &jobs, &mut Fcfs, &SimOptions::default())
+                run_simulation(cluster, &jobs, &mut Fcfs::default(), &SimOptions::default())
                     .expect("completes"),
             )
         })
@@ -326,6 +326,7 @@ fn view_build(c: &mut Criterion) {
         pending_arrivals: 5,
         total_jobs: waiting.len() + running.len() + 5,
         calendar: None,
+        telemetry: None,
     };
     let mut group = c.benchmark_group("scale");
     group.bench_function("view_build_borrowed_10k", |b| {
@@ -412,7 +413,7 @@ fn simulate_fcfs_polaris_synth_1m(c: &mut Criterion) {
     group.bench_function("simulate_fcfs_polaris_synth_1m", |b| {
         b.iter(|| {
             std::hint::black_box(
-                run_simulation(cluster, &jobs, &mut Fcfs, &options).expect("completes"),
+                run_simulation(cluster, &jobs, &mut Fcfs::default(), &options).expect("completes"),
             )
         })
     });

@@ -44,7 +44,8 @@ fn live_config() -> ServiceConfig {
 /// subsequent tick retires exactly one completion and places exactly one
 /// waiting job off a `depth`-deep queue.
 fn deep_queue_core(depth: u32) -> ServiceCore {
-    let (mut core, handle) = ServiceCore::new(live_config(), Box::new(Fcfs), SimTime::ZERO);
+    let (mut core, handle) =
+        ServiceCore::new(live_config(), Box::new(Fcfs::default()), SimTime::ZERO);
     for i in 0..256u32 {
         // Completions spaced 1 s apart, starting one hour in.
         handle
@@ -71,7 +72,7 @@ fn ingest_admit_50k(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("ingest_admit_50k", |b| {
         b.iter_batched(
-            || ServiceCore::new(live_config(), Box::new(Fcfs), SimTime::ZERO),
+            || ServiceCore::new(live_config(), Box::new(Fcfs::default()), SimTime::ZERO),
             |(mut core, handle)| {
                 for i in 0..N {
                     handle
@@ -114,7 +115,9 @@ fn daemon_burst_drain_5k(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("daemon_burst_drain_5k", |b| {
         b.iter(|| {
-            let daemon = ServiceDaemon::spawn(live_config(), ManualClock::new(), || Box::new(Fcfs));
+            let daemon = ServiceDaemon::spawn(live_config(), ManualClock::new(), || {
+                Box::new(Fcfs::default())
+            });
             let handle = daemon.handle();
             for i in 0..5_000u32 {
                 handle

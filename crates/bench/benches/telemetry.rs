@@ -1,0 +1,153 @@
+//! The `telemetry` bench group: the observability tax, measured.
+//!
+//! ```text
+//! cargo bench -p rsched-bench --bench telemetry           # measure
+//! cargo bench -p rsched-bench --bench telemetry -- --test # CI smoke (1 iter)
+//! ```
+//!
+//! The headline pair is the 10k-job conservative-backfill simulation with
+//! the sink disabled vs recording: the disabled figure must stay within
+//! the `BENCH_scale.json` acceptance window for
+//! `simulate_conservative_backfill_10k` (every sink call on that path is
+//! one `Option` discriminant check), and the recording figure bounds what
+//! a fully-instrumented run costs. The micro rows price the primitives
+//! themselves: a million disabled span guards, a million recording
+//! counter bumps, and a million log-histogram observations.
+
+use criterion::Criterion;
+use rsched_cluster::{ClusterConfig, JobSpec};
+use rsched_schedulers::{ConservativeBackfill, Fcfs};
+use rsched_sim::Simulation;
+use rsched_telemetry::{LogHistogram, TelemetrySink};
+use rsched_workloads::{scenario_builtins, ArrivalMode, ScenarioContext};
+
+fn heavy_tail_jobs(n: usize) -> Vec<JobSpec> {
+    scenario_builtins()
+        .generate(
+            "long_tail",
+            &ScenarioContext::new(n)
+                .with_mode(ArrivalMode::Static)
+                .with_seed(7),
+        )
+        .expect("builtin scenario")
+        .jobs
+}
+
+/// The scale-bench workload with the sink explicitly disabled — must match
+/// `scale/simulate_conservative_backfill_10k` to within the noise floor.
+fn conservative_10k_sink_off(c: &mut Criterion) {
+    let jobs = heavy_tail_jobs(10_000);
+    let cluster = ClusterConfig::polaris();
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(10);
+    group.bench_function("conservative_10k_sink_off", |b| {
+        b.iter(|| {
+            let sink = TelemetrySink::disabled();
+            std::hint::black_box(
+                Simulation::new(cluster)
+                    .jobs(&jobs)
+                    .telemetry(&sink)
+                    .run(&mut ConservativeBackfill::new())
+                    .expect("completes"),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// The same run fully instrumented: spans, per-epoch counters, and the
+/// end-of-epoch counter harvest all live.
+fn conservative_10k_sink_on(c: &mut Criterion) {
+    let jobs = heavy_tail_jobs(10_000);
+    let cluster = ClusterConfig::polaris();
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(10);
+    group.bench_function("conservative_10k_sink_on", |b| {
+        b.iter(|| {
+            let sink = TelemetrySink::recording();
+            std::hint::black_box(
+                Simulation::new(cluster)
+                    .jobs(&jobs)
+                    .telemetry(&sink)
+                    .run(&mut ConservativeBackfill::new())
+                    .expect("completes"),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// FCFS is the cheapest kernel loop, so it shows the worst-case *relative*
+/// overhead of a recording sink.
+fn fcfs_10k_sink_on(c: &mut Criterion) {
+    let jobs = heavy_tail_jobs(10_000);
+    let cluster = ClusterConfig::polaris();
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(10);
+    group.bench_function("fcfs_10k_sink_on", |b| {
+        b.iter(|| {
+            let sink = TelemetrySink::recording();
+            std::hint::black_box(
+                Simulation::new(cluster)
+                    .jobs(&jobs)
+                    .telemetry(&sink)
+                    .run(&mut Fcfs::default())
+                    .expect("completes"),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// A million span guards on a disabled sink: the price of instrumenting a
+/// hot path that nobody is watching.
+fn disabled_span_1m(c: &mut Criterion) {
+    let sink = TelemetrySink::disabled();
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(10);
+    group.bench_function("disabled_span_1m", |b| {
+        b.iter(|| {
+            for i in 0..1_000_000u64 {
+                let _g = sink.span("bench.noop", rsched_simkit::SimTime::from_secs(i));
+                std::hint::black_box(&_g);
+            }
+        })
+    });
+    group.finish();
+}
+
+/// A million counter bumps against a live registry (hashed name lookup +
+/// saturating add), and a million log-histogram observations.
+fn recording_primitives_1m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(10);
+    group.bench_function("recording_count_1m", |b| {
+        let sink = TelemetrySink::recording();
+        b.iter(|| {
+            for _ in 0..1_000_000u64 {
+                sink.count("bench_counter_total", 1);
+            }
+            std::hint::black_box(sink.snapshot())
+        })
+    });
+    group.bench_function("histogram_observe_1m", |b| {
+        b.iter(|| {
+            let mut hist = LogHistogram::new();
+            for i in 0..1_000_000u64 {
+                hist.record(i.wrapping_mul(104_729) % 10_000_000);
+            }
+            std::hint::black_box(hist.summary())
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    conservative_10k_sink_off(&mut criterion);
+    conservative_10k_sink_on(&mut criterion);
+    fcfs_10k_sink_on(&mut criterion);
+    disabled_span_1m(&mut criterion);
+    recording_primitives_1m(&mut criterion);
+    criterion.final_summary();
+}

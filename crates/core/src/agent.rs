@@ -190,6 +190,7 @@ mod tests {
             pending_arrivals: 0,
             total_jobs: 1,
             calendar: None,
+            telemetry: None,
         }
     }
 

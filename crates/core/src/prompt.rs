@@ -177,6 +177,7 @@ mod tests {
                 pending_arrivals: 3,
                 total_jobs: 80,
                 calendar: None,
+                telemetry: None,
             }
         }
     }

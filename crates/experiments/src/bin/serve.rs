@@ -22,8 +22,8 @@ use rsched_cluster::ClusterConfig;
 use rsched_metrics::MetricsReport;
 use rsched_registry::{PolicyContext, PolicyRegistry};
 use rsched_service::{
-    replay, FairShareConfig, ManualClock, RateLimit, ServiceClock, ServiceConfig, ServiceDaemon,
-    TenantId,
+    replay_with_telemetry, FairShareConfig, ManualClock, RateLimit, ServiceClock, ServiceConfig,
+    ServiceDaemon, TenantId,
 };
 use rsched_sim::SimOptions;
 use rsched_simkit::{SimDuration, SimTime};
@@ -33,12 +33,13 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve [--policy <name>] [--scenario <name>|swf:<path>] [--jobs N] [--seed N]\n\
          \x20            [--daemon] [--tick-ms N] [--rate <burst>/<per_sec>] [--max-queued N]\n\
-         \x20            [--fair-share]\n\
+         \x20            [--fair-share] [--metrics]\n\
          \n\
          Default mode replays the arrival stream through the service driver at exact\n\
          event times (bit-identical to the virtual-time simulator) and prints the\n\
          metrics report. --daemon runs the stream through the live service thread\n\
-         with admission control instead."
+         with admission control instead. --metrics (replay mode) attaches a recording\n\
+         telemetry sink and prints a Prometheus text exposition scrape after the run."
     );
     std::process::exit(2);
 }
@@ -60,6 +61,7 @@ fn main() {
     let mut rate: Option<RateLimit> = None;
     let mut max_queued: Option<usize> = None;
     let mut fair_share = false;
+    let mut metrics = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -82,6 +84,7 @@ fn main() {
             }
             "--max-queued" => max_queued = Some(parse_or_usage(args.next())),
             "--fair-share" => fair_share = true,
+            "--metrics" => metrics = true,
             _ => usage(),
         }
     }
@@ -182,7 +185,21 @@ fn main() {
             }
         }
     } else {
-        match replay(cluster, &jobs, policy, &SimOptions::default(), &mut []) {
+        // The daemon runs its core on another thread; the Rc-based sink is
+        // deliberately single-threaded, so --metrics is a replay-mode flag.
+        let sink = if metrics {
+            rsched_sim::TelemetrySink::recording()
+        } else {
+            rsched_sim::TelemetrySink::disabled()
+        };
+        match replay_with_telemetry(
+            cluster,
+            &jobs,
+            policy,
+            &SimOptions::default(),
+            &mut [],
+            &sink,
+        ) {
             Ok(outcome) => {
                 println!(
                     "outcome: completed={} decisions={} end={}s",
@@ -192,6 +209,12 @@ fn main() {
                 );
                 let report = MetricsReport::compute(&outcome.records, cluster);
                 println!("{report}");
+                if let Some(snapshot) = sink.snapshot() {
+                    print!(
+                        "{}",
+                        rsched_telemetry::export::prometheus(&snapshot, "rsched_")
+                    );
+                }
             }
             Err(e) => {
                 eprintln!("service error: {e}");

@@ -1,0 +1,159 @@
+//! Export a fully-instrumented simulation run: epoch provenance, kernel
+//! spans, metrics, and a Chrome trace-event document.
+//!
+//! ```text
+//! cargo run --release -p rsched-experiments --bin trace -- \
+//!     --policy Conservative --scenario heterogeneous_mix --jobs 200 --seed 7 \
+//!     --out trace-out
+//! ```
+//!
+//! Writes four artifacts under `--out`:
+//!
+//! * `trace.jsonl` — one JSON object per epoch (outcome + machine-readable
+//!   delay reason) followed by one per kernel span; deterministic fields
+//!   only, so identical seeds produce byte-identical files;
+//! * `metrics.json` — the metrics-registry snapshot (byte-stable);
+//! * `metrics.prom` — the same snapshot in Prometheus text exposition
+//!   format;
+//! * `chrome_trace.json` — load in `chrome://tracing` / Perfetto. Span
+//!   durations use wall-clock timings only under `--wall` (which trades
+//!   away byte-determinism of this one file).
+//!
+//! A provenance summary (epochs by outcome and delay reason) prints to
+//! stdout.
+
+use std::collections::BTreeMap;
+
+use rsched_cluster::ClusterConfig;
+use rsched_registry::{PolicyContext, PolicyRegistry};
+use rsched_sim::{Simulation, TelemetrySink};
+use rsched_telemetry::export;
+use rsched_workloads::{scenario_builtins, ArrivalMode, ScenarioContext};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace [--policy <name>] [--scenario <name>|swf:<path>] [--jobs N] [--seed N]\n\
+         \x20            [--out <dir>] [--wall]\n\
+         \n\
+         Runs the virtual-time simulator with a recording telemetry sink and writes\n\
+         trace.jsonl, metrics.json, metrics.prom, and chrome_trace.json under --out\n\
+         (default trace-out). --wall stamps Chrome trace durations from the wall\n\
+         clock instead of zeros."
+    );
+    std::process::exit(2);
+}
+
+fn parse_or_usage<T: std::str::FromStr>(value: Option<String>) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => usage(),
+    }
+}
+
+fn main() {
+    let mut policy_name = "Conservative".to_string();
+    let mut scenario = "heterogeneous_mix".to_string();
+    let mut jobs_n: usize = 64;
+    let mut seed: u64 = 42;
+    let mut out_dir = "trace-out".to_string();
+    let mut wall = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--policy" => policy_name = parse_or_usage(args.next()),
+            "--scenario" => scenario = parse_or_usage(args.next()),
+            "--jobs" => jobs_n = parse_or_usage(args.next()),
+            "--seed" => seed = parse_or_usage(args.next()),
+            "--out" => out_dir = parse_or_usage(args.next()),
+            "--wall" => wall = true,
+            _ => usage(),
+        }
+    }
+
+    let cluster = ClusterConfig::paper_default();
+    let workload = match scenario_builtins().generate(
+        &scenario,
+        &ScenarioContext::new(jobs_n)
+            .with_mode(ArrivalMode::Dynamic)
+            .with_seed(seed),
+    ) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("scenario {scenario:?}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let jobs = workload.jobs;
+    let registry = PolicyRegistry::with_builtins();
+    let ctx = PolicyContext::new(&jobs, cluster).with_seed(seed);
+    let Ok(mut policy) = registry.build(&policy_name, &ctx) else {
+        eprintln!(
+            "unknown policy {policy_name:?}; builtins: {}",
+            registry.names().join(", ")
+        );
+        std::process::exit(1);
+    };
+
+    let sink = if wall {
+        TelemetrySink::recording_with_wall()
+    } else {
+        TelemetrySink::recording()
+    };
+    let outcome = match Simulation::new(cluster)
+        .jobs(&jobs)
+        .telemetry(&sink)
+        .run(policy.as_mut())
+    {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("simulation error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let spans = sink.spans().unwrap_or_default();
+    let snapshot = sink.snapshot().expect("recording sink snapshots");
+    let mut trace = export::epochs_to_jsonl(&outcome.epochs);
+    trace.push_str(&export::spans_to_jsonl(&spans));
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {out_dir}: {e}");
+        std::process::exit(1);
+    }
+    let write = |file: &str, contents: &str| {
+        let path = format!("{out_dir}/{file}");
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path} ({} bytes)", contents.len());
+    };
+    write("trace.jsonl", &trace);
+    write("metrics.json", &snapshot.to_json());
+    write("metrics.prom", &export::prometheus(&snapshot, "rsched_"));
+    write("chrome_trace.json", &export::chrome_trace(&spans));
+
+    // Provenance summary: epochs grouped by outcome, delays by reason.
+    let mut by_outcome: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut by_reason: BTreeMap<&str, usize> = BTreeMap::new();
+    for epoch in &outcome.epochs {
+        *by_outcome.entry(epoch.outcome.code()).or_default() += 1;
+        if let Some(reason) = &epoch.reason {
+            *by_reason.entry(reason.code()).or_default() += 1;
+        }
+    }
+    println!(
+        "trace: policy={} scenario={scenario} jobs={} seed={seed} epochs={} spans={}",
+        outcome.policy_name,
+        jobs.len(),
+        outcome.epochs.len(),
+        spans.len(),
+    );
+    for (code, n) in &by_outcome {
+        println!("  outcome {code}: {n}");
+    }
+    for (code, n) in &by_reason {
+        println!("  reason {code}: {n}");
+    }
+}

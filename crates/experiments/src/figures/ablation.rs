@@ -109,7 +109,7 @@ pub fn run(opts: &ExperimentOptions, pool: &ThreadPool) -> AblationOutput {
     let baseline_run = {
         let outcome = Simulation::new(cluster)
             .jobs(&jobs)
-            .run(&mut Fcfs)
+            .run(&mut Fcfs::default())
             .expect("FCFS completes");
         to_result("FCFS".to_string(), &scenario_label, outcome, None)
     };

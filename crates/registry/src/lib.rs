@@ -197,8 +197,8 @@ impl PolicyRegistry {
 
     fn register_builtins(&mut self) {
         let ok = [
-            self.register(names::FCFS, |_| Box::new(Fcfs)),
-            self.register(names::SJF, |_| Box::new(Sjf)),
+            self.register(names::FCFS, |_| Box::new(Fcfs::default())),
+            self.register(names::SJF, |_| Box::new(Sjf::default())),
             self.register(names::EASY, |_| Box::new(EasyBackfill::new())),
             self.register(names::EASY_SJBF, |_| Box::new(EasyBackfill::sjbf())),
             self.register(names::CONSERVATIVE, |_| {
@@ -357,11 +357,13 @@ mod tests {
     #[test]
     fn duplicate_registration_is_rejected_case_insensitively() {
         let mut registry = PolicyRegistry::with_builtins();
-        let err = registry.register("fcfs", |_| Box::new(Fcfs)).unwrap_err();
+        let err = registry
+            .register("fcfs", |_| Box::new(Fcfs::default()))
+            .unwrap_err();
         assert_eq!(err, RegistryError::Duplicate("fcfs".to_string()));
         // A genuinely new name is accepted.
         registry
-            .register("my-policy", |_| Box::new(Fcfs))
+            .register("my-policy", |_| Box::new(Fcfs::default()))
             .expect("fresh name");
         assert_eq!(registry.len(), 11);
     }

@@ -39,7 +39,7 @@
 //!   how far the reservation walk must go.
 
 use rsched_cluster::{JobId, JobSpec};
-use rsched_sim::{Action, ReservationProfile, SchedulingPolicy, SystemView};
+use rsched_sim::{Action, DelayReason, ReservationProfile, SchedulingPolicy, SystemView};
 use rsched_simkit::SimTime;
 
 /// Reservation-list depth cap: queue positions beyond this neither get a
@@ -63,6 +63,9 @@ pub struct ConservativeBackfill {
     /// Reusable reservation overlay — reloaded from the epoch's base
     /// calendar each pass, so steady state allocates nothing.
     profile: ReservationProfile,
+    /// Why the most recent `decide` returned [`Action::Delay`]; harvested
+    /// by the kernel through [`SchedulingPolicy::provenance`].
+    last_delay: Option<DelayReason>,
 }
 
 impl ConservativeBackfill {
@@ -82,6 +85,11 @@ impl ConservativeBackfill {
     fn rejected(&self, id: JobId) -> bool {
         self.rejected_this_epoch.binary_search(&id).is_ok()
     }
+
+    fn delay(&mut self, reason: DelayReason) -> Action {
+        self.last_delay = Some(reason);
+        Action::Delay
+    }
 }
 
 impl SchedulingPolicy for ConservativeBackfill {
@@ -94,6 +102,7 @@ impl SchedulingPolicy for ConservativeBackfill {
     }
 
     fn decide(&mut self, view: &SystemView<'_>) -> Action {
+        self.last_delay = None;
         if self.last_time != Some(view.now) {
             self.last_time = Some(view.now);
             self.rejected_this_epoch.clear();
@@ -102,7 +111,7 @@ impl SchedulingPolicy for ConservativeBackfill {
             return Action::Stop;
         }
         let Some(head) = view.head_of_queue() else {
-            return Action::Delay;
+            return self.delay(DelayReason::QueueEmpty);
         };
         // Flat-cluster fast path (arrival order only): the base skyline is
         // monotone per column, so a head that fits now gets earliest start
@@ -131,7 +140,8 @@ impl SchedulingPolicy for ConservativeBackfill {
             }
         }
         if candidates == 0 {
-            return Action::Delay;
+            let considered = view.waiting.len().min(RESERVATION_DEPTH) as u32;
+            return self.delay(DelayReason::NoStartableCandidate { considered });
         }
         let base = view.capacity_calendar();
         // Head-shadow veto. The pass places the head first, against an
@@ -176,7 +186,14 @@ impl SchedulingPolicy for ConservativeBackfill {
             }
         }
         if surv_early | surv_beside == 0 {
-            return Action::Delay;
+            // Always a head-shadow veto: when the head fits now
+            // (`head_start <= now`) the survivor set starts as the nonempty
+            // candidate set and this exit cannot be reached.
+            view.sink().count("sim_conservative_shadow_vetoes_total", 1);
+            return self.delay(DelayReason::HeadShadowVeto {
+                head: head.id,
+                shadow: head_start,
+            });
         }
         // Reservation pass in arrival order over the epoch's shared base
         // calendar: clear the reusable reserved-amount overlay, reserve
@@ -193,6 +210,9 @@ impl SchedulingPolicy for ConservativeBackfill {
         // the `f0` point of its own window in the full pass too (the
         // overlay only ever grows within a pass), so it is pruned and the
         // walk bound tightens as the hole at `f0` fills.
+        let telemetry = view.sink();
+        let _pass_span = telemetry.span("conservative.reservation_pass", view.now);
+        telemetry.count("sim_conservative_reservation_passes_total", 1);
         self.profile.clear();
         let mut startable: Vec<&JobSpec> = Vec::new();
         let (mut f0_nodes, mut f0_mem) = (0u32, 0u64);
@@ -244,8 +264,12 @@ impl SchedulingPolicy for ConservativeBackfill {
         match pick {
             Some(j) if j.id == head.id => Action::StartJob(j.id),
             Some(j) => Action::BackfillJob(j.id),
-            None => Action::Delay,
+            None => self.delay(DelayReason::ReservationBlocked),
         }
+    }
+
+    fn provenance(&mut self) -> Option<DelayReason> {
+        self.last_delay.take()
     }
 
     fn observe(&mut self, outcome: &rsched_sim::ActionOutcome) {
@@ -261,6 +285,7 @@ impl SchedulingPolicy for ConservativeBackfill {
     fn reset(&mut self) {
         self.rejected_this_epoch.clear();
         self.last_time = None;
+        self.last_delay = None;
     }
 }
 
@@ -368,7 +393,7 @@ mod tests {
         let fcfs = run_simulation(
             ClusterConfig::new(8, 64),
             &jobs,
-            &mut crate::fcfs::Fcfs,
+            &mut crate::fcfs::Fcfs::default(),
             &SimOptions::default(),
         )
         .expect("completes");

@@ -7,7 +7,7 @@
 
 use rsched_cluster::{JobId, JobSpec, NodeClass, ResourceVec};
 use rsched_sim::scan::{first_match_specs, min_match_specs, scan_workers};
-use rsched_sim::{Action, SchedulingPolicy, SystemView};
+use rsched_sim::{Action, DelayReason, SchedulingPolicy, SystemView};
 use rsched_simkit::{SimDuration, SimTime};
 
 /// A rejected candidate's demand, snapshotted when the rejection was
@@ -110,6 +110,9 @@ pub struct EasyBackfill {
     last_time: Option<SimTime>,
     /// Order backfill candidates by shortest walltime instead of arrival.
     shortest_first: bool,
+    /// Why the most recent `decide` returned [`Action::Delay`]; harvested
+    /// by the kernel through [`SchedulingPolicy::provenance`].
+    last_delay: Option<DelayReason>,
 }
 
 impl EasyBackfill {
@@ -142,6 +145,7 @@ impl SchedulingPolicy for EasyBackfill {
     }
 
     fn decide(&mut self, view: &SystemView<'_>) -> Action {
+        self.last_delay = None;
         if self.last_time != Some(view.now) {
             self.last_time = Some(view.now);
             self.rejected_this_epoch.clear();
@@ -150,6 +154,7 @@ impl SchedulingPolicy for EasyBackfill {
             return Action::Stop;
         }
         let Some(head) = view.head_of_queue() else {
+            self.last_delay = Some(DelayReason::QueueEmpty);
             return Action::Delay;
         };
         if view.fits_now(head) {
@@ -192,8 +197,17 @@ impl SchedulingPolicy for EasyBackfill {
         };
         match candidate {
             Some(j) => self.propose(j, Action::BackfillJob(j.id)),
-            None => Action::Delay,
+            None => {
+                // The head is blocked and no surviving candidate fits; any
+                // same-epoch vetoes are folded into the rejection frontier.
+                self.last_delay = Some(DelayReason::HeadBlocked { head: head.id });
+                Action::Delay
+            }
         }
+    }
+
+    fn provenance(&mut self) -> Option<DelayReason> {
+        self.last_delay.take()
     }
 
     fn observe(&mut self, outcome: &rsched_sim::ActionOutcome) {
@@ -212,6 +226,7 @@ impl SchedulingPolicy for EasyBackfill {
         self.rejected_this_epoch.clear();
         self.last_proposed = None;
         self.last_time = None;
+        self.last_delay = None;
     }
 }
 
@@ -356,7 +371,7 @@ mod tests {
         let fcfs = run_simulation(
             ClusterConfig::new(8, 64),
             &jobs,
-            &mut crate::fcfs::Fcfs,
+            &mut crate::fcfs::Fcfs::default(),
             &SimOptions::default(),
         )
         .expect("completes");

@@ -1,13 +1,24 @@
 //! First-Come-First-Served, strictly in arrival order.
 
-use rsched_sim::{Action, SchedulingPolicy, SystemView};
+use rsched_sim::{Action, DelayReason, SchedulingPolicy, SystemView};
 
 /// Strict FCFS: start the head of the queue when it fits; otherwise wait —
 /// never skip ahead. This is the paper's normalization baseline (every
 /// figure reports metrics relative to FCFS = 1.0), and the policy whose
 /// convoy effect the Long-Job-Dominant and Adversarial scenarios expose.
 #[derive(Debug, Clone, Default)]
-pub struct Fcfs;
+pub struct Fcfs {
+    /// Why the most recent `decide` returned [`Action::Delay`]; harvested
+    /// by the kernel through [`SchedulingPolicy::provenance`].
+    last_delay: Option<DelayReason>,
+}
+
+impl Fcfs {
+    /// A fresh FCFS policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 impl SchedulingPolicy for Fcfs {
     fn name(&self) -> &str {
@@ -15,13 +26,29 @@ impl SchedulingPolicy for Fcfs {
     }
 
     fn decide(&mut self, view: &SystemView<'_>) -> Action {
+        self.last_delay = None;
         if view.all_jobs_started() {
             return Action::Stop;
         }
         match view.head_of_queue() {
             Some(head) if view.fits_now(head) => Action::StartJob(head.id),
-            _ => Action::Delay,
+            Some(head) => {
+                self.last_delay = Some(DelayReason::HeadBlocked { head: head.id });
+                Action::Delay
+            }
+            None => {
+                self.last_delay = Some(DelayReason::QueueEmpty);
+                Action::Delay
+            }
         }
+    }
+
+    fn provenance(&mut self) -> Option<DelayReason> {
+        self.last_delay.take()
+    }
+
+    fn reset(&mut self) {
+        self.last_delay = None;
     }
 }
 
@@ -47,7 +74,7 @@ mod tests {
         run_simulation(
             ClusterConfig::new(8, 64),
             jobs,
-            &mut Fcfs,
+            &mut Fcfs::default(),
             &SimOptions::default(),
         )
         .expect("completes")

@@ -175,7 +175,7 @@ mod tests {
         let fcfs = run_simulation(
             ClusterConfig::new(8, 64),
             &jobs,
-            &mut crate::fcfs::Fcfs,
+            &mut crate::fcfs::Fcfs::default(),
             &SimOptions::default(),
         )
         .expect("completes");

@@ -1,12 +1,23 @@
 //! Shortest Job First.
 
-use rsched_sim::{Action, SchedulingPolicy, SystemView};
+use rsched_sim::{Action, DelayReason, SchedulingPolicy, SystemView};
 
 /// SJF: among the waiting jobs that fit right now, start the one with the
 /// shortest *estimated* runtime (walltime). Reduces turnaround at the cost
 /// of starving long jobs — the fairness trade-off the paper calls out.
 #[derive(Debug, Clone, Default)]
-pub struct Sjf;
+pub struct Sjf {
+    /// Why the most recent `decide` returned [`Action::Delay`]; harvested
+    /// by the kernel through [`SchedulingPolicy::provenance`].
+    last_delay: Option<DelayReason>,
+}
+
+impl Sjf {
+    /// A fresh SJF policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 impl SchedulingPolicy for Sjf {
     fn name(&self) -> &str {
@@ -14,13 +25,29 @@ impl SchedulingPolicy for Sjf {
     }
 
     fn decide(&mut self, view: &SystemView<'_>) -> Action {
+        self.last_delay = None;
         if view.all_jobs_started() {
             return Action::Stop;
         }
-        view.eligible_now()
-            .min_by_key(|j| (j.walltime, j.id))
-            .map(|j| Action::StartJob(j.id))
-            .unwrap_or(Action::Delay)
+        match view.eligible_now().min_by_key(|j| (j.walltime, j.id)) {
+            Some(j) => Action::StartJob(j.id),
+            None => {
+                self.last_delay = Some(if view.waiting.is_empty() {
+                    DelayReason::QueueEmpty
+                } else {
+                    DelayReason::NoFitNow
+                });
+                Action::Delay
+            }
+        }
+    }
+
+    fn provenance(&mut self) -> Option<DelayReason> {
+        self.last_delay.take()
+    }
+
+    fn reset(&mut self) {
+        self.last_delay = None;
     }
 }
 
@@ -46,7 +73,7 @@ mod tests {
         run_simulation(
             ClusterConfig::new(8, 64),
             jobs,
-            &mut Sjf,
+            &mut Sjf::default(),
             &SimOptions::default(),
         )
         .expect("completes")
@@ -74,7 +101,7 @@ mod tests {
         let fcfs = run_simulation(
             ClusterConfig::new(8, 64),
             &jobs,
-            &mut crate::fcfs::Fcfs,
+            &mut crate::fcfs::Fcfs::default(),
             &SimOptions::default(),
         )
         .expect("completes");

@@ -49,6 +49,20 @@ pub enum AdmissionError {
     Draining,
 }
 
+impl AdmissionError {
+    /// Stable snake_case code for metrics and exports
+    /// (`service_rejected_{code}_total`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            AdmissionError::RateLimited { .. } => "rate_limited",
+            AdmissionError::QueueFull { .. } => "queue_full",
+            AdmissionError::Infeasible { .. } => "infeasible",
+            AdmissionError::DuplicateId(_) => "duplicate",
+            AdmissionError::Draining => "draining",
+        }
+    }
+}
+
 impl std::fmt::Display for AdmissionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -28,6 +28,7 @@ use rsched_sim::{
     job_is_feasible, Action, SchedulingPolicy, SimError, SimEvent, SimOptions, SimOutcome, SimStats,
 };
 use rsched_simkit::{SimDuration, SimTime};
+use rsched_telemetry::{export, MetricsRegistry, TelemetrySink};
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionError};
 use crate::clock::ServiceClock;
@@ -139,6 +140,10 @@ pub struct ServiceCore {
     ticks: u64,
     latency: LatencyRecorder,
     last_now: SimTime,
+    /// Shared telemetry sink; disabled by default (one pointer check per
+    /// call site). [`set_telemetry`](ServiceCore::set_telemetry) installs a
+    /// recording sink into both the service and its kernel.
+    telemetry: TelemetrySink,
 }
 
 impl ServiceCore {
@@ -176,8 +181,24 @@ impl ServiceCore {
             ticks: 0,
             latency: LatencyRecorder::new(),
             last_now: start,
+            telemetry: TelemetrySink::disabled(),
             config,
         }
+    }
+
+    /// Attach a telemetry sink (a cheap clone of the caller's handle) to
+    /// both the service loop and the decision kernel, so tick latency,
+    /// admission counters, and the kernel's epoch/placement families all
+    /// land in one shared metrics namespace.
+    pub fn set_telemetry(&mut self, sink: &TelemetrySink) {
+        self.telemetry = sink.clone();
+        self.kernel.set_telemetry(sink.clone());
+    }
+
+    /// The attached telemetry sink (disabled unless
+    /// [`set_telemetry`](ServiceCore::set_telemetry) was called).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
     }
 
     /// The kernel (read-only), for inspection and tests.
@@ -267,6 +288,10 @@ impl ServiceCore {
                 for observer in observers.iter_mut() {
                     observer.on_reject(tenant, &job, &reason, now);
                 }
+                if self.telemetry.is_enabled() {
+                    let name = format!("service_rejected_{}_total", reason.code());
+                    self.telemetry.count(&name, 1);
+                }
                 self.rejected += 1;
                 false
             }
@@ -283,6 +308,7 @@ impl ServiceCore {
     ) -> Result<TickStats, SimError> {
         let wall_start = Instant::now();
         let now = now.max(self.last_now);
+        let _tick_span = self.telemetry.span("service.tick", now);
         self.ticks += 1;
 
         // 1. Ingest a bounded batch from the channel.
@@ -352,7 +378,7 @@ impl ServiceCore {
         let pending = self.pending_hint();
         let mut decisions = 0usize;
         let mut verdict = Ok(());
-        if self.kernel.should_query(pending, &self.config.sim) {
+        if self.kernel.should_query(now, pending, &self.config.sim) {
             let first_new = self.kernel.decisions_len();
             verdict = self.kernel.run_epoch(
                 now,
@@ -378,11 +404,31 @@ impl ServiceCore {
             decisions = self.kernel.decisions_len() - first_new;
             if !self.config.retain_history {
                 let _ = self.kernel.drain_decisions();
+                let _ = self.kernel.drain_epochs();
             }
         }
 
         let wall_nanos = wall_start.elapsed().as_nanos() as u64;
         self.latency.record(wall_nanos);
+        if self.telemetry.is_enabled() {
+            self.telemetry.observe("service_tick_nanos", wall_nanos);
+            self.telemetry
+                .set_counter("service_submitted_total", self.submitted as u64);
+            self.telemetry
+                .set_counter("service_admitted_total", self.admitted as u64);
+            self.telemetry
+                .set_counter("service_rejected_total", self.rejected as u64);
+            self.telemetry.set_counter(
+                "service_completed_total",
+                self.kernel.completed_len() as u64,
+            );
+            self.telemetry
+                .set_counter("service_ticks_total", self.ticks);
+            self.telemetry
+                .set_gauge("service_queue_depth", self.kernel.waiting_len() as i64);
+            self.telemetry
+                .set_gauge("service_running_jobs", self.kernel.running_count() as i64);
+        }
         let stats = TickStats {
             now,
             submitted: ingested,
@@ -456,6 +502,31 @@ impl ServiceCore {
             stats: *self.kernel.stats(),
             tick_latency: self.latency.summary(),
         }
+    }
+
+    /// Render the service's current metrics in Prometheus text exposition
+    /// format (family prefix `rsched_`). With a recording sink attached the
+    /// shared registry is scraped directly — kernel, observer, and service
+    /// families together; with the default disabled sink a one-off registry
+    /// is built from the service counters and tick-latency histogram, so
+    /// `/metrics` always answers.
+    pub fn prometheus_text(&self) -> String {
+        if let Some(snapshot) = self.telemetry.snapshot() {
+            return export::prometheus(&snapshot, "rsched_");
+        }
+        let mut registry = MetricsRegistry::new();
+        registry.set_counter("service_submitted_total", self.submitted as u64);
+        registry.set_counter("service_admitted_total", self.admitted as u64);
+        registry.set_counter("service_rejected_total", self.rejected as u64);
+        registry.set_counter(
+            "service_completed_total",
+            self.kernel.completed_len() as u64,
+        );
+        registry.set_counter("service_ticks_total", self.ticks);
+        registry.set_gauge("service_queue_depth", self.kernel.waiting_len() as i64);
+        registry.set_gauge("service_running_jobs", self.kernel.running_count() as i64);
+        registry.install_histogram("service_tick_nanos", self.latency.histogram());
+        export::prometheus(&registry.snapshot(), "rsched_")
     }
 
     /// Close the run and produce a simulator-shaped [`SimOutcome`]

@@ -113,7 +113,7 @@ mod tests {
         let config = ServiceConfig::new(ClusterConfig::new(4, 64));
         let clock = ManualClock::new();
         let external = clock.clone();
-        let daemon = ServiceDaemon::spawn(config, clock, || Box::new(Fcfs));
+        let daemon = ServiceDaemon::spawn(config, clock, || Box::new(Fcfs::default()));
         let handle = daemon.handle();
         for id in 1..=20 {
             handle.submit(TenantId(0), job(id, 10, 1)).unwrap();
@@ -133,7 +133,7 @@ mod tests {
     #[test]
     fn drop_joins_the_daemon_thread() {
         let config = ServiceConfig::new(ClusterConfig::new(4, 64));
-        let daemon = ServiceDaemon::spawn(config, ManualClock::new(), || Box::new(Fcfs));
+        let daemon = ServiceDaemon::spawn(config, ManualClock::new(), || Box::new(Fcfs::default()));
         daemon.handle().submit(TenantId(1), job(1, 5, 2)).unwrap();
         drop(daemon);
     }

@@ -41,6 +41,6 @@ pub use core::{ServiceConfig, ServiceCore, ServiceReport};
 pub use daemon::ServiceDaemon;
 pub use ingest::{ServiceRequest, ServiceStopped, Submission, SubmitHandle};
 pub use observer::{CountingServiceObserver, ServiceObserver, TickStats};
-pub use replay::replay;
+pub use replay::{replay, replay_with_telemetry};
 pub use telemetry::{LatencyRecorder, LatencySummary};
 pub use tenant::{FairShare, FairShareConfig, RateLimit, TenantConfig, TenantId};

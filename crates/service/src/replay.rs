@@ -30,6 +30,28 @@ pub fn replay(
     options: &SimOptions,
     observers: &mut [&mut dyn ServiceObserver],
 ) -> Result<SimOutcome, SimError> {
+    replay_with_telemetry(
+        config,
+        jobs,
+        policy,
+        options,
+        observers,
+        &rsched_telemetry::TelemetrySink::disabled(),
+    )
+}
+
+/// [`replay`] with a telemetry sink attached to the service core (and
+/// through it the decision kernel): spans, metrics, and epoch provenance
+/// accumulate in the sink while the outcome stays bit-equivalent to the
+/// virtual-time simulator.
+pub fn replay_with_telemetry(
+    config: ClusterConfig,
+    jobs: &[JobSpec],
+    policy: Box<dyn SchedulingPolicy>,
+    options: &SimOptions,
+    observers: &mut [&mut dyn ServiceObserver],
+    telemetry: &rsched_telemetry::TelemetrySink,
+) -> Result<SimOutcome, SimError> {
     validate_workload(config, jobs)?;
     let start = jobs.iter().map(|j| j.submit).min().unwrap_or(SimTime::ZERO);
 
@@ -44,6 +66,7 @@ pub fn replay(
         ..ServiceConfig::new(config)
     };
     let (mut core, handle) = ServiceCore::new(service_config, policy, start);
+    core.set_telemetry(telemetry);
 
     // Submission order: by submit time, stable within ties — the exact
     // order the simulator's event queue delivers arrivals.
@@ -107,8 +130,9 @@ mod tests {
             job(4, 120, 5, 1, 4),
         ];
         let options = SimOptions::default();
-        let sim = rsched_sim::run_simulation(config, &jobs, &mut Fcfs, &options).unwrap();
-        let svc = replay(config, &jobs, Box::new(Fcfs), &options, &mut []).unwrap();
+        let sim =
+            rsched_sim::run_simulation(config, &jobs, &mut Fcfs::default(), &options).unwrap();
+        let svc = replay(config, &jobs, Box::new(Fcfs::default()), &options, &mut []).unwrap();
         assert_eq!(sim.decisions, svc.decisions);
         assert_eq!(sim.stats, svc.stats);
         assert_eq!(sim.records, svc.records);
@@ -120,7 +144,14 @@ mod tests {
     #[test]
     fn replay_of_empty_workload_is_empty() {
         let config = ClusterConfig::new(4, 8);
-        let out = replay(config, &[], Box::new(Fcfs), &SimOptions::default(), &mut []).unwrap();
+        let out = replay(
+            config,
+            &[],
+            Box::new(Fcfs::default()),
+            &SimOptions::default(),
+            &mut [],
+        )
+        .unwrap();
         assert!(out.records.is_empty());
         assert!(out.decisions.is_empty());
     }

@@ -3,79 +3,63 @@
 //! The service's headline numbers — sustained submissions/sec and p50/p99
 //! decision-tick latency — come from a bounded-memory [`LatencyRecorder`]
 //! the core feeds once per tick with the tick's wall-clock cost.
+//!
+//! Since the observability refactor the recorder is a thin wrapper over
+//! the workspace-shared [`LogHistogram`]:
+//! the same HDR-style log-bucketed histogram the kernel's metrics registry
+//! uses, with quantile error bounded at one sub-bucket (≤ 1.56%) and exact
+//! `count`/`sum`/`min`/`max`/`mean`. Memory is O(1) in the sample count
+//! (one fixed bucket table instead of the old 65 536-entry sample ring),
+//! quantile queries no longer sort, and quantiles now cover the daemon's
+//! whole lifetime rather than a recent window.
 
-/// How many samples the recorder retains. Older samples are overwritten
-/// ring-buffer style, so a long-running daemon reports quantiles over its
-/// recent window while `count`/`sum` keep lifetime totals.
-const WINDOW: usize = 65_536;
+use rsched_telemetry::LogHistogram;
 
-/// A bounded ring of nanosecond latency samples with on-demand quantiles.
-#[derive(Debug, Clone)]
+/// A log-bucketed nanosecond latency recorder with on-demand quantiles.
+#[derive(Debug, Clone, Default)]
 pub struct LatencyRecorder {
-    samples: Vec<u64>,
-    next: usize,
-    count: u64,
-    sum_nanos: u64,
-    max_nanos: u64,
+    hist: LogHistogram,
 }
 
 impl LatencyRecorder {
     /// An empty recorder.
     pub fn new() -> Self {
-        LatencyRecorder {
-            samples: Vec::new(),
-            next: 0,
-            count: 0,
-            sum_nanos: 0,
-            max_nanos: 0,
-        }
+        Self::default()
     }
 
     /// Record one latency sample, in nanoseconds.
     pub fn record(&mut self, nanos: u64) {
-        if self.samples.len() < WINDOW {
-            self.samples.push(nanos);
-        } else {
-            self.samples[self.next] = nanos;
-            self.next = (self.next + 1) % WINDOW;
-        }
-        self.count += 1;
-        self.sum_nanos = self.sum_nanos.saturating_add(nanos);
-        self.max_nanos = self.max_nanos.max(nanos);
+        self.hist.record(nanos);
     }
 
     /// Lifetime number of samples recorded.
     pub fn count(&self) -> u64 {
-        self.count
+        self.hist.count()
     }
 
-    /// The `q`-quantile (0.0–1.0) over the retained window, in
-    /// nanoseconds; `None` when nothing has been recorded.
+    /// The `q`-quantile (0.0–1.0) over all recorded samples, in
+    /// nanoseconds; `None` when nothing has been recorded. The estimate's
+    /// relative error is bounded by the histogram's sub-bucket width
+    /// (≤ 1.56%); `q >= 1` returns the exact maximum.
     pub fn quantile(&self, q: f64) -> Option<u64> {
-        if self.samples.is_empty() {
-            return None;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        Some(sorted[idx])
+        self.hist.quantile(q)
+    }
+
+    /// The underlying shared histogram, e.g. to merge into a metrics
+    /// registry snapshot or Prometheus export.
+    pub fn histogram(&self) -> &LogHistogram {
+        &self.hist
     }
 
     /// Aggregate the recorder into a [`LatencySummary`].
     pub fn summary(&self) -> LatencySummary {
         LatencySummary {
-            count: self.count,
-            mean_nanos: self.sum_nanos.checked_div(self.count).unwrap_or(0),
-            p50_nanos: self.quantile(0.50).unwrap_or(0),
-            p99_nanos: self.quantile(0.99).unwrap_or(0),
-            max_nanos: self.max_nanos,
+            count: self.hist.count(),
+            mean_nanos: self.hist.mean().unwrap_or(0),
+            p50_nanos: self.hist.quantile(0.50).unwrap_or(0),
+            p99_nanos: self.hist.quantile(0.99).unwrap_or(0),
+            max_nanos: self.hist.max().unwrap_or(0),
         }
-    }
-}
-
-impl Default for LatencyRecorder {
-    fn default() -> Self {
-        LatencyRecorder::new()
     }
 }
 
@@ -84,13 +68,13 @@ impl Default for LatencyRecorder {
 pub struct LatencySummary {
     /// Lifetime sample count.
     pub count: u64,
-    /// Mean over the lifetime.
+    /// Mean over the lifetime (exact).
     pub mean_nanos: u64,
-    /// Median over the retained window.
+    /// Median estimate (≤ 1.56% relative error).
     pub p50_nanos: u64,
-    /// 99th percentile over the retained window.
+    /// 99th-percentile estimate (≤ 1.56% relative error).
     pub p99_nanos: u64,
-    /// Lifetime maximum.
+    /// Lifetime maximum (exact).
     pub max_nanos: u64,
 }
 
@@ -120,11 +104,14 @@ mod tests {
         }
         assert_eq!(r.count(), 100);
         let s = r.summary();
-        // Nearest-rank on 100 samples: index round(99 * 0.5) = 50.
-        assert_eq!(s.p50_nanos, 51_000);
-        assert_eq!(s.p99_nanos, 99_000);
+        // count/sum/max/mean are exact; quantiles are log-bucketed with a
+        // ≤ 2% relative error bound.
         assert_eq!(s.max_nanos, 100_000);
         assert_eq!(s.mean_nanos, 50_500);
+        for (got, exact) in [(s.p50_nanos, 50_000u64), (s.p99_nanos, 99_000)] {
+            let rel = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(rel <= 0.02, "got {got}, exact {exact}, rel {rel}");
+        }
     }
 
     #[test]
@@ -135,13 +122,24 @@ mod tests {
     }
 
     #[test]
-    fn window_overwrites_but_lifetime_counts_keep_growing() {
+    fn memory_stays_bounded_while_lifetime_counts_keep_growing() {
         let mut r = LatencyRecorder::new();
-        for _ in 0..(WINDOW + 500) {
+        for _ in 0..100_000u64 {
             r.record(7);
         }
-        assert_eq!(r.count(), (WINDOW + 500) as u64);
-        assert_eq!(r.samples.len(), WINDOW);
+        assert_eq!(r.count(), 100_000);
+        // Identical samples stay exact no matter how many are recorded.
         assert_eq!(r.quantile(0.5), Some(7));
+        assert_eq!(r.quantile(0.99), Some(7));
+        assert_eq!(r.histogram().max(), Some(7));
+    }
+
+    #[test]
+    fn shared_histogram_is_exposed_for_exporters() {
+        let mut r = LatencyRecorder::new();
+        r.record(1_000);
+        r.record(3_000);
+        assert_eq!(r.histogram().count(), 2);
+        assert_eq!(r.histogram().sum(), 4_000);
     }
 }

@@ -34,7 +34,7 @@ use rsched_cluster::{ClusterConfig, JobSpec};
 use crate::observer::SimObserver;
 use crate::outcome::SimOutcome;
 use crate::policy::SchedulingPolicy;
-use crate::simulator::{simulate, SimError, SimOptions};
+use crate::simulator::{SimError, SimOptions};
 
 /// Builder for one simulation run: cluster, workload, knobs, and any
 /// number of streaming [`SimObserver`]s.
@@ -46,6 +46,7 @@ pub struct Simulation<'a> {
     jobs: &'a [JobSpec],
     options: SimOptions,
     observers: Vec<&'a mut dyn SimObserver>,
+    telemetry: rsched_telemetry::TelemetrySink,
 }
 
 impl<'a> Simulation<'a> {
@@ -56,6 +57,7 @@ impl<'a> Simulation<'a> {
             jobs: &[],
             options: SimOptions::default(),
             observers: Vec::new(),
+            telemetry: rsched_telemetry::TelemetrySink::disabled(),
         }
     }
 
@@ -78,16 +80,27 @@ impl<'a> Simulation<'a> {
         self
     }
 
+    /// Attach a telemetry sink (a cheap clone of the caller's handle). The
+    /// kernel spans its epochs and mirrors its counters into the sink's
+    /// metrics registry; policies see the same sink through
+    /// [`SystemView::sink`](crate::SystemView::sink). The default is a
+    /// disabled sink, which costs one pointer check per call site.
+    pub fn telemetry(mut self, sink: &rsched_telemetry::TelemetrySink) -> Self {
+        self.telemetry = sink.clone();
+        self
+    }
+
     /// Drive `policy` over the configured workload until every job
     /// completes (or the run fails), streaming callbacks to the attached
     /// observers along the way.
     pub fn run(mut self, policy: &mut dyn SchedulingPolicy) -> Result<SimOutcome, SimError> {
-        simulate(
+        crate::simulator::simulate_with_telemetry(
             self.config,
             self.jobs,
             policy,
             &self.options,
             &mut self.observers,
+            self.telemetry,
         )
     }
 }

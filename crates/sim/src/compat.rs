@@ -81,6 +81,7 @@ impl OwnedSystemView {
             pending_arrivals: self.pending_arrivals,
             total_jobs: self.total_jobs,
             calendar: None,
+            telemetry: None,
         }
     }
 }
@@ -134,6 +135,7 @@ mod tests {
             pending_arrivals: 1,
             total_jobs: 7,
             calendar: None,
+            telemetry: None,
         };
 
         let owned = borrowed.to_owned();

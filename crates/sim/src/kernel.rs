@@ -32,6 +32,7 @@ use rsched_cluster::{
     ClusterState, JobId, JobRecord, JobSpec, StartError, StepIntegral, MAX_CLASSES,
 };
 use rsched_simkit::{EventQueue, SimTime};
+use rsched_telemetry::{DelayReason, EpochOutcome, EpochTrace, TelemetrySink};
 
 use crate::events::SimEvent;
 use crate::outcome::{DecisionRecord, SimOutcome, SimStats};
@@ -72,6 +73,8 @@ pub struct KernelState {
     decisions: Vec<DecisionRecord>,
     stats: SimStats,
     stopped: bool,
+    telemetry: TelemetrySink,
+    epochs: Vec<EpochTrace>,
 }
 
 impl KernelState {
@@ -89,6 +92,8 @@ impl KernelState {
             decisions: Vec::new(),
             stats: SimStats::default(),
             stopped: false,
+            telemetry: TelemetrySink::disabled(),
+            epochs: Vec::new(),
         }
     }
 
@@ -179,13 +184,40 @@ impl KernelState {
     /// `pending_arrivals` is the driver's count of jobs known to be still
     /// on their way (unsent workload jobs for the simulator; a nonzero
     /// sentinel for a live daemon that cannot know).
-    pub fn should_query(&mut self, pending_arrivals: usize, options: &SimOptions) -> bool {
+    ///
+    /// When the watermark short-circuit fires (jobs waiting, nothing fits)
+    /// a [`EpochOutcome::Saturated`] provenance record is appended at `now`
+    /// so the trace explains the skipped query — recorded whether or not a
+    /// telemetry sink is attached, keeping [`epochs`](Self::epochs)
+    /// deterministic.
+    pub fn should_query(
+        &mut self,
+        now: SimTime,
+        pending_arrivals: usize,
+        options: &SimOptions,
+    ) -> bool {
         if self.stopped {
             return false;
         }
         let placeable = self.queue.any_fits(&self.cluster);
         if options.query_only_when_placeable {
-            placeable || (self.queue.is_empty() && pending_arrivals == 0)
+            if placeable || (self.queue.is_empty() && pending_arrivals == 0) {
+                true
+            } else {
+                if !self.queue.is_empty() {
+                    let queue_len = self.queue.len() as u32;
+                    let trace = EpochTrace {
+                        time: now,
+                        outcome: EpochOutcome::Saturated,
+                        reason: Some(DelayReason::WatermarkSaturated { queue_len }),
+                        queue_len,
+                        queries: 0,
+                    };
+                    self.epochs.push(trace);
+                    self.telemetry.count_epoch(&trace);
+                }
+                false
+            }
         } else {
             !self.queue.is_empty() || pending_arrivals == 0
         }
@@ -207,8 +239,12 @@ impl KernelState {
         options: &SimOptions,
     ) -> Result<(), SimError> {
         self.stats.epochs += 1;
+        let _epoch_span = self.telemetry.span("kernel.epoch", now);
         let mut consecutive_invalid = 0usize;
-        loop {
+        let mut epoch_placements = 0u32;
+        let mut epoch_backfills = 0u32;
+        let mut epoch_queries = 0u32;
+        let close = loop {
             if self.stats.queries >= options.max_queries {
                 return Err(SimError::QueryBudgetExhausted {
                     limit: options.max_queries,
@@ -229,9 +265,11 @@ impl KernelState {
                 pending_arrivals,
                 total_jobs,
                 calendar: Some(&self.ledger),
+                telemetry: Some(&self.telemetry),
             };
             let action = policy.decide(&view);
             self.stats.queries += 1;
+            epoch_queries += 1;
 
             let verdict = self.validate_and_apply(now, pending_arrivals, options, action);
             // One clone of the rejection reason, shared by the outcome
@@ -255,30 +293,32 @@ impl KernelState {
                 Ok(Applied::Placement) => {
                     consecutive_invalid = 0;
                     self.stats.placements += 1;
+                    epoch_placements += 1;
                     if matches!(action, Action::BackfillJob(_)) {
                         self.stats.backfills += 1;
+                        epoch_backfills += 1;
                     }
                     // Same-timestep continuation: more jobs may fit now.
                     if self.queue.is_empty() && pending_arrivals > 0 {
-                        return Ok(());
+                        break EpochClose::Placed;
                     }
                     if options.query_only_when_placeable
                         && !self.queue.is_empty()
                         && !self.queue.any_fits(&self.cluster)
                     {
                         // Saturated again: skip the redundant Delay round-trip.
-                        return Ok(());
+                        break EpochClose::Placed;
                     }
                     // Otherwise loop on — including the empty-queue case,
                     // which offers the policy its Stop query.
                 }
                 Ok(Applied::Delay) => {
                     self.stats.delays += 1;
-                    return Ok(());
+                    break EpochClose::Delay;
                 }
                 Ok(Applied::Stop) => {
                     self.stopped = true;
-                    return Ok(());
+                    break EpochClose::Stop;
                 }
                 Err(_) => {
                     self.stats.rejections += 1;
@@ -286,11 +326,79 @@ impl KernelState {
                     if consecutive_invalid >= options.max_invalid_per_epoch {
                         // Force a delay: the policy is confused; move time on.
                         self.stats.delays += 1;
-                        return Ok(());
+                        break EpochClose::Forced;
                     }
                 }
             }
+        };
+
+        // Provenance: one record per epoch, always — the trace must stay
+        // deterministic whether or not a sink is attached.
+        let outcome = if epoch_placements > 0 {
+            EpochOutcome::Placements {
+                count: epoch_placements,
+                backfills: epoch_backfills,
+            }
+        } else {
+            match close {
+                EpochClose::Delay => EpochOutcome::Delay,
+                EpochClose::Forced => EpochOutcome::ForcedDelay,
+                EpochClose::Stop => EpochOutcome::Stop,
+                // Placed only breaks after a placement.
+                EpochClose::Placed => EpochOutcome::Placements {
+                    count: 0,
+                    backfills: 0,
+                },
+            }
+        };
+        let reason = if epoch_placements > 0 {
+            None
+        } else {
+            match close {
+                EpochClose::Delay => {
+                    Some(policy.provenance().unwrap_or(if self.queue.is_empty() {
+                        DelayReason::QueueEmpty
+                    } else {
+                        DelayReason::PolicyChoice
+                    }))
+                }
+                EpochClose::Forced => Some(DelayReason::InvalidActions {
+                    rejections: consecutive_invalid as u32,
+                }),
+                EpochClose::Stop | EpochClose::Placed => None,
+            }
+        };
+        let trace = EpochTrace {
+            time: now,
+            outcome,
+            reason,
+            queue_len: self.queue.len() as u32,
+            queries: epoch_queries,
+        };
+        self.epochs.push(trace);
+        if self.telemetry.is_enabled() {
+            self.telemetry.count_epoch(&trace);
+            self.harvest_counters();
         }
+        Ok(())
+    }
+
+    /// Mirror the kernel's aggregate counters into the attached sink's
+    /// metrics registry (absolute sets, so the namespace always shows run
+    /// totals). Called at the close of every epoch when a sink is attached.
+    fn harvest_counters(&self) {
+        let t = &self.telemetry;
+        t.set_counter("sim_epochs_total", self.stats.epochs as u64);
+        t.set_counter("sim_queries_total", self.stats.queries as u64);
+        t.set_counter("sim_placements_total", self.stats.placements as u64);
+        t.set_counter("sim_backfills_total", self.stats.backfills as u64);
+        t.set_counter("sim_delays_total", self.stats.delays as u64);
+        t.set_counter("sim_rejections_total", self.stats.rejections as u64);
+        let (rebuilds, hits) = self.ledger.calendar_counters();
+        t.set_counter("sim_calendar_rebuilds_total", rebuilds);
+        t.set_counter("sim_calendar_cache_hits_total", hits);
+        t.set_gauge("sim_queue_depth", self.queue.len() as i64);
+        t.set_gauge("sim_running_jobs", self.cluster.running_count() as i64);
     }
 
     fn validate_and_apply(
@@ -505,6 +613,34 @@ impl KernelState {
         self.stopped
     }
 
+    // ---- telemetry -------------------------------------------------------
+
+    /// Attach a telemetry sink. The kernel spans its epochs, counts epoch
+    /// outcomes, and mirrors its aggregate counters into the sink's metrics
+    /// registry. A disabled sink (the default) costs one pointer check per
+    /// call site.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
+    }
+
+    /// The attached telemetry sink (disabled by default).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
+    }
+
+    /// Per-epoch provenance records so far — recorded deterministically,
+    /// with or without a sink.
+    pub fn epochs(&self) -> &[EpochTrace] {
+        &self.epochs
+    }
+
+    /// Drain and return the provenance log, leaving it empty. Long-running
+    /// daemons call this per tick so the log stays bounded (mirrors
+    /// [`drain_decisions`](Self::drain_decisions)).
+    pub fn drain_epochs(&mut self) -> Vec<EpochTrace> {
+        std::mem::take(&mut self.epochs)
+    }
+
     /// A borrowed policy-facing snapshot at `now` — what
     /// [`run_epoch`](Self::run_epoch) shows the policy, for telemetry and
     /// external inspection.
@@ -522,6 +658,7 @@ impl KernelState {
             pending_arrivals,
             total_jobs,
             calendar: Some(&self.ledger),
+            telemetry: Some(&self.telemetry),
         }
     }
 
@@ -545,6 +682,7 @@ impl KernelState {
             end_time,
             node_seconds: self.node_integral.integral_through(end_time),
             memory_gb_seconds: self.mem_integral.integral_through(end_time),
+            epochs: self.epochs,
         }
     }
 }
@@ -553,6 +691,18 @@ impl KernelState {
 enum Applied {
     Placement,
     Delay,
+    Stop,
+}
+
+/// How an epoch's decision loop ended (feeds the provenance record).
+enum EpochClose {
+    /// Broke after a placement (saturated again, or awaiting arrivals).
+    Placed,
+    /// The policy delayed.
+    Delay,
+    /// The kernel forced a delay after repeated invalid actions.
+    Forced,
+    /// The policy stopped the run.
     Stop,
 }
 

@@ -61,3 +61,7 @@ pub use scan::{ScanOutcome, PARALLEL_SCAN_MIN};
 pub use simulator::{job_is_feasible, run_simulation, validate_workload, SimError, SimOptions};
 pub use store::JobStore;
 pub use view::{CompletedStats, RunningSummary, SystemView};
+
+// Telemetry vocabulary re-exported so policies and drivers can name the
+// provenance/sink types without a direct `rsched-telemetry` dependency.
+pub use rsched_telemetry::{DelayReason, EpochOutcome, EpochTrace, TelemetrySink};

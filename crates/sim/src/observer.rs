@@ -63,6 +63,9 @@ pub struct CountingObserver {
     /// `false` iff any callback arrived with a time earlier than its
     /// predecessor's.
     pub time_ordered: bool,
+    /// Telemetry sink; when enabled the counts are mirrored into the shared
+    /// metrics registry (`sim_observer_*` families). Disabled by default.
+    sink: rsched_telemetry::TelemetrySink,
 }
 
 impl CountingObserver {
@@ -76,7 +79,17 @@ impl CountingObserver {
             last_event_time: None,
             last_decision_time: None,
             time_ordered: true,
+            sink: rsched_telemetry::TelemetrySink::disabled(),
         }
+    }
+
+    /// Mirror every count into `sink`'s metrics registry as it accumulates
+    /// (`sim_observer_events_total`, `sim_observer_decisions_total`,
+    /// `sim_observer_placements_total`, `sim_observer_completions_total`) —
+    /// the same namespace the kernel and service write to.
+    pub fn with_sink(mut self, sink: &rsched_telemetry::TelemetrySink) -> Self {
+        self.sink = sink.clone();
+        self
     }
 }
 
@@ -93,6 +106,7 @@ impl SimObserver for CountingObserver {
         }
         self.last_event_time = Some(time);
         self.events += 1;
+        self.sink.count("sim_observer_events_total", 1);
     }
 
     fn on_decision(&mut self, record: &DecisionRecord) {
@@ -104,13 +118,16 @@ impl SimObserver for CountingObserver {
         }
         self.last_decision_time = Some(record.time);
         self.decisions += 1;
+        self.sink.count("sim_observer_decisions_total", 1);
         if record.accepted() && record.action.is_placement() {
             self.placements += 1;
+            self.sink.count("sim_observer_placements_total", 1);
         }
     }
 
     fn on_complete(&mut self, _outcome: &SimOutcome) {
         self.completions += 1;
+        self.sink.count("sim_observer_completions_total", 1);
     }
 }
 
@@ -120,6 +137,7 @@ pub struct ProgressObserver<W: std::io::Write> {
     sink: W,
     every: usize,
     seen: usize,
+    telemetry: rsched_telemetry::TelemetrySink,
 }
 
 impl<W: std::io::Write> ProgressObserver<W> {
@@ -130,7 +148,16 @@ impl<W: std::io::Write> ProgressObserver<W> {
             sink,
             every,
             seen: 0,
+            telemetry: rsched_telemetry::TelemetrySink::disabled(),
         }
+    }
+
+    /// Mirror progress into `sink`'s metrics registry
+    /// (`sim_observer_decisions_total`, `sim_observer_progress_lines_total`)
+    /// alongside the textual report — same namespace as kernel and service.
+    pub fn with_sink(mut self, sink: &rsched_telemetry::TelemetrySink) -> Self {
+        self.telemetry = sink.clone();
+        self
     }
 }
 
@@ -144,7 +171,9 @@ impl ProgressObserver<std::io::Stderr> {
 impl<W: std::io::Write> SimObserver for ProgressObserver<W> {
     fn on_decision(&mut self, record: &DecisionRecord) {
         self.seen += 1;
+        self.telemetry.count("sim_observer_decisions_total", 1);
         if self.every > 0 && self.seen.is_multiple_of(self.every) {
+            self.telemetry.count("sim_observer_progress_lines_total", 1);
             let _ = writeln!(
                 self.sink,
                 "[{}] {} decisions, queue={}, free={} nodes / {} GB",
@@ -204,6 +233,28 @@ mod tests {
         assert_eq!(obs.events, 2);
         assert_eq!(obs.last_event_time, Some(SimTime::from_secs(7)));
         assert!(obs.time_ordered);
+    }
+
+    #[test]
+    fn observers_mirror_counts_into_an_attached_sink() {
+        let sink = rsched_telemetry::TelemetrySink::recording();
+        let mut counting = CountingObserver::new().with_sink(&sink);
+        counting.on_event(&SimEvent::Arrival(0), SimTime::ZERO);
+        counting.on_decision(&record(1));
+        let mut buf: Vec<u8> = Vec::new();
+        let mut progress = ProgressObserver::new(&mut buf, 1).with_sink(&sink);
+        progress.on_decision(&record(2));
+        let json = sink.snapshot().unwrap().to_json();
+        assert!(json.contains("\"sim_observer_events_total\":{\"type\":\"counter\",\"value\":1}"));
+        // Both observers share the namespace: 1 + 1 decisions.
+        assert!(
+            json.contains("\"sim_observer_decisions_total\":{\"type\":\"counter\",\"value\":2}")
+        );
+        assert!(
+            json.contains("\"sim_observer_placements_total\":{\"type\":\"counter\",\"value\":1}")
+        );
+        assert!(json
+            .contains("\"sim_observer_progress_lines_total\":{\"type\":\"counter\",\"value\":1}"));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use rsched_cluster::JobRecord;
 use rsched_simkit::SimTime;
+use rsched_telemetry::EpochTrace;
 
 use crate::policy::{Action, RejectReason};
 
@@ -67,6 +68,12 @@ pub struct SimOutcome {
     pub node_seconds: f64,
     /// `∫ busy_memory · dt` over the run, in GB-seconds.
     pub memory_gb_seconds: f64,
+    /// Per-epoch provenance: one record per decision epoch (and per
+    /// watermark short-circuit), each carrying a machine-readable reason
+    /// when no placement happened. Deterministic — recorded whether or not
+    /// a telemetry sink was attached. Export with
+    /// [`rsched_telemetry::export::epochs_to_jsonl`].
+    pub epochs: Vec<EpochTrace>,
 }
 
 impl SimOutcome {
@@ -122,6 +129,7 @@ mod tests {
             end_time: SimTime::from_secs(7),
             node_seconds: 5.0,
             memory_gb_seconds: 5.0,
+            epochs: vec![],
         };
         assert_eq!(outcome.placements().count(), 1);
         assert_eq!(outcome.makespan_end(), SimTime::from_secs(7));

@@ -170,6 +170,19 @@ pub trait SchedulingPolicy {
     fn overhead_report(&self) -> Option<OverheadReport> {
         None
     }
+
+    /// Why the policy's most recent `Delay` happened, if it knows.
+    ///
+    /// The kernel calls this once when a `Delay` closes an epoch and stores
+    /// the reason in that epoch's provenance record
+    /// ([`EpochTrace`](rsched_telemetry::EpochTrace)). Implementations
+    /// should `take()` a field set at each `Delay` exit of `decide` (and
+    /// clear it at the top of `decide`, so stale reasons never leak across
+    /// epochs). Defaults to `None`; the kernel then falls back to
+    /// `QueueEmpty`/`PolicyChoice`.
+    fn provenance(&mut self) -> Option<rsched_telemetry::DelayReason> {
+        None
+    }
 }
 
 impl fmt::Display for RejectReason {

@@ -703,11 +703,15 @@ pub struct CalendarStamp {
     pub running_version: u64,
 }
 
-/// One cached skyline with the stamp it was built at.
+/// One cached skyline with the stamp it was built at, plus rebuild/hit
+/// counters for telemetry (the kernel harvests them into
+/// `sim_calendar_rebuilds_total` / `sim_calendar_cache_hits_total`).
 #[derive(Debug, Default)]
 struct CachedCalendar {
     stamp: Option<CalendarStamp>,
     calendar: CapacityCalendar,
+    rebuilds: u64,
+    hits: u64,
 }
 
 impl CachedCalendar {
@@ -721,6 +725,9 @@ impl CachedCalendar {
             if cache.stamp != Some(stamp) {
                 build(&mut cache.calendar);
                 cache.stamp = Some(stamp);
+                cache.rebuilds += 1;
+            } else {
+                cache.hits += 1;
             }
         }
         Ref::map(cell.borrow(), |c| &c.calendar)
@@ -808,6 +815,16 @@ impl CapacityLedger {
     /// Number of tracked running jobs.
     pub fn running_len(&self) -> usize {
         self.actual.len()
+    }
+
+    /// Telemetry counters summed over both calendar caches:
+    /// `(rebuilds, cache_hits)`. A rebuild is a skyline construction from
+    /// the release list; a hit reuses the cached skyline for the same
+    /// [`CalendarStamp`].
+    pub fn calendar_counters(&self) -> (u64, u64) {
+        let est = self.estimated_cache.borrow();
+        let act = self.actual_cache.borrow();
+        (est.rebuilds + act.rebuilds, est.hits + act.hits)
     }
 
     fn insert(list: &mut Vec<Release>, release: Release) {

@@ -143,17 +143,21 @@ pub fn run_simulation(
 /// The virtual-time event loop shared by [`run_simulation`] and the
 /// [`Simulation`](crate::Simulation) builder: a thin driver over
 /// [`KernelState`] that jumps the clock straight to the next event.
-pub(crate) fn simulate(
+/// `telemetry` is installed into the kernel (and propagated to attached
+/// observers through their own sinks by the builder).
+pub(crate) fn simulate_with_telemetry(
     config: ClusterConfig,
     jobs: &[JobSpec],
     policy: &mut dyn SchedulingPolicy,
     options: &SimOptions,
     observers: &mut [&mut dyn crate::SimObserver],
+    telemetry: rsched_telemetry::TelemetrySink,
 ) -> Result<SimOutcome, SimError> {
     validate_workload(config, jobs)?;
 
     let start_time = jobs.iter().map(|j| j.submit).min().unwrap_or(SimTime::ZERO);
     let mut kernel = KernelState::with_event_capacity(config, start_time, jobs.len() * 2);
+    kernel.set_telemetry(telemetry);
     for (idx, job) in jobs.iter().enumerate() {
         kernel.schedule_event(job.submit, SimEvent::Arrival(idx));
     }
@@ -191,7 +195,7 @@ pub(crate) fn simulate(
         // Under `query_only_when_placeable`, saturated states (jobs waiting
         // but nothing fits) skip the query and advance time directly; the
         // queue's min-demand watermark proves most of them in O(1).
-        if kernel.should_query(pending_arrivals, options) {
+        if kernel.should_query(now, pending_arrivals, options) {
             let first_new = kernel.decisions_len();
             let verdict = kernel.run_epoch(now, pending_arrivals, jobs.len(), policy, options);
             // Stream the epoch's decisions (even when the epoch errored,

@@ -99,9 +99,21 @@ pub struct SystemView<'a> {
     /// (tests, harnesses) leave it `None` and the accessor falls back to an
     /// equivalent calendar built from `running`.
     pub calendar: Option<&'a crate::profile::CapacityLedger>,
+    /// The kernel's telemetry sink, when this view was built by a kernel
+    /// with one attached. Policies record spans and counters through
+    /// [`sink`](Self::sink); hand-built views leave it `None` and the
+    /// accessor hands back an inert disabled sink.
+    pub telemetry: Option<&'a rsched_telemetry::TelemetrySink>,
 }
 
 impl<'a> SystemView<'a> {
+    /// The telemetry sink for this view — a cheap clone of the kernel's
+    /// sink, or a disabled (no-op) sink when none is attached, so policies
+    /// can instrument unconditionally.
+    pub fn sink(&self) -> rsched_telemetry::TelemetrySink {
+        self.telemetry.cloned().unwrap_or_default()
+    }
+
     /// The waiting job with the given id.
     pub fn waiting_job(&self, id: JobId) -> Option<&'a JobSpec> {
         self.waiting.iter().find(|j| j.id == id)
@@ -312,6 +324,7 @@ mod tests {
                 pending_arrivals: self.pending_arrivals,
                 total_jobs: 6,
                 calendar: None,
+                telemetry: None,
             }
         }
     }

@@ -1,0 +1,229 @@
+//! Exporters: deterministic JSONL, Prometheus text exposition, and Chrome
+//! trace-event JSON.
+//!
+//! The JSONL and metrics-JSON exports contain only deterministic fields
+//! (simulation time, counts, provenance) — two runs with identical seeds
+//! produce byte-identical output. The Chrome trace export additionally uses
+//! wall-clock span durations when the sink recorded them.
+
+use rsched_simkit::json;
+
+use crate::metrics::{MetricValue, MetricsSnapshot};
+use crate::provenance::{DelayReason, EpochTrace};
+use crate::span::SpanRecord;
+
+/// Render epoch provenance as one JSON object per line, with fixed key
+/// order. Byte-stable for identical inputs.
+pub fn epochs_to_jsonl(epochs: &[EpochTrace]) -> String {
+    let mut out = String::new();
+    for e in epochs {
+        out.push_str(&format!(
+            "{{\"type\":\"epoch\",\"time\":{},\"outcome\":\"{}\"",
+            json::num(e.time.as_secs_f64()),
+            e.outcome.code()
+        ));
+        if let crate::provenance::EpochOutcome::Placements { count, backfills } = e.outcome {
+            out.push_str(&format!(",\"count\":{count},\"backfills\":{backfills}"));
+        }
+        if let Some(reason) = &e.reason {
+            out.push_str(&format!(",\"reason\":\"{}\"", reason.code()));
+            match reason {
+                DelayReason::HeadBlocked { head } => {
+                    out.push_str(&format!(",\"head\":{}", head.0));
+                }
+                DelayReason::HeadShadowVeto { head, shadow } => {
+                    out.push_str(&format!(
+                        ",\"head\":{},\"shadow\":{}",
+                        head.0,
+                        json::num(shadow.as_secs_f64())
+                    ));
+                }
+                DelayReason::NoStartableCandidate { considered } => {
+                    out.push_str(&format!(",\"considered\":{considered}"));
+                }
+                DelayReason::InvalidActions { rejections } => {
+                    out.push_str(&format!(",\"rejections\":{rejections}"));
+                }
+                DelayReason::WatermarkSaturated { queue_len } => {
+                    out.push_str(&format!(",\"saturated_queue_len\":{queue_len}"));
+                }
+                DelayReason::QueueEmpty
+                | DelayReason::NoFitNow
+                | DelayReason::ReservationBlocked
+                | DelayReason::PolicyChoice => {}
+            }
+        }
+        out.push_str(&format!(
+            ",\"queue_len\":{},\"queries\":{}}}\n",
+            e.queue_len, e.queries
+        ));
+    }
+    out
+}
+
+/// Render spans as one JSON object per line using only deterministic fields
+/// (no wall clock). Byte-stable for identical inputs.
+pub fn spans_to_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str(&format!(
+            "{{\"type\":\"span\",\"name\":\"{}\",\"time\":{},\"depth\":{},\"seq\":{}}}\n",
+            json::escape(s.name),
+            json::num(s.time.as_secs_f64()),
+            s.depth,
+            s.seq
+        ));
+    }
+    out
+}
+
+/// Render spans as a Chrome trace-event (`chrome://tracing` / Perfetto)
+/// document. `ts` is the simulation time in microseconds; `dur` is the
+/// wall-clock duration in microseconds (1 µs floor so zero-length spans stay
+/// visible); `tid` encodes nesting depth.
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let dur_us = (s.wall_nanos / 1_000).max(1);
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"rsched\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+            json::escape(s.name),
+            s.time.as_millis() * 1_000,
+            dur_us,
+            s.depth + 1
+        ));
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Render a metrics snapshot in Prometheus text exposition format.
+/// Histograms are exposed as summaries (`quantile` labels + `_sum` and
+/// `_count` series). Every family is prefixed with `prefix`.
+pub fn prometheus(snapshot: &MetricsSnapshot, prefix: &str) -> String {
+    let mut out = String::new();
+    for e in snapshot.entries() {
+        let name = format!("{prefix}{}", e.name);
+        match &e.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!("# TYPE {name} summary\n"));
+                out.push_str(&format!("{name}{{quantile=\"0.5\"}} {}\n", h.p50));
+                out.push_str(&format!("{name}{{quantile=\"0.9\"}} {}\n", h.p90));
+                out.push_str(&format!("{name}{{quantile=\"0.99\"}} {}\n", h.p99));
+                out.push_str(&format!("{name}_sum {}\n", h.sum));
+                out.push_str(&format!("{name}_count {}\n", h.count));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::provenance::EpochOutcome;
+    use rsched_cluster::JobId;
+    use rsched_simkit::SimTime;
+
+    fn sample_epochs() -> Vec<EpochTrace> {
+        vec![
+            EpochTrace {
+                time: SimTime::from_secs(1),
+                outcome: EpochOutcome::Placements {
+                    count: 2,
+                    backfills: 1,
+                },
+                reason: None,
+                queue_len: 5,
+                queries: 2,
+            },
+            EpochTrace {
+                time: SimTime::from_secs(2),
+                outcome: EpochOutcome::Delay,
+                reason: Some(DelayReason::HeadShadowVeto {
+                    head: JobId(7),
+                    shadow: SimTime::from_secs(30),
+                }),
+                queue_len: 4,
+                queries: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn epochs_jsonl_is_byte_stable_and_flattened() {
+        let a = epochs_to_jsonl(&sample_epochs());
+        let b = epochs_to_jsonl(&sample_epochs());
+        assert_eq!(a, b);
+        let lines: Vec<&str> = a.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"epoch\",\"time\":1.000000,\"outcome\":\"placements\",\"count\":2,\"backfills\":1,\"queue_len\":5,\"queries\":2}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"epoch\",\"time\":2.000000,\"outcome\":\"delay\",\"reason\":\"head_shadow_veto\",\"head\":7,\"shadow\":30.000000,\"queue_len\":4,\"queries\":1}"
+        );
+    }
+
+    #[test]
+    fn spans_jsonl_omits_wall_clock() {
+        let spans = vec![SpanRecord {
+            name: "kernel.epoch",
+            time: SimTime::from_millis(1_500),
+            depth: 0,
+            seq: 0,
+            wall_nanos: 123_456,
+        }];
+        let line = spans_to_jsonl(&spans);
+        assert_eq!(
+            line,
+            "{\"type\":\"span\",\"name\":\"kernel.epoch\",\"time\":1.500000,\"depth\":0,\"seq\":0}\n"
+        );
+        assert!(!line.contains("123456"));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let spans = vec![SpanRecord {
+            name: "kernel.epoch",
+            time: SimTime::from_millis(2),
+            depth: 1,
+            seq: 0,
+            wall_nanos: 3_000,
+        }];
+        let doc = chrome_trace(&spans);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ts\":2000"));
+        assert!(doc.contains("\"dur\":3"));
+        assert!(doc.contains("\"tid\":2"));
+    }
+
+    #[test]
+    fn prometheus_families() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("sim_placements_total", 9);
+        reg.set_gauge("sim_queue_depth", 3);
+        reg.observe("service_tick_nanos", 1_000);
+        let text = prometheus(&reg.snapshot(), "rsched_");
+        assert!(text.contains("# TYPE rsched_sim_placements_total counter"));
+        assert!(text.contains("rsched_sim_placements_total 9"));
+        assert!(text.contains("# TYPE rsched_sim_queue_depth gauge"));
+        assert!(text.contains("# TYPE rsched_service_tick_nanos summary"));
+        assert!(text.contains("rsched_service_tick_nanos{quantile=\"0.99\"}"));
+        assert!(text.contains("rsched_service_tick_nanos_sum 1000"));
+        assert!(text.contains("rsched_service_tick_nanos_count 1"));
+    }
+}

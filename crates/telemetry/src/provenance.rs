@@ -1,0 +1,147 @@
+//! Decision provenance: machine-readable "why" records for every epoch.
+//!
+//! The kernel appends one [`EpochTrace`] per scheduling epoch (and per
+//! watermark short-circuit) regardless of whether a sink is attached, so
+//! `SimOutcome::epochs` is deterministic and byte-stable when exported.
+
+use rsched_cluster::JobId;
+use rsched_simkit::SimTime;
+
+/// What a scheduling epoch produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochOutcome {
+    /// At least one job was started this epoch.
+    Placements {
+        /// Total placements applied.
+        count: u32,
+        /// How many of them were backfills (out-of-order starts).
+        backfills: u32,
+    },
+    /// The policy chose to wait for the next event.
+    Delay,
+    /// The kernel forced a delay after too many invalid proposals.
+    ForcedDelay,
+    /// The policy declared the workload complete.
+    Stop,
+    /// The watermark short-circuit skipped the policy query entirely.
+    Saturated,
+}
+
+impl EpochOutcome {
+    /// Stable snake_case code for exports.
+    pub fn code(&self) -> &'static str {
+        match self {
+            EpochOutcome::Placements { .. } => "placements",
+            EpochOutcome::Delay => "delay",
+            EpochOutcome::ForcedDelay => "forced_delay",
+            EpochOutcome::Stop => "stop",
+            EpochOutcome::Saturated => "saturated",
+        }
+    }
+}
+
+/// Why an epoch ended without a placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayReason {
+    /// Nothing is waiting; the next arrival will wake the kernel.
+    QueueEmpty,
+    /// Watermark check: no queued job fits the idle capacity, so the policy
+    /// query was skipped.
+    WatermarkSaturated {
+        /// Queue length at the short-circuit.
+        queue_len: u32,
+    },
+    /// No queued job fits right now (FCFS-order-free policies).
+    NoFitNow,
+    /// The head of the queue does not fit and the policy does not backfill
+    /// past it.
+    HeadBlocked {
+        /// The blocking head job.
+        head: JobId,
+    },
+    /// Backfill candidates existed, but every one would delay the head's
+    /// shadow start time.
+    HeadShadowVeto {
+        /// The protected head job.
+        head: JobId,
+        /// The head's earliest projected start (its shadow).
+        shadow: SimTime,
+    },
+    /// No queued job could start now or beside the reservation ladder.
+    NoStartableCandidate {
+        /// How many queued jobs were examined.
+        considered: u32,
+    },
+    /// Candidates survived the shadow check but none fit the reservation
+    /// profile's capacity slices.
+    ReservationBlocked,
+    /// The kernel forced the delay after rejecting too many invalid actions.
+    InvalidActions {
+        /// Invalid proposals rejected this epoch.
+        rejections: u32,
+    },
+    /// The policy delayed without reporting a specific cause.
+    PolicyChoice,
+}
+
+impl DelayReason {
+    /// Stable snake_case code for exports.
+    pub fn code(&self) -> &'static str {
+        match self {
+            DelayReason::QueueEmpty => "queue_empty",
+            DelayReason::WatermarkSaturated { .. } => "watermark_saturated",
+            DelayReason::NoFitNow => "no_fit_now",
+            DelayReason::HeadBlocked { .. } => "head_blocked",
+            DelayReason::HeadShadowVeto { .. } => "head_shadow_veto",
+            DelayReason::NoStartableCandidate { .. } => "no_startable_candidate",
+            DelayReason::ReservationBlocked => "reservation_blocked",
+            DelayReason::InvalidActions { .. } => "invalid_actions",
+            DelayReason::PolicyChoice => "policy_choice",
+        }
+    }
+}
+
+/// One epoch's provenance record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochTrace {
+    /// Simulation time of the epoch.
+    pub time: SimTime,
+    /// What the epoch produced.
+    pub outcome: EpochOutcome,
+    /// Why no placement happened; `None` for placement and stop epochs.
+    pub reason: Option<DelayReason>,
+    /// Queue length when the epoch closed.
+    pub queue_len: u32,
+    /// Policy queries issued this epoch (0 for saturated short-circuits).
+    pub queries: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(
+            EpochOutcome::Placements {
+                count: 1,
+                backfills: 0
+            }
+            .code(),
+            "placements"
+        );
+        assert_eq!(EpochOutcome::Saturated.code(), "saturated");
+        assert_eq!(
+            DelayReason::HeadShadowVeto {
+                head: JobId(3),
+                shadow: SimTime::ZERO
+            }
+            .code(),
+            "head_shadow_veto"
+        );
+        assert_eq!(
+            DelayReason::InvalidActions { rejections: 5 }.code(),
+            "invalid_actions"
+        );
+    }
+}

@@ -50,8 +50,10 @@ fn run_scale_path(n: usize, scenario: &str) {
         "makespan_s",
         "node_util",
     ]);
-    let policies: [(&str, Box<dyn SchedulingPolicy>); 2] =
-        [("FCFS", Box::new(Fcfs)), ("SJF", Box::new(Sjf))];
+    let policies: [(&str, Box<dyn SchedulingPolicy>); 2] = [
+        ("FCFS", Box::new(Fcfs::default())),
+        ("SJF", Box::new(Sjf::default())),
+    ];
     for (label, mut policy) in policies {
         let started = std::time::Instant::now();
         let outcome = Simulation::new(cluster)

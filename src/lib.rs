@@ -30,6 +30,9 @@
 //!   bit-equivalent to the virtual-time simulator.
 //! * [`campaign`] — the declarative sweep-campaign engine: TOML grid
 //!   specs, content-addressed cell caching, Pareto-front analysis.
+//! * [`telemetry`] — structured spans, the shared metrics registry,
+//!   per-epoch decision provenance, and the deterministic JSONL /
+//!   Prometheus / Chrome-trace exporters.
 //! * [`experiments`] — the figure-regeneration harness.
 //!
 //! ## Quickstart
@@ -87,6 +90,7 @@ pub use rsched_schedulers as schedulers;
 pub use rsched_service as service;
 pub use rsched_sim as sim;
 pub use rsched_simkit as simkit;
+pub use rsched_telemetry as telemetry;
 pub use rsched_workloads as workloads;
 
 /// The most commonly used items across the workspace.
@@ -117,6 +121,10 @@ pub mod prelude {
         SchedulingPolicy, SimObserver, SimOptions, SimOutcome, Simulation, SystemView,
     };
     pub use rsched_simkit::{SimDuration, SimTime};
+    pub use rsched_telemetry::{
+        DelayReason, EpochOutcome, EpochTrace, LogHistogram, MetricsRegistry, MetricsSnapshot,
+        TelemetrySink,
+    };
     #[allow(deprecated)]
     pub use rsched_workloads::{generate, ScenarioKind};
     pub use rsched_workloads::{

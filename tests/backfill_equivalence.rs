@@ -299,6 +299,37 @@ fn assert_outcomes_identical(a: &SimOutcome, b: &SimOutcome, label: &str) {
     );
 }
 
+/// Provenance pin for the calendar policies: every epoch that ended
+/// without a placement must carry a machine-readable [`DelayReason`], and
+/// never the kernel's `policy_choice` fallback — the backfill family
+/// reports its own exit reasons (head-shadow veto, reservation block,
+/// head blocked, empty queue) on every `Delay` it returns.
+fn assert_delays_explained(outcome: &SimOutcome, label: &str) {
+    for epoch in &outcome.epochs {
+        let explained = match epoch.outcome {
+            EpochOutcome::Delay | EpochOutcome::ForcedDelay | EpochOutcome::Saturated => {
+                epoch.reason.is_some()
+            }
+            EpochOutcome::Placements { .. } | EpochOutcome::Stop => epoch.reason.is_none(),
+        };
+        assert!(
+            explained,
+            "{label}: epoch at {} ({}) has wrong provenance: {:?}",
+            epoch.time,
+            epoch.outcome.code(),
+            epoch.reason
+        );
+        if matches!(epoch.outcome, EpochOutcome::Delay) {
+            let code = epoch.reason.as_ref().expect("checked above").code();
+            assert_ne!(
+                code, "policy_choice",
+                "{label}: calendar policy fell back to the generic reason at {}",
+                epoch.time
+            );
+        }
+    }
+}
+
 /// A calendar policy, its straight-line reference, and the
 /// `strict_backfill` setting to compare them under.
 type PolicyPair = (Box<dyn SchedulingPolicy>, Box<dyn SchedulingPolicy>, bool);
@@ -344,6 +375,7 @@ fn run_pair(cluster: ClusterConfig, jobs: &[JobSpec], label_prefix: &str) {
         let b = run_simulation(cluster, jobs, reference.as_mut(), &options)
             .unwrap_or_else(|e| panic!("{label} (reference): {e}"));
         assert_outcomes_identical(&a, &b, &label);
+        assert_delays_explained(&a, &label);
     }
 }
 

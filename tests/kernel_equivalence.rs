@@ -131,6 +131,7 @@ fn reference_simulate(
                     pending_arrivals,
                     total_jobs: jobs.len(),
                     calendar: None,
+                    telemetry: None,
                 };
                 let action = policy.decide(&view);
                 stats.queries += 1;
@@ -218,6 +219,7 @@ fn reference_simulate(
         end_time,
         node_seconds: node_integral.integral_through(end_time),
         memory_gb_seconds: mem_integral.integral_through(end_time),
+        epochs: vec![],
     })
 }
 
@@ -566,7 +568,7 @@ fn fifty_thousand_jobs_complete_within_a_generous_bound() {
         .expect("builtin scenario")
         .jobs;
     let started = std::time::Instant::now();
-    let out = run_simulation(cluster, &jobs, &mut Fcfs, &SimOptions::default())
+    let out = run_simulation(cluster, &jobs, &mut Fcfs::default(), &SimOptions::default())
         .expect("50k-job trace completes");
     let wall = started.elapsed();
     assert_eq!(out.records.len(), 50_000);

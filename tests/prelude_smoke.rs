@@ -86,8 +86,8 @@ fn scheduler_policies_construct() {
         )
         .expect("builtin scenario");
     let policies: Vec<Box<dyn SchedulingPolicy>> = vec![
-        Box::new(Fcfs),
-        Box::new(Sjf),
+        Box::new(Fcfs::default()),
+        Box::new(Sjf::default()),
         Box::new(EasyBackfill::new()),
         Box::new(RandomPolicy::new(2)),
         Box::new(OrToolsPolicy::with_config(
@@ -117,6 +117,7 @@ fn sim_types_construct_and_run() {
         pending_arrivals: 0,
         total_jobs: 0,
         calendar: None,
+        telemetry: None,
     };
     assert_eq!(view.free_nodes, config.nodes);
     assert_eq!(view.completed_stats.count, 0);
@@ -141,8 +142,13 @@ fn sim_types_construct_and_run() {
                 .with_seed(4),
         )
         .expect("builtin scenario");
-    let outcome = run_simulation(config, &workload.jobs, &mut Fcfs, &SimOptions::default())
-        .expect("tiny workload completes");
+    let outcome = run_simulation(
+        config,
+        &workload.jobs,
+        &mut Fcfs::default(),
+        &SimOptions::default(),
+    )
+    .expect("tiny workload completes");
     assert_eq!(outcome.records.len(), 3);
 }
 
@@ -163,7 +169,7 @@ fn registry_and_builder_types_construct_and_run() {
     let mut registry = PolicyRegistry::with_builtins();
     assert!(registry.contains("FCFS"));
     registry
-        .register("always-fcfs", |_| Box::new(Fcfs))
+        .register("always-fcfs", |_| Box::new(Fcfs::default()))
         .expect("fresh name");
 
     let ctx = PolicyContext::new(&workload.jobs, cluster).with_seed(8);
@@ -237,8 +243,13 @@ fn metric_types_construct() {
         )
         .expect("builtin scenario");
     let config = ClusterConfig::paper_default();
-    let outcome = run_simulation(config, &workload.jobs, &mut Fcfs, &SimOptions::default())
-        .expect("completes");
+    let outcome = run_simulation(
+        config,
+        &workload.jobs,
+        &mut Fcfs::default(),
+        &SimOptions::default(),
+    )
+    .expect("completes");
     let report = MetricsReport::compute(&outcome.records, config);
     assert!(report.makespan_secs > 0.0);
     // Every metric enum variant answers its accessor on a real report.

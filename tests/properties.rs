@@ -391,6 +391,7 @@ proptest! {
             pending_arrivals: pending,
             total_jobs: waiting_specs.len() + running_summaries.len() + pending,
             calendar: None,
+            telemetry: None,
         };
         let text = PromptBuilder::render(&view, &Scratchpad::default());
         let parsed = parse_prompt(&text).expect("builder output parses");

@@ -29,8 +29,8 @@ fn quick_solver() -> SolverConfig {
 /// must reproduce exactly.
 fn direct_policy(name: &str, jobs: &[JobSpec], seed: u64) -> Box<dyn SchedulingPolicy> {
     match name {
-        "FCFS" => Box::new(Fcfs),
-        "SJF" => Box::new(Sjf),
+        "FCFS" => Box::new(Fcfs::default()),
+        "SJF" => Box::new(Sjf::default()),
         "EASY" => Box::new(EasyBackfill::new()),
         "EASY-SJBF" => Box::new(EasyBackfill::sjbf()),
         "Conservative" => Box::new(ConservativeBackfill::new()),

@@ -23,7 +23,7 @@ fn daemon_drains_500_job_burst_across_three_tenants() {
     let cluster = ClusterConfig::paper_default();
     let config = ServiceConfig::new(cluster);
     let clock = ManualClock::new();
-    let daemon = ServiceDaemon::spawn(config, clock, || Box::new(Fcfs));
+    let daemon = ServiceDaemon::spawn(config, clock, || Box::new(Fcfs::default()));
     let handle = daemon.handle();
 
     // Three producer threads, one tenant each, sharing the lock-free
@@ -63,7 +63,7 @@ fn rate_limited_tenant_sees_typed_rejections_but_service_still_drains() {
     let config = ServiceConfig::new(cluster);
     let clock = ManualClock::new();
     let external = clock.clone();
-    let daemon = ServiceDaemon::spawn(config, clock, || Box::new(Fcfs));
+    let daemon = ServiceDaemon::spawn(config, clock, || Box::new(Fcfs::default()));
     let handle = daemon.handle();
 
     // Tenant 0 is tightly rate-limited; tenant 1 is unlimited. The limit
@@ -76,7 +76,7 @@ fn rate_limited_tenant_sees_typed_rejections_but_service_still_drains() {
         burst: 8,
         per_sec: 1,
     });
-    let daemon2 = ServiceDaemon::spawn(limited, ManualClock::new(), || Box::new(Fcfs));
+    let daemon2 = ServiceDaemon::spawn(limited, ManualClock::new(), || Box::new(Fcfs::default()));
     let h2 = daemon2.handle();
     for i in 0..64u32 {
         h2.submit(TenantId(0), burst_job(i + 1, 0)).unwrap();

@@ -1,0 +1,168 @@
+//! Determinism and provenance pins for the telemetry subsystem:
+//!
+//! * identically-seeded runs emit **byte-identical** artifacts — the epoch
+//!   JSONL trace, the span JSONL trace, the metrics snapshot JSON, the
+//!   Prometheus exposition, and the Chrome trace-event document (wall-clock
+//!   stamping off);
+//! * every non-placement epoch in a trace carries a machine-readable
+//!   [`DelayReason`], and placement/stop epochs never do;
+//! * attaching a disabled (or recording) sink leaves the schedule — the
+//!   decision log, job records, and provenance trace — bit-unchanged;
+//! * the sink's harvested counters agree with the kernel's own stats.
+
+use reasoned_scheduler::cluster::ClusterConfig;
+use reasoned_scheduler::prelude::*;
+use reasoned_scheduler::telemetry::{export, MetricValue};
+
+const SCENARIO: &str = "heterogeneous_mix";
+const JOBS: usize = 96;
+
+fn workload_jobs(seed: u64) -> Vec<JobSpec> {
+    scenario_builtins()
+        .generate(
+            SCENARIO,
+            &ScenarioContext::new(JOBS)
+                .with_mode(ArrivalMode::Dynamic)
+                .with_seed(seed),
+        )
+        .expect("builtin scenario")
+        .jobs
+}
+
+fn run_with_sink(policy_name: &str, seed: u64, sink: Option<&TelemetrySink>) -> SimOutcome {
+    let cluster = ClusterConfig::paper_default();
+    let jobs = workload_jobs(seed);
+    let ctx = PolicyContext::new(&jobs, cluster).with_seed(seed);
+    let mut policy = PolicyRegistry::with_builtins()
+        .build(policy_name, &ctx)
+        .expect("builtin policy");
+    let mut sim = Simulation::new(cluster).jobs(&jobs);
+    if let Some(sink) = sink {
+        sim = sim.telemetry(sink);
+    }
+    sim.run(policy.as_mut()).expect("simulation completes")
+}
+
+fn counter(snapshot: &MetricsSnapshot, name: &str) -> u64 {
+    snapshot
+        .entries()
+        .iter()
+        .find(|e| e.name == name)
+        .and_then(|e| match e.value {
+            MetricValue::Counter(v) => Some(v),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("counter {name} missing from snapshot"))
+}
+
+/// One fully-instrumented run's exported artifacts, all as bytes.
+fn artifacts(policy_name: &str, seed: u64) -> [String; 5] {
+    let sink = TelemetrySink::recording();
+    let outcome = run_with_sink(policy_name, seed, Some(&sink));
+    let spans = sink.spans().expect("recording sink records spans");
+    let snapshot = sink.snapshot().expect("recording sink snapshots");
+    [
+        export::epochs_to_jsonl(&outcome.epochs),
+        export::spans_to_jsonl(&spans),
+        snapshot.to_json(),
+        export::prometheus(&snapshot, "rsched_"),
+        export::chrome_trace(&spans),
+    ]
+}
+
+#[test]
+fn identical_seeds_emit_byte_identical_artifacts() {
+    for policy in ["Conservative", "EASY", "FCFS"] {
+        let a = artifacts(policy, 7);
+        let b = artifacts(policy, 7);
+        for (name, (x, y)) in ["epochs", "spans", "metrics", "prometheus", "chrome"]
+            .iter()
+            .zip(a.iter().zip(b.iter()))
+        {
+            assert_eq!(x, y, "{policy}: {name} artifact not byte-stable");
+            assert!(!x.is_empty(), "{policy}: {name} artifact empty");
+        }
+    }
+}
+
+#[test]
+fn every_non_placement_epoch_carries_a_machine_readable_reason() {
+    for policy in ["FCFS", "SJF", "EASY", "EASY-SJBF", "Conservative"] {
+        let outcome = run_with_sink(policy, 7, None);
+        assert!(!outcome.epochs.is_empty(), "{policy}: no epochs traced");
+        let mut delays = 0usize;
+        for epoch in &outcome.epochs {
+            match epoch.outcome {
+                EpochOutcome::Delay | EpochOutcome::ForcedDelay | EpochOutcome::Saturated => {
+                    let reason = epoch
+                        .reason
+                        .as_ref()
+                        .unwrap_or_else(|| panic!("{policy}: unexplained delay at {}", epoch.time));
+                    assert!(!reason.code().is_empty());
+                    delays += 1;
+                }
+                EpochOutcome::Placements { .. } | EpochOutcome::Stop => {
+                    assert!(
+                        epoch.reason.is_none(),
+                        "{policy}: spurious reason on a productive epoch"
+                    );
+                }
+            }
+        }
+        assert!(delays > 0, "{policy}: dynamic arrivals imply idle epochs");
+    }
+}
+
+#[test]
+fn sink_attachment_leaves_the_schedule_bit_unchanged() {
+    let bare = run_with_sink("Conservative", 7, None);
+    let disabled = run_with_sink("Conservative", 7, Some(&TelemetrySink::disabled()));
+    let recording_sink = TelemetrySink::recording();
+    let recording = run_with_sink("Conservative", 7, Some(&recording_sink));
+    for (label, other) in [("disabled", &disabled), ("recording", &recording)] {
+        assert_eq!(bare.decisions, other.decisions, "{label}: decision log");
+        assert_eq!(bare.records, other.records, "{label}: job records");
+        assert_eq!(bare.stats, other.stats, "{label}: kernel stats");
+        assert_eq!(bare.end_time, other.end_time, "{label}: end time");
+        assert_eq!(bare.epochs, other.epochs, "{label}: provenance trace");
+    }
+}
+
+#[test]
+fn harvested_counters_agree_with_kernel_stats() {
+    let sink = TelemetrySink::recording();
+    let outcome = run_with_sink("Conservative", 7, Some(&sink));
+    let snapshot = sink.snapshot().expect("recording sink snapshots");
+    let stats = &outcome.stats;
+    assert_eq!(counter(&snapshot, "sim_epochs_total"), stats.epochs as u64);
+    assert_eq!(
+        counter(&snapshot, "sim_queries_total"),
+        stats.queries as u64
+    );
+    assert_eq!(
+        counter(&snapshot, "sim_placements_total"),
+        stats.placements as u64
+    );
+    assert_eq!(
+        counter(&snapshot, "sim_backfills_total"),
+        stats.backfills as u64
+    );
+    assert_eq!(counter(&snapshot, "sim_delays_total"), stats.delays as u64);
+    // Per-outcome epoch counters partition the epoch trace.
+    let by_code = |code: &str| {
+        outcome
+            .epochs
+            .iter()
+            .filter(|e| e.outcome.code() == code)
+            .count() as u64
+    };
+    for code in ["placements", "delay", "saturated"] {
+        assert_eq!(
+            counter(&snapshot, &format!("sim_epoch_{code}_total")),
+            by_code(code),
+            "sim_epoch_{code}_total"
+        );
+    }
+    // The conservative policy's own instrumentation fired.
+    assert!(counter(&snapshot, "sim_conservative_reservation_passes_total") > 0);
+}
